@@ -1,0 +1,84 @@
+// Ablation: bandwidth estimation (paper contribution #2).
+// "UDT employs an AIMD rate control algorithm that uses a bandwidth
+// estimation technique to determine the best increase parameter for
+// efficiency.  From our experiments, this increases the effective
+// throughput of the protocol."
+// Disabling the RBPP packet pairs (probe_interval = 0) leaves the
+// controller with no capacity estimate, so formula (1) falls to its probing
+// floor — the flow can no longer find the link rate after a loss.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "netsim/stats.hpp"
+#include "netsim/topology.hpp"
+
+using namespace udtr;
+using namespace udtr::sim;
+
+namespace {
+
+struct Out {
+  double mean_mbps;
+  double t90 = -1.0;  // first second reaching 90% of capacity post-loss
+};
+
+Out run(int probe_interval, Bandwidth link, double seconds) {
+  Simulator sim;
+  const double rtt = 0.050;
+  Dumbbell net{sim, {link, static_cast<std::size_t>(std::max(
+                               1000.0, bdp_packets(link, rtt, 1500)))}};
+  UdtFlowConfig cfg;
+  cfg.probe_interval = probe_interval;
+  net.add_udt_flow(cfg, rtt);
+  // A short competing burst forces a loss event early on, so the run
+  // measures recovery driven by the estimated available bandwidth.
+  net.add_cbr_source(link * 1.5, 1500, 3.0, 3.3);
+  ThroughputSampler sampler{
+      sim, [&] { return net.udt_receiver(0).stats().delivered; }, 1500, 1.0};
+  sim.run_until(seconds);
+  Out out;
+  out.mean_mbps = sampler.mean_mbps();
+  const double target = 0.9 * link.mbits_per_sec();
+  const auto& s = sampler.samples_mbps();
+  for (std::size_t i = 4; i < s.size(); ++i) {  // after the burst at t=3
+    if (s[i] >= target) {
+      out.t90 = static_cast<double>(i + 1);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto scale = udtr::bench::parse_scale(argc, argv);
+  udtr::bench::banner("Ablation", "RBPP bandwidth estimation on/off", scale);
+
+  const Bandwidth link = Bandwidth::mbps(scale.mbps(100, 1000));
+  const double seconds = scale.seconds(40, 100);
+
+  const Out with_est = run(16, link, seconds);
+  const Out without_est = run(0, link, seconds);
+
+  std::printf("%-22s %14s %22s\n", "configuration", "mean Mb/s",
+              "t to 90%% after loss");
+  const auto t90s = [](double t) {
+    static char buf[32];
+    if (t < 0) {
+      std::snprintf(buf, sizeof buf, "never");
+    } else {
+      std::snprintf(buf, sizeof buf, "%.0f s", t);
+    }
+    return buf;
+  };
+  std::printf("%-22s %14.1f %22s\n", "RBPP estimation (N=16)",
+              with_est.mean_mbps, t90s(with_est.t90));
+  std::printf("%-22s %14.1f %22s\n", "no estimation",
+              without_est.mean_mbps, t90s(without_est.t90));
+  std::printf("\nexpected: without the capacity estimate the increase "
+              "parameter sits at its floor and recovery stalls — the "
+              "estimation is what buys efficiency.\n");
+  return 0;
+}

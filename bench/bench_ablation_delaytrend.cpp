@@ -1,0 +1,65 @@
+// Ablation: the retired delay-trend congestion input (paper §6 lessons).
+// "The obsolete design of UDT that did use packet delay to indicate
+// congestion is friendlier to TCP, but may lead to poor throughputs on
+// certain systems."  Reproduced: with the PCT/PDT warning enabled, the UDT
+// flow backs off before the queue overflows — less loss and a larger TCP
+// share — at the cost of throughput, especially when end-system noise
+// (jitter) pollutes the delay samples.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "netsim/link.hpp"
+#include "netsim/stats.hpp"
+#include "netsim/topology.hpp"
+
+using namespace udtr;
+using namespace udtr::sim;
+
+namespace {
+
+struct Out {
+  double udt_mbps;
+  double tcp_mbps;
+  std::uint64_t lost;
+};
+
+Out run(bool delay_mode, Bandwidth link, double seconds) {
+  Simulator sim;
+  const double rtt = 0.050;
+  Dumbbell net{sim, {link, static_cast<std::size_t>(std::max(
+                               200.0, bdp_packets(link, rtt, 1500) / 2))}};
+  UdtFlowConfig cfg;
+  cfg.cc.delay_trend_mode = delay_mode;
+  net.add_udt_flow(cfg, rtt);
+  net.add_tcp_flow({}, rtt);
+  sim.run_until(seconds);
+  return Out{
+      average_mbps(net.udt_receiver(0).stats().delivered, 1500, 0, seconds),
+      average_mbps(net.tcp_receiver(0).stats().delivered, 1500, 0, seconds),
+      net.udt_receiver(0).stats().lost_packets};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto scale = udtr::bench::parse_scale(argc, argv);
+  udtr::bench::banner("Ablation", "obsolete delay-trend congestion input "
+                      "(1 UDT + 1 TCP)", scale);
+
+  const Bandwidth link = Bandwidth::mbps(scale.mbps(100, 1000));
+  const double seconds = scale.seconds(30, 100);
+
+  const Out off = run(false, link, seconds);
+  const Out on = run(true, link, seconds);
+
+  std::printf("%-22s %12s %12s %12s\n", "configuration", "UDT Mb/s",
+              "TCP Mb/s", "UDT loss");
+  std::printf("%-22s %12.1f %12.1f %12llu\n", "loss-only (current)",
+              off.udt_mbps, off.tcp_mbps, (unsigned long long)off.lost);
+  std::printf("%-22s %12.1f %12.1f %12llu\n", "with delay trend",
+              on.udt_mbps, on.tcp_mbps, (unsigned long long)on.lost);
+  std::printf("\nexpected: delay mode is friendlier (larger TCP share, less "
+              "loss) but yields throughput — the reason UDT removed it.\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Fig. 14: CPU utilization of UDT vs TCP for memory-to-memory transfer.
+// Runs the real UDT library over loopback UDP and a kernel-TCP loopback
+// transfer of the same duration, sampling process CPU time (getrusage).
+// The paper reports UDT averaging 43% (send) / 52% (receive) vs TCP's
+// 33% / 35% on dual Xeons — user-level protocol + busy-wait pacing costs
+// some extra CPU, which is the acceptable-overhead claim being reproduced.
+// Both endpoints run in this process, so the reported figure is the
+// combined sender+receiver utilization per transport.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "udt/socket.hpp"
+
+namespace {
+
+double cpu_seconds() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_utime.tv_sec + ru.ru_stime.tv_sec) +
+         static_cast<double>(ru.ru_utime.tv_usec + ru.ru_stime.tv_usec) * 1e-6;
+}
+
+struct Measured {
+  double mbps;
+  double cpu_percent;  // of one core
+};
+
+// Both transports are rate-capped near GigE speed so the CPU comparison is
+// per-transport at matched throughput, as in the paper's testbed.
+constexpr double kTargetMbps = 950.0;
+
+Measured run_udt(double seconds) {
+  using namespace udtr::udt;
+  SocketOptions opts;
+  opts.max_bandwidth_mbps = kTargetMbps;
+  auto listener = Socket::listen(0, opts);
+  auto accepted = std::async(std::launch::async, [&] {
+    return listener->accept(std::chrono::seconds{5});
+  });
+  auto client = Socket::connect("127.0.0.1", listener->local_port(), opts);
+  auto server = accepted.get();
+  if (!client || !server) return {0.0, 0.0};
+
+  std::atomic<bool> stop{false};
+  auto snd = std::async(std::launch::async, [&] {
+    std::vector<std::uint8_t> block(1 << 20, 0x42);
+    while (!stop) client->send(block);
+  });
+  auto rcv = std::async(std::launch::async, [&] {
+    std::vector<std::uint8_t> buf(1 << 20);
+    while (!stop) server->recv(buf, std::chrono::milliseconds{100});
+  });
+
+  const double cpu0 = cpu_seconds();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  const double cpu = cpu_seconds() - cpu0;
+  const auto bytes = server->perf().bytes_delivered;
+  stop = true;
+  client->close();
+  server->close();
+  snd.get();
+  rcv.get();
+  return {static_cast<double>(bytes) * 8.0 / wall / 1e6,
+          100.0 * cpu / wall};
+}
+
+Measured run_kernel_tcp(double seconds) {
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(lfd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0 ||
+      ::listen(lfd, 1) != 0) {
+    return {0.0, 0.0};
+  }
+  socklen_t len = sizeof sa;
+  ::getsockname(lfd, reinterpret_cast<sockaddr*>(&sa), &len);
+
+  const int cfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (::connect(cfd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+    return {0.0, 0.0};
+  }
+  const int sfd = ::accept(lfd, nullptr, nullptr);
+  ::close(lfd);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> received{0};
+  auto snd = std::async(std::launch::async, [&] {
+    // Pace the TCP sender to the same target rate as UDT.
+    std::vector<char> block(1 << 20, 0x42);
+    const auto block_time = std::chrono::duration<double>(
+        static_cast<double>(block.size()) * 8.0 / (kTargetMbps * 1e6));
+    auto next = std::chrono::steady_clock::now();
+    while (!stop) {
+      if (::send(cfd, block.data(), block.size(), MSG_NOSIGNAL) <= 0) break;
+      next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          block_time);
+      std::this_thread::sleep_until(next);
+    }
+  });
+  auto rcv = std::async(std::launch::async, [&] {
+    std::vector<char> buf(1 << 20);
+    while (!stop) {
+      const ssize_t n = ::recv(sfd, buf.data(), buf.size(), 0);
+      if (n <= 0) break;
+      received += static_cast<std::uint64_t>(n);
+    }
+  });
+
+  const double cpu0 = cpu_seconds();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  const double cpu = cpu_seconds() - cpu0;
+  stop = true;
+  ::shutdown(cfd, SHUT_RDWR);
+  ::shutdown(sfd, SHUT_RDWR);
+  snd.get();
+  rcv.get();
+  ::close(cfd);
+  ::close(sfd);
+  return {static_cast<double>(received.load()) * 8.0 / wall / 1e6,
+          100.0 * cpu / wall};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto scale = udtr::bench::parse_scale(argc, argv);
+  udtr::bench::banner("Fig 14", "CPU utilization, UDT vs kernel TCP "
+                      "(memory-memory over loopback)", scale);
+  const double seconds = scale.seconds(4, 15);
+
+  const Measured udt = run_udt(seconds);
+  const Measured tcp = run_kernel_tcp(seconds);
+
+  std::printf("%-12s %14s %18s\n", "transport", "Mb/s", "CPU%% (snd+rcv)");
+  std::printf("%-12s %14.0f %18.1f\n", "UDT", udt.mbps, udt.cpu_percent);
+  std::printf("%-12s %14.0f %18.1f\n", "kernel TCP", tcp.mbps,
+              tcp.cpu_percent);
+  std::printf("\nboth transports are paced to ~%.0f Mb/s so CPU is compared "
+              "at matched throughput.\npaper (at ~970 Mb/s): UDT 43%%/52%% "
+              "vs TCP 33%%/35%% per side — user-level UDT costs moderately "
+              "more CPU than kernel TCP; absolute numbers depend on host "
+              "speed.\n", kTargetMbps);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig. 7: UDT throughput with and without flow (window) control.
+// Single flow, 1 Gb/s link, 100 ms RTT, DropTail queue = BDP.  Without the
+// dynamic window the rate controller keeps pouring packets after congestion
+// sets in, causing deep loss cycles and oscillation; with it, throughput is
+// smooth near link capacity.  Prints the 1 s throughput series plus loss
+// statistics for both configurations.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "netsim/stats.hpp"
+#include "netsim/topology.hpp"
+
+using namespace udtr;
+using namespace udtr::sim;
+
+namespace {
+
+struct RunOut {
+  std::vector<double> series;
+  std::uint64_t lost;
+  std::uint64_t retransmitted;
+  double mean_mbps;
+};
+
+RunOut run(bool flow_control, Bandwidth link, double seconds) {
+  Simulator sim;
+  const double rtt = 0.100;
+  const auto queue =
+      static_cast<std::size_t>(bdp_packets(link, rtt, 1500));
+  Dumbbell net{sim, {link, queue}};
+  UdtFlowConfig cfg;
+  cfg.cc.window_control = flow_control;
+  net.add_udt_flow(cfg, rtt);
+  ThroughputSampler sampler{
+      sim, [&] { return net.udt_receiver(0).stats().delivered; }, 1500, 1.0};
+  sim.run_until(seconds);
+  RunOut out;
+  out.series = sampler.samples_mbps();
+  out.lost = net.udt_receiver(0).stats().lost_packets;
+  out.retransmitted = net.udt_sender(0).stats().retransmitted;
+  out.mean_mbps = sampler.mean_mbps();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto scale = udtr::bench::parse_scale(argc, argv);
+  udtr::bench::banner("Fig 7", "UDT with vs without flow control "
+                      "(1 Gb/s, 100 ms RTT, q = BDP)", scale);
+
+  const Bandwidth link = Bandwidth::mbps(scale.mbps(300, 1000));
+  const double seconds = scale.seconds(60, 100);
+
+  const RunOut with_fc = run(true, link, seconds);
+  const RunOut without_fc = run(false, link, seconds);
+
+  std::printf("%6s %14s %14s\n", "t(s)", "with FC Mb/s", "without FC Mb/s");
+  for (std::size_t i = 0; i < with_fc.series.size(); i += 2) {
+    std::printf("%6zu %14.1f %14.1f\n", i + 1, with_fc.series[i],
+                i < without_fc.series.size() ? without_fc.series[i] : 0.0);
+  }
+  std::printf("\nmean throughput: with FC %.1f Mb/s, without FC %.1f Mb/s\n",
+              with_fc.mean_mbps, without_fc.mean_mbps);
+  std::printf("lost packets:    with FC %llu, without FC %llu\n",
+              (unsigned long long)with_fc.lost,
+              (unsigned long long)without_fc.lost);
+  std::printf("retransmitted:   with FC %llu, without FC %llu\n",
+              (unsigned long long)with_fc.retransmitted,
+              (unsigned long long)without_fc.retransmitted);
+  std::printf("\npaper: without FC the flow oscillates with deep loss dips; "
+              "with FC it holds a smooth high rate.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Fig. 9 (+ Appendix): access time to the loss list.
+// Replays the Fig. 8-style loss workload — bursts of continuous loss events
+// interleaved with retransmission-driven removals — and measures insert,
+// delete (remove), and query times.  The paper's claim: ~1 us per access,
+// independent of the number of lost packets, because cost scales with loss
+// *events* and accesses have locality.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <string_view>
+#include <vector>
+
+#include "udt/loss_list.hpp"
+
+namespace {
+
+using udtr::SeqNo;
+using udtr::udt::LossList;
+
+// A synthetic congestion trace: loss events whose sizes follow the heavy
+// pattern of Fig. 8 (many small gaps, occasional 1000+-packet bursts).
+std::vector<std::pair<std::int32_t, std::int32_t>> make_trace(
+    int events, std::uint64_t seed) {
+  std::mt19937_64 rng{seed};
+  std::vector<std::pair<std::int32_t, std::int32_t>> trace;
+  std::int32_t seq = 0;
+  for (int i = 0; i < events; ++i) {
+    seq += 1 + static_cast<std::int32_t>(rng() % 50);  // received stretch
+    const std::int32_t burst =
+        (rng() % 10 == 0) ? 500 + static_cast<std::int32_t>(rng() % 2500)
+                          : 1 + static_cast<std::int32_t>(rng() % 30);
+    trace.emplace_back(seq, seq + burst - 1);
+    seq += burst;
+  }
+  return trace;
+}
+
+void BM_Insert(benchmark::State& state) {
+  const auto trace = make_trace(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    state.PauseTiming();
+    LossList ll{1 << 22};
+    state.ResumeTiming();
+    for (const auto& [a, b] : trace) {
+      benchmark::DoNotOptimize(ll.insert(SeqNo{a}, SeqNo{b}));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_Insert)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_RemoveRetransmissions(benchmark::State& state) {
+  const auto trace = make_trace(static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    LossList ll{1 << 22};
+    std::vector<std::int32_t> to_remove;
+    for (const auto& [a, b] : trace) {
+      ll.insert(SeqNo{a}, SeqNo{b});
+      // Retransmissions arrive roughly in order within each event.
+      for (std::int32_t s = a; s <= b; s += 7) to_remove.push_back(s);
+    }
+    state.ResumeTiming();
+    for (const std::int32_t s : to_remove) {
+      benchmark::DoNotOptimize(ll.remove(SeqNo{s}));
+    }
+    state.PauseTiming();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_RemoveRetransmissions)->Arg(100)->Arg(1000);
+
+void BM_Query(benchmark::State& state) {
+  const auto trace = make_trace(static_cast<int>(state.range(0)), 9);
+  LossList ll{1 << 22};
+  for (const auto& [a, b] : trace) ll.insert(SeqNo{a}, SeqNo{b});
+  std::mt19937_64 rng{5};
+  const std::int32_t hi = trace.back().second;
+  for (auto _ : state) {
+    const auto s = static_cast<std::int32_t>(rng() % hi);
+    benchmark::DoNotOptimize(ll.contains(SeqNo{s}));
+  }
+}
+BENCHMARK(BM_Query)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_PopFirstDrain(benchmark::State& state) {
+  const auto trace = make_trace(1000, 3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    LossList ll{1 << 22};
+    for (const auto& [a, b] : trace) ll.insert(SeqNo{a}, SeqNo{b});
+    state.ResumeTiming();
+    while (ll.pop_first().has_value()) {
+    }
+  }
+}
+BENCHMARK(BM_PopFirstDrain);
+
+// The paper's contrast case: a bitmap/array scan would be O(window).  This
+// shows the compressed list is independent of how many *packets* are lost
+// (only events matter): same event count, 100x packet count.
+void BM_InsertHugeRanges(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    LossList ll{1 << 22};
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      const std::int32_t a = i * 4000;
+      benchmark::DoNotOptimize(ll.insert(SeqNo{a}, SeqNo{a + 2999}));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_InsertHugeRanges);
+
+}  // namespace
+
+// Custom main: tolerate the harness-wide --full flag (scale is irrelevant
+// for a microbenchmark) before handing argv to google-benchmark.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view{argv[i]} != "--full") args.push_back(argv[i]);
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Footnote 3 (§3.4): "On multi-bottleneck topologies, a UDT flow can reach
+// at least half of its max-min fair share", credited to the logarithmic
+// smoothing in formula (1).
+//
+// Parking lot: a long flow crosses two bottlenecks; each hop also carries
+// its own cross flow.  With equal hop capacities C and one cross flow per
+// hop, the long flow's max-min fair share is C/2.  The claim to verify is
+// long-flow throughput >= (C/2) / 2 = C/4.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "netsim/multibottleneck.hpp"
+#include "netsim/stats.hpp"
+
+using namespace udtr;
+using namespace udtr::sim;
+
+int main(int argc, char** argv) {
+  const auto scale = udtr::bench::parse_scale(argc, argv);
+  udtr::bench::banner("Footnote 3", "UDT on a multi-bottleneck parking lot",
+                      scale);
+
+  const Bandwidth hop = Bandwidth::mbps(scale.mbps(100, 1000));
+  const double seconds = scale.seconds(40, 100);
+  const double rtt = 0.040;
+
+  for (const int hops : {2, 3, 4}) {
+    Simulator sim;
+    ParkingLot net{sim, std::vector<Bandwidth>(hops, hop),
+                   static_cast<std::size_t>(std::max(
+                       1000.0, bdp_packets(hop, rtt, 1500)))};
+    // Long flow across every hop plus one cross flow per hop.
+    const std::size_t long_idx = net.add_udt_flow(
+        {}, 0, static_cast<std::size_t>(hops) - 1, rtt);
+    for (int h = 0; h < hops; ++h) {
+      net.add_udt_flow({}, static_cast<std::size_t>(h),
+                       static_cast<std::size_t>(h), rtt);
+    }
+    // Steady-state measurement over the second half of the run.
+    sim.run_until(seconds / 2);
+    std::vector<std::uint64_t> half;
+    for (int f = 0; f <= hops; ++f) {
+      half.push_back(net.udt_receiver(static_cast<std::size_t>(f))
+                         .stats()
+                         .delivered);
+    }
+    sim.run_until(seconds);
+
+    const double long_mbps = average_mbps(
+        net.udt_receiver(long_idx).stats().delivered - half[long_idx],
+        1500, seconds / 2, seconds);
+    double cross_total = 0.0;
+    for (int h = 0; h < hops; ++h) {
+      const std::size_t f = long_idx + 1 + static_cast<std::size_t>(h);
+      cross_total += average_mbps(
+          net.udt_receiver(f).stats().delivered - half[f], 1500,
+          seconds / 2, seconds);
+    }
+    const double maxmin = hop.mbits_per_sec() / 2.0;
+    std::printf("%d hops: long flow %.1f Mb/s = %.0f%% of its max-min share "
+                "(%.0f Mb/s); cross flows total %.1f Mb/s\n",
+                hops, long_mbps, 100.0 * long_mbps / maxmin, maxmin,
+                cross_total);
+  }
+  std::printf("\npaper claim (proof omitted there): the long flow keeps at "
+              "least 50%% of its max-min share.  Our reproduction lands "
+              "just below that bound at 2 hops and degrades with hop count "
+              "— see EXPERIMENTS.md for the discussion.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Table 3: CPU utilization ratio of the protocol's functional units.
+// Runs a profiled memory-to-memory transfer with the real library and
+// prints the share of instrumented CPU time per unit for the sending and
+// receiving entities.  The paper (VTune, dual Xeon): UDP writing dominates
+// sending at 66.7%, UDP reading dominates receiving at 90.9%; everything
+// else — timing, packing, control/loss processing — is single-digit.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "udt/socket.hpp"
+
+int main(int argc, char** argv) {
+  using namespace udtr::udt;
+  const auto scale = udtr::bench::parse_scale(argc, argv);
+  udtr::bench::banner("Table 3", "CPU share per functional unit "
+                      "(instrumented transfer)", scale);
+  const double seconds = scale.seconds(4, 15);
+
+  SocketOptions opts;
+  opts.enable_profiler = true;
+  // Match the paper's conditions: a ~GigE-rate transfer, where pacing waits
+  // (the "timing" row) are a real cost rather than rounding noise.
+  opts.max_bandwidth_mbps = 950.0;
+  auto listener = Socket::listen(0, opts);
+  auto accepted = std::async(std::launch::async, [&] {
+    return listener->accept(std::chrono::seconds{5});
+  });
+  auto client = Socket::connect("127.0.0.1", listener->local_port(), opts);
+  auto server = accepted.get();
+  if (!client || !server) {
+    std::fprintf(stderr, "connection failed\n");
+    return 1;
+  }
+
+  std::atomic<bool> stop{false};
+  auto snd = std::async(std::launch::async, [&] {
+    std::vector<std::uint8_t> block(1 << 20, 0x42);
+    while (!stop) client->send(block);
+  });
+  auto rcv = std::async(std::launch::async, [&] {
+    std::vector<std::uint8_t> buf(1 << 20);
+    while (!stop) server->recv(buf, std::chrono::milliseconds{100});
+  });
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  const auto rate_mbps =
+      static_cast<double>(server->perf().bytes_delivered) * 8.0 / seconds /
+      1e6;
+  stop = true;
+  client->close();
+  server->close();
+  snd.get();
+  rcv.get();
+
+  const auto print_side = [](const char* side, Profiler& prof) {
+    std::printf("\n%s entity:\n", side);
+    std::printf("  %-18s %12s %8s\n", "unit", "time (ms)", "share");
+    for (const auto& s : prof.report()) {
+      std::printf("  %-18s %12.2f %7.1f%%\n",
+                  std::string{prof_unit_name(s.unit)}.c_str(),
+                  static_cast<double>(s.nanos) / 1e6, s.percent);
+    }
+  };
+  std::printf("transfer rate: %.0f Mb/s\n", rate_mbps);
+  print_side("sending (client)", client->profiler());
+  print_side("receiving (server)", server->profiler());
+
+  std::printf("\npaper Table 3 (dual Xeon, 970 Mb/s): sending = UDP writing "
+              "66.7%%, timing 4.9%%, packing 5.9%%, ctrl 5.1%%, app 3.5%%; "
+              "receiving = UDP reading 90.9%%, rate measurement 2.7%%, "
+              "unpacking 0.9%%, loss 0.6%%.\n");
+  return 0;
+}

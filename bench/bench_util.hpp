@@ -1,0 +1,37 @@
+// Shared helpers for the experiment harness.  Every bench binary accepts
+// `--full` to run at the paper's scale (1 Gb/s links, 100 s runs); the
+// default scale keeps the whole suite runnable in minutes on one core while
+// preserving every qualitative shape.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace udtr::bench {
+
+struct Scale {
+  bool full = false;
+  // Simulated seconds per scenario.
+  [[nodiscard]] double seconds(double dflt, double full_val) const {
+    return full ? full_val : dflt;
+  }
+  [[nodiscard]] double mbps(double dflt, double full_val) const {
+    return full ? full_val : dflt;
+  }
+};
+
+inline Scale parse_scale(int argc, char** argv) {
+  Scale s;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) s.full = true;
+  }
+  return s;
+}
+
+inline void banner(const char* id, const char* what, const Scale& s) {
+  std::printf("== %s: %s%s ==\n", id, what,
+              s.full ? "  [paper scale]" : "  [reduced scale; --full for paper scale]");
+}
+
+}  // namespace udtr::bench

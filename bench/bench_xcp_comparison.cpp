@@ -1,0 +1,146 @@
+// §2.2/§3.4: UDT's end-to-end estimation vs XCP's router feedback.
+// The paper motivates UDT's design point: get close to what a
+// router-assisted scheme (XCP "knows everything about the link") achieves,
+// while remaining deployable end-to-end over plain UDP.  This bench puts
+// the two side by side: ramp-up time, steady throughput, standing queue,
+// and latecomer convergence.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "netsim/demux.hpp"
+#include "netsim/stats.hpp"
+#include "netsim/topology.hpp"
+#include "netsim/xcp.hpp"
+
+using namespace udtr;
+using namespace udtr::sim;
+
+namespace {
+
+struct Out {
+  double mbps;
+  double t90 = -1.0;           // seconds to 90% of capacity
+  std::size_t max_queue;
+  double latecomer_share = 0;  // delivered ratio in the shared window
+};
+
+Out run_udt(Bandwidth link, double rtt, double seconds) {
+  Simulator sim;
+  Dumbbell net{sim, {link, static_cast<std::size_t>(std::max(
+                               1000.0, bdp_packets(link, rtt, 1500)))}};
+  net.add_udt_flow({}, rtt);
+  UdtFlowConfig late;
+  late.start_time = seconds * 0.4;
+  net.add_udt_flow(late, rtt);
+  ThroughputSampler sampler{
+      sim, [&] { return net.udt_receiver(0).stats().delivered +
+                        net.udt_receiver(1).stats().delivered; },
+      1500, 0.5};
+  sim.run_until(seconds * 0.4);
+  const auto h0 = net.udt_receiver(0).stats().delivered;
+  sim.run_until(seconds);
+  Out o{};
+  o.mbps = sampler.mean_mbps();
+  const double target = 0.9 * link.mbits_per_sec();
+  const auto& s = sampler.samples_mbps();
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] >= target) {
+      o.t90 = 0.5 * static_cast<double>(i + 1);
+      break;
+    }
+  }
+  o.max_queue = net.bottleneck().stats().max_queue_depth;
+  const double f0 =
+      static_cast<double>(net.udt_receiver(0).stats().delivered - h0);
+  const double f1 = static_cast<double>(net.udt_receiver(1).stats().delivered);
+  o.latecomer_share = f1 / std::max(f0 + f1, 1.0);
+  return o;
+}
+
+Out run_xcp(Bandwidth link, double rtt, double seconds) {
+  Simulator sim;
+  Link l{sim, link, 0.0,
+         static_cast<std::size_t>(
+             std::max(1000.0, bdp_packets(link, rtt, 1500)))};
+  XcpRouter router{sim, l};
+  FlowDemux demux;
+  l.set_next(&demux);
+  std::vector<std::unique_ptr<XcpSender>> snd;
+  std::vector<std::unique_ptr<XcpReceiver>> rcv;
+  std::vector<std::unique_ptr<DelayLink>> delays;
+  const auto add = [&](double start) {
+    XcpFlowConfig cfg;
+    cfg.flow_id = static_cast<int>(snd.size()) + 1;
+    cfg.start_time = start;
+    auto s = std::make_unique<XcpSender>(sim, cfg);
+    auto r = std::make_unique<XcpReceiver>(sim);
+    auto fwd = std::make_unique<DelayLink>(sim, rtt / 2);
+    auto rev = std::make_unique<DelayLink>(sim, rtt / 2);
+    s->set_out(fwd.get());
+    fwd->set_next(&router);
+    demux.route(cfg.flow_id, r.get());
+    r->set_out(rev.get());
+    rev->set_next(s.get());
+    s->start();
+    snd.push_back(std::move(s));
+    rcv.push_back(std::move(r));
+    delays.push_back(std::move(fwd));
+    delays.push_back(std::move(rev));
+  };
+  add(0.0);
+  add(seconds * 0.4);
+  ThroughputSampler sampler{
+      sim,
+      [&] { return rcv[0]->stats().delivered + rcv[1]->stats().delivered; },
+      1500, 0.5};
+  sim.run_until(seconds * 0.4);
+  const auto h0 = rcv[0]->stats().delivered;
+  sim.run_until(seconds);
+  Out o{};
+  o.mbps = sampler.mean_mbps();
+  const double target = 0.9 * link.mbits_per_sec();
+  const auto& s = sampler.samples_mbps();
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] >= target) {
+      o.t90 = 0.5 * static_cast<double>(i + 1);
+      break;
+    }
+  }
+  o.max_queue = l.stats().max_queue_depth;
+  const double f0 = static_cast<double>(rcv[0]->stats().delivered - h0);
+  const double f1 = static_cast<double>(rcv[1]->stats().delivered);
+  o.latecomer_share = f1 / std::max(f0 + f1, 1.0);
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto scale = udtr::bench::parse_scale(argc, argv);
+  udtr::bench::banner("§2.2/§3.4", "end-to-end UDT vs router-assisted XCP",
+                      scale);
+
+  const Bandwidth link = Bandwidth::mbps(scale.mbps(100, 1000));
+  const double rtt = 0.100;
+  const double seconds = scale.seconds(30, 100);
+
+  const Out udt = run_udt(link, rtt, seconds);
+  const Out xcp = run_xcp(link, rtt, seconds);
+
+  std::printf("%-6s %12s %10s %12s %18s\n", "proto", "agg Mb/s", "t90 (s)",
+              "max queue", "latecomer share");
+  const auto row = [&](const char* n, const Out& o) {
+    std::printf("%-6s %12.1f %10.1f %12zu %17.0f%%\n", n, o.mbps, o.t90,
+                o.max_queue, 100.0 * o.latecomer_share);
+  };
+  row("UDT", udt);
+  row("XCP", xcp);
+  std::printf("\nexpected: XCP (router feedback) ramps faster with a near-"
+              "empty queue and instant latecomer convergence; UDT gets close "
+              "on throughput and convergence purely end-to-end — the paper's "
+              "deployability argument.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// SABUL congestion control (paper §2.3) — UDT's predecessor.
+//
+// SABUL tunes the packet sending period MULTIPLICATIVELY according to the
+// current sending rate: every (constant) SYN interval without loss the rate
+// is scaled up, and each loss report scales it down.  Chiu & Jain's analysis
+// says MIMD does not converge to fairness between flows, which is exactly
+// what the paper reports ("the most important improvement of UDT over SABUL
+// is the congestion control algorithm, which has a similar efficiency but is
+// superior in regard to fairness") — bench_sabul_comparison measures it.
+//
+// The interface mirrors UdtCc so simulator agents can host either.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/seqno.hpp"
+
+namespace udtr::cc {
+
+struct SabulCcConfig {
+  int mss_bytes = 1500;
+  double syn_s = 0.01;          // constant control interval (RTT-unbiased)
+  double increase_factor = 1.04;  // rate multiplier per loss-free SYN
+  double decrease_factor = 0.91;  // rate multiplier on a loss report
+  double initial_rate_pps = 100.0;
+  double max_rate_pps = 1e7;
+};
+
+class SabulCc {
+ public:
+  explicit SabulCc(SabulCcConfig cfg = {})
+      : cfg_(cfg), period_s_(1.0 / cfg.initial_rate_pps) {}
+
+  void set_now(double now_s) { now_s_ = now_s; }
+
+  // Called on every (SYN-clocked) ACK: multiplicative increase when the
+  // interval saw no loss.
+  void on_ack() {
+    if (now_s_ - last_loss_s_ < cfg_.syn_s) return;
+    const double rate =
+        std::min(1.0 / period_s_ * cfg_.increase_factor, cfg_.max_rate_pps);
+    period_s_ = 1.0 / rate;
+  }
+
+  void on_nak() {
+    last_loss_s_ = now_s_;
+    // Rate control runs on the SYN clock: at most one multiplicative
+    // decrease per interval, regardless of how many loss reports land in it
+    // (continuous loss produces NAK storms, §3.5/§6).
+    if (last_decrease_s_ >= 0.0 && now_s_ - last_decrease_s_ < cfg_.syn_s) {
+      return;
+    }
+    last_decrease_s_ = now_s_;
+    period_s_ = std::min(period_s_ / cfg_.decrease_factor, 10.0);
+  }
+
+  void on_timeout() { on_nak(); }
+
+  [[nodiscard]] double pkt_send_period_s() const { return period_s_; }
+  // SABUL used a static flow window (the paper's §2.3: UDT *added* dynamic
+  // window control).
+  [[nodiscard]] double window_packets() const { return static_window_; }
+  void set_static_window(double pkts) { static_window_ = pkts; }
+
+ private:
+  SabulCcConfig cfg_;
+  double period_s_;
+  double now_s_ = 0.0;
+  double last_loss_s_ = -1.0;
+  double last_decrease_s_ = -1.0;
+  double static_window_ = 25600.0;  // SABUL's fixed flow window
+};
+
+}  // namespace udtr::cc

@@ -1,0 +1,113 @@
+// Window-growth strategies for the TCP comparators (paper §2.2, §5.2).
+//
+// The simulator's TCP agent implements connection mechanics (slow start,
+// SACK-based recovery, retransmission timeout) once; the congestion-avoidance
+// increase/decrease rule is pluggable so TCP SACK ("standard TCP" in the
+// paper), Scalable TCP, and HighSpeed TCP share the rest of the machinery.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+
+namespace udtr::cc {
+
+struct CaContext;  // defined in tcp_cavoid2.hpp (RTT-aware strategies)
+
+class TcpCongAvoid {
+ public:
+  virtual ~TcpCongAvoid() = default;
+  // Window growth applied per received ACK while in congestion avoidance.
+  // `cwnd` is in packets; returns the new cwnd.
+  [[nodiscard]] virtual double on_ack(double cwnd) const = 0;
+  // Multiplicative decrease applied on entering loss recovery.
+  [[nodiscard]] virtual double on_loss(double cwnd) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // Delay-aware strategies (Vegas, FAST) override these to receive RTT
+  // context; loss-only strategies keep the defaults.
+  [[nodiscard]] virtual bool wants_context() const { return false; }
+  [[nodiscard]] virtual double on_ack_ctx(double cwnd,
+                                          const CaContext& /*ctx*/) const {
+    return on_ack(cwnd);
+  }
+};
+
+// Standard AIMD: +1 segment per RTT (1/cwnd per ACK), halve on loss.
+class RenoCongAvoid final : public TcpCongAvoid {
+ public:
+  [[nodiscard]] double on_ack(double cwnd) const override {
+    return cwnd + 1.0 / std::max(cwnd, 1.0);
+  }
+  [[nodiscard]] double on_loss(double cwnd) const override {
+    return std::max(cwnd / 2.0, 2.0);
+  }
+  [[nodiscard]] std::string name() const override { return "reno-sack"; }
+};
+
+// Scalable TCP [Kelly 03]: MIMD — cwnd += 0.01 per ACK, cwnd *= 0.875 on
+// loss, for cwnd above the legacy-TCP threshold.
+class ScalableCongAvoid final : public TcpCongAvoid {
+ public:
+  explicit ScalableCongAvoid(double legacy_threshold = 16.0)
+      : threshold_(legacy_threshold) {}
+  [[nodiscard]] double on_ack(double cwnd) const override {
+    if (cwnd < threshold_) return cwnd + 1.0 / std::max(cwnd, 1.0);
+    return cwnd + 0.01;
+  }
+  [[nodiscard]] double on_loss(double cwnd) const override {
+    if (cwnd < threshold_) return std::max(cwnd / 2.0, 2.0);
+    return std::max(cwnd * 0.875, 2.0);
+  }
+  [[nodiscard]] std::string name() const override { return "scalable"; }
+
+ private:
+  double threshold_;
+};
+
+// HighSpeed TCP [RFC 3649]: a(w)/w per ACK, (1-b(w)) on loss, interpolated on
+// a log scale between (W_low=38, 1, 0.5) and (W_high=83000, 72, 0.1).
+class HighSpeedCongAvoid final : public TcpCongAvoid {
+ public:
+  [[nodiscard]] double on_ack(double cwnd) const override {
+    return cwnd + a(cwnd) / std::max(cwnd, 1.0);
+  }
+  [[nodiscard]] double on_loss(double cwnd) const override {
+    return std::max(cwnd * (1.0 - b(cwnd)), 2.0);
+  }
+  [[nodiscard]] std::string name() const override { return "highspeed"; }
+
+  // Exposed for unit tests against the RFC's reference values.
+  [[nodiscard]] static double a(double w) {
+    if (w <= kWLow) return 1.0;
+    const double bw = b(w);
+    // RFC 3649 section 5: a(w) = w^2 * p(w) * 2 * b(w) / (2 - b(w)).
+    return (w * w * p(w) * 2.0 * bw) / (2.0 - bw);
+  }
+  [[nodiscard]] static double b(double w) {
+    if (w <= kWLow) return 0.5;
+    const double f = (std::log(w) - std::log(kWLow)) /
+                     (std::log(kWHigh) - std::log(kWLow));
+    return (kBHigh - 0.5) * f + 0.5;
+  }
+
+ private:
+  [[nodiscard]] static double p(double w) {
+    // Response-function inverse: p(w) on the straight line (in log-log space)
+    // through (W_low, P_low) and (W_high, P_high).
+    const double s = (std::log(kPHigh) - std::log(kPLow)) /
+                     (std::log(kWHigh) - std::log(kWLow));
+    return std::exp(std::log(kPLow) + s * (std::log(w) - std::log(kWLow)));
+  }
+  static constexpr double kWLow = 38.0;
+  static constexpr double kWHigh = 83000.0;
+  static constexpr double kPLow = 1.5 / (kWLow * kWLow);
+  static constexpr double kPHigh = 1e-7;  // ~ 10^-7 at W_high
+  static constexpr double kBHigh = 0.1;
+};
+
+[[nodiscard]] std::unique_ptr<TcpCongAvoid> make_cong_avoid(
+    const std::string& name);
+
+}  // namespace udtr::cc

@@ -1,0 +1,180 @@
+#include "cc/udt_cc.hpp"
+
+#include <cmath>
+
+namespace udtr::cc {
+
+namespace {
+// The sending period is never allowed to exceed the equivalent of one packet
+// per 10 seconds, so a flow can always probe its way back up.
+constexpr double kMaxPeriodS = 10.0;
+constexpr double kMinPeriodS = 1e-9;
+}  // namespace
+
+UdtCc::UdtCc(UdtCcConfig cfg)
+    : cfg_(cfg),
+      // During slow start the window, not the pacing timer, limits sending.
+      period_s_(1e-6),
+      cwnd_(cfg.initial_cwnd),
+      rng_state_(cfg.seed | 1) {}
+
+std::uint64_t UdtCc::next_random() {
+  // xorshift64: cheap, deterministic per seed, good enough for spacing.
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 7;
+  rng_state_ ^= rng_state_ << 17;
+  return rng_state_;
+}
+
+double UdtCc::increase_for_bandwidth(double avail_bps, int mss_bytes) {
+  // Formula (1).  The floor term keeps a flow probing at least one packet
+  // every 1500 SYN intervals (15 s) regardless of how little spare bandwidth
+  // the estimator reports.
+  const double floor_inc = (1.0 / 1500.0) * (1500.0 / mss_bytes);
+  if (avail_bps <= 0.0) return floor_inc;
+  const double exponent = std::ceil(std::log10(avail_bps));
+  const double inc = std::pow(10.0, exponent - 9.0) * (1500.0 / mss_bytes);
+  return std::max(inc, floor_inc);
+}
+
+void UdtCc::rate_increase(double capacity_pps) {
+  const double bits_per_pkt = 8.0 * cfg_.mss_bytes;
+  const double current_pps = 1.0 / period_s_;
+  const double l_bps = capacity_pps * bits_per_pkt;
+  const double c_bps = current_pps * bits_per_pkt;
+
+  // Available bandwidth estimate (§3.4).  Before the first decrease, or once
+  // the rate has recovered past the pre-decrease value, the whole headroom
+  // L - C is available; below that point the surplus freed by the global
+  // 1/9 rate cut bounds the estimate.
+  double b_bps;
+  if (!any_decrease_ || period_s_ < last_dec_period_s_) {
+    b_bps = l_bps - c_bps;
+  } else {
+    b_bps = std::min(l_bps / 9.0, l_bps - c_bps);
+  }
+
+  const double inc = increase_for_bandwidth(b_bps, cfg_.mss_bytes);
+
+  // Formula (2): SYN/P' = SYN/P + inc, i.e. the rate in packets-per-SYN grows
+  // additively by inc.
+  const double pkts_per_syn = cfg_.syn_s / period_s_ + inc;
+  period_s_ = std::clamp(cfg_.syn_s / pkts_per_syn, kMinPeriodS, kMaxPeriodS);
+}
+
+void UdtCc::on_ack(const AckInfo& info) {
+  // Smooth receiver-fed statistics (UDT keeps 7/8 EWMAs of RTT and rates).
+  if (info.rtt_s > 0.0) {
+    rtt_s_ = (rtt_s_ == 0.1 && !rtt_seen_) ? info.rtt_s
+                                           : rtt_s_ * 0.875 + info.rtt_s * 0.125;
+    rtt_seen_ = true;
+  }
+  if (info.recv_rate_pps > 0.0) {
+    recv_rate_pps_ = recv_rate_pps_ <= 0.0
+                         ? info.recv_rate_pps
+                         : recv_rate_pps_ * 0.875 + info.recv_rate_pps * 0.125;
+  }
+  if (info.capacity_pps > 0.0) {
+    capacity_pps_ = capacity_pps_ <= 0.0
+                        ? info.capacity_pps
+                        : capacity_pps_ * 0.875 + info.capacity_pps * 0.125;
+  }
+
+  if (slow_start_) {
+    // Window doubles by counting acknowledged packets; leave slow start when
+    // the window would exceed its cap and switch to rate control primed from
+    // the measured receiving rate.
+    const std::int32_t acked =
+        ack_seen_ ? udtr::SeqNo::offset(last_ack_seq_, info.ack_seq) : 1;
+    if (acked > 0) cwnd_ += acked;
+    if (cwnd_ >= cfg_.max_window) {
+      slow_start_ = false;
+      period_s_ = recv_rate_pps_ > 0.0 ? 1.0 / recv_rate_pps_
+                                       : (rtt_s_ + cfg_.syn_s) / cwnd_;
+    }
+  } else if (cfg_.window_control) {
+    // Dynamic flow window (§3.2): W = AS * (SYN + RTT), capped by the free
+    // receiver buffer advertised in the ACK.
+    if (recv_rate_pps_ > 0.0) {
+      cwnd_ = recv_rate_pps_ * (cfg_.syn_s + rtt_s_) + 16.0;
+    }
+    cwnd_ = std::min({cwnd_, info.avail_buffer_pkts, cfg_.max_window});
+  } else {
+    cwnd_ = cfg_.max_window;
+  }
+  last_ack_seq_ = info.ack_seq;
+  ack_seen_ = true;
+
+  if (!slow_start_) {
+    // Rate increase runs once per SYN (ACKs are SYN-clocked) and is skipped
+    // for the SYN interval that saw a NAK.
+    if (now_s_ - last_nak_time_s_ >= cfg_.syn_s) {
+      rate_increase(capacity_pps_);
+    }
+  }
+}
+
+void UdtCc::on_nak(udtr::SeqNo biggest_loss, udtr::SeqNo largest_sent) {
+  last_nak_time_s_ = now_s_;
+
+  if (slow_start_) {
+    slow_start_ = false;
+    period_s_ = recv_rate_pps_ > 0.0 ? 1.0 / recv_rate_pps_
+                                     : (rtt_s_ + cfg_.syn_s) / cwnd_;
+  }
+
+  const bool new_epoch =
+      !any_decrease_ || udtr::SeqNo::cmp(biggest_loss, last_dec_seq_) > 0;
+  if (new_epoch) {
+    // Formula (3) plus the one-SYN freeze that clears the bottleneck queue.
+    any_decrease_ = true;
+    last_dec_period_s_ = period_s_;
+    period_s_ = std::min(period_s_ * 1.125, kMaxPeriodS);
+    last_dec_seq_ = largest_sent;
+    // Track how NAK-heavy epochs are and draw the spacing for further
+    // decreases inside this epoch.
+    avg_nak_per_epoch_ =
+        avg_nak_per_epoch_ * 0.875 + epoch_nak_count_ * 0.125;
+    epoch_nak_count_ = 1;
+    epoch_decreases_ = 1;
+    const auto span =
+        static_cast<std::uint64_t>(std::max(avg_nak_per_epoch_, 1.0));
+    dec_random_ = static_cast<int>(1 + next_random() % span);
+    freeze_until_s_ = now_s_ + cfg_.syn_s;
+  } else {
+    // Repeated NAKs inside the same epoch (continuous loss) decrease only
+    // every dec_random_-th report, boundedly — reacting to every loss
+    // report is lethal (§6).
+    ++epoch_nak_count_;
+    if (epoch_decreases_ < cfg_.max_decreases_per_epoch &&
+        epoch_nak_count_ % dec_random_ == 0) {
+      ++epoch_decreases_;
+      period_s_ = std::min(period_s_ * 1.125, kMaxPeriodS);
+    }
+  }
+}
+
+void UdtCc::on_delay_warning() {
+  if (!cfg_.delay_trend_mode || slow_start_) return;
+  // Rising delay is an early signal, not a loss: back off once per RTT and
+  // suppress the next increase, but never freeze.
+  if (last_delay_warn_s_ >= 0.0 && now_s_ - last_delay_warn_s_ < rtt_s_) {
+    return;
+  }
+  last_delay_warn_s_ = now_s_;
+  last_nak_time_s_ = now_s_;  // suppresses the increase for one SYN
+  period_s_ = std::min(period_s_ * 1.125, kMaxPeriodS);
+}
+
+void UdtCc::on_timeout() {
+  if (slow_start_) {
+    slow_start_ = false;
+    period_s_ = recv_rate_pps_ > 0.0 ? 1.0 / recv_rate_pps_
+                                     : (rtt_s_ + cfg_.syn_s) / cwnd_;
+  }
+  // Post-slow-start timeouts leave the period alone: the EXP-driven loss
+  // resend plus the epoch decrease already throttle the flow (UDT keeps the
+  // historical period*2 reaction disabled for the same reason).
+}
+
+}  // namespace udtr::cc

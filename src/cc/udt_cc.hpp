@@ -1,0 +1,129 @@
+// UDT congestion control (paper §3) as a pure, host-agnostic algorithm.
+//
+// The same object drives both the discrete-event simulator agents and the
+// real UDP socket library: the host feeds it events (ACK arrived, NAK
+// arrived, timeout) together with the receiver-measured statistics carried in
+// ACKs (RTT, packet arrival speed, estimated link capacity), and reads back
+// the packet sending period and the flow window.
+//
+// Control laws implemented exactly as published:
+//   (1) inc = max(10^(ceil(log10 B) - 9), 1/1500) * (1500 / MSS)   [pkts/SYN]
+//       where B is the estimated available bandwidth in bits/s.
+//   (2) SYN / P_new = SYN / P_old + inc
+//   (3) P  = P * 1.125 on a NAK (rate x 8/9), with a one-SYN sending freeze
+//       when the NAK starts a new congestion epoch.
+// Available bandwidth B (§3.4): with link capacity L (RBPP) and current rate
+// C, B = L - C while above the last-decrease rate, else min(L/9, L - C).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/seqno.hpp"
+
+namespace udtr::cc {
+
+struct UdtCcConfig {
+  int mss_bytes = 1500;
+  // Rate-control / ACK interval (paper: constant 0.01 s).
+  double syn_s = 0.01;
+  // Initial congestion window during slow start (packets).
+  double initial_cwnd = 16.0;
+  // Cap on the flow window (packets); receiver-buffer analogue.
+  double max_window = 1e8;
+  // Dynamic window control on/off (off reproduces Fig. 7 "without FC").
+  bool window_control = true;
+  // Maximum number of rate decreases within one congestion epoch, guarding
+  // against collapse under continuous loss (paper §6 "processing continuous
+  // loss is critical").
+  int max_decreases_per_epoch = 5;
+  // Obsolete delay-trend (PCT/PDT) congestion input (§6 lessons): when on,
+  // delay warnings from the receiver throttle the flow before loss occurs.
+  // Off by default — kept to reproduce the documented trade-off.
+  bool delay_trend_mode = false;
+  // Seed for the randomized within-epoch decrease spacing (see below).
+  std::uint64_t seed = 1;
+};
+
+// Receiver statistics delivered with each (SYN-clocked) ACK.
+struct AckInfo {
+  udtr::SeqNo ack_seq;           // cumulative: all preceding packets received
+  double rtt_s = 0.0;            // latest RTT measurement
+  double recv_rate_pps = 0.0;    // median-filtered packet arrival speed
+  double capacity_pps = 0.0;     // RBPP link-capacity estimate
+  double avail_buffer_pkts = 1e9;  // free receiver buffer (flow control)
+};
+
+class UdtCc {
+ public:
+  explicit UdtCc(UdtCcConfig cfg = {});
+
+  // --- events -------------------------------------------------------------
+  void on_ack(const AckInfo& info);
+  // A NAK arrived whose largest lost sequence number is `biggest_loss`;
+  // `largest_sent` is the largest sequence number this sender has emitted.
+  void on_nak(udtr::SeqNo biggest_loss, udtr::SeqNo largest_sent);
+  void on_timeout();
+  // Receiver detected an increasing delay trend (only honoured in
+  // delay_trend_mode): a milder reaction than loss — one decrease, no
+  // freeze, at most once per RTT.
+  void on_delay_warning();
+
+  // --- outputs ------------------------------------------------------------
+  // Inter-packet sending period, seconds (the pacing interval).
+  [[nodiscard]] double pkt_send_period_s() const { return period_s_; }
+  // Current flow window in packets (min of AS-window and receiver buffer).
+  [[nodiscard]] double window_packets() const { return cwnd_; }
+  // True while the sender must pause (one SYN after an epoch-opening NAK).
+  [[nodiscard]] bool frozen_until(double now_s) const {
+    return now_s < freeze_until_s_;
+  }
+  [[nodiscard]] bool in_slow_start() const { return slow_start_; }
+  [[nodiscard]] double last_rtt_s() const { return rtt_s_; }
+
+  // The host's clock, needed for the freeze bookkeeping; hosts call the event
+  // methods with their own notion of time via set_now() first.
+  void set_now(double now_s) { now_s_ = now_s; }
+
+  // Increase parameter (packets per SYN) for a given available bandwidth in
+  // bits/s — exposed for Table 1 verification and the bench harness.
+  [[nodiscard]] static double increase_for_bandwidth(double avail_bps,
+                                                     int mss_bytes);
+
+  [[nodiscard]] const UdtCcConfig& config() const { return cfg_; }
+
+ private:
+  void rate_increase(double capacity_pps);
+  std::uint64_t next_random();
+
+  UdtCcConfig cfg_;
+  double period_s_;       // packet sending period P
+  double cwnd_;           // flow window (packets)
+  bool slow_start_ = true;
+  double rtt_s_ = 0.1;    // until measured, assume 100 ms (UDT default-ish)
+  bool rtt_seen_ = false;
+  double recv_rate_pps_ = 0.0;
+  double capacity_pps_ = 0.0;
+  udtr::SeqNo last_ack_seq_{};
+  bool ack_seen_ = false;
+  double last_nak_time_s_ = -1.0;
+
+  // Congestion-epoch bookkeeping.  Within an epoch, NAKs keep arriving as
+  // retransmissions repair a continuous loss; decreasing on each of them is
+  // lethal (§6).  Following the UDT spec, further decreases inside an epoch
+  // happen every `dec_random_`-th NAK, where dec_random_ is drawn uniformly
+  // from [1, avg NAKs per epoch], capped at max_decreases_per_epoch total.
+  udtr::SeqNo last_dec_seq_{};   // largest seq sent when we last decreased
+  bool any_decrease_ = false;
+  double last_dec_period_s_ = 0.0;  // period at the last decrease
+  int epoch_decreases_ = 0;
+  int epoch_nak_count_ = 0;
+  double avg_nak_per_epoch_ = 1.0;
+  int dec_random_ = 1;
+  std::uint64_t rng_state_ = 1;
+  double freeze_until_s_ = -1.0;
+  double now_s_ = 0.0;
+  double last_delay_warn_s_ = -1.0;
+};
+
+}  // namespace udtr::cc

@@ -1,0 +1,77 @@
+// Packet-delay trend detection — the retired congestion signal (paper §6).
+//
+// Early UDT used the pairwise comparison test (PCT) and pairwise difference
+// test (PDT) from Jain & Dovrolis's Pathload on one-way-delay samples to
+// report rising delay as early congestion, before any loss.  The lesson
+// recorded in the paper is that end-system noise (context switches, NIC
+// interrupt coalescing) makes delay unreliable, so the mechanism was
+// removed from the default protocol; it survives here as an optional mode
+// so the documented trade-off (friendlier to TCP, worse throughput on noisy
+// systems) can be reproduced.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace udtr {
+
+class DelayTrendDetector {
+ public:
+  // Thresholds from Pathload: PCT > 0.66 and PDT > 0.55 indicate an
+  // increasing trend over a group of samples.
+  explicit DelayTrendDetector(std::size_t group_size = 16,
+                              double pct_threshold = 0.66,
+                              double pdt_threshold = 0.55)
+      : group_(group_size),
+        pct_thresh_(pct_threshold),
+        pdt_thresh_(pdt_threshold) {
+    samples_.reserve(group_);
+  }
+
+  // Feeds one one-way-delay sample (seconds; any consistent offset is fine
+  // since only the trend matters).  Returns true when the completed group
+  // shows an increasing trend.
+  bool add_delay(double delay_s) {
+    samples_.push_back(delay_s);
+    if (samples_.size() < group_) return false;
+    const bool trend = increasing_trend(samples_);
+    samples_.clear();
+    return trend;
+  }
+
+  // PCT: fraction of consecutive pairs that increase.
+  [[nodiscard]] static double pct(const std::vector<double>& xs) {
+    if (xs.size() < 2) return 0.0;
+    int inc = 0;
+    for (std::size_t i = 1; i < xs.size(); ++i) {
+      if (xs[i] > xs[i - 1]) ++inc;
+    }
+    return static_cast<double>(inc) / static_cast<double>(xs.size() - 1);
+  }
+
+  // PDT: net displacement over total variation, in [-1, 1].
+  [[nodiscard]] static double pdt(const std::vector<double>& xs) {
+    if (xs.size() < 2) return 0.0;
+    double total = 0.0;
+    for (std::size_t i = 1; i < xs.size(); ++i) {
+      total += std::abs(xs[i] - xs[i - 1]);
+    }
+    if (total == 0.0) return 0.0;
+    return (xs.back() - xs.front()) / total;
+  }
+
+  [[nodiscard]] bool increasing_trend(const std::vector<double>& xs) const {
+    return pct(xs) > pct_thresh_ && pdt(xs) > pdt_thresh_;
+  }
+
+  void reset() { samples_.clear(); }
+
+ private:
+  std::size_t group_;
+  double pct_thresh_;
+  double pdt_thresh_;
+  std::vector<double> samples_;
+};
+
+}  // namespace udtr

@@ -1,0 +1,118 @@
+// Median-filtered rate estimators (paper §3.2, §3.4).
+//
+// UDT estimates two rates at the receiver:
+//  * packet arrival speed AS — a median filter over the last window of packet
+//    arrival intervals: intervals farther than 8x from the median are
+//    discarded and the remainder averaged (a plain mean fails because data
+//    sending may pause, leaving huge gaps);
+//  * link capacity L — the median of packet-pair dispersion samples (RBPP).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace udtr {
+
+// Fixed-size circular window of interval samples (seconds per packet) that
+// yields a rate (packets per second) through UDT's median filter.
+class ArrivalSpeedEstimator {
+ public:
+  explicit ArrivalSpeedEstimator(std::size_t window = 16)
+      : samples_(window, 0.0) {}
+
+  void add_interval(double seconds) {
+    samples_[pos_] = seconds;
+    pos_ = (pos_ + 1) % samples_.size();
+    if (count_ < samples_.size()) ++count_;
+  }
+
+  // Packets/second, or 0 if the window is not yet full (UDT reports speed
+  // only once it has a full window, treating partial data as "unknown").
+  [[nodiscard]] double packets_per_second() const {
+    if (count_ < samples_.size()) return 0.0;
+    std::vector<double> sorted(samples_.begin(), samples_.begin() + count_);
+    std::nth_element(sorted.begin(), sorted.begin() + count_ / 2, sorted.end());
+    const double median = sorted[count_ / 2];
+    if (median <= 0.0) return 0.0;
+    const double lo = median / 8.0, hi = median * 8.0;
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < count_; ++i) {
+      const double v = samples_[i];
+      if (v > lo && v < hi) {
+        sum += v;
+        ++n;
+      }
+    }
+    // UDT requires more than half of the window to survive the filter;
+    // otherwise the estimate is considered unreliable and 0 is reported.
+    if (n <= count_ / 2 || sum <= 0.0) return 0.0;
+    return static_cast<double>(n) / sum;
+  }
+
+  [[nodiscard]] std::size_t window() const { return samples_.size(); }
+  [[nodiscard]] bool full() const { return count_ == samples_.size(); }
+
+  void reset() {
+    std::fill(samples_.begin(), samples_.end(), 0.0);
+    pos_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::vector<double> samples_;
+  std::size_t pos_ = 0;
+  std::size_t count_ = 0;
+};
+
+// Receiver-based packet pair (RBPP) link-capacity estimator: the median of
+// the last window of pair-dispersion samples converted to packets/second.
+class PacketPairEstimator {
+ public:
+  explicit PacketPairEstimator(std::size_t window = 16)
+      : samples_(window, 0.0) {}
+
+  // One packet-pair dispersion sample: seconds between the back-to-back pair.
+  void add_dispersion(double seconds) {
+    if (seconds <= 0.0) return;
+    samples_[pos_] = seconds;
+    pos_ = (pos_ + 1) % samples_.size();
+    if (count_ < samples_.size()) ++count_;
+  }
+
+  // Estimated link capacity in packets/second (0 until samples exist).
+  [[nodiscard]] double capacity_packets_per_second() const {
+    if (count_ == 0) return 0.0;
+    std::vector<double> sorted(samples_.begin(), samples_.begin() + count_);
+    std::nth_element(sorted.begin(), sorted.begin() + count_ / 2, sorted.end());
+    const double median = sorted[count_ / 2];
+    if (median <= 0.0) return 0.0;
+    // Same 1/8 .. 8x robustness filter around the median as arrival speed.
+    const double lo = median / 8.0, hi = median * 8.0;
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < count_; ++i) {
+      const double v = samples_[i];
+      if (v > lo && v < hi) {
+        sum += v;
+        ++n;
+      }
+    }
+    if (n == 0 || sum <= 0.0) return 0.0;
+    return static_cast<double>(n) / sum;
+  }
+
+  void reset() {
+    std::fill(samples_.begin(), samples_.end(), 0.0);
+    pos_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::vector<double> samples_;
+  std::size_t pos_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace udtr

@@ -1,0 +1,55 @@
+#include "common/metrics.hpp"
+
+#include <cmath>
+
+namespace udtr {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double sample_stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double jain_fairness_index(std::span<const double> throughputs) {
+  if (throughputs.empty()) return 0.0;
+  double sum = 0.0, sumsq = 0.0;
+  for (double x : throughputs) {
+    sum += x;
+    sumsq += x * x;
+  }
+  if (sumsq == 0.0) return 0.0;
+  return (sum * sum) / (static_cast<double>(throughputs.size()) * sumsq);
+}
+
+double stability_index(std::span<const std::vector<double>> samples) {
+  if (samples.empty()) return 0.0;
+  double acc = 0.0;
+  int counted = 0;
+  for (const auto& flow : samples) {
+    const double xbar = mean(flow);
+    if (xbar <= 0.0 || flow.size() < 2) continue;
+    acc += sample_stddev(flow) / xbar;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : acc / counted;
+}
+
+double friendliness_index(std::span<const double> tcp_with_udt,
+                          std::span<const double> tcp_alone,
+                          int num_udt_flows) {
+  (void)num_udt_flows;  // implicit in tcp_alone's size (m + n flows)
+  const double fair_share = mean(tcp_alone);
+  if (fair_share <= 0.0) return 0.0;
+  return mean(tcp_with_udt) / fair_share;
+}
+
+}  // namespace udtr

@@ -1,0 +1,38 @@
+// Evaluation indices used in the paper's figures.
+//
+//  * Jain's fairness index (Fig. 2)            [Jain, 1991]
+//  * Stability index (Fig. 4)                  [Jin et al., FAST TCP]
+//  * TCP friendliness index (Fig. 5)           (paper §3.7)
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace udtr {
+
+// Jain's fairness index over per-flow throughputs: (sum x)^2 / (n * sum x^2).
+// 1.0 is perfectly fair; 1/n is maximally unfair.
+[[nodiscard]] double jain_fairness_index(std::span<const double> throughputs);
+
+// Stability index (paper §3.6): mean over flows of the per-flow sample
+// standard deviation normalized by the per-flow mean throughput.
+//   S = 1/n * sum_i [ sqrt(1/(m-1) * sum_k (x_i(k) - xbar_i)^2) / xbar_i ]
+// `samples[i]` holds the m throughput samples of flow i.  0 is ideal.
+[[nodiscard]] double stability_index(
+    std::span<const std::vector<double>> samples);
+
+// TCP friendliness index (paper §3.7): with m UDT and n TCP flows sharing the
+// network, compare each TCP flow's throughput x_i against the throughput y_i
+// it achieves when m+n TCP flows run alone:
+//   T = (1/n * sum x_i) / (1/(m+n) * sum y_i)
+// T = 1 is ideal; T < 1 means UDT overruns TCP.
+[[nodiscard]] double friendliness_index(std::span<const double> tcp_with_udt,
+                                        std::span<const double> tcp_alone,
+                                        int num_udt_flows);
+
+// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+[[nodiscard]] double sample_stddev(std::span<const double> xs);
+
+[[nodiscard]] double mean(std::span<const double> xs);
+
+}  // namespace udtr

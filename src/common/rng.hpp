@@ -1,0 +1,41 @@
+// Deterministic random number source.  Every stochastic element in the
+// simulator (burst sources, jitter, loss injection) draws from an explicitly
+// seeded engine so experiments are reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace udtr {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform double in [0, 1).
+  [[nodiscard]] double uniform() {
+    return std::uniform_real_distribution<double>{0.0, 1.0}(engine_);
+  }
+  // Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  }
+  // Uniform integer in [lo, hi].
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+  }
+  // Exponentially distributed value with the given mean.
+  [[nodiscard]] double exponential(double mean_value) {
+    return std::exponential_distribution<double>{1.0 / mean_value}(engine_);
+  }
+  [[nodiscard]] bool bernoulli(double p) {
+    return std::bernoulli_distribution{p}(engine_);
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace udtr

@@ -1,0 +1,75 @@
+// 31-bit wraparound sequence-number arithmetic.
+//
+// UDT carries a 32-bit sequence-number field on the wire but uses only the
+// lowest 31 bits as the sequence value; the highest bit is reserved as a flag
+// in compressed loss reports (paper, Appendix).  All comparisons therefore
+// operate modulo 2^31 with a half-range wrap threshold, exactly as in the UDT
+// reference implementation.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+namespace udtr {
+
+class SeqNo {
+ public:
+  static constexpr std::int32_t kMax = 0x7FFFFFFF;          // largest value
+  static constexpr std::int32_t kThreshold = 0x40000000;    // wrap threshold
+
+  constexpr SeqNo() = default;
+  constexpr explicit SeqNo(std::int32_t v) : v_(v & kMax) {}
+
+  [[nodiscard]] constexpr std::int32_t value() const { return v_; }
+
+  // Signed circular comparison: <0 if a precedes b, >0 if a follows b.
+  // Valid while the live window stays below 2^30 packets.
+  [[nodiscard]] static constexpr int cmp(SeqNo a, SeqNo b) {
+    const std::int32_t d = a.v_ - b.v_;
+    if (d > kThreshold) return -1;
+    if (d < -kThreshold) return 1;
+    return d > 0 ? 1 : (d < 0 ? -1 : 0);
+  }
+
+  // Circular offset b - a (number of packets from a to b), sign-extended.
+  [[nodiscard]] static constexpr std::int32_t offset(SeqNo a, SeqNo b) {
+    const std::int32_t d = b.v_ - a.v_;
+    if (d > kThreshold) return d - kMax - 1;
+    if (d < -kThreshold) return d + kMax + 1;
+    return d;
+  }
+
+  // Number of packets in the inclusive range [a, b].
+  [[nodiscard]] static constexpr std::int32_t length(SeqNo a, SeqNo b) {
+    return (b.v_ >= a.v_) ? (b.v_ - a.v_ + 1) : (b.v_ - a.v_ + kMax + 2);
+  }
+
+  [[nodiscard]] constexpr SeqNo next() const {
+    return SeqNo{v_ == kMax ? 0 : v_ + 1};
+  }
+  [[nodiscard]] constexpr SeqNo prev() const {
+    return SeqNo{v_ == 0 ? kMax : v_ - 1};
+  }
+  [[nodiscard]] constexpr SeqNo advanced_by(std::int32_t n) const {
+    // n may be negative; result stays within [0, kMax].
+    std::int64_t r = (static_cast<std::int64_t>(v_) + n) %
+                     (static_cast<std::int64_t>(kMax) + 1);
+    if (r < 0) r += static_cast<std::int64_t>(kMax) + 1;
+    return SeqNo{static_cast<std::int32_t>(r)};
+  }
+
+  constexpr bool operator==(const SeqNo&) const = default;
+
+  // Ordering helpers in circular space.
+  [[nodiscard]] constexpr bool precedes(SeqNo other) const {
+    return cmp(*this, other) < 0;
+  }
+  [[nodiscard]] constexpr bool follows(SeqNo other) const {
+    return cmp(*this, other) > 0;
+  }
+
+ private:
+  std::int32_t v_ = 0;
+};
+
+}  // namespace udtr

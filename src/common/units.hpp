@@ -1,0 +1,54 @@
+// Strong unit helpers used across the library: bandwidth in bits/second and
+// time in seconds (double).  The simulator and the congestion-control code
+// exchange plain doubles at their boundaries, but construction goes through
+// these named factories so magnitudes are explicit at call sites.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace udtr {
+
+// Bandwidth, stored as bits per second.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+  [[nodiscard]] static constexpr Bandwidth bps(double v) { return Bandwidth{v}; }
+  [[nodiscard]] static constexpr Bandwidth kbps(double v) { return Bandwidth{v * 1e3}; }
+  [[nodiscard]] static constexpr Bandwidth mbps(double v) { return Bandwidth{v * 1e6}; }
+  [[nodiscard]] static constexpr Bandwidth gbps(double v) { return Bandwidth{v * 1e9}; }
+
+  [[nodiscard]] constexpr double bits_per_sec() const { return v_; }
+  [[nodiscard]] constexpr double mbits_per_sec() const { return v_ / 1e6; }
+  [[nodiscard]] constexpr double bytes_per_sec() const { return v_ / 8.0; }
+  // Packets per second for a given packet size in bytes.
+  [[nodiscard]] constexpr double packets_per_sec(int packet_bytes) const {
+    return v_ / (8.0 * packet_bytes);
+  }
+  // Seconds to serialize one packet of the given size.
+  [[nodiscard]] constexpr double serialization_time(int packet_bytes) const {
+    return (8.0 * packet_bytes) / v_;
+  }
+
+  constexpr auto operator<=>(const Bandwidth&) const = default;
+  constexpr Bandwidth operator*(double f) const { return Bandwidth{v_ * f}; }
+  constexpr Bandwidth operator/(double f) const { return Bandwidth{v_ / f}; }
+
+ private:
+  constexpr explicit Bandwidth(double v) : v_(v) {}
+  double v_ = 0.0;
+};
+
+// Time helpers (seconds as double; the simulator's native unit).
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kMilli = 1e-3;
+[[nodiscard]] constexpr double ms(double v) { return v * kMilli; }
+[[nodiscard]] constexpr double us(double v) { return v * kMicro; }
+
+// Bandwidth-delay product in packets for a given MSS.
+[[nodiscard]] constexpr double bdp_packets(Bandwidth bw, double rtt_s,
+                                           int mss_bytes) {
+  return bw.packets_per_sec(mss_bytes) * rtt_s;
+}
+
+}  // namespace udtr

@@ -1,0 +1,43 @@
+// Routing helpers: a flow-keyed demultiplexer (the "router" on the far side
+// of a shared bottleneck) and a stats-counting sink for uncontrolled traffic.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "netsim/packet.hpp"
+
+namespace udtr::sim {
+
+// Forwards each packet to the consumer registered for its flow id.
+class FlowDemux final : public Consumer {
+ public:
+  void route(int flow, Consumer* to) { table_[flow] = to; }
+
+  void receive(Packet pkt) override {
+    auto it = table_.find(pkt.flow);
+    if (it != table_.end() && it->second != nullptr) {
+      it->second->receive(std::move(pkt));
+    }
+  }
+
+ private:
+  std::unordered_map<int, Consumer*> table_;
+};
+
+// Terminal sink that counts arrivals (used for plain-UDP background flows).
+class CountingSink final : public Consumer {
+ public:
+  void receive(Packet pkt) override {
+    ++packets_;
+    bytes_ += static_cast<std::uint64_t>(pkt.size_bytes);
+  }
+  [[nodiscard]] std::uint64_t packets() const { return packets_; }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace udtr::sim

@@ -1,0 +1,180 @@
+// Link models.
+//
+// `Link` is a store-and-forward link: a DropTail FIFO feeding a transmitter
+// of fixed capacity, followed by constant propagation delay — the same model
+// the paper's NS-2 topologies use for their bottlenecks.  `DelayLink` is a
+// pure propagation delay (used for access and reverse paths, which the
+// paper's scenarios never congest).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <random>
+
+#include <memory>
+
+#include "common/units.hpp"
+#include "netsim/packet.hpp"
+#include "netsim/queue.hpp"
+#include "netsim/sim.hpp"
+
+namespace udtr::sim {
+
+struct LinkStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::size_t max_queue_depth = 0;
+};
+
+class Link final : public Consumer {
+ public:
+  // `queue_limit_pkts`: DropTail capacity in packets (NS-2 style).
+  Link(Simulator& sim, udtr::Bandwidth capacity, double prop_delay_s,
+       std::size_t queue_limit_pkts)
+      : Link(sim, capacity, prop_delay_s,
+             std::make_unique<DropTailPolicy>(queue_limit_pkts)) {}
+
+  // Custom queue discipline (e.g. RedPolicy).
+  Link(Simulator& sim, udtr::Bandwidth capacity, double prop_delay_s,
+       std::unique_ptr<QueueDiscipline> policy)
+      : sim_(sim),
+        capacity_(capacity),
+        prop_delay_s_(prop_delay_s),
+        policy_(std::move(policy)) {}
+
+  void set_next(Consumer* next) { next_ = next; }
+
+  void receive(Packet pkt) override {
+    ++stats_.enqueued;
+    if (busy_) {
+      if (policy_->should_drop(queue_.size())) {
+        ++stats_.dropped;
+        return;
+      }
+      queue_.push_back(std::move(pkt));
+      stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+    } else {
+      if (policy_->should_drop(0)) {  // RED may early-drop even when idle
+        ++stats_.dropped;
+        return;
+      }
+      transmit(std::move(pkt));
+    }
+  }
+
+  [[nodiscard]] const LinkStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] udtr::Bandwidth capacity() const { return capacity_; }
+
+ private:
+  void transmit(Packet pkt) {
+    busy_ = true;
+    const double tx = capacity_.serialization_time(pkt.size_bytes);
+    sim_.after(tx, [this, pkt = std::move(pkt)]() mutable {
+      // Serialization finished: launch into propagation, start next packet.
+      Packet out = std::move(pkt);
+      ++stats_.delivered;
+      stats_.bytes_delivered += static_cast<std::uint64_t>(out.size_bytes);
+      if (next_ != nullptr) {
+        sim_.after(prop_delay_s_, [this, out = std::move(out)]() mutable {
+          next_->receive(std::move(out));
+        });
+      }
+      if (queue_.empty()) {
+        busy_ = false;
+      } else {
+        Packet head = std::move(queue_.front());
+        queue_.pop_front();
+        transmit(std::move(head));
+      }
+    });
+  }
+
+  Simulator& sim_;
+  udtr::Bandwidth capacity_;
+  double prop_delay_s_;
+  std::unique_ptr<QueueDiscipline> policy_;
+  Consumer* next_ = nullptr;
+  std::deque<Packet> queue_;
+  bool busy_ = false;
+  LinkStats stats_;
+};
+
+// Pure propagation delay: infinite capacity, no queueing, never drops.
+class DelayLink final : public Consumer {
+ public:
+  DelayLink(Simulator& sim, double delay_s) : sim_(sim), delay_s_(delay_s) {}
+
+  void set_next(Consumer* next) { next_ = next; }
+  void set_delay(double delay_s) { delay_s_ = delay_s; }
+  [[nodiscard]] double delay() const { return delay_s_; }
+
+  void receive(Packet pkt) override {
+    if (next_ == nullptr) return;
+    sim_.after(delay_s_, [this, pkt = std::move(pkt)]() mutable {
+      next_->receive(std::move(pkt));
+    });
+  }
+
+ private:
+  Simulator& sim_;
+  double delay_s_;
+  Consumer* next_ = nullptr;
+};
+
+// Random-jitter stage: adds an independent uniform extra delay per packet,
+// which reorders packets whose jitter windows overlap — for exercising the
+// receiver's out-of-order paths (speculation misses, spurious small gaps).
+class ReorderLink final : public Consumer {
+ public:
+  ReorderLink(Simulator& sim, double max_jitter_s, std::uint64_t seed)
+      : sim_(sim), max_jitter_s_(max_jitter_s), rng_(seed) {}
+
+  void set_next(Consumer* next) { next_ = next; }
+
+  void receive(Packet pkt) override {
+    if (next_ == nullptr) return;
+    const double jitter =
+        std::uniform_real_distribution<double>{0.0, max_jitter_s_}(rng_);
+    sim_.after(jitter, [this, pkt = std::move(pkt)]() mutable {
+      next_->receive(std::move(pkt));
+    });
+  }
+
+ private:
+  Simulator& sim_;
+  double max_jitter_s_;
+  std::mt19937_64 rng_;
+  Consumer* next_ = nullptr;
+};
+
+// Bernoulli random-loss stage, for modelling physical-layer bit errors.
+class LossyLink final : public Consumer {
+ public:
+  LossyLink(double loss_prob, std::uint64_t seed)
+      : loss_prob_(loss_prob), rng_(seed) {}
+
+  void set_next(Consumer* next) { next_ = next; }
+
+  void receive(Packet pkt) override {
+    if (next_ == nullptr) return;
+    if (loss_prob_ > 0.0 &&
+        std::uniform_real_distribution<double>{0.0, 1.0}(rng_) < loss_prob_) {
+      ++dropped_;
+      return;
+    }
+    next_->receive(std::move(pkt));
+  }
+
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  double loss_prob_;
+  std::mt19937_64 rng_;
+  Consumer* next_ = nullptr;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace udtr::sim

@@ -1,0 +1,114 @@
+// Parking-lot (multi-bottleneck) topology for the §3.4 footnote-3 claim:
+// "On multi-bottleneck topologies, a UDT flow can reach at least half of its
+// max-min fair share.  This is the functionality of the logarithm smoothing
+// filter in formula (1)."
+//
+//   entry -> [hop 0] -> [hop 1] -> ... -> [hop H-1] -> exit
+//
+// A flow spans a contiguous range of hops; cross-traffic flows occupy single
+// hops.  Each hop is a capacity/queue Link followed by a demux that either
+// hands the packet to its receiver (last hop of that flow) or forwards it to
+// the next hop's link.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "netsim/demux.hpp"
+#include "netsim/link.hpp"
+#include "netsim/tcp_agent.hpp"
+#include "netsim/udt_agent.hpp"
+
+namespace udtr::sim {
+
+class ParkingLot {
+ public:
+  ParkingLot(Simulator& sim, std::vector<udtr::Bandwidth> hop_capacities,
+             std::size_t queue_pkts)
+      : sim_(sim) {
+    for (udtr::Bandwidth cap : hop_capacities) {
+      auto link =
+          std::make_unique<Link>(sim_, cap, /*prop_delay=*/0.0, queue_pkts);
+      auto demux = std::make_unique<FlowDemux>();
+      link->set_next(demux.get());
+      hops_.push_back(Hop{std::move(link), std::move(demux)});
+    }
+  }
+
+  [[nodiscard]] std::size_t hop_count() const { return hops_.size(); }
+  [[nodiscard]] Link& hop_link(std::size_t i) { return *hops_[i].link; }
+
+  // Adds a UDT flow spanning hops [first_hop, last_hop] inclusive.
+  std::size_t add_udt_flow(UdtFlowConfig cfg, std::size_t first_hop,
+                           std::size_t last_hop, double rtt_s) {
+    cfg.flow_id = next_flow_id_++;
+    cfg.cc.seed = static_cast<std::uint64_t>(cfg.flow_id) * 2654435761ULL + 1;
+    auto snd = std::make_unique<UdtSender>(sim_, cfg);
+    auto rcv = std::make_unique<UdtReceiver>(sim_, cfg);
+    wire(cfg.flow_id, first_hop, last_hop, rtt_s, snd.get(), rcv.get());
+    snd->start();
+    rcv->start();
+    udt_snd_.push_back(std::move(snd));
+    udt_rcv_.push_back(std::move(rcv));
+    return udt_snd_.size() - 1;
+  }
+
+  std::size_t add_tcp_flow(TcpFlowConfig cfg, std::size_t first_hop,
+                           std::size_t last_hop, double rtt_s) {
+    cfg.flow_id = next_flow_id_++;
+    auto snd = std::make_unique<TcpSender>(sim_, cfg);
+    auto rcv = std::make_unique<TcpReceiver>(sim_, cfg);
+    wire(cfg.flow_id, first_hop, last_hop, rtt_s, snd.get(), rcv.get());
+    snd->start();
+    tcp_snd_.push_back(std::move(snd));
+    tcp_rcv_.push_back(std::move(rcv));
+    return tcp_snd_.size() - 1;
+  }
+
+  [[nodiscard]] UdtSender& udt_sender(std::size_t i) { return *udt_snd_[i]; }
+  [[nodiscard]] UdtReceiver& udt_receiver(std::size_t i) {
+    return *udt_rcv_[i];
+  }
+  [[nodiscard]] TcpSender& tcp_sender(std::size_t i) { return *tcp_snd_[i]; }
+  [[nodiscard]] TcpReceiver& tcp_receiver(std::size_t i) {
+    return *tcp_rcv_[i];
+  }
+
+ private:
+  struct Hop {
+    std::unique_ptr<Link> link;
+    std::unique_ptr<FlowDemux> demux;
+  };
+
+  template <typename Snd, typename Rcv>
+  void wire(int flow_id, std::size_t first_hop, std::size_t last_hop,
+            double rtt_s, Snd* snd, Rcv* rcv) {
+    // Sender enters at first_hop through its access delay.
+    auto fwd = std::make_unique<DelayLink>(sim_, rtt_s / 2.0);
+    snd->set_out(fwd.get());
+    fwd->set_next(hops_[first_hop].link.get());
+    // Intermediate demuxes forward to the next hop's link; the last demux
+    // delivers to the receiver.
+    for (std::size_t h = first_hop; h < last_hop; ++h) {
+      hops_[h].demux->route(flow_id, hops_[h + 1].link.get());
+    }
+    hops_[last_hop].demux->route(flow_id, rcv);
+    // Reverse path: pure delay back to the sender.
+    auto rev = std::make_unique<DelayLink>(sim_, rtt_s / 2.0);
+    rcv->set_out(rev.get());
+    rev->set_next(snd);
+    delays_.push_back(std::move(fwd));
+    delays_.push_back(std::move(rev));
+  }
+
+  Simulator& sim_;
+  std::vector<Hop> hops_;
+  int next_flow_id_ = 1;
+  std::vector<std::unique_ptr<DelayLink>> delays_;
+  std::vector<std::unique_ptr<UdtSender>> udt_snd_;
+  std::vector<std::unique_ptr<UdtReceiver>> udt_rcv_;
+  std::vector<std::unique_ptr<TcpSender>> tcp_snd_;
+  std::vector<std::unique_ptr<TcpReceiver>> tcp_rcv_;
+};
+
+}  // namespace udtr::sim

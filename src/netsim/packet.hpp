@@ -1,0 +1,65 @@
+// Simulated packet.  One value type covers every protocol in the testbed;
+// agents interpret only the fields relevant to their `kind`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/seqno.hpp"
+
+namespace udtr::sim {
+
+enum class PacketKind : std::uint8_t {
+  kUdtData,
+  kUdtAck,
+  kUdtAck2,
+  kUdtNak,
+  kUdtDelayWarn,  // optional delay-trend congestion warning (§6 lessons)
+  kTcpData,
+  kTcpAck,
+  kXcpData,
+  kXcpAck,
+  kPlainUdp,  // uncontrolled traffic (burst/CBR sources)
+};
+
+struct Packet {
+  PacketKind kind = PacketKind::kUdtData;
+  int flow = 0;             // flow identifier for stats / demux
+  int size_bytes = 1500;    // wire size including headers
+
+  udtr::SeqNo seq;          // data sequence number (data packets)
+  bool probe_head = false;  // first packet of an RBPP packet pair
+  bool probe_tail = false;  // second packet of an RBPP packet pair
+  bool retransmit = false;
+
+  // --- UDT control fields ---------------------------------------------
+  udtr::SeqNo ack_seq;        // ACK: all packets before this were received
+  std::int32_t ack_id = 0;    // ACK sequence, echoed by ACK2
+  double rtt_s = 0.0;         // receiver-measured RTT (carried in ACK)
+  double recv_rate_pps = 0.0; // receiver arrival speed  (carried in ACK)
+  double capacity_pps = 0.0;  // RBPP link capacity      (carried in ACK)
+  double avail_buffer_pkts = 0.0;  // flow-control window (carried in ACK)
+  // NAK: compressed loss ranges [first,last] inclusive.
+  std::vector<std::pair<udtr::SeqNo, udtr::SeqNo>> loss;
+
+  // --- TCP control fields ---------------------------------------------
+  udtr::SeqNo tcp_ack;        // cumulative ACK (next expected)
+  // SACK blocks: received ranges above the cumulative ACK.
+  std::vector<std::pair<udtr::SeqNo, udtr::SeqNo>> sack;
+
+  // --- XCP congestion header (routers rewrite, receiver echoes) --------
+  double xcp_rtt_s = 0.0;       // sender's current RTT estimate
+  double xcp_cwnd_pkts = 0.0;   // sender's current window
+  double xcp_feedback_pkts = 0.0;  // allocated window change (min en route)
+
+  double sent_at = 0.0;       // stamped by the sender (for traces)
+};
+
+// Anything that can accept a packet: links, queues, agents.
+class Consumer {
+ public:
+  virtual ~Consumer() = default;
+  virtual void receive(Packet pkt) = 0;
+};
+
+}  // namespace udtr::sim

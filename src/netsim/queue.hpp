@@ -1,0 +1,85 @@
+// Queue disciplines for Link.
+//
+// The paper's experiments all use DropTail (NS-2 default), but footnote 4
+// observes that TCP's performance is heavily affected by queueing while
+// UDT's rate control barely notices — RED is provided so that claim can be
+// measured (bench_footnote_queuing).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <random>
+
+namespace udtr::sim {
+
+class QueueDiscipline {
+ public:
+  virtual ~QueueDiscipline() = default;
+  // Decides whether the arriving packet is dropped, given the instantaneous
+  // queue length in packets (excluding the packet in transmission).
+  [[nodiscard]] virtual bool should_drop(std::size_t queue_len) = 0;
+};
+
+// Classic FIFO tail drop with a hard packet limit.
+class DropTailPolicy final : public QueueDiscipline {
+ public:
+  explicit DropTailPolicy(std::size_t limit) : limit_(limit) {}
+  [[nodiscard]] bool should_drop(std::size_t queue_len) override {
+    return queue_len >= limit_;
+  }
+
+ private:
+  std::size_t limit_;
+};
+
+// Random Early Detection [Floyd & Jacobson 93]: probabilistic drops between
+// min_th and max_th on the EWMA average queue, hard drop above max_th or the
+// physical limit.
+class RedPolicy final : public QueueDiscipline {
+ public:
+  struct Params {
+    double min_th = 5.0;      // packets
+    double max_th = 15.0;     // packets
+    double max_p = 0.1;       // drop probability at max_th
+    double weight = 0.002;    // EWMA weight w_q
+    std::size_t limit = 1000; // physical capacity
+    std::uint64_t seed = 1;
+  };
+
+  explicit RedPolicy(Params p) : p_(p), rng_(p.seed) {}
+
+  [[nodiscard]] bool should_drop(std::size_t queue_len) override {
+    if (queue_len >= p_.limit) return true;  // physical overflow
+    avg_ = (1.0 - p_.weight) * avg_ +
+           p_.weight * static_cast<double>(queue_len);
+    if (avg_ < p_.min_th) {
+      count_ = -1;
+      return false;
+    }
+    if (avg_ >= p_.max_th) {
+      count_ = 0;
+      return true;
+    }
+    ++count_;
+    const double pb =
+        p_.max_p * (avg_ - p_.min_th) / (p_.max_th - p_.min_th);
+    const double pa =
+        (count_ > 0 && count_ * pb < 1.0) ? pb / (1.0 - count_ * pb) : 1.0;
+    if (std::uniform_real_distribution<double>{0.0, 1.0}(rng_) < pa) {
+      count_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] double average_queue() const { return avg_; }
+
+ private:
+  Params p_;
+  std::mt19937_64 rng_;
+  double avg_ = 0.0;
+  int count_ = -1;
+};
+
+}  // namespace udtr::sim

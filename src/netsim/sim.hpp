@@ -1,0 +1,71 @@
+// Discrete-event simulation engine (the NS-2 substitute).
+//
+// A single min-heap of timestamped closures; ties break on insertion order so
+// runs are fully deterministic.  Time is a double in seconds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace udtr::sim {
+
+using Time = double;  // seconds
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  // Schedule `fn` at absolute time `t` (clamped to now).
+  void at(Time t, Action fn) {
+    if (t < now_) t = now_;
+    queue_.push(Event{t, next_id_++, std::move(fn)});
+  }
+  // Schedule `fn` after a relative delay.
+  void after(Time delay, Action fn) { at(now_ + delay, std::move(fn)); }
+
+  // Execute the next event; returns false when the queue is empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    // The closure may schedule new events, so pop before invoking.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.t;
+    ev.fn();
+    return true;
+  }
+
+  // Run events up to and including time `t_end`.
+  void run_until(Time t_end) {
+    while (!queue_.empty() && queue_.top().t <= t_end) step();
+    if (now_ < t_end) now_ = t_end;
+  }
+
+  // Drain every event (use with care: steady sources never go idle).
+  void run_all() {
+    while (step()) {
+    }
+  }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_hint() const { return next_id_; }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t id;  // FIFO tiebreak for equal timestamps
+    Action fn;
+    bool operator>(const Event& o) const {
+      return t != o.t ? t > o.t : id > o.id;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  Time now_ = 0.0;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace udtr::sim

@@ -1,0 +1,110 @@
+// Uncontrolled traffic sources: constant-bit-rate and on/off bursting UDP.
+// The bursting source reproduces the congestion injection used for Fig. 8
+// ("injecting a bursting UDP flow into the network").
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "netsim/packet.hpp"
+#include "netsim/sim.hpp"
+
+namespace udtr::sim {
+
+class CbrSource {
+ public:
+  CbrSource(Simulator& sim, int flow_id, udtr::Bandwidth rate, int pkt_bytes,
+            double start, double stop)
+      : sim_(sim),
+        flow_id_(flow_id),
+        interval_s_(rate.serialization_time(pkt_bytes)),
+        pkt_bytes_(pkt_bytes),
+        stop_(stop) {
+    sim_.at(start, [this] { tick(); });
+  }
+
+  void set_out(Consumer* out) { out_ = out; }
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+
+ private:
+  void tick() {
+    if (sim_.now() >= stop_) return;
+    Packet p;
+    p.kind = PacketKind::kPlainUdp;
+    p.flow = flow_id_;
+    p.size_bytes = pkt_bytes_;
+    p.sent_at = sim_.now();
+    ++sent_;
+    if (out_ != nullptr) out_->receive(std::move(p));
+    sim_.after(interval_s_, [this] { tick(); });
+  }
+
+  Simulator& sim_;
+  int flow_id_;
+  double interval_s_;
+  int pkt_bytes_;
+  double stop_;
+  Consumer* out_ = nullptr;
+  std::uint64_t sent_ = 0;
+};
+
+// Exponential on/off source: bursts at `burst_rate` for ~`on_mean` seconds,
+// silent for ~`off_mean` seconds.
+class BurstSource {
+ public:
+  BurstSource(Simulator& sim, int flow_id, udtr::Bandwidth burst_rate,
+              int pkt_bytes, double on_mean_s, double off_mean_s,
+              double start, double stop, std::uint64_t seed)
+      : sim_(sim),
+        flow_id_(flow_id),
+        interval_s_(burst_rate.serialization_time(pkt_bytes)),
+        pkt_bytes_(pkt_bytes),
+        on_mean_s_(on_mean_s),
+        off_mean_s_(off_mean_s),
+        stop_(stop),
+        rng_(seed) {
+    sim_.at(start, [this] { begin_burst(); });
+  }
+
+  void set_out(Consumer* out) { out_ = out; }
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+
+ private:
+  void begin_burst() {
+    if (sim_.now() >= stop_) return;
+    burst_end_ = sim_.now() + rng_.exponential(on_mean_s_);
+    tick();
+  }
+
+  void tick() {
+    const double now = sim_.now();
+    if (now >= stop_) return;
+    if (now >= burst_end_) {
+      sim_.after(rng_.exponential(off_mean_s_), [this] { begin_burst(); });
+      return;
+    }
+    Packet p;
+    p.kind = PacketKind::kPlainUdp;
+    p.flow = flow_id_;
+    p.size_bytes = pkt_bytes_;
+    p.sent_at = now;
+    ++sent_;
+    if (out_ != nullptr) out_->receive(std::move(p));
+    sim_.after(interval_s_, [this] { tick(); });
+  }
+
+  Simulator& sim_;
+  int flow_id_;
+  double interval_s_;
+  int pkt_bytes_;
+  double on_mean_s_;
+  double off_mean_s_;
+  double stop_;
+  udtr::Rng rng_;
+  Consumer* out_ = nullptr;
+  std::uint64_t sent_ = 0;
+  double burst_end_ = 0.0;
+};
+
+}  // namespace udtr::sim

@@ -1,0 +1,72 @@
+// Periodic per-flow throughput sampling, feeding the paper's indices
+// (fairness, stability, friendliness) and the time-series figures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "netsim/sim.hpp"
+
+namespace udtr::sim {
+
+// Samples a monotone "delivered packets" counter every `interval_s` and
+// converts deltas into Mb/s.
+class ThroughputSampler {
+ public:
+  // `delivered_fn` returns the cumulative number of delivered data packets.
+  ThroughputSampler(Simulator& sim, std::function<std::uint64_t()> delivered,
+                    int pkt_bytes, double interval_s, double start = 0.0)
+      : sim_(sim),
+        delivered_(std::move(delivered)),
+        pkt_bytes_(pkt_bytes),
+        interval_s_(interval_s) {
+    sim_.at(start, [this] {
+      last_count_ = delivered_();
+      tick();
+    });
+  }
+
+  // Throughput samples in Mb/s, one per interval.
+  [[nodiscard]] const std::vector<double>& samples_mbps() const {
+    return samples_;
+  }
+
+  [[nodiscard]] double mean_mbps() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double v : samples_) s += v;
+    return s / static_cast<double>(samples_.size());
+  }
+
+ private:
+  void tick() {
+    sim_.after(interval_s_, [this] {
+      const std::uint64_t now_count = delivered_();
+      const double mbps =
+          static_cast<double>(now_count - last_count_) * pkt_bytes_ * 8.0 /
+          interval_s_ / 1e6;
+      samples_.push_back(mbps);
+      last_count_ = now_count;
+      tick();
+    });
+  }
+
+  Simulator& sim_;
+  std::function<std::uint64_t()> delivered_;
+  int pkt_bytes_;
+  double interval_s_;
+  std::uint64_t last_count_ = 0;
+  std::vector<double> samples_;
+};
+
+// Average throughput in Mb/s over [t0, t1] given a delivered-packet count.
+[[nodiscard]] inline double average_mbps(std::uint64_t delivered_packets,
+                                         int pkt_bytes, double t0, double t1) {
+  if (t1 <= t0) return 0.0;
+  return static_cast<double>(delivered_packets) * pkt_bytes * 8.0 /
+         (t1 - t0) / 1e6;
+}
+
+}  // namespace udtr::sim

@@ -1,0 +1,146 @@
+// TCP endpoints for the simulator: a SACK-based sender ("standard TCP" in
+// the paper means TCP SACK, §2.2) with a pluggable congestion-avoidance rule
+// so the same machinery also runs Scalable TCP and HighSpeed TCP.
+//
+// The sender is deliberately window-clocked (no pacing): the paper's
+// arguments about bursting window control vs. rate control (§3.2, §3.7)
+// depend on TCP sending back-to-back bursts into the bottleneck queue.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "cc/tcp_cavoid.hpp"
+#include "common/seqno.hpp"
+#include "netsim/packet.hpp"
+#include "netsim/sim.hpp"
+
+namespace udtr::sim {
+
+struct TcpFlowConfig {
+  int flow_id = 0;
+  int mss_bytes = 1500;
+  double start_time = 0.0;
+  std::uint64_t total_packets = std::numeric_limits<std::uint64_t>::max();
+  double recv_window_pkts = 1e9;  // paper: buffer >= BDP in all experiments
+  double initial_cwnd = 2.0;
+  double rto_min_s = 0.2;
+  std::string cong_avoid = "reno-sack";
+  int dupack_threshold = 3;
+};
+
+struct TcpSenderStats {
+  std::uint64_t data_sent = 0;
+  std::uint64_t retransmitted = 0;
+  std::uint64_t fast_recoveries = 0;
+  std::uint64_t timeouts = 0;
+};
+
+class TcpSender final : public Consumer {
+ public:
+  TcpSender(Simulator& sim, TcpFlowConfig cfg);
+
+  void set_out(Consumer* out) { out_ = out; }
+  void start();
+
+  void receive(Packet pkt) override;  // ACKs from the reverse path
+
+  [[nodiscard]] const TcpSenderStats& stats() const { return stats_; }
+  [[nodiscard]] double cwnd() const { return cwnd_; }
+  [[nodiscard]] double srtt_s() const { return srtt_s_; }
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] double finish_time() const { return finish_time_; }
+  // Completion callback for short-flow workloads (Fig. 13).
+  void set_on_finish(std::function<void()> cb) { on_finish_ = std::move(cb); }
+
+ private:
+  struct CircLess {
+    bool operator()(udtr::SeqNo a, udtr::SeqNo b) const {
+      return udtr::SeqNo::cmp(a, b) < 0;
+    }
+  };
+
+  void try_send();
+  void send_data(udtr::SeqNo seq, bool retransmit);
+  [[nodiscard]] double pipe() const;
+  void enter_recovery();
+  void update_rtt(double sample_s);
+  void arm_rto();
+  void on_rto();
+  void detect_losses();
+
+  Simulator& sim_;
+  TcpFlowConfig cfg_;
+  Consumer* out_ = nullptr;
+  std::unique_ptr<cc::TcpCongAvoid> ca_;
+  TcpSenderStats stats_;
+  std::function<void()> on_finish_;
+
+  udtr::SeqNo snd_una_{};
+  udtr::SeqNo next_seq_{};
+  std::uint64_t new_packets_sent_ = 0;
+  bool all_sent_ = false;
+  bool finished_ = false;
+  double finish_time_ = -1.0;
+
+  double cwnd_;
+  double ssthresh_ = 1e9;
+  bool in_recovery_ = false;
+  udtr::SeqNo recovery_point_{};
+  int dupacks_ = 0;
+
+  std::set<udtr::SeqNo, CircLess> sacked_;
+  std::set<udtr::SeqNo, CircLess> lost_;  // marked lost, not yet retransmitted
+
+  double srtt_s_ = 0.0;
+  double base_rtt_s_ = 0.0;  // minimum observed RTT (Vegas/FAST baseline)
+  double rttvar_s_ = 0.0;
+  double rto_s_ = 1.0;
+  int rto_backoff_ = 0;
+  std::uint64_t rto_epoch_ = 0;
+  bool started_ = false;
+  double last_progress_time_ = 0.0;
+  udtr::SeqNo scan_next_{};  // loss-detection watermark (keeps scans linear)
+};
+
+struct TcpReceiverStats {
+  std::uint64_t data_received = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t acks_sent = 0;
+};
+
+class TcpReceiver final : public Consumer {
+ public:
+  TcpReceiver(Simulator& sim, TcpFlowConfig cfg) : sim_(sim), cfg_(cfg) {}
+
+  void set_out(Consumer* out) { out_ = out; }
+  void receive(Packet pkt) override;
+
+  [[nodiscard]] const TcpReceiverStats& stats() const { return stats_; }
+  void set_on_deliver(std::function<void(udtr::SeqNo)> cb) {
+    on_deliver_ = std::move(cb);
+  }
+
+ private:
+  struct CircLess {
+    bool operator()(udtr::SeqNo a, udtr::SeqNo b) const {
+      return udtr::SeqNo::cmp(a, b) < 0;
+    }
+  };
+
+  Simulator& sim_;
+  TcpFlowConfig cfg_;
+  Consumer* out_ = nullptr;
+  TcpReceiverStats stats_;
+  std::function<void(udtr::SeqNo)> on_deliver_;
+
+  udtr::SeqNo rcv_next_{};  // next expected in-order sequence
+  // Out-of-order ranges above rcv_next (start -> inclusive end).
+  std::map<udtr::SeqNo, udtr::SeqNo, CircLess> ooo_;
+};
+
+}  // namespace udtr::sim

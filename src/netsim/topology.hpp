@@ -1,0 +1,164 @@
+// Topology builder for the paper's experiments: N flows with individual RTTs
+// sharing one DropTail bottleneck (the classic dumbbell).  All propagation
+// delay sits on the per-flow access/reverse links, so the bottleneck models
+// serialization + queueing only — the same decomposition the paper's NS-2
+// scripts use.
+//
+//   sender --(delay rtt/2)--> [bottleneck: capacity, DropTail q] --> demux --> receiver
+//      ^                                                                         |
+//      +------------------------------(delay rtt/2)------------------------------+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "netsim/demux.hpp"
+#include "netsim/link.hpp"
+#include "netsim/sources.hpp"
+#include "netsim/tcp_agent.hpp"
+#include "netsim/udt_agent.hpp"
+
+namespace udtr::sim {
+
+struct DumbbellConfig {
+  udtr::Bandwidth bottleneck = udtr::Bandwidth::mbps(100);
+  std::size_t queue_pkts = 100;  // DropTail limit
+  // Optional RED queue management instead of DropTail (footnote 4 studies).
+  std::optional<RedPolicy::Params> red;
+  // Random forward-path loss ahead of the bottleneck (models physical-layer
+  // errors on real WANs, §2.2's reason single TCP cannot fill long paths).
+  double loss_rate = 0.0;
+  std::uint64_t loss_seed = 1;
+
+  DumbbellConfig() = default;
+  DumbbellConfig(udtr::Bandwidth b, std::size_t q)
+      : bottleneck(b), queue_pkts(q) {}
+  DumbbellConfig(udtr::Bandwidth b, std::size_t q, RedPolicy::Params r)
+      : bottleneck(b), queue_pkts(q), red(r) {}
+};
+
+class Dumbbell {
+ public:
+  Dumbbell(Simulator& sim, DumbbellConfig cfg)
+      : sim_(sim),
+        bottleneck_(sim, cfg.bottleneck, /*prop_delay=*/0.0,
+                    cfg.red.has_value()
+                        ? std::unique_ptr<QueueDiscipline>(
+                              std::make_unique<RedPolicy>(*cfg.red))
+                        : std::make_unique<DropTailPolicy>(cfg.queue_pkts)) {
+    bottleneck_.set_next(&demux_);
+    if (cfg.loss_rate > 0.0) {
+      lossy_ = std::make_unique<LossyLink>(cfg.loss_rate, cfg.loss_seed);
+      lossy_->set_next(&bottleneck_);
+    }
+  }
+
+  // Where flows inject forward traffic: the loss stage if one exists.
+  [[nodiscard]] Consumer& ingress() {
+    return lossy_ ? static_cast<Consumer&>(*lossy_)
+                  : static_cast<Consumer&>(bottleneck_);
+  }
+
+  // Adds a UDT flow with the given end-to-end base RTT; returns its index
+  // within udt_senders()/udt_receivers().
+  std::size_t add_udt_flow(UdtFlowConfig cfg, double rtt_s) {
+    cfg.flow_id = next_flow_id_++;
+    // Desynchronize the flows' within-epoch decrease spacing.
+    cfg.cc.seed = static_cast<std::uint64_t>(cfg.flow_id) * 2654435761ULL + 1;
+    auto snd = std::make_unique<UdtSender>(sim_, cfg);
+    auto rcv = std::make_unique<UdtReceiver>(sim_, cfg);
+    auto fwd = std::make_unique<DelayLink>(sim_, rtt_s / 2.0);
+    auto rev = std::make_unique<DelayLink>(sim_, rtt_s / 2.0);
+    snd->set_out(fwd.get());
+    fwd->set_next(&ingress());
+    demux_.route(cfg.flow_id, rcv.get());
+    rcv->set_out(rev.get());
+    rev->set_next(snd.get());
+    snd->start();
+    rcv->start();
+    udt_snd_.push_back(std::move(snd));
+    udt_rcv_.push_back(std::move(rcv));
+    links_.push_back(std::move(fwd));
+    links_.push_back(std::move(rev));
+    return udt_snd_.size() - 1;
+  }
+
+  std::size_t add_tcp_flow(TcpFlowConfig cfg, double rtt_s) {
+    cfg.flow_id = next_flow_id_++;
+    auto snd = std::make_unique<TcpSender>(sim_, cfg);
+    auto rcv = std::make_unique<TcpReceiver>(sim_, cfg);
+    auto fwd = std::make_unique<DelayLink>(sim_, rtt_s / 2.0);
+    auto rev = std::make_unique<DelayLink>(sim_, rtt_s / 2.0);
+    snd->set_out(fwd.get());
+    fwd->set_next(&ingress());
+    demux_.route(cfg.flow_id, rcv.get());
+    rcv->set_out(rev.get());
+    rev->set_next(snd.get());
+    snd->start();
+    tcp_snd_.push_back(std::move(snd));
+    tcp_rcv_.push_back(std::move(rcv));
+    links_.push_back(std::move(fwd));
+    links_.push_back(std::move(rev));
+    return tcp_snd_.size() - 1;
+  }
+
+  // Adds an uncontrolled bursting UDP flow straight into the bottleneck.
+  BurstSource& add_burst_source(udtr::Bandwidth rate, int pkt_bytes,
+                                double on_mean_s, double off_mean_s,
+                                double start, double stop,
+                                std::uint64_t seed) {
+    const int id = next_flow_id_++;
+    auto sink = std::make_unique<CountingSink>();
+    demux_.route(id, sink.get());
+    auto src = std::make_unique<BurstSource>(sim_, id, rate, pkt_bytes,
+                                             on_mean_s, off_mean_s, start,
+                                             stop, seed);
+    src->set_out(&bottleneck_);
+    burst_.push_back(std::move(src));
+    sinks_.push_back(std::move(sink));
+    return *burst_.back();
+  }
+
+  CbrSource& add_cbr_source(udtr::Bandwidth rate, int pkt_bytes, double start,
+                            double stop) {
+    const int id = next_flow_id_++;
+    auto sink = std::make_unique<CountingSink>();
+    demux_.route(id, sink.get());
+    auto src = std::make_unique<CbrSource>(sim_, id, rate, pkt_bytes, start,
+                                           stop);
+    src->set_out(&bottleneck_);
+    cbr_.push_back(std::move(src));
+    sinks_.push_back(std::move(sink));
+    return *cbr_.back();
+  }
+
+  [[nodiscard]] Link& bottleneck() { return bottleneck_; }
+  [[nodiscard]] UdtSender& udt_sender(std::size_t i) { return *udt_snd_[i]; }
+  [[nodiscard]] UdtReceiver& udt_receiver(std::size_t i) {
+    return *udt_rcv_[i];
+  }
+  [[nodiscard]] TcpSender& tcp_sender(std::size_t i) { return *tcp_snd_[i]; }
+  [[nodiscard]] TcpReceiver& tcp_receiver(std::size_t i) {
+    return *tcp_rcv_[i];
+  }
+  [[nodiscard]] std::size_t udt_flows() const { return udt_snd_.size(); }
+  [[nodiscard]] std::size_t tcp_flows() const { return tcp_snd_.size(); }
+
+ private:
+  Simulator& sim_;
+  Link bottleneck_;
+  std::unique_ptr<LossyLink> lossy_;
+  FlowDemux demux_;
+  int next_flow_id_ = 1;
+  std::vector<std::unique_ptr<UdtSender>> udt_snd_;
+  std::vector<std::unique_ptr<UdtReceiver>> udt_rcv_;
+  std::vector<std::unique_ptr<TcpSender>> tcp_snd_;
+  std::vector<std::unique_ptr<TcpReceiver>> tcp_rcv_;
+  std::vector<std::unique_ptr<DelayLink>> links_;
+  std::vector<std::unique_ptr<BurstSource>> burst_;
+  std::vector<std::unique_ptr<CbrSource>> cbr_;
+  std::vector<std::unique_ptr<CountingSink>> sinks_;
+};
+
+}  // namespace udtr::sim

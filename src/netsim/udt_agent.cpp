@@ -1,0 +1,443 @@
+#include "netsim/udt_agent.hpp"
+
+#include <algorithm>
+
+namespace udtr::sim {
+
+namespace {
+constexpr int kAckSize = 64;   // ACK carries RTT/speed/capacity/window
+constexpr int kAck2Size = 40;
+constexpr int kNakBaseSize = 32;
+}  // namespace
+
+// ---------------------------------------------------------------- sender ---
+
+UdtSender::UdtSender(Simulator& sim, UdtFlowConfig cfg)
+    : sim_(sim), cfg_(cfg), cc_(cfg.cc), sabul_(cfg.sabul_cc) {}
+
+void UdtSender::start() {
+  sim_.at(cfg_.start_time, [this] {
+    last_ctrl_time_ = sim_.now();
+    next_send_time_ = sim_.now();
+    schedule_send(sim_.now());
+    arm_exp_timer();
+  });
+}
+
+void UdtSender::schedule_send(double at) {
+  if (send_scheduled_) return;
+  send_scheduled_ = true;
+  sim_.at(at, [this] {
+    send_scheduled_ = false;
+    on_send_timer();
+  });
+}
+
+void UdtSender::emit_data(udtr::SeqNo seq, bool retransmit, bool head,
+                          bool tail) {
+  Packet p;
+  p.kind = PacketKind::kUdtData;
+  p.flow = cfg_.flow_id;
+  p.size_bytes = cfg_.mss_bytes;
+  p.seq = seq;
+  p.retransmit = retransmit;
+  p.probe_head = head;
+  p.probe_tail = tail;
+  p.sent_at = sim_.now();
+  if (retransmit) {
+    ++stats_.retransmitted;
+  } else {
+    ++stats_.data_sent;
+  }
+  if (!sent_any_ || udtr::SeqNo::cmp(seq, largest_sent_) > 0) {
+    largest_sent_ = seq;
+    sent_any_ = true;
+  }
+  if (out_ != nullptr) out_->receive(std::move(p));
+}
+
+void UdtSender::on_send_timer() {
+  const double now = sim_.now();
+  cc_.set_now(now);
+
+  if (ctl_frozen(now)) {
+    // Congestion-epoch freeze (§3.3): hold off for the rest of the SYN.
+    schedule_send(now + cfg_.cc.syn_s);
+    return;
+  }
+
+  const double wnd = ctl_window();
+  const bool has_retrans = !snd_loss_.empty();
+  const bool has_new = !all_sent_;
+  if (!has_retrans && !has_new) return;  // idle until a NAK or nothing left
+
+  if (static_cast<double>(in_flight()) >= wnd && !has_retrans) {
+    // Window-blocked: the next ACK restarts the pacing loop.
+    stalled_ = true;
+    return;
+  }
+  stalled_ = false;
+
+  const double period = ctl_period();
+  if (has_retrans) {
+    // Lost packets always go out first (§4.8).
+    const udtr::SeqNo seq = *snd_loss_.begin();
+    snd_loss_.erase(snd_loss_.begin());
+    emit_data(seq, /*retransmit=*/true, false, false);
+    next_send_time_ = now + period;
+  } else {
+    const udtr::SeqNo seq = next_seq_;
+    const bool probe =
+        cfg_.probe_interval > 0 &&
+        (seq.value() % cfg_.probe_interval == 0) &&
+        (new_packets_sent_ + 2 <= cfg_.total_packets) &&
+        (static_cast<double>(in_flight()) + 2.0 <= wnd);
+    emit_data(seq, false, probe, false);
+    next_seq_ = next_seq_.next();
+    ++new_packets_sent_;
+    if (probe) {
+      // The pair's tail leaves back to back with no pacing gap, so the
+      // bottleneck's serialization time shows up as dispersion (RBPP).
+      emit_data(next_seq_, false, false, /*tail=*/true);
+      next_seq_ = next_seq_.next();
+      ++new_packets_sent_;
+    }
+    all_sent_ = new_packets_sent_ >= cfg_.total_packets;
+    next_send_time_ = now + period * (probe ? 2.0 : 1.0);
+  }
+
+  if (!snd_loss_.empty() || !all_sent_) {
+    schedule_send(std::max(next_send_time_, now));
+  }
+}
+
+double UdtSender::exp_timeout() const {
+  const double rtt = cc_.last_rtt_s();
+  const double base = std::max(cfg_.min_exp_timeout_s, 4.0 * rtt);
+  // Expiration grows with consecutive timeouts (congestion-collapse
+  // avoidance, §3.5), capped at 16x.
+  const double factor = std::min(1 << std::min(consecutive_timeouts_, 4), 16);
+  return base * factor;
+}
+
+void UdtSender::arm_exp_timer() {
+  const std::uint64_t epoch = ++exp_epoch_;
+  sim_.at(last_ctrl_time_ + exp_timeout(), [this, epoch] {
+    if (epoch != exp_epoch_) return;  // superseded by newer activity
+    on_exp_timer();
+  });
+}
+
+void UdtSender::on_exp_timer() {
+  const double now = sim_.now();
+  if (now - last_ctrl_time_ + 1e-12 < exp_timeout()) {
+    arm_exp_timer();
+    return;
+  }
+  if (finished()) return;
+  ++consecutive_timeouts_;
+  ++stats_.timeouts;
+  cc_.set_now(now);
+  cc_.on_timeout();
+  if (cfg_.sabul) {
+    sabul_.set_now(now);
+    sabul_.on_timeout();
+  }
+  if (in_flight() > 0) {
+    // Nothing heard for a full expiration period: assume everything
+    // outstanding is lost and reload the loss list.
+    for (udtr::SeqNo s = snd_una_; udtr::SeqNo::cmp(s, next_seq_) < 0;
+         s = s.next()) {
+      snd_loss_.insert(s);
+    }
+  }
+  last_ctrl_time_ = now;
+  arm_exp_timer();
+  if (!send_scheduled_) schedule_send(std::max(next_send_time_, now));
+}
+
+void UdtSender::receive(Packet pkt) {
+  const double now = sim_.now();
+  cc_.set_now(now);
+
+  switch (pkt.kind) {
+    case PacketKind::kUdtAck: {
+      ++stats_.acks_received;
+      last_ctrl_time_ = now;
+      consecutive_timeouts_ = 0;
+      arm_exp_timer();
+
+      // Echo ACK2 so the receiver can measure RTT.
+      Packet a2;
+      a2.kind = PacketKind::kUdtAck2;
+      a2.flow = cfg_.flow_id;
+      a2.size_bytes = kAck2Size;
+      a2.ack_id = pkt.ack_id;
+      if (out_ != nullptr) out_->receive(std::move(a2));
+
+      if (udtr::SeqNo::cmp(pkt.ack_seq, snd_una_) > 0) {
+        snd_una_ = pkt.ack_seq;
+        // Acknowledged packets can no longer need retransmission.
+        snd_loss_.erase(snd_loss_.begin(), snd_loss_.lower_bound(snd_una_));
+      }
+      cc::AckInfo info;
+      info.ack_seq = pkt.ack_seq;
+      info.rtt_s = pkt.rtt_s;
+      info.recv_rate_pps = pkt.recv_rate_pps;
+      info.capacity_pps = pkt.capacity_pps;
+      info.avail_buffer_pkts =
+          pkt.avail_buffer_pkts > 0 ? pkt.avail_buffer_pkts : 1e9;
+      cc_.on_ack(info);
+      if (cfg_.sabul) {
+        sabul_.set_now(now);
+        sabul_.on_ack();
+      }
+
+      if (finished() && finish_time_ < 0.0) finish_time_ = now;
+      break;
+    }
+    case PacketKind::kUdtNak: {
+      ++stats_.naks_received;
+      last_ctrl_time_ = now;
+      arm_exp_timer();
+
+      udtr::SeqNo biggest = snd_una_;
+      for (const auto& [first, last] : pkt.loss) {
+        for (udtr::SeqNo s = first;;) {
+          if (udtr::SeqNo::cmp(s, snd_una_) >= 0 &&
+              udtr::SeqNo::cmp(s, next_seq_) < 0) {
+            snd_loss_.insert(s);
+          }
+          if (s == last) break;
+          s = s.next();
+        }
+        if (udtr::SeqNo::cmp(last, biggest) > 0) biggest = last;
+      }
+      cc_.on_nak(biggest, largest_sent_);
+      if (cfg_.sabul) {
+        sabul_.set_now(now);
+        sabul_.on_nak();
+      }
+      break;
+    }
+    case PacketKind::kUdtDelayWarn:
+      cc_.on_delay_warning();
+      break;
+    default:
+      break;  // data/ACK2 never arrive on the sender's reverse path
+  }
+
+  // Control packets may have unblocked the pacing loop.
+  if (!send_scheduled_ && (!snd_loss_.empty() || !all_sent_)) {
+    schedule_send(std::max(next_send_time_, now));
+  }
+}
+
+// -------------------------------------------------------------- receiver ---
+
+UdtReceiver::UdtReceiver(Simulator& sim, UdtFlowConfig cfg)
+    : sim_(sim), cfg_(cfg) {
+  lrsn_ = udtr::SeqNo{0}.prev();  // "one before" the first expected packet
+  delivered_upto_ = udtr::SeqNo{0};
+}
+
+void UdtReceiver::start() {
+  sim_.at(cfg_.start_time, [this] { on_syn_timer(); });
+}
+
+void UdtReceiver::on_syn_timer() {
+  send_ack();
+  resend_naks();
+  sim_.after(cfg_.cc.syn_s, [this] { on_syn_timer(); });
+}
+
+std::uint64_t UdtReceiver::pending_loss() const {
+  std::uint64_t n = 0;
+  for (const auto& [first, range] : rcv_loss_) {
+    n += static_cast<std::uint64_t>(udtr::SeqNo::length(first, range.last));
+  }
+  return n;
+}
+
+void UdtReceiver::send_ack() {
+  if (!any_data_) return;
+  const udtr::SeqNo ack_no =
+      rcv_loss_.empty() ? lrsn_.next() : rcv_loss_.begin()->first;
+  // Suppress pure duplicates when nothing changed since the last ACK.
+  if (sent_any_ack_ && ack_no == last_acked_seq_ && !data_since_last_ack_) {
+    return;
+  }
+  Packet ack;
+  ack.kind = PacketKind::kUdtAck;
+  ack.flow = cfg_.flow_id;
+  ack.size_bytes = kAckSize;
+  ack.ack_seq = ack_no;
+  ack.ack_id = next_ack_id_++;
+  ack.rtt_s = rtt_s_;
+  ack.recv_rate_pps = speed_.packets_per_second();
+  ack.capacity_pps = pair_.capacity_packets_per_second();
+  // The app consumes in-order data immediately in this model, so the free
+  // buffer is the configured size minus the out-of-order backlog.
+  const double backlog =
+      static_cast<double>(udtr::SeqNo::offset(delivered_upto_, lrsn_.next()));
+  ack.avail_buffer_pkts = std::max(cfg_.recv_buffer_pkts - backlog, 2.0);
+  ack_send_times_[ack.ack_id] = sim_.now();
+  if (ack_send_times_.size() > 256) {
+    ack_send_times_.erase(ack_send_times_.begin());
+  }
+  last_acked_seq_ = ack_no;
+  sent_any_ack_ = true;
+  data_since_last_ack_ = false;
+  ++stats_.acks_sent;
+  if (out_ != nullptr) out_->receive(std::move(ack));
+}
+
+void UdtReceiver::resend_naks() {
+  const double now = sim_.now();
+  const double rtt = rtt_s_ > 0.0 ? rtt_s_ : 0.1;
+  for (auto& [first, range] : rcv_loss_) {
+    // Loss reports are repeated after an interval that grows with each
+    // resend (§3.1/§3.5): the retransmission or the NAK itself was lost.
+    const double timeout =
+        std::min(1 << std::min(range.nak_count - 1, 4), 16) *
+        std::max(rtt * 1.5, 2.0 * cfg_.cc.syn_s);
+    if (now - range.last_nak_time >= timeout) {
+      Packet nak;
+      nak.kind = PacketKind::kUdtNak;
+      nak.flow = cfg_.flow_id;
+      nak.loss.emplace_back(first, range.last);
+      nak.size_bytes =
+          kNakBaseSize + 8 * static_cast<int>(nak.loss.size());
+      range.last_nak_time = now;
+      ++range.nak_count;
+      ++stats_.naks_sent;
+      if (out_ != nullptr) out_->receive(std::move(nak));
+    }
+  }
+}
+
+void UdtReceiver::deliver_in_order() {
+  const udtr::SeqNo boundary =
+      rcv_loss_.empty() ? lrsn_.next() : rcv_loss_.begin()->first;
+  const std::int32_t n = udtr::SeqNo::offset(delivered_upto_, boundary);
+  if (n <= 0) return;
+  if (on_deliver_) {
+    for (udtr::SeqNo s = delivered_upto_; udtr::SeqNo::cmp(s, boundary) < 0;
+         s = s.next()) {
+      on_deliver_(s);
+    }
+  }
+  stats_.delivered += static_cast<std::uint64_t>(n);
+  delivered_upto_ = boundary;
+}
+
+void UdtReceiver::handle_data(Packet& pkt) {
+  const double now = sim_.now();
+  ++stats_.data_received;
+  data_since_last_ack_ = true;
+
+  if (last_arrival_time_ >= 0.0) {
+    speed_.add_interval(now - last_arrival_time_);
+  }
+  last_arrival_time_ = now;
+
+  if (pkt.probe_head) {
+    probe_head_time_ = now;
+    probe_head_seq_ = pkt.seq;
+  } else if (pkt.probe_tail && probe_head_time_ >= 0.0 &&
+             pkt.seq == probe_head_seq_.next()) {
+    pair_.add_dispersion(now - probe_head_time_);
+    probe_head_time_ = -1.0;
+  } else {
+    probe_head_time_ = -1.0;  // pair interleaved by another packet: discard
+  }
+
+  // Obsolete delay-trend mode (§6): a one-way-delay trend over the last
+  // group of packets triggers an early congestion warning.
+  if (cfg_.cc.delay_trend_mode &&
+      delay_trend_.add_delay(now - pkt.sent_at)) {
+    Packet warn;
+    warn.kind = PacketKind::kUdtDelayWarn;
+    warn.flow = cfg_.flow_id;
+    warn.size_bytes = 32;
+    if (out_ != nullptr) out_->receive(std::move(warn));
+  }
+
+  const udtr::SeqNo expected = lrsn_.next();
+  const int c = udtr::SeqNo::cmp(pkt.seq, expected);
+  if (c == 0) {
+    lrsn_ = pkt.seq;
+    any_data_ = true;
+  } else if (c > 0) {
+    // Gap: everything in [expected, seq-1] is missing.  NAK immediately so
+    // the sender reacts to congestion as fast as possible (§3.1).
+    const udtr::SeqNo gap_last = pkt.seq.prev();
+    rcv_loss_.emplace(expected,
+                      LossRange{gap_last, now, /*nak_count=*/1});
+    const auto gap_len =
+        static_cast<std::uint32_t>(udtr::SeqNo::length(expected, gap_last));
+    ++stats_.loss_events;
+    stats_.lost_packets += gap_len;
+    loss_event_sizes_.push_back(gap_len);
+
+    Packet nak;
+    nak.kind = PacketKind::kUdtNak;
+    nak.flow = cfg_.flow_id;
+    nak.loss.emplace_back(expected, gap_last);
+    nak.size_bytes = kNakBaseSize + 8;
+    ++stats_.naks_sent;
+    if (out_ != nullptr) out_->receive(std::move(nak));
+
+    lrsn_ = pkt.seq;
+    any_data_ = true;
+  } else {
+    // Retransmission (or duplicate): clear it from the loss list.
+    auto it = rcv_loss_.upper_bound(pkt.seq);
+    if (it != rcv_loss_.begin()) {
+      --it;
+      const udtr::SeqNo first = it->first;
+      const udtr::SeqNo last = it->second.last;
+      if (udtr::SeqNo::cmp(pkt.seq, first) >= 0 &&
+          udtr::SeqNo::cmp(pkt.seq, last) <= 0) {
+        const LossRange old = it->second;
+        rcv_loss_.erase(it);
+        if (pkt.seq != first) {
+          rcv_loss_.emplace(first, LossRange{pkt.seq.prev(), old.last_nak_time,
+                                             old.nak_count});
+        }
+        if (pkt.seq != last) {
+          rcv_loss_.emplace(pkt.seq.next(),
+                            LossRange{last, old.last_nak_time, old.nak_count});
+        }
+      } else {
+        ++stats_.duplicates;
+        return;
+      }
+    } else {
+      ++stats_.duplicates;
+      return;
+    }
+  }
+  deliver_in_order();
+}
+
+void UdtReceiver::receive(Packet pkt) {
+  switch (pkt.kind) {
+    case PacketKind::kUdtData:
+      handle_data(pkt);
+      break;
+    case PacketKind::kUdtAck2: {
+      auto it = ack_send_times_.find(pkt.ack_id);
+      if (it != ack_send_times_.end()) {
+        const double sample = sim_.now() - it->second;
+        ack_send_times_.erase(it);
+        rtt_s_ = rtt_s_ <= 0.0 ? sample : rtt_s_ * 0.875 + sample * 0.125;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace udtr::sim

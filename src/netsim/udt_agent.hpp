@@ -1,0 +1,213 @@
+// UDT endpoints for the simulator (paper §3 mechanics end to end).
+//
+// The sender paces data packets with the period computed by cc::UdtCc,
+// retransmits loss-list entries with priority, and emits a back-to-back
+// packet pair every `probe_interval` packets (RBPP, §3.4).  The receiver
+// detects gaps, NAKs immediately (re-NAKing with backoff), acknowledges on
+// the SYN timer, measures RTT through ACK2, and estimates arrival speed and
+// link capacity with the median filters from common/.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "cc/sabul_cc.hpp"
+#include "cc/udt_cc.hpp"
+#include "common/delay_trend.hpp"
+#include "common/median_filter.hpp"
+#include "common/seqno.hpp"
+#include "netsim/packet.hpp"
+#include "netsim/sim.hpp"
+
+namespace udtr::sim {
+
+struct UdtFlowConfig {
+  int flow_id = 0;
+  int mss_bytes = 1500;
+  cc::UdtCcConfig cc{};
+  double start_time = 0.0;
+  // Total data packets to send; default is an unbounded bulk source.
+  std::uint64_t total_packets = std::numeric_limits<std::uint64_t>::max();
+  int probe_interval = 16;      // packet pair every N packets
+  double min_exp_timeout_s = 0.5;
+  double recv_buffer_pkts = 1e9;
+  // Run the predecessor SABUL's MIMD rate control instead of UDT's (§2.3),
+  // for the fairness/efficiency comparison the paper draws between them.
+  bool sabul = false;
+  cc::SabulCcConfig sabul_cc{};
+};
+
+struct UdtSenderStats {
+  std::uint64_t data_sent = 0;       // original transmissions
+  std::uint64_t retransmitted = 0;
+  std::uint64_t naks_received = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t timeouts = 0;
+};
+
+struct UdtReceiverStats {
+  std::uint64_t data_received = 0;   // every data packet incl. duplicates
+  std::uint64_t delivered = 0;       // in-order packets handed to the app
+  std::uint64_t duplicates = 0;
+  std::uint64_t loss_events = 0;     // NAK-triggering gap detections
+  std::uint64_t lost_packets = 0;    // packets covered by those gaps
+  std::uint64_t acks_sent = 0;
+  std::uint64_t naks_sent = 0;
+};
+
+class UdtSender final : public Consumer {
+ public:
+  UdtSender(Simulator& sim, UdtFlowConfig cfg);
+
+  void set_out(Consumer* out) { out_ = out; }
+  void start();
+
+  // Reverse-path input: ACK / ACK2-echo / NAK packets.
+  void receive(Packet pkt) override;
+
+  [[nodiscard]] const UdtSenderStats& stats() const { return stats_; }
+  [[nodiscard]] const cc::UdtCc& cc() const { return cc_; }
+  [[nodiscard]] bool finished() const {
+    return limited() && all_sent_ && snd_loss_.empty() &&
+           udtr::SeqNo::offset(snd_una_, next_seq_) == 0;
+  }
+  [[nodiscard]] double finish_time() const { return finish_time_; }
+  [[nodiscard]] std::uint64_t in_flight() const {
+    return static_cast<std::uint64_t>(udtr::SeqNo::offset(snd_una_, next_seq_));
+  }
+
+ private:
+  [[nodiscard]] bool limited() const {
+    return cfg_.total_packets != std::numeric_limits<std::uint64_t>::max();
+  }
+  void on_send_timer();
+  void schedule_send(double at);
+  void emit_data(udtr::SeqNo seq, bool retransmit, bool head, bool tail);
+  void arm_exp_timer();
+  void on_exp_timer();
+  [[nodiscard]] double exp_timeout() const;
+
+  // Congestion-controller dispatch: either UDT's (cc_) or SABUL's (sabul_),
+  // selected by cfg_.sabul.
+  [[nodiscard]] double ctl_period() const {
+    return cfg_.sabul ? sabul_.pkt_send_period_s() : cc_.pkt_send_period_s();
+  }
+  [[nodiscard]] double ctl_window() const {
+    return cfg_.sabul ? sabul_.window_packets() : cc_.window_packets();
+  }
+  [[nodiscard]] bool ctl_frozen(double now) const {
+    return !cfg_.sabul && cc_.frozen_until(now);
+  }
+
+  Simulator& sim_;
+  UdtFlowConfig cfg_;
+  Consumer* out_ = nullptr;
+  cc::UdtCc cc_;
+  cc::SabulCc sabul_;
+  UdtSenderStats stats_;
+
+  udtr::SeqNo next_seq_{};      // next brand-new sequence number
+  udtr::SeqNo snd_una_{};       // everything before this is acknowledged
+  udtr::SeqNo largest_sent_{};
+  bool sent_any_ = false;
+  std::uint64_t new_packets_sent_ = 0;
+  bool all_sent_ = false;
+  double finish_time_ = -1.0;
+
+  struct CircLess {
+    bool operator()(udtr::SeqNo a, udtr::SeqNo b) const {
+      return udtr::SeqNo::cmp(a, b) < 0;
+    }
+  };
+  std::set<udtr::SeqNo, CircLess> snd_loss_;
+
+  bool send_scheduled_ = false;
+  bool stalled_ = false;        // window-blocked; an ACK restarts sending
+  double next_send_time_ = 0.0;
+
+  double last_ctrl_time_ = 0.0; // last ACK/NAK arrival (EXP timer basis)
+  int consecutive_timeouts_ = 0;
+  std::uint64_t exp_epoch_ = 0; // invalidates stale EXP timer events
+};
+
+class UdtReceiver final : public Consumer {
+ public:
+  UdtReceiver(Simulator& sim, UdtFlowConfig cfg);
+
+  void set_out(Consumer* out) { out_ = out; }  // reverse path toward sender
+  void start();
+
+  // Forward-path input: data and ACK2 packets.
+  void receive(Packet pkt) override;
+
+  // Called for each in-order data packet delivered to the "application".
+  void set_on_deliver(std::function<void(udtr::SeqNo)> cb) {
+    on_deliver_ = std::move(cb);
+  }
+
+  [[nodiscard]] const UdtReceiverStats& stats() const { return stats_; }
+  [[nodiscard]] double rtt_s() const { return rtt_s_; }
+  [[nodiscard]] double capacity_pps() const {
+    return pair_.capacity_packets_per_second();
+  }
+  [[nodiscard]] double arrival_pps() const {
+    return speed_.packets_per_second();
+  }
+  // #packets in the receiver loss list (pending retransmission).
+  [[nodiscard]] std::uint64_t pending_loss() const;
+  // Size (packets) of each loss event so far, for Fig. 8.
+  [[nodiscard]] const std::vector<std::uint32_t>& loss_event_sizes() const {
+    return loss_event_sizes_;
+  }
+
+ private:
+  void on_syn_timer();
+  void send_ack();
+  void resend_naks();
+  void handle_data(Packet& pkt);
+
+  Simulator& sim_;
+  UdtFlowConfig cfg_;
+  Consumer* out_ = nullptr;
+  UdtReceiverStats stats_;
+  std::function<void(udtr::SeqNo)> on_deliver_;
+
+  bool any_data_ = false;
+  udtr::SeqNo lrsn_{};          // largest received sequence number
+  udtr::SeqNo delivered_upto_{};  // next in-order packet expected by the app
+  bool delivery_started_ = false;
+
+  struct LossRange {
+    udtr::SeqNo last;
+    double last_nak_time;
+    int nak_count;
+  };
+  struct CircLess {
+    bool operator()(udtr::SeqNo a, udtr::SeqNo b) const {
+      return udtr::SeqNo::cmp(a, b) < 0;
+    }
+  };
+  std::map<udtr::SeqNo, LossRange, CircLess> rcv_loss_;
+  std::vector<std::uint32_t> loss_event_sizes_;
+
+  udtr::ArrivalSpeedEstimator speed_{16};
+  udtr::PacketPairEstimator pair_{16};
+  double last_arrival_time_ = -1.0;
+  double probe_head_time_ = -1.0;
+  udtr::SeqNo probe_head_seq_{};
+
+  double rtt_s_ = 0.0;
+  udtr::DelayTrendDetector delay_trend_{16};
+  std::int32_t next_ack_id_ = 1;
+  std::map<std::int32_t, double> ack_send_times_;
+  udtr::SeqNo last_acked_seq_{};
+  bool sent_any_ack_ = false;
+  bool data_since_last_ack_ = false;
+
+  void deliver_in_order();
+};
+
+}  // namespace udtr::sim

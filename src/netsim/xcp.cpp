@@ -1,0 +1,144 @@
+#include "netsim/xcp.hpp"
+
+namespace udtr::sim {
+
+namespace {
+constexpr int kXcpAckSize = 48;
+constexpr double kDemand = 1e9;  // sender's initial (unbounded) request
+}  // namespace
+
+// ---------------------------------------------------------------- router ---
+
+void XcpRouter::receive(Packet pkt) {
+  if (pkt.kind == PacketKind::kXcpData) {
+    const double rtt = pkt.xcp_rtt_s > 0.0 ? pkt.xcp_rtt_s : avg_rtt_s_;
+    const double cwnd = std::max(pkt.xcp_cwnd_pkts, 1.0);
+    input_pkts_ += 1.0;
+    sum_rtt_ += rtt;
+    sum_rtt_sq_over_cwnd_ += rtt * rtt / cwnd;
+    sum_inv_ += 1.0;
+
+    // Positive feedback equalizes throughput across flows (per-packet share
+    // proportional to rtt^2/cwnd); negative feedback is rate-proportional
+    // (per-packet share proportional to rtt).
+    const double fb = xi_pos_ * rtt * rtt / cwnd - xi_neg_ * rtt;
+    pkt.xcp_feedback_pkts = std::min(pkt.xcp_feedback_pkts, fb);
+  }
+  link_.receive(std::move(pkt));
+}
+
+void XcpRouter::on_interval() {
+  const double capacity_pps = link_.capacity().packets_per_sec(1500);
+  const double input_pps = input_pkts_ / interval_s_;
+  const double spare_pps = capacity_pps - input_pps;
+  const double queue_pkts = static_cast<double>(link_.queue_depth());
+
+  if (sum_inv_ > 0.0) {
+    avg_rtt_s_ = std::clamp(sum_rtt_ / sum_inv_, 0.001, 1.0);
+  }
+
+  // Efficiency controller: aggregate window budget for the next interval.
+  phi_pkts_ = kAlpha * spare_pps * interval_s_ - kBeta * queue_pkts;
+  // Fairness controller: shuffle a slice of the traffic even at equilibrium
+  // so allocations keep converging (AIMD across flows).
+  const double shuffle =
+      std::max(0.0, kShuffle * input_pkts_ - std::abs(phi_pkts_));
+  const double pos_budget = std::max(phi_pkts_, 0.0) + shuffle;
+  const double neg_budget = std::max(-phi_pkts_, 0.0) + shuffle;
+
+  xi_pos_ = sum_rtt_sq_over_cwnd_ > 0.0
+                ? pos_budget / sum_rtt_sq_over_cwnd_
+                : 0.0;
+  xi_neg_ = sum_rtt_ > 0.0 ? neg_budget / sum_rtt_ : 0.0;
+
+  input_pkts_ = 0.0;
+  sum_rtt_ = 0.0;
+  sum_rtt_sq_over_cwnd_ = 0.0;
+  sum_inv_ = 0.0;
+
+  // The control interval tracks the average RTT (Katabi's d).
+  interval_s_ = avg_rtt_s_;
+  sim_.after(interval_s_, [this] { on_interval(); });
+}
+
+// ---------------------------------------------------------------- sender ---
+
+void XcpSender::try_send() {
+  const double now = sim_.now();
+  // Stall recovery: with no reliability layer (XCP keeps queues near zero,
+  // drops are exceptional), leaked outstanding credits decay after silence.
+  if (last_ack_time_ >= 0.0 &&
+      now - last_ack_time_ > std::max(4.0 * rtt_s_, 0.5)) {
+    outstanding_ = 0.0;
+    last_ack_time_ = now;
+  }
+  while (outstanding_ < cwnd_) {
+    Packet p;
+    p.kind = PacketKind::kXcpData;
+    p.flow = cfg_.flow_id;
+    p.size_bytes = cfg_.mss_bytes;
+    p.seq = next_seq_;
+    next_seq_ = next_seq_.next();
+    p.sent_at = now;
+    p.xcp_rtt_s = rtt_s_;
+    p.xcp_cwnd_pkts = cwnd_;
+    p.xcp_feedback_pkts = kDemand;
+    outstanding_ += 1.0;
+    ++stats_.data_sent;
+    if (out_ != nullptr) out_->receive(std::move(p));
+  }
+  sim_.after(std::max(rtt_s_, 0.1), [this] { try_send(); });
+}
+
+void XcpSender::receive(Packet pkt) {
+  if (pkt.kind != PacketKind::kXcpAck) return;
+  ++stats_.acks_received;
+  last_ack_time_ = sim_.now();
+  // The path is FIFO, so an ACK for seq s means everything sent before s is
+  // either delivered or dropped: in flight = packets after s.  This keeps
+  // drops from leaking send credits permanently.
+  outstanding_ = std::max(
+      static_cast<double>(udtr::SeqNo::offset(pkt.seq, next_seq_)) - 1.0,
+      0.0);
+  const double sample = sim_.now() - pkt.sent_at;
+  if (sample > 0.0) {
+    rtt_s_ = rtt_s_ <= 0.0 ? sample : rtt_s_ * 0.875 + sample * 0.125;
+  }
+  // Apply the routers' allocation directly (the whole point of XCP: no
+  // probing, the network says how much to change the window).
+  if (pkt.xcp_feedback_pkts < kDemand) {
+    cwnd_ = std::max(cwnd_ + pkt.xcp_feedback_pkts, 1.0);
+  }
+  while (outstanding_ < cwnd_) {
+    Packet p;
+    p.kind = PacketKind::kXcpData;
+    p.flow = cfg_.flow_id;
+    p.size_bytes = cfg_.mss_bytes;
+    p.seq = next_seq_;
+    next_seq_ = next_seq_.next();
+    p.sent_at = sim_.now();
+    p.xcp_rtt_s = rtt_s_;
+    p.xcp_cwnd_pkts = cwnd_;
+    p.xcp_feedback_pkts = kDemand;
+    outstanding_ += 1.0;
+    ++stats_.data_sent;
+    if (out_ != nullptr) out_->receive(std::move(p));
+  }
+}
+
+// -------------------------------------------------------------- receiver ---
+
+void XcpReceiver::receive(Packet pkt) {
+  if (pkt.kind != PacketKind::kXcpData) return;
+  ++stats_.delivered;
+  Packet ack;
+  ack.kind = PacketKind::kXcpAck;
+  ack.flow = pkt.flow;
+  ack.size_bytes = kXcpAckSize;
+  ack.seq = pkt.seq;
+  ack.sent_at = pkt.sent_at;                       // RTT echo
+  ack.xcp_feedback_pkts = pkt.xcp_feedback_pkts;   // feedback echo
+  if (out_ != nullptr) out_->receive(std::move(ack));
+}
+
+}  // namespace udtr::sim

@@ -1,0 +1,119 @@
+// XCP-lite [Katabi/Handley/Rohrs, SIGCOMM '02] — the router-assisted
+// comparator the paper positions UDT against (§2.2: "XCP, which adds
+// explicit feedback from routers, is a more radical change"; §3.4: "XCP
+// puts the control at the routers, so it knows everything about the link").
+//
+// Senders advertise (rtt, cwnd) in a congestion header; each router runs an
+// efficiency controller (MIMD on spare bandwidth and queue) and a fairness
+// controller (AIMD via bandwidth shuffling), writing a per-packet window
+// delta that downstream routers may only lower; the receiver echoes it in
+// ACKs and the sender applies it directly.  This is the simplified
+// packet-count formulation: uniform MSS, feedback in packets.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+
+#include "netsim/link.hpp"
+#include "netsim/packet.hpp"
+#include "netsim/sim.hpp"
+
+namespace udtr::sim {
+
+// Sits in front of a Link and stamps XCP feedback into kXcpData packets.
+// Non-XCP traffic passes through untouched.
+class XcpRouter final : public Consumer {
+ public:
+  XcpRouter(Simulator& sim, Link& link, double ctl_interval_s = 0.05)
+      : sim_(sim), link_(link), interval_s_(ctl_interval_s) {
+    sim_.after(interval_s_, [this] { on_interval(); });
+  }
+
+  void receive(Packet pkt) override;
+
+  [[nodiscard]] double last_phi_pkts() const { return phi_pkts_; }
+
+ private:
+  void on_interval();
+
+  Simulator& sim_;
+  Link& link_;
+  double interval_s_;
+
+  // Measured over the current interval.
+  double input_pkts_ = 0.0;
+  double sum_rtt_ = 0.0;
+  double sum_rtt_sq_over_cwnd_ = 0.0;
+  double sum_inv_ = 0.0;  // count of XCP packets
+  // Controller state for the running interval.
+  double phi_pkts_ = 0.0;       // aggregate feedback budget
+  double xi_pos_ = 0.0;         // positive per-packet scale
+  double xi_neg_ = 0.0;         // negative per-packet scale
+  double avg_rtt_s_ = 0.05;
+
+  static constexpr double kAlpha = 0.4;
+  static constexpr double kBeta = 0.226;
+  static constexpr double kShuffle = 0.1;
+};
+
+struct XcpFlowConfig {
+  int flow_id = 0;
+  int mss_bytes = 1500;
+  double start_time = 0.0;
+  double initial_cwnd = 2.0;
+};
+
+struct XcpSenderStats {
+  std::uint64_t data_sent = 0;
+  std::uint64_t acks_received = 0;
+};
+
+// Window-based sender driven purely by the echoed router feedback.
+class XcpSender final : public Consumer {
+ public:
+  XcpSender(Simulator& sim, XcpFlowConfig cfg)
+      : sim_(sim), cfg_(cfg), cwnd_(cfg.initial_cwnd) {}
+
+  void set_out(Consumer* out) { out_ = out; }
+  void start() {
+    sim_.at(cfg_.start_time, [this] { try_send(); });
+  }
+
+  void receive(Packet pkt) override;  // ACKs
+
+  [[nodiscard]] double cwnd() const { return cwnd_; }
+  [[nodiscard]] double rtt_s() const { return rtt_s_; }
+  [[nodiscard]] const XcpSenderStats& stats() const { return stats_; }
+
+ private:
+  void try_send();
+
+  Simulator& sim_;
+  XcpFlowConfig cfg_;
+  Consumer* out_ = nullptr;
+  XcpSenderStats stats_;
+  double cwnd_;
+  double rtt_s_ = 0.0;
+  double outstanding_ = 0.0;   // credits consumed by unacked packets
+  double last_ack_time_ = -1.0;
+  udtr::SeqNo next_seq_{};
+};
+
+struct XcpReceiverStats {
+  std::uint64_t delivered = 0;  // packets received (cumulative-ack model)
+};
+
+class XcpReceiver final : public Consumer {
+ public:
+  explicit XcpReceiver(Simulator& /*sim*/) {}
+  void set_out(Consumer* out) { out_ = out; }
+  void receive(Packet pkt) override;
+  [[nodiscard]] const XcpReceiverStats& stats() const { return stats_; }
+
+ private:
+  Consumer* out_ = nullptr;
+  XcpReceiverStats stats_;
+};
+
+}  // namespace udtr::sim

@@ -1,0 +1,175 @@
+#include "udt/buffers.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace udtr::udt {
+
+// ------------------------------------------------------------- SndBuffer ---
+
+SndBuffer::SndBuffer(int mss_bytes, std::size_t capacity_bytes)
+    : mss_(mss_bytes), capacity_bytes_(capacity_bytes) {}
+
+std::size_t SndBuffer::add(std::span<const std::uint8_t> data) {
+  std::size_t accepted = 0;
+  while (accepted < data.size() && bytes_ < capacity_bytes_) {
+    const std::size_t room = capacity_bytes_ - bytes_;
+    const std::size_t take = std::min(
+        {static_cast<std::size_t>(mss_), data.size() - accepted, room});
+    Chunk c;
+    c.owned.assign(data.begin() + accepted, data.begin() + accepted + take);
+    chunks_.push_back(std::move(c));
+    bytes_ += take;
+    accepted += take;
+  }
+  return accepted;
+}
+
+std::size_t SndBuffer::add_borrowed(std::span<const std::uint8_t> data) {
+  std::size_t accepted = 0;
+  while (accepted < data.size() && bytes_ < capacity_bytes_) {
+    const std::size_t room = capacity_bytes_ - bytes_;
+    const std::size_t take = std::min(
+        {static_cast<std::size_t>(mss_), data.size() - accepted, room});
+    Chunk c;
+    c.view = data.subspan(accepted, take);
+    chunks_.push_back(std::move(c));
+    bytes_ += take;
+    accepted += take;
+  }
+  return accepted;
+}
+
+std::optional<std::span<const std::uint8_t>> SndBuffer::chunk(
+    std::int64_t index) const {
+  if (index < base_index_ || index >= end_index()) return std::nullopt;
+  return chunks_[static_cast<std::size_t>(index - base_index_)].bytes();
+}
+
+void SndBuffer::ack_up_to(std::int64_t index) {
+  while (base_index_ < index && !chunks_.empty()) {
+    bytes_ -= chunks_.front().bytes().size();
+    chunks_.pop_front();
+    ++base_index_;
+  }
+}
+
+// ------------------------------------------------------------- RcvBuffer ---
+
+RcvBuffer::RcvBuffer(int mss_bytes, std::int32_t capacity_pkts)
+    : mss_(mss_bytes),
+      capacity_(capacity_pkts),
+      slots_(static_cast<std::size_t>(capacity_pkts)) {}
+
+std::size_t RcvBuffer::readable_bytes() const {
+  if (contig_ <= read_index_) return 0;
+  std::size_t n = 0;
+  for (std::int64_t i = read_index_; i < contig_; ++i) {
+    const auto& s = slots_[static_cast<std::size_t>(i % capacity_)];
+    n += s.data.size();
+  }
+  return n - read_offset_;
+}
+
+std::int32_t RcvBuffer::avail_packets() const {
+  // Slots between the largest stored index and the read cursor's window end.
+  const std::int64_t used = max_index_ - read_index_;
+  return static_cast<std::int32_t>(
+      std::max<std::int64_t>(capacity_ - used, 0));
+}
+
+void RcvBuffer::advance_contig() {
+  while (contig_ < read_index_ + capacity_ &&
+         slot(contig_).filled) {
+    ++contig_;
+  }
+}
+
+void RcvBuffer::drain_into_user_buffer() {
+  while (!user_buf_.empty() && user_filled_ < user_buf_.size() &&
+         read_index_ < contig_) {
+    Slot& s = slot(read_index_);
+    const std::size_t avail = s.data.size() - read_offset_;
+    const std::size_t want = user_buf_.size() - user_filled_;
+    const std::size_t take = std::min(avail, want);
+    std::memcpy(user_buf_.data() + user_filled_,
+                s.data.data() + read_offset_, take);
+    user_filled_ += take;
+    read_offset_ += take;
+    if (read_offset_ == s.data.size()) {
+      s = Slot{};
+      ++read_index_;
+      read_offset_ = 0;
+    }
+  }
+}
+
+bool RcvBuffer::store(std::int64_t index,
+                      std::span<const std::uint8_t> payload) {
+  if (index < contig_) return false;                    // duplicate / stale
+  if (index >= read_index_ + capacity_) return false;   // beyond the window
+
+  // Overlapped-IO fast path: the next expected packet with an armed user
+  // buffer that can absorb it entirely goes straight to application memory
+  // (Fig. 10 — the user buffer is the logical extension of the protocol
+  // buffer).
+  if (index == contig_ && contig_ == read_index_ && read_offset_ == 0 &&
+      !user_buf_.empty() &&
+      user_buf_.size() - user_filled_ >= payload.size()) {
+    std::memcpy(user_buf_.data() + user_filled_, payload.data(),
+                payload.size());
+    user_filled_ += payload.size();
+    ++contig_;
+    ++read_index_;
+    max_index_ = std::max(max_index_, index + 1);
+    // Later packets may already sit in the ring contiguously.
+    advance_contig();
+    drain_into_user_buffer();
+    return true;
+  }
+
+  Slot& s = slot(index);
+  if (s.filled) return false;
+  s.data.assign(payload.begin(), payload.end());
+  s.filled = true;
+  max_index_ = std::max(max_index_, index + 1);
+  if (index == contig_) {
+    advance_contig();
+    if (!user_buf_.empty()) drain_into_user_buffer();
+  }
+  return true;
+}
+
+std::size_t RcvBuffer::read(std::span<std::uint8_t> out) {
+  std::size_t copied = 0;
+  while (copied < out.size() && read_index_ < contig_) {
+    Slot& s = slot(read_index_);
+    const std::size_t avail = s.data.size() - read_offset_;
+    const std::size_t take = std::min(avail, out.size() - copied);
+    std::memcpy(out.data() + copied, s.data.data() + read_offset_, take);
+    copied += take;
+    read_offset_ += take;
+    if (read_offset_ == s.data.size()) {
+      s = Slot{};
+      ++read_index_;
+      read_offset_ = 0;
+    }
+  }
+  return copied;
+}
+
+std::size_t RcvBuffer::register_user_buffer(std::span<std::uint8_t> buf) {
+  user_buf_ = buf;
+  user_filled_ = 0;
+  drain_into_user_buffer();
+  return user_filled_;
+}
+
+std::size_t RcvBuffer::release_user_buffer() {
+  const std::size_t filled = user_filled_;
+  user_buf_ = {};
+  user_filled_ = 0;
+  return filled;
+}
+
+}  // namespace udtr::udt

@@ -1,0 +1,141 @@
+// Protocol buffers (paper §4.3, §4.6, Fig. 10).
+//
+// SndBuffer pre-packetizes application bytes into MSS-sized chunks indexed
+// by an absolute packet index (the socket maps sequence numbers to indexes),
+// so (re)transmission is a direct lookup.
+//
+// RcvBuffer is a ring of packet slots addressed by absolute index.  Because
+// the slot of an arrival is computed from its sequence number, out-of-order
+// data lands directly at its destination offset — the "speculation of next
+// packet" technique costs nothing here beyond the ring addressing.  The
+// buffer also supports *user-buffer insertion* (overlapped IO): a reader may
+// register its own buffer as a logical extension of the protocol buffer, and
+// in-order arrivals are then copied directly into application memory,
+// skipping the protocol-buffer staging copy.
+//
+// Both classes are plain single-threaded data structures; the socket core
+// provides locking.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace udtr::udt {
+
+class SndBuffer {
+ public:
+  // `capacity_bytes` bounds buffered-but-unacknowledged application data.
+  SndBuffer(int mss_bytes, std::size_t capacity_bytes);
+
+  // Appends application data, splitting it into <= MSS chunks.  Returns the
+  // number of bytes accepted (0 when full); never splits across add() calls.
+  std::size_t add(std::span<const std::uint8_t> data);
+
+  // Overlapped-send path (§4.7): registers the caller's memory as chunks
+  // WITHOUT copying.  The caller must keep `data` alive until every chunk is
+  // acknowledged (the socket's send_overlapped blocks until then).
+  std::size_t add_borrowed(std::span<const std::uint8_t> data);
+
+  // Chunk for the given absolute packet index; nullopt if out of range.
+  [[nodiscard]] std::optional<std::span<const std::uint8_t>> chunk(
+      std::int64_t index) const;
+
+  // Releases every chunk before `index` (cumulative acknowledgment).
+  void ack_up_to(std::int64_t index);
+
+  [[nodiscard]] std::int64_t first_index() const { return base_index_; }
+  [[nodiscard]] std::int64_t end_index() const {
+    return base_index_ + static_cast<std::int64_t>(chunks_.size());
+  }
+  [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+  [[nodiscard]] std::size_t free_bytes() const {
+    return capacity_bytes_ - bytes_;
+  }
+
+ private:
+  // A chunk either owns its bytes (copied in by add) or views caller memory
+  // (add_borrowed).
+  struct Chunk {
+    std::vector<std::uint8_t> owned;
+    std::span<const std::uint8_t> view;
+    [[nodiscard]] std::span<const std::uint8_t> bytes() const {
+      return owned.empty() ? view
+                           : std::span<const std::uint8_t>{owned.data(),
+                                                           owned.size()};
+    }
+  };
+
+  int mss_;
+  std::size_t capacity_bytes_;
+  std::int64_t base_index_ = 0;  // index of chunks_.front()
+  std::deque<Chunk> chunks_;
+  std::size_t bytes_ = 0;
+};
+
+class RcvBuffer {
+ public:
+  RcvBuffer(int mss_bytes, std::int32_t capacity_pkts);
+
+  // Stores the payload of packet `index`.  Returns false if the index falls
+  // outside the receivable window (behind the read cursor or beyond the
+  // ring) or is a duplicate.  In-order data destined for a registered user
+  // buffer bypasses the ring entirely.
+  bool store(std::int64_t index, std::span<const std::uint8_t> payload);
+
+  // Copies contiguous received data into `out`; returns bytes copied.
+  std::size_t read(std::span<std::uint8_t> out);
+
+  // --- overlapped IO ---------------------------------------------------
+  // Registers `buf` as the logical extension of the protocol buffer.  Any
+  // already-buffered contiguous data is drained into it immediately;
+  // subsequent in-order arrivals are written directly.  Returns bytes
+  // filled so far.
+  std::size_t register_user_buffer(std::span<std::uint8_t> buf);
+  // Bytes delivered into the registered buffer so far.
+  [[nodiscard]] std::size_t user_buffer_filled() const { return user_filled_; }
+  [[nodiscard]] bool user_buffer_done() const {
+    return user_buf_.empty() || user_filled_ == user_buf_.size();
+  }
+  // Unregisters (e.g. on timeout); returns bytes that were filled.
+  std::size_t release_user_buffer();
+
+  // First index not yet received (ACK position).
+  [[nodiscard]] std::int64_t contiguous_end() const { return contig_; }
+  // One past the largest index the ring can currently accept.
+  [[nodiscard]] std::int64_t window_end() const {
+    return read_index_ + capacity_;
+  }
+  // Free slots, in packets, for the flow-control feedback in ACKs.
+  [[nodiscard]] std::int32_t avail_packets() const;
+  // Contiguous bytes ready for read().
+  [[nodiscard]] std::size_t readable_bytes() const;
+
+ private:
+  struct Slot {
+    std::vector<std::uint8_t> data;
+    bool filled = false;
+  };
+  [[nodiscard]] Slot& slot(std::int64_t index) {
+    return slots_[static_cast<std::size_t>(index % capacity_)];
+  }
+  void advance_contig();
+  // Moves contiguous ring data into the user buffer while space remains.
+  void drain_into_user_buffer();
+
+  int mss_;
+  std::int64_t capacity_;
+  std::vector<Slot> slots_;
+  std::int64_t read_index_ = 0;   // ring index of the next byte to read
+  std::size_t read_offset_ = 0;   // offset within that slot
+  std::int64_t contig_ = 0;       // first missing index
+  std::int64_t max_index_ = 0;    // one past the largest stored index
+
+  std::span<std::uint8_t> user_buf_{};
+  std::size_t user_filled_ = 0;
+};
+
+}  // namespace udtr::udt

@@ -1,0 +1,145 @@
+#include "udt/channel.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace udtr::udt {
+
+sockaddr_in Endpoint::to_sockaddr() const {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(ip_host_order);
+  sa.sin_port = htons(port);
+  return sa;
+}
+
+Endpoint Endpoint::from_sockaddr(const sockaddr_in& sa) {
+  return Endpoint{ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port)};
+}
+
+std::optional<Endpoint> Endpoint::resolve(const std::string& host,
+                                          std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_DGRAM;
+  addrinfo* res = nullptr;
+  if (getaddrinfo(host.c_str(), nullptr, &hints, &res) != 0 ||
+      res == nullptr) {
+    return std::nullopt;
+  }
+  const auto* sa = reinterpret_cast<const sockaddr_in*>(res->ai_addr);
+  Endpoint ep{ntohl(sa->sin_addr.s_addr), port};
+  freeaddrinfo(res);
+  return ep;
+}
+
+UdpChannel::~UdpChannel() { close(); }
+
+UdpChannel::UdpChannel(UdpChannel&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      local_port_(other.local_port_),
+      loss_p_(other.loss_p_),
+      loss_min_bytes_(other.loss_min_bytes_),
+      loss_rng_(other.loss_rng_),
+      sent_(other.sent_),
+      dropped_(other.dropped_) {}
+
+UdpChannel& UdpChannel::operator=(UdpChannel&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    local_port_ = other.local_port_;
+    loss_p_ = other.loss_p_;
+    loss_min_bytes_ = other.loss_min_bytes_;
+    loss_rng_ = other.loss_rng_;
+    sent_ = other.sent_;
+    dropped_ = other.dropped_;
+  }
+  return *this;
+}
+
+bool UdpChannel::open(std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) return false;
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  sa.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+    close();
+    return false;
+  }
+  socklen_t len = sizeof sa;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    close();
+    return false;
+  }
+  local_port_ = ntohs(sa.sin_port);
+  return true;
+}
+
+void UdpChannel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    local_port_ = 0;
+  }
+}
+
+bool UdpChannel::set_recv_timeout(std::chrono::microseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000000);
+  tv.tv_usec = static_cast<suseconds_t>(timeout.count() % 1000000);
+  return ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) == 0;
+}
+
+bool UdpChannel::set_buffer_sizes(int snd_bytes, int rcv_bytes) {
+  const bool a = ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &snd_bytes,
+                              sizeof snd_bytes) == 0;
+  const bool b = ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcv_bytes,
+                              sizeof rcv_bytes) == 0;
+  return a && b;
+}
+
+void UdpChannel::set_loss_injection(double p, std::uint64_t seed,
+                                    std::size_t min_bytes) {
+  loss_p_ = p;
+  loss_rng_.seed(seed);
+  loss_min_bytes_ = min_bytes;
+}
+
+std::int64_t UdpChannel::send_to(const Endpoint& dst,
+                                 std::span<const std::uint8_t> data) {
+  ++sent_;
+  if (loss_p_ > 0.0 && data.size() > loss_min_bytes_ &&
+      std::uniform_real_distribution<double>{0.0, 1.0}(loss_rng_) < loss_p_) {
+    ++dropped_;
+    return static_cast<std::int64_t>(data.size());  // swallowed by the "net"
+  }
+  const sockaddr_in sa = dst.to_sockaddr();
+  return ::sendto(fd_, data.data(), data.size(), 0,
+                  reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+}
+
+std::int64_t UdpChannel::recv_from(Endpoint& src,
+                                   std::span<std::uint8_t> buf) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof sa;
+  const ssize_t n = ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                               reinterpret_cast<sockaddr*>(&sa), &len);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return 0;
+    return -1;
+  }
+  src = Endpoint::from_sockaddr(sa);
+  return n;
+}
+
+}  // namespace udtr::udt

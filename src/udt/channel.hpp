@@ -1,0 +1,73 @@
+// UDP channel: a thin RAII wrapper over a datagram socket with the
+// time-bounded receive the protocol core relies on (§4.8: the four timers
+// are checked after each bounded UDP receive call), plus an optional
+// deterministic loss injector for tests and experiments.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <span>
+#include <string>
+
+namespace udtr::udt {
+
+struct Endpoint {
+  std::uint32_t ip_host_order = 0;  // IPv4
+  std::uint16_t port = 0;
+
+  [[nodiscard]] sockaddr_in to_sockaddr() const;
+  [[nodiscard]] static Endpoint from_sockaddr(const sockaddr_in& sa);
+  [[nodiscard]] static std::optional<Endpoint> resolve(
+      const std::string& host, std::uint16_t port);
+  bool operator==(const Endpoint&) const = default;
+};
+
+class UdpChannel {
+ public:
+  UdpChannel() = default;
+  ~UdpChannel();
+  UdpChannel(const UdpChannel&) = delete;
+  UdpChannel& operator=(const UdpChannel&) = delete;
+  UdpChannel(UdpChannel&& other) noexcept;
+  UdpChannel& operator=(UdpChannel&& other) noexcept;
+
+  // Binds to 127.0.0.1:`port` (0 = ephemeral).  Returns false on error.
+  bool open(std::uint16_t port = 0);
+  void close();
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  [[nodiscard]] std::uint16_t local_port() const { return local_port_; }
+
+  // Sets the receive timeout used by recv_from (SO_RCVTIMEO).
+  bool set_recv_timeout(std::chrono::microseconds timeout);
+  // Enlarged socket buffers for high-rate transfer.
+  bool set_buffer_sizes(int snd_bytes, int rcv_bytes);
+
+  // Sends one datagram; returns bytes sent or -1.
+  std::int64_t send_to(const Endpoint& dst, std::span<const std::uint8_t> data);
+  // Receives one datagram; returns bytes received, 0 on timeout, -1 on error.
+  std::int64_t recv_from(Endpoint& src, std::span<std::uint8_t> buf);
+
+  // Deterministic outbound loss injection: each *data-carrying* datagram
+  // (larger than `min_bytes`) is dropped with probability `p`.  Control
+  // packets stay intact so experiments model forward-path data loss.
+  void set_loss_injection(double p, std::uint64_t seed,
+                          std::size_t min_bytes = 32);
+
+  [[nodiscard]] std::uint64_t datagrams_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t datagrams_dropped() const { return dropped_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t local_port_ = 0;
+  double loss_p_ = 0.0;
+  std::size_t loss_min_bytes_ = 32;
+  std::mt19937_64 loss_rng_{0};
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace udtr::udt

@@ -1,0 +1,253 @@
+#include "udt/loss_list.hpp"
+
+#include <algorithm>
+
+namespace udtr::udt {
+
+namespace {
+using udtr::SeqNo;
+}  // namespace
+
+LossList::LossList(std::int32_t capacity)
+    : nodes_(static_cast<std::size_t>(capacity)), capacity_(capacity) {}
+
+std::int32_t LossList::slot_of(SeqNo seq) const {
+  const std::int32_t off = SeqNo::offset(SeqNo{nodes_[head_].start}, seq);
+  return ((head_ + off) % capacity_ + capacity_) % capacity_;
+}
+
+void LossList::free_node(std::int32_t slot) {
+  nodes_[slot] = Node{};
+}
+
+std::int32_t LossList::event_count() const {
+  std::int32_t n = 0;
+  for (std::int32_t i = head_; i >= 0; i = nodes_[i].next) ++n;
+  return n;
+}
+
+void LossList::merge_forward(std::int32_t at) {
+  Node& cur = nodes_[at];
+  while (cur.next >= 0) {
+    Node& nx = nodes_[cur.next];
+    const SeqNo cur_end{cur.end};
+    const SeqNo nx_start{nx.start};
+    if (SeqNo::cmp(nx_start, cur_end.next()) > 0) break;  // disjoint
+    // Absorb nx; subtract the doubly counted overlap.
+    const SeqNo nx_end{nx.end};
+    if (SeqNo::cmp(nx_start, cur_end) <= 0) {
+      const SeqNo ov_end =
+          SeqNo::cmp(nx_end, cur_end) <= 0 ? nx_end : cur_end;
+      count_ -= SeqNo::length(nx_start, ov_end);
+    }
+    if (SeqNo::cmp(nx_end, cur_end) > 0) cur.end = nx_end.value();
+    const std::int32_t dead = cur.next;
+    cur.next = nx.next;
+    if (cur.next >= 0) nodes_[cur.next].prior = at;
+    free_node(dead);
+  }
+}
+
+std::int32_t LossList::insert(SeqNo first, SeqNo last) {
+  if (SeqNo::cmp(first, last) > 0) std::swap(first, last);
+  const std::int32_t span = SeqNo::length(first, last);
+  if (span > capacity_) return 0;  // cannot represent; caller sized the list
+  const std::int32_t before = count_;
+
+  if (head_ < 0) {
+    nodes_[0] = Node{first.value(), last.value(), -1, -1, now_us_, 1};
+    head_ = 0;
+    count_ = span;
+    return count_;
+  }
+
+  const SeqNo head_start{nodes_[head_].start};
+  if (SeqNo::cmp(first, head_start) < 0) {
+    const std::int32_t off = SeqNo::offset(head_start, first);
+    if (-off >= capacity_) return 0;  // beyond representable span
+    const std::int32_t loc = ((head_ + off) % capacity_ + capacity_) %
+                             capacity_;
+    nodes_[loc] = Node{first.value(), last.value(), head_, -1, now_us_, 1};
+    nodes_[head_].prior = loc;
+    head_ = loc;
+    count_ += span;
+    merge_forward(loc);
+    return count_ - before;
+  }
+
+  // Find the last node whose start precedes or equals `first`, starting
+  // from the last insertion point when possible (locality, §4.2).
+  std::int32_t p = head_;
+  if (last_insert_ >= 0 && nodes_[last_insert_].start >= 0 &&
+      SeqNo::cmp(SeqNo{nodes_[last_insert_].start}, first) <= 0) {
+    p = last_insert_;
+  }
+  while (nodes_[p].next >= 0 &&
+         SeqNo::cmp(SeqNo{nodes_[nodes_[p].next].start}, first) <= 0) {
+    p = nodes_[p].next;
+  }
+
+  Node& pn = nodes_[p];
+  const SeqNo p_end{pn.end};
+  if (SeqNo::cmp(first, p_end.next()) <= 0) {
+    // Overlaps or touches the predecessor: extend it.
+    if (SeqNo::cmp(last, p_end) > 0) {
+      count_ += SeqNo::length(p_end.next(), last);
+      pn.end = last.value();
+      merge_forward(p);
+    }
+    last_insert_ = p;
+  } else {
+    const std::int32_t off = SeqNo::offset(head_start, first);
+    if (off >= capacity_) return 0;
+    const std::int32_t loc = (head_ + off) % capacity_;
+    nodes_[loc] =
+        Node{first.value(), last.value(), pn.next, p, now_us_, 1};
+    if (pn.next >= 0) nodes_[pn.next].prior = loc;
+    pn.next = loc;
+    count_ += span;
+    merge_forward(loc);
+    last_insert_ = loc;
+  }
+  return count_ - before;
+}
+
+bool LossList::remove(SeqNo seq) {
+  if (head_ < 0) return false;
+  const SeqNo head_start{nodes_[head_].start};
+  if (SeqNo::cmp(seq, head_start) < 0) return false;
+  const std::int32_t off = SeqNo::offset(head_start, seq);
+  if (off >= capacity_) return false;
+
+  // Walk slots backward from the computed position to the nearest node at
+  // or before `seq`; slot order equals sequence order, so the first
+  // occupied slot is the candidate container.
+  std::int32_t t = (head_ + off) % capacity_;
+  std::int32_t steps = off;
+  while (nodes_[t].start < 0 && steps > 0) {
+    t = (t - 1 + capacity_) % capacity_;
+    --steps;
+  }
+  Node& n = nodes_[t];
+  if (n.start < 0) return false;
+  const SeqNo a{n.start};
+  const SeqNo b{n.end};
+  if (SeqNo::cmp(seq, a) < 0 || SeqNo::cmp(seq, b) > 0) return false;
+
+  last_insert_ = -1;  // slot graph is about to change
+  const std::int32_t nprior = n.prior;
+  const std::int32_t nnext = n.next;
+  if (a == b) {
+    if (nprior >= 0) nodes_[nprior].next = nnext;
+    if (nnext >= 0) nodes_[nnext].prior = nprior;
+    if (head_ == t) head_ = nnext;
+    free_node(t);
+  } else if (seq == a) {
+    // Trim the front: the node moves one slot forward to stay keyed on its
+    // (new) start sequence.
+    const std::int32_t u = (t + 1) % capacity_;
+    nodes_[u] = Node{a.next().value(), b.value(), nnext, nprior,
+                     n.last_feedback_us, n.feedback_count};
+    if (nprior >= 0) nodes_[nprior].next = u;
+    if (nnext >= 0) nodes_[nnext].prior = u;
+    if (head_ == t) head_ = u;
+    free_node(t);
+  } else if (seq == b) {
+    n.end = b.prev().value();
+  } else {
+    // Split: [a, seq-1] stays in place, [seq+1, b] gets a fresh slot.
+    const std::int32_t u = slot_of(seq.next());
+    nodes_[u] = Node{seq.next().value(), b.value(), nnext, t,
+                     n.last_feedback_us, n.feedback_count};
+    n.end = seq.prev().value();
+    if (nnext >= 0) nodes_[nnext].prior = u;
+    n.next = u;
+  }
+  --count_;
+  return true;
+}
+
+void LossList::remove_up_to(SeqNo seq) {
+  last_insert_ = -1;
+  while (head_ >= 0) {
+    Node& n = nodes_[head_];
+    const SeqNo a{n.start};
+    const SeqNo b{n.end};
+    if (SeqNo::cmp(b, seq) <= 0) {
+      count_ -= SeqNo::length(a, b);
+      const std::int32_t dead = head_;
+      head_ = n.next;
+      if (head_ >= 0) nodes_[head_].prior = -1;
+      free_node(dead);
+    } else if (SeqNo::cmp(a, seq) <= 0) {
+      // Straddles: keep [seq+1, b], re-keyed on its new start.
+      count_ -= SeqNo::length(a, seq);
+      const std::int32_t u = slot_of(seq.next());
+      const Node old = n;
+      free_node(head_);
+      nodes_[u] = Node{seq.next().value(), old.end, old.next, -1,
+                       old.last_feedback_us, old.feedback_count};
+      if (old.next >= 0) nodes_[old.next].prior = u;
+      head_ = u;
+      return;
+    } else {
+      return;
+    }
+  }
+}
+
+std::optional<SeqNo> LossList::pop_first() {
+  if (head_ < 0) return std::nullopt;
+  const SeqNo first{nodes_[head_].start};
+  remove(first);
+  return first;
+}
+
+std::optional<SeqNo> LossList::first() const {
+  if (head_ < 0) return std::nullopt;
+  return SeqNo{nodes_[head_].start};
+}
+
+bool LossList::contains(SeqNo seq) const {
+  if (head_ < 0) return false;
+  const SeqNo head_start{nodes_[head_].start};
+  if (SeqNo::cmp(seq, head_start) < 0) return false;
+  const std::int32_t off = SeqNo::offset(head_start, seq);
+  if (off >= capacity_) return false;
+  std::int32_t t = (head_ + off) % capacity_;
+  std::int32_t steps = off;
+  while (nodes_[t].start < 0 && steps > 0) {
+    t = (t - 1 + capacity_) % capacity_;
+    --steps;
+  }
+  const Node& n = nodes_[t];
+  if (n.start < 0) return false;
+  return SeqNo::cmp(seq, SeqNo{n.start}) >= 0 &&
+         SeqNo::cmp(seq, SeqNo{n.end}) <= 0;
+}
+
+void LossList::for_each(const std::function<void(const Range&)>& fn) const {
+  for (std::int32_t i = head_; i >= 0; i = nodes_[i].next) {
+    const Node& n = nodes_[i];
+    fn(Range{SeqNo{n.start}, SeqNo{n.end}, n.last_feedback_us,
+             n.feedback_count});
+  }
+}
+
+std::vector<std::pair<SeqNo, SeqNo>> LossList::collect_expired(
+    std::uint64_t now_us, std::uint64_t base_timeout_us) {
+  std::vector<std::pair<SeqNo, SeqNo>> out;
+  for (std::int32_t i = head_; i >= 0; i = nodes_[i].next) {
+    Node& n = nodes_[i];
+    const std::uint64_t factor =
+        1ULL << std::min<std::uint32_t>(n.feedback_count - 1, 4);
+    if (now_us - n.last_feedback_us >= factor * base_timeout_us) {
+      out.emplace_back(SeqNo{n.start}, SeqNo{n.end});
+      n.last_feedback_us = now_us;
+      ++n.feedback_count;
+    }
+  }
+  return out;
+}
+
+}  // namespace udtr::udt

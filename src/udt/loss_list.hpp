@@ -1,0 +1,98 @@
+// Loss information management (paper §4.2 + Appendix, Figs. 8/9/16/17).
+//
+// Losses are stored as compressed [start, end] interval nodes in a *static*
+// circular array: a node lives at the slot
+//     (head_slot + offset(head_start, node_start)) mod capacity
+// so the position of any sequence number is computed, not searched.  The
+// practical cost of insert/delete/query is proportional to the number of
+// *loss events*, not lost packets, and accesses touch near neighbours
+// (locality), which is what keeps each operation ~1 us in Fig. 9.
+//
+// The same structure serves both ends: the sender's list of packets to
+// retransmit (metadata unused) and the receiver's list of holes awaiting
+// retransmission (per-node NAK feedback timestamp + count drive the
+// increasing re-NAK interval of §3.5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/seqno.hpp"
+
+namespace udtr::udt {
+
+class LossList {
+ public:
+  // `capacity` bounds the sequence span the list can represent; size it to
+  // the maximum flight window.  It is NOT a cap on loss events.
+  explicit LossList(std::int32_t capacity);
+
+  // Inserts the inclusive range [first, last]; overlapping and adjacent
+  // ranges coalesce.  Returns the number of sequence numbers newly added.
+  std::int32_t insert(udtr::SeqNo first, udtr::SeqNo last);
+  std::int32_t insert(udtr::SeqNo seq) { return insert(seq, seq); }
+
+  // Removes one sequence number (a retransmission arrived), splitting its
+  // node if needed.  Returns true if it was present.
+  bool remove(udtr::SeqNo seq);
+
+  // Removes every sequence number up to and including `seq` (ACK advanced).
+  void remove_up_to(udtr::SeqNo seq);
+
+  // Removes and returns the smallest stored sequence number.
+  std::optional<udtr::SeqNo> pop_first();
+
+  [[nodiscard]] std::optional<udtr::SeqNo> first() const;
+  [[nodiscard]] bool contains(udtr::SeqNo seq) const;
+  [[nodiscard]] bool empty() const { return head_ < 0; }
+  // Total lost packets currently stored.
+  [[nodiscard]] std::int32_t packet_count() const { return count_; }
+  // Number of interval nodes (loss events).
+  [[nodiscard]] std::int32_t event_count() const;
+
+  struct Range {
+    udtr::SeqNo first;
+    udtr::SeqNo last;
+    std::uint64_t last_feedback_us;
+    std::uint32_t feedback_count;
+  };
+
+  // Iterates ranges in sequence order.
+  void for_each(const std::function<void(const Range&)>& fn) const;
+
+  // Collects ranges whose feedback timer expired at `now_us` given the
+  // backoff rule timeout(count) = 2^min(count-1, 4) * base_us, stamping
+  // them as re-reported.  Fresh inserts start with count = 1 and
+  // last_feedback = insert time (the immediate NAK).
+  [[nodiscard]] std::vector<std::pair<udtr::SeqNo, udtr::SeqNo>>
+  collect_expired(std::uint64_t now_us, std::uint64_t base_timeout_us);
+
+  // Sets the clock used to stamp fresh inserts (receiver side).
+  void set_now_us(std::uint64_t now_us) { now_us_ = now_us; }
+
+ private:
+  struct Node {
+    std::int32_t start = -1;  // -1 marks a free slot
+    std::int32_t end = -1;
+    std::int32_t next = -1;   // slot index of the next node, -1 at tail
+    std::int32_t prior = -1;  // slot index of the previous node, -1 at head
+    std::uint64_t last_feedback_us = 0;
+    std::uint32_t feedback_count = 1;
+  };
+
+  [[nodiscard]] std::int32_t slot_of(udtr::SeqNo seq) const;
+  // Coalesces `at` with successors that overlap or touch it.
+  void merge_forward(std::int32_t at);
+  void free_node(std::int32_t slot);
+
+  std::vector<Node> nodes_;
+  std::int32_t capacity_;
+  std::int32_t head_ = -1;        // slot of the first (smallest) node
+  std::int32_t count_ = 0;        // total packets stored
+  std::int32_t last_insert_ = -1; // locality hint for predecessor search
+  std::uint64_t now_us_ = 0;
+};
+
+}  // namespace udtr::udt

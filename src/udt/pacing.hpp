@@ -1,0 +1,60 @@
+// High-precision pacing timer (paper §4.5).
+//
+// General-purpose OS sleep granularity (~1 ms historically, ~50 us today) is
+// far too coarse to space packets microseconds apart, and a per-burst
+// counter makes rate control meaningless at high speed.  UDT's answer is a
+// hybrid: sleep for the bulk of the interval when it is long enough for the
+// OS to honour, then busy-wait on the monotonic clock for the remainder.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+namespace udtr::udt {
+
+class Pacer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Intervals below this are pure spin; above it we sleep for all but the
+  // spin margin.  50 us is a conservative bound on scheduler wakeup jitter.
+  static constexpr std::chrono::microseconds kSpinThreshold{50};
+
+  Pacer() : next_(Clock::now()) {}
+
+  // Blocks until the scheduled send instant, then advances the schedule by
+  // `period`.  If we are already late, sending proceeds immediately and the
+  // schedule re-anchors at now (no packet bursts to "catch up" — that would
+  // defeat rate control, §4.5).
+  void pace(std::chrono::nanoseconds period) {
+    const auto now = Clock::now();
+    if (next_ <= now) {
+      next_ = now + period;
+      return;
+    }
+    wait_until(next_);
+    next_ += period;
+  }
+
+  // Re-anchors the schedule (e.g. after a freeze or an idle stretch).
+  void reset() { next_ = Clock::now(); }
+  void delay_until(Clock::time_point t) {
+    if (t > next_) next_ = t;
+  }
+  [[nodiscard]] Clock::time_point next_send() const { return next_; }
+
+  static void wait_until(Clock::time_point t) {
+    auto now = Clock::now();
+    if (t - now > kSpinThreshold) {
+      std::this_thread::sleep_until(t - kSpinThreshold);
+    }
+    while (Clock::now() < t) {
+      // busy wait: sub-threshold precision is unavailable from the scheduler
+    }
+  }
+
+ private:
+  Clock::time_point next_;
+};
+
+}  // namespace udtr::udt

@@ -1,0 +1,39 @@
+#include "udt/packet.hpp"
+
+namespace udtr::udt {
+
+std::vector<std::uint32_t> encode_loss_ranges(
+    std::span<const std::pair<udtr::SeqNo, udtr::SeqNo>> ranges) {
+  std::vector<std::uint32_t> words;
+  words.reserve(ranges.size() * 2);
+  for (const auto& [first, last] : ranges) {
+    if (first == last) {
+      words.push_back(static_cast<std::uint32_t>(first.value()));
+    } else {
+      words.push_back(static_cast<std::uint32_t>(first.value()) | 0x80000000U);
+      words.push_back(static_cast<std::uint32_t>(last.value()));
+    }
+  }
+  return words;
+}
+
+std::vector<std::pair<udtr::SeqNo, udtr::SeqNo>> decode_loss_ranges(
+    std::span<const std::uint32_t> words) {
+  std::vector<std::pair<udtr::SeqNo, udtr::SeqNo>> ranges;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const std::uint32_t w = words[i];
+    const udtr::SeqNo first{static_cast<std::int32_t>(w & 0x7FFFFFFFU)};
+    if ((w & 0x80000000U) != 0) {
+      if (i + 1 >= words.size()) break;  // truncated range: drop it
+      const udtr::SeqNo last{
+          static_cast<std::int32_t>(words[i + 1] & 0x7FFFFFFFU)};
+      ranges.emplace_back(first, last);
+      ++i;
+    } else {
+      ranges.emplace_back(first, first);
+    }
+  }
+  return ranges;
+}
+
+}  // namespace udtr::udt

@@ -1,0 +1,154 @@
+// UDT wire format (paper §3.1, §4.8 and the Appendix's NAK compression).
+//
+// Every packet starts with a 16-byte header of four 32-bit big-endian words.
+// Data packet:
+//   word0:  bit31 = 0 | 31-bit sequence number
+//   word1:  message/boundary flags (unused in stream mode, kept for layout)
+//   word2:  timestamp (us since connection start)
+//   word3:  destination socket id
+// Control packet:
+//   word0:  bit31 = 1 | 15-bit type | 16-bit reserved
+//   word1:  additional info (ACK id for ACK/ACK2)
+//   word2:  timestamp
+//   word3:  destination socket id
+//   payload: type-specific array of 32-bit words.
+//
+// The NAK payload uses the Appendix encoding: a sequence number with bit 31
+// set opens a range that the following word closes; a clear bit 31 reports a
+// single loss.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/seqno.hpp"
+
+namespace udtr::udt {
+
+inline constexpr std::size_t kHeaderBytes = 16;
+
+enum class CtrlType : std::uint16_t {
+  kHandshake = 0,
+  kKeepAlive = 1,
+  kAck = 2,
+  kNak = 3,
+  kShutdown = 5,
+  kAck2 = 6,
+};
+
+// Host/network conversion helpers (UDT is big-endian on the wire).
+[[nodiscard]] inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+struct DataHeader {
+  udtr::SeqNo seq;
+  std::uint32_t timestamp_us = 0;
+  std::uint32_t dst_socket = 0;
+};
+
+struct CtrlHeader {
+  CtrlType type = CtrlType::kKeepAlive;
+  std::uint32_t info = 0;  // ACK id, etc.
+  std::uint32_t timestamp_us = 0;
+  std::uint32_t dst_socket = 0;
+};
+
+// ACK control payload (7 words, mirrors UDT's "full" ACK).
+struct AckPayload {
+  udtr::SeqNo ack_seq;            // all packets before this were received
+  std::uint32_t rtt_us = 0;
+  std::uint32_t rtt_var_us = 0;
+  std::uint32_t avail_buffer_pkts = 0;  // flow-control feedback
+  std::uint32_t recv_rate_pps = 0;      // arrival speed (median filtered)
+  std::uint32_t capacity_pps = 0;       // RBPP link capacity
+  static constexpr std::size_t kWords = 6;
+};
+
+// Handshake payload.
+struct HandshakePayload {
+  std::uint32_t version = 4;
+  std::uint32_t initial_seq = 0;
+  std::uint32_t mss_bytes = 1500;
+  std::uint32_t flight_window = 25600;
+  std::uint32_t request_type = 1;  // 1 = connect request, -1/0 = response
+  std::uint32_t socket_id = 0;
+  std::uint32_t port = 0;  // redirect port in responses
+  static constexpr std::size_t kWords = 7;
+};
+
+[[nodiscard]] inline bool is_control(std::span<const std::uint8_t> pkt) {
+  return pkt.size() >= kHeaderBytes && (pkt[0] & 0x80U) != 0;
+}
+
+// --- data packets -----------------------------------------------------------
+
+inline void write_data_header(std::span<std::uint8_t> buf,
+                              const DataHeader& h) {
+  store_be32(buf.data(), static_cast<std::uint32_t>(h.seq.value()));
+  store_be32(buf.data() + 4, 0);
+  store_be32(buf.data() + 8, h.timestamp_us);
+  store_be32(buf.data() + 12, h.dst_socket);
+}
+
+[[nodiscard]] inline DataHeader read_data_header(
+    std::span<const std::uint8_t> buf) {
+  DataHeader h;
+  h.seq = udtr::SeqNo{static_cast<std::int32_t>(load_be32(buf.data()))};
+  h.timestamp_us = load_be32(buf.data() + 8);
+  h.dst_socket = load_be32(buf.data() + 12);
+  return h;
+}
+
+// --- control packets --------------------------------------------------------
+
+inline void write_ctrl_header(std::span<std::uint8_t> buf,
+                              const CtrlHeader& h) {
+  const auto word0 = 0x80000000U |
+                     (static_cast<std::uint32_t>(h.type) << 16);
+  store_be32(buf.data(), word0);
+  store_be32(buf.data() + 4, h.info);
+  store_be32(buf.data() + 8, h.timestamp_us);
+  store_be32(buf.data() + 12, h.dst_socket);
+}
+
+[[nodiscard]] inline CtrlHeader read_ctrl_header(
+    std::span<const std::uint8_t> buf) {
+  CtrlHeader h;
+  h.type = static_cast<CtrlType>((load_be32(buf.data()) >> 16) & 0x7FFFU);
+  h.info = load_be32(buf.data() + 4);
+  h.timestamp_us = load_be32(buf.data() + 8);
+  h.dst_socket = load_be32(buf.data() + 12);
+  return h;
+}
+
+inline std::size_t write_words(std::span<std::uint8_t> buf,
+                               std::span<const std::uint32_t> words) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    store_be32(buf.data() + 4 * i, words[i]);
+  }
+  return 4 * words.size();
+}
+
+// --- NAK loss-list compression (Appendix) -----------------------------------
+
+// Encodes inclusive loss ranges; a range [a, b] with a != b becomes two
+// words (a | bit31, b); a single loss becomes one word.
+[[nodiscard]] std::vector<std::uint32_t> encode_loss_ranges(
+    std::span<const std::pair<udtr::SeqNo, udtr::SeqNo>> ranges);
+
+// Decodes a NAK payload back into inclusive ranges.  Malformed trailing
+// range-opens are ignored.
+[[nodiscard]] std::vector<std::pair<udtr::SeqNo, udtr::SeqNo>>
+decode_loss_ranges(std::span<const std::uint32_t> words);
+
+}  // namespace udtr::udt

@@ -1,0 +1,2 @@
+// Intentionally empty: Profiler is header-only; this TU anchors the target.
+#include "udt/profiler.hpp"

@@ -1,0 +1,112 @@
+// Per-functional-unit CPU-time accounting (the VTune substitute for
+// Table 3).  Each protocol function wraps its body in a ScopedTimer; the
+// report gives the share of total instrumented time per unit, which is what
+// the paper's table compares (UDP writing vs timing vs packing vs ...).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace udtr::udt {
+
+enum class ProfUnit : std::size_t {
+  kUdpIo = 0,       // sendto / recvfrom system calls
+  kTiming,          // pacing waits (busy wait + sleep)
+  kPacking,         // header serialization + payload copy out of SndBuffer
+  kUnpacking,       // header parse + payload copy into RcvBuffer
+  kCtrlProcessing,  // ACK/ACK2/NAK handling
+  kLossProcessing,  // loss-list insert/remove
+  kRateMeasure,     // bandwidth / RTT / arrival-speed bookkeeping
+  kAppInteraction,  // send()/recv() copies and wakeups
+  kCount,
+};
+
+[[nodiscard]] constexpr std::string_view prof_unit_name(ProfUnit u) {
+  switch (u) {
+    case ProfUnit::kUdpIo: return "udp-io";
+    case ProfUnit::kTiming: return "timing";
+    case ProfUnit::kPacking: return "packing";
+    case ProfUnit::kUnpacking: return "unpacking";
+    case ProfUnit::kCtrlProcessing: return "ctrl-processing";
+    case ProfUnit::kLossProcessing: return "loss-processing";
+    case ProfUnit::kRateMeasure: return "rate-measurement";
+    case ProfUnit::kAppInteraction: return "app-interaction";
+    case ProfUnit::kCount: break;
+  }
+  return "?";
+}
+
+class Profiler {
+ public:
+  void add(ProfUnit unit, std::uint64_t ns) {
+    cells_[static_cast<std::size_t>(unit)].fetch_add(
+        ns, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t nanos(ProfUnit unit) const {
+    return cells_[static_cast<std::size_t>(unit)].load(
+        std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t total_nanos() const {
+    std::uint64_t t = 0;
+    for (const auto& c : cells_) t += c.load(std::memory_order_relaxed);
+    return t;
+  }
+
+  struct Share {
+    ProfUnit unit;
+    std::uint64_t nanos;
+    double percent;
+  };
+
+  [[nodiscard]] std::vector<Share> report() const {
+    const double total = static_cast<double>(total_nanos());
+    std::vector<Share> out;
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      const std::uint64_t ns = cells_[i].load(std::memory_order_relaxed);
+      out.push_back({static_cast<ProfUnit>(i), ns,
+                     total > 0 ? 100.0 * ns / total : 0.0});
+    }
+    return out;
+  }
+
+  void reset() {
+    for (auto& c : cells_) c.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>,
+             static_cast<std::size_t>(ProfUnit::kCount)>
+      cells_{};
+};
+
+// RAII span around one instrumented section.  Disabled profilers (nullptr)
+// cost a single branch.
+class ScopedTimer {
+ public:
+  ScopedTimer(Profiler* prof, ProfUnit unit) : prof_(prof), unit_(unit) {
+    if (prof_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (prof_ != nullptr) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      prof_->add(unit_, static_cast<std::uint64_t>(ns));
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Profiler* prof_;
+  ProfUnit unit_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace udtr::udt

@@ -1,0 +1,819 @@
+#include "udt/socket.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <random>
+
+namespace udtr::udt {
+
+namespace {
+
+constexpr std::uint16_t kDefaultIsn = 0;
+constexpr int kHandshakeRetries = 50;
+constexpr auto kHandshakeRetryGap = std::chrono::milliseconds{100};
+// Cap on loss ranges per NAK so the packet stays inside one datagram.
+constexpr std::size_t kMaxNakRanges = 128;
+
+std::uint32_t random_socket_id() {
+  static std::atomic<std::uint32_t> counter{1};
+  return counter.fetch_add(1) * 2654435761U % 0x7FFFFFFFU + 1;
+}
+
+}  // namespace
+
+Socket::Socket(SocketOptions opts)
+    : opts_(opts),
+      snd_buffer_(opts.mss_bytes, opts.snd_buffer_bytes),
+      snd_loss_(std::max<std::int32_t>(2 * opts.rcv_buffer_pkts, 1 << 16)),
+      cc_([&] {
+        cc::UdtCcConfig c;
+        c.mss_bytes = opts.mss_bytes + static_cast<int>(kHeaderBytes);
+        c.syn_s = opts.syn_s;
+        c.window_control = opts.window_control;
+        c.max_window = opts.window_control
+                           ? static_cast<double>(opts.rcv_buffer_pkts)
+                           : 1e8;
+        c.seed = random_socket_id();  // per-connection decrease spacing
+        return c;
+      }()),
+      rcv_buffer_(opts.mss_bytes, opts.rcv_buffer_pkts),
+      rcv_loss_(std::max<std::int32_t>(2 * opts.rcv_buffer_pkts, 1 << 16)) {
+  isn_ = opts.initial_seq >= 0 ? opts.initial_seq : kDefaultIsn;
+  socket_id_ = random_socket_id();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+Socket::~Socket() { close(); }
+
+std::uint64_t Socket::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+// ------------------------------------------------------------ handshake ---
+
+std::unique_ptr<Socket> Socket::listen(std::uint16_t port,
+                                       SocketOptions opts) {
+  auto s = std::unique_ptr<Socket>(new Socket(opts));
+  s->mode_ = Mode::kListener;
+  if (!s->channel_.open(port)) return nullptr;
+  s->channel_.set_recv_timeout(std::chrono::milliseconds{100});
+  return s;
+}
+
+namespace {
+// Handshake payload <-> words.
+std::array<std::uint32_t, HandshakePayload::kWords> hs_to_words(
+    const HandshakePayload& h) {
+  return {h.version,      h.initial_seq, h.mss_bytes, h.flight_window,
+          h.request_type, h.socket_id,   h.port};
+}
+HandshakePayload hs_from_words(std::span<const std::uint8_t> payload) {
+  HandshakePayload h;
+  if (payload.size() < 4 * HandshakePayload::kWords) return h;
+  h.version = load_be32(payload.data());
+  h.initial_seq = load_be32(payload.data() + 4);
+  h.mss_bytes = load_be32(payload.data() + 8);
+  h.flight_window = load_be32(payload.data() + 12);
+  h.request_type = load_be32(payload.data() + 16);
+  h.socket_id = load_be32(payload.data() + 20);
+  h.port = load_be32(payload.data() + 24);
+  return h;
+}
+
+void send_handshake(UdpChannel& ch, const Endpoint& to, std::uint32_t dst_id,
+                    const HandshakePayload& h) {
+  std::array<std::uint8_t, kHeaderBytes + 4 * HandshakePayload::kWords> buf{};
+  CtrlHeader hdr;
+  hdr.type = CtrlType::kHandshake;
+  hdr.dst_socket = dst_id;
+  write_ctrl_header(buf, hdr);
+  const auto words = hs_to_words(h);
+  write_words(std::span{buf}.subspan(kHeaderBytes), words);
+  ch.send_to(to, buf);
+}
+}  // namespace
+
+std::unique_ptr<Socket> Socket::accept(std::chrono::milliseconds timeout) {
+  if (mode_ != Mode::kListener) return nullptr;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::vector<std::uint8_t> buf(2048);
+  while (std::chrono::steady_clock::now() < deadline) {
+    Endpoint src;
+    const std::int64_t n = channel_.recv_from(src, buf);
+    if (n < static_cast<std::int64_t>(kHeaderBytes)) continue;
+    std::span<const std::uint8_t> pkt{buf.data(),
+                                      static_cast<std::size_t>(n)};
+    if (!is_control(pkt)) continue;
+    const CtrlHeader hdr = read_ctrl_header(pkt);
+    if (hdr.type != CtrlType::kHandshake) continue;
+    const HandshakePayload req = hs_from_words(pkt.subspan(kHeaderBytes));
+    if (req.request_type != 1) continue;
+
+    // A retransmitted request (our earlier response was lost or is still in
+    // flight) gets the recorded response again instead of a second socket.
+    const auto key = std::pair{src.ip_host_order,
+                               (std::uint32_t{src.port} << 16) | req.socket_id};
+    if (auto it = handled_.find(key); it != handled_.end()) {
+      send_handshake(channel_, src, req.socket_id, it->second);
+      continue;
+    }
+
+    SocketOptions child_opts = opts_;
+    child_opts.mss_bytes = static_cast<int>(
+        std::min<std::uint32_t>(req.mss_bytes,
+                                static_cast<std::uint32_t>(opts_.mss_bytes)));
+    child_opts.initial_seq = req.initial_seq;
+    auto child = std::unique_ptr<Socket>(new Socket(child_opts));
+    if (!child->channel_.open(0)) return nullptr;
+    child->peer_ = src;
+    child->peer_socket_id_ = req.socket_id;
+
+    HandshakePayload resp;
+    resp.request_type = 0;
+    resp.initial_seq = req.initial_seq;
+    resp.mss_bytes = static_cast<std::uint32_t>(child_opts.mss_bytes);
+    resp.socket_id = child->socket_id_;
+    resp.port = child->channel_.local_port();
+    // The response leaves from the child's channel so the client learns the
+    // dedicated endpoint from the datagram's source address (and from the
+    // explicit port field, which duplicate-response handling relies on).
+    send_handshake(child->channel_, src, req.socket_id, resp);
+    handled_.emplace(key, resp);
+    child->start_threads();
+    return child;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Socket> Socket::connect(const std::string& host,
+                                        std::uint16_t port,
+                                        SocketOptions opts) {
+  const auto server = Endpoint::resolve(host, port);
+  if (!server) return nullptr;
+  auto s = std::unique_ptr<Socket>(new Socket(opts));
+  if (!s->channel_.open(0)) return nullptr;
+  s->channel_.set_recv_timeout(kHandshakeRetryGap);
+
+  HandshakePayload req;
+  req.request_type = 1;
+  req.initial_seq = static_cast<std::uint32_t>(s->isn_);
+  req.mss_bytes = static_cast<std::uint32_t>(opts.mss_bytes);
+  req.socket_id = s->socket_id_;
+
+  std::vector<std::uint8_t> buf(2048);
+  for (int attempt = 0; attempt < kHandshakeRetries; ++attempt) {
+    send_handshake(s->channel_, *server, 0, req);
+    Endpoint src;
+    const std::int64_t n = s->channel_.recv_from(src, buf);
+    if (n < static_cast<std::int64_t>(kHeaderBytes)) continue;
+    std::span<const std::uint8_t> pkt{buf.data(),
+                                      static_cast<std::size_t>(n)};
+    if (!is_control(pkt)) continue;
+    const CtrlHeader hdr = read_ctrl_header(pkt);
+    if (hdr.type != CtrlType::kHandshake) continue;
+    const HandshakePayload resp = hs_from_words(pkt.subspan(kHeaderBytes));
+    if (resp.request_type != 0) continue;
+    // The dedicated endpoint: the advertised port on the server's address
+    // (the response may come from the listener when it was a re-reply).
+    s->peer_ = Endpoint{server->ip_host_order,
+                        static_cast<std::uint16_t>(resp.port)};
+    s->peer_socket_id_ = resp.socket_id;
+    if (static_cast<int>(resp.mss_bytes) != s->opts_.mss_bytes) {
+      // The negotiated MSS is the smaller of the two proposals; rebuild the
+      // (still empty) send buffer so chunks fit the agreed packet size.
+      s->opts_.mss_bytes = static_cast<int>(resp.mss_bytes);
+      s->snd_buffer_ = SndBuffer(s->opts_.mss_bytes, opts.snd_buffer_bytes);
+    }
+    s->start_threads();
+    return s;
+  }
+  return nullptr;
+}
+
+void Socket::start_threads() {
+  channel_.set_recv_timeout(std::chrono::microseconds{
+      static_cast<std::int64_t>(opts_.syn_s * 1e6 / 2)});
+  channel_.set_buffer_sizes(4 << 20, 8 << 20);
+  if (opts_.loss_injection > 0.0) {
+    channel_.set_loss_injection(opts_.loss_injection, opts_.loss_seed,
+                                kHeaderBytes + 16);
+  }
+  epoch_ = std::chrono::steady_clock::now();
+  last_ctrl_us_ = now_us();
+  running_ = true;
+  snd_thread_ = std::thread([this] { sender_loop(); });
+  rcv_thread_ = std::thread([this] { receiver_loop(); });
+}
+
+// ---------------------------------------------------------- sender loop ---
+
+void Socket::sender_loop() {
+  std::vector<std::uint8_t> wire(
+      static_cast<std::size_t>(opts_.mss_bytes) + kHeaderBytes);
+  Profiler* prof = opts_.enable_profiler ? &profiler_ : nullptr;
+
+  const auto has_work = [this] {
+    if (!snd_loss_.empty()) return true;
+    const double wnd = cc_.window_packets();
+    return snd_next_ < snd_buffer_.end_index() &&
+           static_cast<double>(snd_next_ - snd_una_) < wnd;
+  };
+
+  while (running_) {
+    std::int64_t index = -1;
+    bool retransmit = false;
+    std::size_t payload_len = 0;
+    bool pair_head = false;
+    {
+      std::unique_lock lk{state_mu_};
+      if (!snd_cv_.wait_for(lk, std::chrono::milliseconds{10},
+                            [&] { return !running_ || has_work(); })) {
+        continue;
+      }
+      if (!running_) break;
+
+      const double now = now_s();
+      cc_.set_now(now);
+      if (cc_.frozen_until(now)) {
+        lk.unlock();
+        std::this_thread::sleep_for(std::chrono::milliseconds{1});
+        continue;
+      }
+
+      if (auto lost = snd_loss_.pop_first()) {
+        index = index_of(*lost, snd_una_);
+        retransmit = true;
+        if (index < snd_una_ || index >= snd_next_) continue;  // stale
+      } else {
+        index = snd_next_;
+      }
+
+      const auto chunk = snd_buffer_.chunk(index);
+      if (!chunk) continue;  // already acknowledged (stale loss entry)
+      {
+        ScopedTimer t{prof, ProfUnit::kPacking};
+        DataHeader h;
+        h.seq = seq_of(index);
+        h.timestamp_us = static_cast<std::uint32_t>(now_us());
+        h.dst_socket = peer_socket_id_;
+        write_data_header(wire, h);
+        std::memcpy(wire.data() + kHeaderBytes, chunk->data(),
+                    chunk->size());
+        payload_len = chunk->size();
+      }
+      if (!retransmit) {
+        snd_next_ = index + 1;
+        ++stats_.data_packets_sent;
+        pair_head = opts_.probe_interval > 0 &&
+                    index % opts_.probe_interval == 0 &&
+                    snd_next_ < snd_buffer_.end_index();
+      } else {
+        ++stats_.retransmitted;
+      }
+    }
+
+    // Pace outside the lock; the guard in §4.4 lives inside Pacer (a late
+    // schedule re-anchors instead of bursting).
+    double period = cc_.pkt_send_period_s();
+    if (opts_.max_bandwidth_mbps > 0.0) {
+      const double min_period = (opts_.mss_bytes + kHeaderBytes) * 8.0 /
+                                (opts_.max_bandwidth_mbps * 1e6);
+      period = std::max(period, min_period);
+    }
+    {
+      ScopedTimer t{prof, ProfUnit::kTiming};
+      pacer_.pace(std::chrono::nanoseconds{
+          static_cast<std::int64_t>(period * 1e9)});
+    }
+    {
+      ScopedTimer t{prof, ProfUnit::kUdpIo};
+      channel_.send_to(peer_, std::span{wire.data(),
+                                        kHeaderBytes + payload_len});
+    }
+
+    if (pair_head) {
+      // RBPP probe: the successor leaves back to back with no pacing gap.
+      std::unique_lock lk{state_mu_};
+      const std::int64_t tail = snd_next_;
+      const auto chunk = snd_buffer_.chunk(tail);
+      const double wnd = cc_.window_packets();
+      if (chunk && static_cast<double>(tail - snd_una_) < wnd) {
+        DataHeader h;
+        h.seq = seq_of(tail);
+        h.timestamp_us = static_cast<std::uint32_t>(now_us());
+        h.dst_socket = peer_socket_id_;
+        write_data_header(wire, h);
+        std::memcpy(wire.data() + kHeaderBytes, chunk->data(),
+                    chunk->size());
+        const std::size_t len = chunk->size();
+        snd_next_ = tail + 1;
+        ++stats_.data_packets_sent;
+        lk.unlock();
+        ScopedTimer t{prof, ProfUnit::kUdpIo};
+        channel_.send_to(peer_, std::span{wire.data(), kHeaderBytes + len});
+        pacer_.pace(std::chrono::nanoseconds{
+            static_cast<std::int64_t>(period * 1e9)});
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------- receiver loop ---
+
+void Socket::receiver_loop() {
+  std::vector<std::uint8_t> buf(
+      static_cast<std::size_t>(opts_.mss_bytes) + kHeaderBytes + 64);
+  Profiler* prof = opts_.enable_profiler ? &profiler_ : nullptr;
+
+  while (running_) {
+    Endpoint src;
+    std::int64_t n;
+    {
+      ScopedTimer t{prof, ProfUnit::kUdpIo};
+      n = channel_.recv_from(src, buf);
+    }
+    std::unique_lock lk{state_mu_};
+    if (n >= static_cast<std::int64_t>(kHeaderBytes)) {
+      std::span<const std::uint8_t> pkt{buf.data(),
+                                        static_cast<std::size_t>(n)};
+      if (is_control(pkt)) {
+        handle_ctrl(pkt);
+      } else {
+        handle_data(pkt);
+      }
+    }
+    // §4.8: the four low-precision timers are checked after every
+    // time-bounded receive call.
+    check_timers();
+  }
+}
+
+void Socket::handle_data(std::span<const std::uint8_t> pkt) {
+  Profiler* prof = opts_.enable_profiler ? &profiler_ : nullptr;
+  const DataHeader h = read_data_header(pkt);
+  const std::uint64_t now = now_us();
+  const std::int64_t index = index_of(h.seq, std::max<std::int64_t>(lrsn_, 0));
+  if (index < 0) return;
+  if (index >= rcv_buffer_.window_end()) return;  // no room: like a net drop
+  ++stats_.data_packets_recv;
+
+  {
+    ScopedTimer t{prof, ProfUnit::kRateMeasure};
+    const int probe = opts_.probe_interval;
+    if (any_arrival_) {
+      speed_.add_interval(static_cast<double>(now - last_arrival_us_) * 1e-6);
+      // RBPP pair: consecutive arrivals of indices (16k, 16k+1).
+      if (probe > 0 && index == probe_head_index_ + 1 &&
+          index % probe == 1) {
+        pair_.add_dispersion(static_cast<double>(now - probe_head_us_) *
+                             1e-6);
+      }
+    }
+    last_arrival_us_ = now;
+    any_arrival_ = true;
+    if (probe > 0 && index % probe == 0) {
+      probe_head_index_ = index;
+      probe_head_us_ = now;
+    } else {
+      probe_head_index_ = -2;
+    }
+  }
+
+  if (index > lrsn_) {
+    if (index > lrsn_ + 1) {
+      // Gap detected: record and NAK immediately (§3.1).
+      ScopedTimer t{prof, ProfUnit::kLossProcessing};
+      rcv_loss_.set_now_us(now);
+      rcv_loss_.insert(seq_of(lrsn_ + 1), seq_of(index - 1));
+      const std::pair<udtr::SeqNo, udtr::SeqNo> range{seq_of(lrsn_ + 1),
+                                                      seq_of(index - 1)};
+      send_nak({&range, 1});
+    }
+    lrsn_ = index;
+  } else {
+    ScopedTimer t{prof, ProfUnit::kLossProcessing};
+    rcv_loss_.remove(h.seq);
+  }
+
+  {
+    ScopedTimer t{prof, ProfUnit::kUnpacking};
+    rcv_buffer_.store(index, pkt.subspan(kHeaderBytes));
+  }
+  data_since_ack_ = true;
+  app_rcv_cv_.notify_all();
+}
+
+void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
+  Profiler* prof = opts_.enable_profiler ? &profiler_ : nullptr;
+  ScopedTimer ctrl_timer{prof, ProfUnit::kCtrlProcessing};
+  const CtrlHeader hdr = read_ctrl_header(pkt);
+  const std::uint64_t now = now_us();
+  const double now_sec = static_cast<double>(now) * 1e-6;
+  cc_.set_now(now_sec);
+
+  switch (hdr.type) {
+    case CtrlType::kAck: {
+      ++stats_.acks_recv;
+      last_ctrl_us_ = now;
+      consecutive_timeouts_ = 0;
+      // Echo ACK2 so the receiver can measure RTT.
+      send_ctrl_simple(CtrlType::kAck2, hdr.info);
+
+      const auto body = pkt.subspan(kHeaderBytes);
+      if (body.size() < 4 * AckPayload::kWords) break;
+      AckPayload ack;
+      ack.ack_seq = udtr::SeqNo{
+          static_cast<std::int32_t>(load_be32(body.data()))};
+      ack.rtt_us = load_be32(body.data() + 4);
+      ack.rtt_var_us = load_be32(body.data() + 8);
+      ack.avail_buffer_pkts = load_be32(body.data() + 12);
+      ack.recv_rate_pps = load_be32(body.data() + 16);
+      ack.capacity_pps = load_be32(body.data() + 20);
+
+      const std::int64_t ack_index = index_of(ack.ack_seq, snd_una_);
+      if (ack_index > snd_una_ && ack_index <= snd_next_) {
+        snd_una_ = ack_index;
+        snd_buffer_.ack_up_to(ack_index);
+        {
+          ScopedTimer t{prof, ProfUnit::kLossProcessing};
+          snd_loss_.remove_up_to(seq_of(ack_index - 1));
+        }
+        app_snd_cv_.notify_all();
+      }
+      cc::AckInfo info;
+      info.ack_seq = ack.ack_seq;
+      info.rtt_s = static_cast<double>(ack.rtt_us) * 1e-6;
+      info.recv_rate_pps = static_cast<double>(ack.recv_rate_pps);
+      info.capacity_pps = static_cast<double>(ack.capacity_pps);
+      info.avail_buffer_pkts =
+          ack.avail_buffer_pkts > 0 ? ack.avail_buffer_pkts : 2.0;
+      cc_.on_ack(info);
+      snd_cv_.notify_one();
+      break;
+    }
+    case CtrlType::kNak: {
+      ++stats_.naks_recv;
+      last_ctrl_us_ = now;
+      const auto body = pkt.subspan(kHeaderBytes);
+      std::vector<std::uint32_t> words(body.size() / 4);
+      for (std::size_t i = 0; i < words.size(); ++i) {
+        words[i] = load_be32(body.data() + 4 * i);
+      }
+      const auto ranges = decode_loss_ranges(words);
+      udtr::SeqNo biggest = seq_of(snd_una_);
+      {
+        ScopedTimer t{prof, ProfUnit::kLossProcessing};
+        for (const auto& [first, last] : ranges) {
+          const std::int64_t a = index_of(first, snd_una_);
+          const std::int64_t b = index_of(last, snd_una_);
+          if (b < snd_una_ || a >= snd_next_) continue;
+          const std::int64_t ca = std::max(a, snd_una_);
+          const std::int64_t cb = std::min(b, snd_next_ - 1);
+          if (ca > cb) continue;
+          snd_loss_.insert(seq_of(ca), seq_of(cb));
+          if (udtr::SeqNo::cmp(seq_of(cb), biggest) > 0) biggest = seq_of(cb);
+        }
+      }
+      cc_.on_nak(biggest, seq_of(std::max<std::int64_t>(snd_next_ - 1, 0)));
+      snd_cv_.notify_one();
+      break;
+    }
+    case CtrlType::kAck2: {
+      // RTT measurement: match the echoed ACK id.
+      for (auto& [id, t_sent] : ack_times_) {
+        if (id == static_cast<std::int32_t>(hdr.info) && id != 0) {
+          const double sample = static_cast<double>(now - t_sent) * 1e-6;
+          rtt_s_ = rtt_s_ <= 0.0 ? sample : rtt_s_ * 0.875 + sample * 0.125;
+          id = 0;
+          break;
+        }
+      }
+      break;
+    }
+    case CtrlType::kShutdown: {
+      peer_shutdown_ = true;
+      app_rcv_cv_.notify_all();
+      app_snd_cv_.notify_all();
+      break;
+    }
+    case CtrlType::kHandshake: {
+      // Duplicate handshake (our response got lost): re-acknowledge.
+      const HandshakePayload req = hs_from_words(pkt.subspan(kHeaderBytes));
+      if (req.request_type == 1) {
+        HandshakePayload resp;
+        resp.request_type = 0;
+        resp.initial_seq = req.initial_seq;
+        resp.mss_bytes = static_cast<std::uint32_t>(opts_.mss_bytes);
+        resp.socket_id = socket_id_;
+        resp.port = channel_.local_port();
+        send_handshake(channel_, peer_, peer_socket_id_, resp);
+      }
+      break;
+    }
+    case CtrlType::kKeepAlive:
+      last_ctrl_us_ = now;
+      break;
+  }
+}
+
+// ------------------------------------------------------------- timers ---
+
+void Socket::check_timers() {
+  const std::uint64_t now = now_us();
+  const auto syn_us = static_cast<std::uint64_t>(opts_.syn_s * 1e6);
+
+  // ACK timer (§3.1): one selective acknowledgment per SYN.
+  if (now - last_ack_us_ >= syn_us) {
+    last_ack_us_ = now;
+    if (any_arrival_) {
+      const std::int64_t ack_index = rcv_buffer_.contiguous_end();
+      if (ack_index != last_acked_index_ || data_since_ack_) {
+        send_ack();
+        last_acked_index_ = ack_index;
+        data_since_ack_ = false;
+      }
+    }
+  }
+
+  // NAK timer: re-report stale holes with growing intervals (§3.5).
+  if (now - last_nak_check_us_ >= syn_us) {
+    last_nak_check_us_ = now;
+    if (!rcv_loss_.empty()) {
+      const double rtt = rtt_s_ > 0.0 ? rtt_s_ : 0.1;
+      const auto base_us = static_cast<std::uint64_t>(
+          std::max(rtt * 1.5, 2.0 * opts_.syn_s) * 1e6);
+      const auto expired = rcv_loss_.collect_expired(now, base_us);
+      if (!expired.empty()) {
+        for (std::size_t i = 0; i < expired.size(); i += kMaxNakRanges) {
+          const std::size_t m = std::min(kMaxNakRanges, expired.size() - i);
+          send_nak({expired.data() + i, m});
+        }
+      }
+    }
+  }
+
+  // EXP timer: nothing heard from the peer for a growing expiration period.
+  const double rtt = cc_.last_rtt_s();
+  const double base = std::max(opts_.min_exp_timeout_s, 4.0 * rtt);
+  const double factor = std::min(1 << std::min(consecutive_timeouts_, 4), 16);
+  const auto exp_us = static_cast<std::uint64_t>(base * factor * 1e6);
+  if (now - last_ctrl_us_ >= exp_us) {
+    last_ctrl_us_ = now;
+    if (snd_next_ > snd_una_ || !snd_loss_.empty()) {
+      ++consecutive_timeouts_;
+      ++stats_.timeouts;
+      cc_.set_now(static_cast<double>(now) * 1e-6);
+      cc_.on_timeout();
+      if (snd_next_ > snd_una_) {
+        snd_loss_.insert(seq_of(snd_una_), seq_of(snd_next_ - 1));
+      }
+      snd_cv_.notify_one();
+    }
+  }
+}
+
+void Socket::send_ack() {
+  std::array<std::uint8_t, kHeaderBytes + 4 * AckPayload::kWords> buf{};
+  CtrlHeader hdr;
+  hdr.type = CtrlType::kAck;
+  const std::int32_t ack_id = next_ack_id_++;
+  if (next_ack_id_ <= 0) next_ack_id_ = 1;
+  hdr.info = static_cast<std::uint32_t>(ack_id);
+  hdr.timestamp_us = static_cast<std::uint32_t>(now_us());
+  hdr.dst_socket = peer_socket_id_;
+  write_ctrl_header(buf, hdr);
+
+  const std::int64_t ack_index = rcv_buffer_.contiguous_end();
+  const double mss_wire = opts_.mss_bytes + kHeaderBytes;
+  std::array<std::uint32_t, AckPayload::kWords> words{};
+  words[0] = static_cast<std::uint32_t>(seq_of(ack_index).value());
+  words[1] = static_cast<std::uint32_t>(rtt_s_ * 1e6);
+  words[2] = static_cast<std::uint32_t>(rtt_s_ * 0.5e6);
+  words[3] = static_cast<std::uint32_t>(
+      std::max(rcv_buffer_.avail_packets(), 2));
+  words[4] = static_cast<std::uint32_t>(speed_.packets_per_second());
+  words[5] = static_cast<std::uint32_t>(pair_.capacity_packets_per_second());
+  write_words(std::span{buf}.subspan(kHeaderBytes), words);
+
+  ack_times_[static_cast<std::size_t>(ack_id) % ack_times_.size()] = {
+      ack_id, now_us()};
+  ++stats_.acks_sent;
+  channel_.send_to(peer_, buf);
+  (void)mss_wire;
+}
+
+void Socket::send_nak(
+    std::span<const std::pair<udtr::SeqNo, udtr::SeqNo>> ranges) {
+  const auto words = encode_loss_ranges(ranges);
+  std::vector<std::uint8_t> buf(kHeaderBytes + 4 * words.size());
+  CtrlHeader hdr;
+  hdr.type = CtrlType::kNak;
+  hdr.timestamp_us = static_cast<std::uint32_t>(now_us());
+  hdr.dst_socket = peer_socket_id_;
+  write_ctrl_header(buf, hdr);
+  write_words(std::span{buf}.subspan(kHeaderBytes), words);
+  ++stats_.naks_sent;
+  channel_.send_to(peer_, buf);
+}
+
+void Socket::send_ctrl_simple(CtrlType type, std::uint32_t info) {
+  std::array<std::uint8_t, kHeaderBytes> buf{};
+  CtrlHeader hdr;
+  hdr.type = type;
+  hdr.info = info;
+  hdr.timestamp_us = static_cast<std::uint32_t>(now_us());
+  hdr.dst_socket = peer_socket_id_;
+  write_ctrl_header(buf, hdr);
+  channel_.send_to(peer_, buf);
+}
+
+// ---------------------------------------------------------------- API ---
+
+std::size_t Socket::send(std::span<const std::uint8_t> data) {
+  Profiler* prof = opts_.enable_profiler ? &profiler_ : nullptr;
+  std::unique_lock lk{state_mu_};
+  std::size_t total = 0;
+  while (total < data.size() && running_) {
+    std::size_t n;
+    {
+      ScopedTimer t{prof, ProfUnit::kAppInteraction};
+      n = snd_buffer_.add(data.subspan(total));
+    }
+    total += n;
+    if (n > 0) snd_cv_.notify_one();
+    if (total < data.size()) {
+      app_snd_cv_.wait_for(lk, std::chrono::milliseconds{100});
+    }
+  }
+  stats_.bytes_sent += total;
+  return total;
+}
+
+std::size_t Socket::send_overlapped(std::span<const std::uint8_t> data,
+                                    std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock lk{state_mu_};
+  std::size_t total = 0;
+  std::int64_t last_index = snd_buffer_.end_index();
+  while (total < data.size() && running_) {
+    const std::size_t n = snd_buffer_.add_borrowed(data.subspan(total));
+    total += n;
+    last_index = snd_buffer_.end_index();
+    if (n > 0) snd_cv_.notify_one();
+    if (total < data.size()) {
+      if (app_snd_cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
+          std::chrono::steady_clock::now() >= deadline) {
+        break;
+      }
+    }
+  }
+  // The caller's buffer must stay borrowed until every chunk is
+  // acknowledged — block here so returning implies the memory is free.
+  while (running_ && snd_una_ < last_index) {
+    if (app_snd_cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
+        std::chrono::steady_clock::now() >= deadline) {
+      // Timed out with caller memory still referenced: the only safe exit
+      // is to wait for the in-flight window to drain or the socket to die.
+      if (!running_) break;
+      continue;
+    }
+  }
+  const std::size_t acked =
+      snd_una_ >= last_index
+          ? total
+          : total - std::min<std::size_t>(
+                        total, static_cast<std::size_t>(
+                                   (last_index - snd_una_)) *
+                                   static_cast<std::size_t>(opts_.mss_bytes));
+  stats_.bytes_sent += acked;
+  return acked;
+}
+
+std::size_t Socket::recv(std::span<std::uint8_t> out,
+                         std::chrono::milliseconds timeout) {
+  Profiler* prof = opts_.enable_profiler ? &profiler_ : nullptr;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock lk{state_mu_};
+  while (running_) {
+    std::size_t n;
+    {
+      ScopedTimer t{prof, ProfUnit::kAppInteraction};
+      n = rcv_buffer_.read(out);
+    }
+    if (n > 0) {
+      stats_.bytes_delivered += n;
+      return n;
+    }
+    if (peer_shutdown_) return 0;
+
+    if (out.size() >= static_cast<std::size_t>(4 * opts_.mss_bytes)) {
+      // Overlapped IO: arm the user buffer as the protocol buffer's logical
+      // extension; in-order arrivals land here directly (§4.3, Fig. 10).
+      rcv_buffer_.register_user_buffer(out);
+      app_rcv_cv_.wait_until(lk, deadline, [&] {
+        return !running_ || peer_shutdown_ ||
+               rcv_buffer_.user_buffer_filled() > 0;
+      });
+      const std::size_t filled = rcv_buffer_.release_user_buffer();
+      if (filled > 0) {
+        stats_.bytes_delivered += filled;
+        return filled;
+      }
+      if (peer_shutdown_ || std::chrono::steady_clock::now() >= deadline) {
+        return 0;
+      }
+    } else {
+      if (!app_rcv_cv_.wait_until(lk, deadline, [&] {
+            return !running_ || peer_shutdown_ ||
+                   rcv_buffer_.readable_bytes() > 0;
+          })) {
+        return 0;
+      }
+    }
+  }
+  return 0;
+}
+
+std::uint64_t Socket::sendfile(const std::string& path, std::uint64_t offset,
+                               std::uint64_t length) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return 0;
+  in.seekg(static_cast<std::streamoff>(offset));
+  std::vector<std::uint8_t> chunk(1 << 20);
+  std::uint64_t sent = 0;
+  while (sent < length && in && running_) {
+    const std::uint64_t want =
+        std::min<std::uint64_t>(chunk.size(), length - sent);
+    in.read(reinterpret_cast<char*>(chunk.data()),
+            static_cast<std::streamsize>(want));
+    const auto got = static_cast<std::uint64_t>(in.gcount());
+    if (got == 0) break;
+    sent += send(std::span{chunk.data(), static_cast<std::size_t>(got)});
+  }
+  flush(std::chrono::seconds{60});
+  return sent;
+}
+
+std::uint64_t Socket::recvfile(const std::string& path,
+                               std::uint64_t length) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out) return 0;
+  std::vector<std::uint8_t> chunk(1 << 20);
+  std::uint64_t received = 0;
+  while (received < length && running_) {
+    const std::uint64_t want =
+        std::min<std::uint64_t>(chunk.size(), length - received);
+    const std::size_t n =
+        recv(std::span{chunk.data(), static_cast<std::size_t>(want)},
+             std::chrono::milliseconds{5000});
+    if (n == 0) break;
+    out.write(reinterpret_cast<const char*>(chunk.data()),
+              static_cast<std::streamsize>(n));
+    received += n;
+  }
+  return received;
+}
+
+bool Socket::flush(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock lk{state_mu_};
+  while (running_) {
+    if (snd_una_ >= snd_buffer_.end_index() && snd_loss_.empty()) return true;
+    if (app_snd_cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
+        std::chrono::steady_clock::now() >= deadline) {
+      return false;
+    }
+  }
+  return false;
+}
+
+void Socket::close() {
+  bool was_running = running_.exchange(false);
+  if (mode_ == Mode::kConnected && was_running) {
+    send_ctrl_simple(CtrlType::kShutdown);
+  }
+  snd_cv_.notify_all();
+  app_snd_cv_.notify_all();
+  app_rcv_cv_.notify_all();
+  if (snd_thread_.joinable()) snd_thread_.join();
+  if (rcv_thread_.joinable()) rcv_thread_.join();
+  channel_.close();
+}
+
+PerfStats Socket::perf() const {
+  std::unique_lock lk{state_mu_};
+  PerfStats p = stats_;
+  p.rtt_ms = (rtt_s_ > 0.0 ? rtt_s_ : cc_.last_rtt_s()) * 1e3;
+  const double wire_bits = (opts_.mss_bytes + kHeaderBytes) * 8.0;
+  p.capacity_mbps = pair_.capacity_packets_per_second() * wire_bits / 1e6;
+  p.recv_rate_mbps = speed_.packets_per_second() * wire_bits / 1e6;
+  p.send_period_us = cc_.pkt_send_period_s() * 1e6;
+  p.window_pkts = cc_.window_packets();
+  return p;
+}
+
+}  // namespace udtr::udt

@@ -1,0 +1,224 @@
+// The UDT socket: the library's public API (paper §4.7, §4.8).
+//
+// Each connected socket is a duplex UDT entity with two service threads:
+//   * the sender thread paces data packets out according to the congestion
+//     controller (cc::UdtCc — the same object that drives the simulator),
+//     always giving loss-list retransmissions priority and emitting a
+//     back-to-back packet pair every 16 packets (RBPP);
+//   * the receiver thread performs time-bounded UDP receives and checks the
+//     ACK / NAK / EXP timers after every call (§4.8), processing both data
+//     and control packets.
+//
+// The API follows socket semantics with the paper's additions: send/recv,
+// sendfile/recvfile, and overlapped receive through user-buffer insertion.
+// Connections run over IPv4 loopback/UDP; one UDT connection per UDP socket.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+
+#include "cc/udt_cc.hpp"
+#include "common/median_filter.hpp"
+#include "common/seqno.hpp"
+#include "udt/buffers.hpp"
+#include "udt/channel.hpp"
+#include "udt/loss_list.hpp"
+#include "udt/packet.hpp"
+#include "udt/pacing.hpp"
+#include "udt/profiler.hpp"
+
+namespace udtr::udt {
+
+struct SocketOptions {
+  // Maximum UDT payload per packet; +16 header bytes go on the wire.
+  int mss_bytes = 1456;
+  std::size_t snd_buffer_bytes = std::size_t{16} << 20;
+  std::int32_t rcv_buffer_pkts = 16384;
+  double syn_s = 0.01;
+  bool window_control = true;       // flow control on/off (Fig. 7 ablation)
+  int probe_interval = 16;          // packet pair every N packets
+  double min_exp_timeout_s = 0.3;
+  // Outbound data-packet loss injection (emulates a lossy path on loopback).
+  double loss_injection = 0.0;
+  std::uint64_t loss_seed = 1;
+  // Optional sending-rate cap in Mb/s (0 = uncapped).
+  double max_bandwidth_mbps = 0.0;
+  bool enable_profiler = false;     // Table 3 instrumentation
+  // Initial sequence number (< 0 = default).  Exposed so tests can start
+  // near the 31-bit wrap boundary.
+  std::int64_t initial_seq = -1;
+};
+
+struct PerfStats {
+  std::uint64_t data_packets_sent = 0;
+  std::uint64_t data_packets_recv = 0;
+  std::uint64_t retransmitted = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_recv = 0;
+  std::uint64_t naks_sent = 0;
+  std::uint64_t naks_recv = 0;
+  std::uint64_t bytes_sent = 0;     // application payload accepted by send()
+  std::uint64_t bytes_delivered = 0;  // application payload handed to recv()
+  std::uint64_t timeouts = 0;
+  double rtt_ms = 0.0;
+  double capacity_mbps = 0.0;       // RBPP estimate
+  double recv_rate_mbps = 0.0;      // arrival-speed estimate
+  double send_period_us = 0.0;      // current pacing interval
+  double window_pkts = 0.0;
+};
+
+class Socket {
+ public:
+  ~Socket();
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  // --- establishment ----------------------------------------------------
+  // Creates a listening socket on 127.0.0.1:`port` (0 = ephemeral).
+  static std::unique_ptr<Socket> listen(std::uint16_t port,
+                                        SocketOptions opts = {});
+  // Waits for one incoming connection (listener only).
+  std::unique_ptr<Socket> accept(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds{10000});
+  // Connects to a listening UDT socket.
+  static std::unique_ptr<Socket> connect(const std::string& host,
+                                         std::uint16_t port,
+                                         SocketOptions opts = {});
+
+  [[nodiscard]] std::uint16_t local_port() const {
+    return channel_.local_port();
+  }
+
+  // --- data transfer ----------------------------------------------------
+  // Buffers all of `data` for transmission, blocking while the send buffer
+  // is full.  Returns bytes accepted (== data.size() unless closed).
+  std::size_t send(std::span<const std::uint8_t> data);
+  // Overlapped send (§4.7): transmits directly from the caller's memory —
+  // no copy into the protocol buffer — and blocks until everything handed
+  // over is acknowledged, at which point the caller may reuse `data`.
+  // Returns bytes sent-and-acknowledged.
+  std::size_t send_overlapped(std::span<const std::uint8_t> data,
+                              std::chrono::milliseconds timeout =
+                                  std::chrono::seconds{60});
+  // Receives at least one byte (blocking up to `timeout`); returns bytes
+  // read, 0 on timeout or orderly shutdown with nothing pending.
+  std::size_t recv(std::span<std::uint8_t> out,
+                   std::chrono::milliseconds timeout =
+                       std::chrono::milliseconds{10000});
+  // Streams `length` bytes of `path` starting at `offset`; returns bytes
+  // sent.  Blocks until the data is fully acknowledged or the socket dies.
+  std::uint64_t sendfile(const std::string& path, std::uint64_t offset,
+                         std::uint64_t length);
+  // Receives `length` bytes into `path` (created/truncated).  Uses the
+  // overlapped user-buffer path.  Returns bytes written.
+  std::uint64_t recvfile(const std::string& path, std::uint64_t length);
+
+  // Waits until everything buffered so far is acknowledged.
+  bool flush(std::chrono::milliseconds timeout);
+
+  void close();
+  [[nodiscard]] bool closed() const { return !running_; }
+
+  [[nodiscard]] PerfStats perf() const;
+  [[nodiscard]] Profiler& profiler() { return profiler_; }
+  [[nodiscard]] const cc::UdtCc& congestion() const { return cc_; }
+
+ private:
+  explicit Socket(SocketOptions opts);
+
+  enum class Mode { kListener, kConnected };
+
+  void start_threads();
+  void sender_loop();
+  void receiver_loop();
+
+  // Receiver-thread handlers (state_mu_ held).
+  void handle_data(std::span<const std::uint8_t> pkt);
+  void handle_ctrl(std::span<const std::uint8_t> pkt);
+  void check_timers();
+  void send_ack();
+  void send_nak(std::span<const std::pair<udtr::SeqNo, udtr::SeqNo>> ranges);
+  void send_ctrl_simple(CtrlType type, std::uint32_t info = 0);
+
+  [[nodiscard]] std::uint64_t now_us() const;
+  [[nodiscard]] double now_s() const {
+    return static_cast<double>(now_us()) * 1e-6;
+  }
+  [[nodiscard]] udtr::SeqNo seq_of(std::int64_t index) const {
+    return udtr::SeqNo{static_cast<std::int32_t>(
+        (isn_ + index) & udtr::SeqNo::kMax)};
+  }
+  [[nodiscard]] std::int64_t index_of(udtr::SeqNo seq,
+                                      std::int64_t near) const {
+    return near + udtr::SeqNo::offset(seq_of(near), seq);
+  }
+
+  SocketOptions opts_;
+  Mode mode_ = Mode::kConnected;
+  UdpChannel channel_;
+  Endpoint peer_{};
+  std::uint32_t socket_id_ = 0;
+  std::uint32_t peer_socket_id_ = 0;
+  std::int64_t isn_ = 0;
+  std::chrono::steady_clock::time_point epoch_{};
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> peer_shutdown_{false};
+  std::thread snd_thread_;
+  std::thread rcv_thread_;
+
+  mutable std::mutex state_mu_;
+  std::condition_variable snd_cv_;      // wakes the sender thread
+  std::condition_variable app_snd_cv_;  // buffer space for send()
+  std::condition_variable app_rcv_cv_;  // data available for recv()
+
+  // --- sender state (guarded by state_mu_) -------------------------------
+  SndBuffer snd_buffer_;
+  LossList snd_loss_;
+  cc::UdtCc cc_;
+  std::int64_t snd_next_ = 0;   // next new packet index
+  std::int64_t snd_una_ = 0;    // first unacknowledged index
+  Pacer pacer_;
+
+  // --- receiver state (guarded by state_mu_) -----------------------------
+  RcvBuffer rcv_buffer_;
+  LossList rcv_loss_;
+  std::int64_t lrsn_ = -1;      // largest received index
+  udtr::ArrivalSpeedEstimator speed_{16};
+  udtr::PacketPairEstimator pair_{16};
+  std::uint64_t last_arrival_us_ = 0;
+  bool any_arrival_ = false;
+  std::uint64_t probe_head_us_ = 0;
+  std::int64_t probe_head_index_ = -2;
+  double rtt_s_ = 0.0;
+
+  std::uint64_t last_ack_us_ = 0;
+  std::uint64_t last_nak_check_us_ = 0;
+  std::uint64_t last_ctrl_us_ = 0;      // EXP timer basis
+  int consecutive_timeouts_ = 0;
+  std::int32_t next_ack_id_ = 1;
+  std::array<std::pair<std::int32_t, std::uint64_t>, 64> ack_times_{};
+  std::int64_t last_acked_index_ = -1;
+  bool data_since_ack_ = false;
+
+  PerfStats stats_;
+  Profiler profiler_;
+
+  // Listener-only: responses already issued, keyed by (client ip, client
+  // port | client socket id), so retransmitted requests are re-answered
+  // instead of spawning duplicate sockets.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, HandshakePayload>
+      handled_;
+};
+
+}  // namespace udtr::udt

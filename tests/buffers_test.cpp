@@ -1,0 +1,234 @@
+#include "udt/buffers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+namespace udtr::udt {
+namespace {
+
+std::vector<std::uint8_t> pattern(std::size_t n, std::uint8_t seed = 0) {
+  std::vector<std::uint8_t> v(n);
+  std::iota(v.begin(), v.end(), seed);
+  return v;
+}
+
+// ------------------------------------------------------------- SndBuffer ---
+
+TEST(SndBuffer, SplitsIntoMssChunks) {
+  SndBuffer sb{100, 10000};
+  const auto data = pattern(250);
+  EXPECT_EQ(sb.add(data), 250u);
+  EXPECT_EQ(sb.chunk_count(), 3u);
+  EXPECT_EQ(sb.chunk(0)->size(), 100u);
+  EXPECT_EQ(sb.chunk(1)->size(), 100u);
+  EXPECT_EQ(sb.chunk(2)->size(), 50u);
+}
+
+TEST(SndBuffer, ChunkContentsMatch) {
+  SndBuffer sb{100, 10000};
+  const auto data = pattern(250);
+  sb.add(data);
+  for (std::size_t i = 0; i < 250; ++i) {
+    const auto c = sb.chunk(static_cast<std::int64_t>(i / 100));
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ((*c)[i % 100], data[i]);
+  }
+}
+
+TEST(SndBuffer, CapacityLimitsAcceptance) {
+  SndBuffer sb{100, 150};
+  const auto data = pattern(250);
+  EXPECT_EQ(sb.add(data), 150u);
+  EXPECT_EQ(sb.free_bytes(), 0u);
+}
+
+TEST(SndBuffer, AckReleasesSpace) {
+  SndBuffer sb{100, 300};
+  sb.add(pattern(300));
+  EXPECT_EQ(sb.add(pattern(100)), 0u);
+  sb.ack_up_to(2);  // first two chunks acknowledged
+  EXPECT_EQ(sb.first_index(), 2);
+  EXPECT_EQ(sb.free_bytes(), 200u);
+  EXPECT_EQ(sb.add(pattern(100)), 100u);
+  // New chunk takes the next index.
+  EXPECT_TRUE(sb.chunk(3).has_value());
+  EXPECT_FALSE(sb.chunk(1).has_value());  // released
+}
+
+TEST(SndBuffer, NoRepackingAcrossAddCalls) {
+  // Sub-MSS sends stay their own packets (packet-based framing, §6).
+  SndBuffer sb{100, 10000};
+  sb.add(pattern(30));
+  sb.add(pattern(40));
+  EXPECT_EQ(sb.chunk_count(), 2u);
+  EXPECT_EQ(sb.chunk(0)->size(), 30u);
+  EXPECT_EQ(sb.chunk(1)->size(), 40u);
+}
+
+// ------------------------------------------------------------- RcvBuffer ---
+
+TEST(RcvBuffer, InOrderStoreAndRead) {
+  RcvBuffer rb{100, 64};
+  const auto a = pattern(100, 1);
+  const auto b = pattern(100, 2);
+  EXPECT_TRUE(rb.store(0, a));
+  EXPECT_TRUE(rb.store(1, b));
+  EXPECT_EQ(rb.contiguous_end(), 2);
+  std::vector<std::uint8_t> out(200);
+  EXPECT_EQ(rb.read(out), 200u);
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), out.begin()));
+  EXPECT_TRUE(std::equal(b.begin(), b.end(), out.begin() + 100));
+}
+
+TEST(RcvBuffer, OutOfOrderHeldUntilGapFills) {
+  RcvBuffer rb{100, 64};
+  EXPECT_TRUE(rb.store(1, pattern(100, 2)));
+  EXPECT_EQ(rb.contiguous_end(), 0);
+  std::vector<std::uint8_t> out(200);
+  EXPECT_EQ(rb.read(out), 0u);
+  EXPECT_TRUE(rb.store(0, pattern(100, 1)));
+  EXPECT_EQ(rb.contiguous_end(), 2);
+  EXPECT_EQ(rb.read(out), 200u);
+}
+
+TEST(RcvBuffer, DuplicateRejected) {
+  RcvBuffer rb{100, 64};
+  EXPECT_TRUE(rb.store(0, pattern(100)));
+  EXPECT_FALSE(rb.store(0, pattern(100)));
+  std::vector<std::uint8_t> out(100);
+  rb.read(out);
+  EXPECT_FALSE(rb.store(0, pattern(100)));  // now stale
+}
+
+TEST(RcvBuffer, WindowBoundsRejectFarFuture) {
+  RcvBuffer rb{100, 8};
+  EXPECT_FALSE(rb.store(8, pattern(100)));  // one past the window
+  EXPECT_TRUE(rb.store(7, pattern(100)));
+  EXPECT_EQ(rb.window_end(), 8);
+}
+
+TEST(RcvBuffer, PartialReadsKeepPosition) {
+  RcvBuffer rb{100, 64};
+  rb.store(0, pattern(100));
+  std::vector<std::uint8_t> out(30);
+  EXPECT_EQ(rb.read(out), 30u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(rb.read(out), 30u);
+  EXPECT_EQ(out[0], 30);
+  EXPECT_EQ(rb.readable_bytes(), 40u);
+}
+
+TEST(RcvBuffer, AvailPacketsTracksBacklog) {
+  RcvBuffer rb{100, 16};
+  EXPECT_EQ(rb.avail_packets(), 16);
+  rb.store(0, pattern(100));
+  rb.store(5, pattern(100));  // out of order: window consumed up to 6
+  EXPECT_EQ(rb.avail_packets(), 10);
+  std::vector<std::uint8_t> out(100);
+  rb.read(out);
+  EXPECT_EQ(rb.avail_packets(), 11);
+}
+
+TEST(RcvBuffer, VariableSizePacketsPreserveStream) {
+  RcvBuffer rb{100, 64};
+  rb.store(0, pattern(100, 1));
+  rb.store(1, pattern(37, 2));   // short packet mid-stream
+  rb.store(2, pattern(100, 3));
+  std::vector<std::uint8_t> out(237);
+  EXPECT_EQ(rb.read(out), 237u);
+  EXPECT_EQ(out[100], 2);
+  EXPECT_EQ(out[137], 3);
+}
+
+// --------------------------------------------------------- overlapped IO ---
+
+TEST(RcvBuffer, UserBufferDrainsExistingData) {
+  RcvBuffer rb{100, 64};
+  rb.store(0, pattern(100, 1));
+  std::vector<std::uint8_t> user(150);
+  EXPECT_EQ(rb.register_user_buffer(user), 100u);
+  EXPECT_EQ(user[0], 1);
+  EXPECT_EQ(rb.release_user_buffer(), 100u);
+}
+
+TEST(RcvBuffer, UserBufferReceivesInOrderArrivalsDirectly) {
+  RcvBuffer rb{100, 64};
+  std::vector<std::uint8_t> user(250);
+  rb.register_user_buffer(user);
+  rb.store(0, pattern(100, 1));
+  rb.store(1, pattern(100, 2));
+  EXPECT_EQ(rb.user_buffer_filled(), 200u);
+  EXPECT_EQ(user[0], 1);
+  EXPECT_EQ(user[100], 2);
+  // Ring stays empty: data went straight to the user buffer.
+  EXPECT_EQ(rb.readable_bytes(), 0u);
+}
+
+TEST(RcvBuffer, UserBufferOverflowFallsBackToRing) {
+  RcvBuffer rb{100, 64};
+  std::vector<std::uint8_t> user(150);
+  rb.register_user_buffer(user);
+  rb.store(0, pattern(100, 1));   // direct
+  rb.store(1, pattern(100, 2));   // doesn't fit entirely -> ring, partial drain
+  EXPECT_EQ(rb.user_buffer_filled(), 150u);
+  EXPECT_EQ(rb.release_user_buffer(), 150u);
+  std::vector<std::uint8_t> rest(50);
+  EXPECT_EQ(rb.read(rest), 50u);
+  EXPECT_EQ(rest[0], 52);  // second packet's byte 50 (pattern seed 2)
+}
+
+TEST(RcvBuffer, OutOfOrderThenUserBufferCatchesUp) {
+  RcvBuffer rb{100, 64};
+  std::vector<std::uint8_t> user(300);
+  rb.register_user_buffer(user);
+  rb.store(1, pattern(100, 2));  // hole at 0: stays in ring
+  EXPECT_EQ(rb.user_buffer_filled(), 0u);
+  rb.store(0, pattern(100, 1));  // fills the hole: both drain
+  EXPECT_EQ(rb.user_buffer_filled(), 200u);
+  EXPECT_EQ(user[0], 1);
+  EXPECT_EQ(user[100], 2);
+}
+
+// Property: random arrival order + random read sizes reproduce the stream.
+class RcvBufferShuffle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RcvBufferShuffle, RandomOrderDeliversExactStream) {
+  std::mt19937_64 rng{GetParam()};
+  constexpr int kPackets = 200;
+  RcvBuffer rb{100, 256};
+  std::vector<std::uint8_t> expect;
+  std::vector<std::vector<std::uint8_t>> pkts;
+  for (int i = 0; i < kPackets; ++i) {
+    auto p = pattern(1 + rng() % 100, static_cast<std::uint8_t>(i));
+    expect.insert(expect.end(), p.begin(), p.end());
+    pkts.push_back(std::move(p));
+  }
+  // Deliver in a window-respecting shuffled order.
+  std::vector<int> order(kPackets);
+  std::iota(order.begin(), order.end(), 0);
+  for (int i = 0; i < kPackets; ++i) {
+    const int j = i + static_cast<int>(rng() % std::min<std::size_t>(
+                                           32, order.size() - i));
+    std::swap(order[i], order[j]);
+  }
+  std::vector<std::uint8_t> got;
+  for (int idx : order) {
+    ASSERT_TRUE(rb.store(idx, pkts[static_cast<std::size_t>(idx)]));
+    std::vector<std::uint8_t> out(1 + rng() % 300);
+    const std::size_t n = rb.read(out);
+    got.insert(got.end(), out.begin(), out.begin() + n);
+  }
+  std::vector<std::uint8_t> out(4096);
+  for (std::size_t n = rb.read(out); n > 0; n = rb.read(out)) {
+    got.insert(got.end(), out.begin(), out.begin() + n);
+  }
+  EXPECT_EQ(got, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RcvBufferShuffle,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace udtr::udt

@@ -1,0 +1,86 @@
+#include "udt/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace udtr::udt {
+namespace {
+
+TEST(Endpoint, ResolvesLocalhost) {
+  const auto ep = Endpoint::resolve("127.0.0.1", 9000);
+  ASSERT_TRUE(ep.has_value());
+  EXPECT_EQ(ep->ip_host_order, 0x7F000001u);
+  EXPECT_EQ(ep->port, 9000);
+}
+
+TEST(Endpoint, SockaddrRoundTrip) {
+  const Endpoint ep{0x7F000001u, 12345};
+  EXPECT_EQ(Endpoint::from_sockaddr(ep.to_sockaddr()), ep);
+}
+
+TEST(UdpChannel, OpensEphemeralPort) {
+  UdpChannel ch;
+  ASSERT_TRUE(ch.open(0));
+  EXPECT_TRUE(ch.is_open());
+  EXPECT_GT(ch.local_port(), 0);
+}
+
+TEST(UdpChannel, SendReceiveDatagram) {
+  UdpChannel a, b;
+  ASSERT_TRUE(a.open(0));
+  ASSERT_TRUE(b.open(0));
+  b.set_recv_timeout(std::chrono::milliseconds{500});
+  const std::vector<std::uint8_t> msg{1, 2, 3, 4, 5};
+  const Endpoint to{0x7F000001u, b.local_port()};
+  EXPECT_EQ(a.send_to(to, msg), 5);
+  std::vector<std::uint8_t> buf(64);
+  Endpoint src;
+  EXPECT_EQ(b.recv_from(src, buf), 5);
+  EXPECT_EQ(src.port, a.local_port());
+  EXPECT_TRUE(std::equal(msg.begin(), msg.end(), buf.begin()));
+}
+
+TEST(UdpChannel, RecvTimesOutCleanly) {
+  UdpChannel ch;
+  ASSERT_TRUE(ch.open(0));
+  ch.set_recv_timeout(std::chrono::milliseconds{50});
+  std::vector<std::uint8_t> buf(64);
+  Endpoint src;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(ch.recv_from(src, buf), 0);
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds{40});
+}
+
+TEST(UdpChannel, LossInjectionDropsOnlyLargeDatagrams) {
+  UdpChannel a, b;
+  ASSERT_TRUE(a.open(0));
+  ASSERT_TRUE(b.open(0));
+  a.set_loss_injection(1.0, 7, /*min_bytes=*/32);  // drop all data packets
+  b.set_recv_timeout(std::chrono::milliseconds{50});
+  const Endpoint to{0x7F000001u, b.local_port()};
+
+  const std::vector<std::uint8_t> big(100, 0xAB);
+  const std::vector<std::uint8_t> small(16, 0xCD);
+  a.send_to(to, big);    // dropped
+  a.send_to(to, small);  // control-sized: passes
+  std::vector<std::uint8_t> buf(256);
+  Endpoint src;
+  EXPECT_EQ(b.recv_from(src, buf), 16);
+  EXPECT_EQ(b.recv_from(src, buf), 0);  // nothing else
+  EXPECT_EQ(a.datagrams_dropped(), 1u);
+}
+
+TEST(UdpChannel, MoveTransfersOwnership) {
+  UdpChannel a;
+  ASSERT_TRUE(a.open(0));
+  const auto port = a.local_port();
+  UdpChannel b{std::move(a)};
+  EXPECT_TRUE(b.is_open());
+  EXPECT_EQ(b.local_port(), port);
+  EXPECT_FALSE(a.is_open());  // NOLINT(bugprone-use-after-move)
+}
+
+}  // namespace
+}  // namespace udtr::udt

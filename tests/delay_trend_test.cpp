@@ -1,0 +1,105 @@
+#include "common/delay_trend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cc/udt_cc.hpp"
+
+namespace udtr {
+namespace {
+
+TEST(DelayTrend, PctOnMonotoneSeries) {
+  EXPECT_DOUBLE_EQ(DelayTrendDetector::pct({1, 2, 3, 4, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(DelayTrendDetector::pct({5, 4, 3, 2, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(DelayTrendDetector::pct({1, 2, 1, 2, 1}), 0.5);
+}
+
+TEST(DelayTrend, PdtOnMonotoneSeries) {
+  EXPECT_DOUBLE_EQ(DelayTrendDetector::pdt({1, 2, 3, 4, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(DelayTrendDetector::pdt({5, 4, 3, 2, 1}), -1.0);
+  // Net displacement 0 over total variation 4.
+  EXPECT_DOUBLE_EQ(DelayTrendDetector::pdt({1, 2, 1, 2, 1}), 0.0);
+}
+
+TEST(DelayTrend, ConstantSeriesIsNoTrend) {
+  DelayTrendDetector det{8};
+  for (int i = 0; i < 7; ++i) EXPECT_FALSE(det.add_delay(0.01));
+  EXPECT_FALSE(det.add_delay(0.01));
+}
+
+TEST(DelayTrend, RampFiresOncePerGroup) {
+  DelayTrendDetector det{8};
+  int fired = 0;
+  for (int i = 0; i < 24; ++i) {
+    if (det.add_delay(0.01 + 0.001 * i)) ++fired;
+  }
+  EXPECT_EQ(fired, 3);  // one per complete group of 8
+}
+
+TEST(DelayTrend, NoisyFlatSeriesDoesNotFire) {
+  // The paper's reason for retiring the mechanism: noise — but zero-mean
+  // jitter around a flat delay must not be mistaken for a trend.
+  DelayTrendDetector det{16};
+  const double noise[] = {1.0, 1.2, 0.9, 1.1, 1.0, 0.8, 1.15, 0.95,
+                          1.05, 1.0, 0.9, 1.1, 1.2, 0.85, 1.0, 1.02};
+  bool fired = false;
+  for (double d : noise) fired = det.add_delay(d) || fired;
+  EXPECT_FALSE(fired);
+}
+
+TEST(UdtCcDelayMode, WarningDecreasesRateWithoutFreeze) {
+  cc::UdtCcConfig cfg;
+  cfg.delay_trend_mode = true;
+  cfg.max_window = 1e9;
+  cc::UdtCc cc{cfg};
+  cc.set_now(0.0);
+  cc::AckInfo a;
+  a.ack_seq = udtr::SeqNo{10};
+  a.rtt_s = 0.05;
+  a.recv_rate_pps = 10000.0;
+  cc.on_ack(a);
+  cc.set_now(0.01);
+  cc.on_nak(udtr::SeqNo{5}, udtr::SeqNo{20});  // exit slow start
+  const double p0 = cc.pkt_send_period_s();
+  cc.set_now(0.5);
+  cc.on_delay_warning();
+  EXPECT_NEAR(cc.pkt_send_period_s(), p0 * 1.125, 1e-12);
+  EXPECT_FALSE(cc.frozen_until(0.5));  // milder than a loss reaction
+}
+
+TEST(UdtCcDelayMode, WarningsRateLimitedToOncePerRtt) {
+  cc::UdtCcConfig cfg;
+  cfg.delay_trend_mode = true;
+  cc::UdtCc cc{cfg};
+  cc.set_now(0.0);
+  cc::AckInfo a;
+  a.ack_seq = udtr::SeqNo{10};
+  a.rtt_s = 0.1;
+  a.recv_rate_pps = 10000.0;
+  cc.on_ack(a);
+  cc.set_now(0.01);
+  cc.on_nak(udtr::SeqNo{5}, udtr::SeqNo{20});
+  const double p0 = cc.pkt_send_period_s();
+  cc.set_now(0.5);
+  cc.on_delay_warning();
+  cc.set_now(0.52);  // within one RTT of the last warning
+  cc.on_delay_warning();
+  EXPECT_NEAR(cc.pkt_send_period_s(), p0 * 1.125, 1e-12);  // only one applied
+}
+
+TEST(UdtCcDelayMode, IgnoredWhenDisabled) {
+  cc::UdtCc cc;  // default: delay_trend_mode off
+  cc.set_now(0.0);
+  cc::AckInfo a;
+  a.ack_seq = udtr::SeqNo{10};
+  a.recv_rate_pps = 10000.0;
+  cc.on_ack(a);
+  cc.set_now(0.01);
+  cc.on_nak(udtr::SeqNo{5}, udtr::SeqNo{20});
+  const double p0 = cc.pkt_send_period_s();
+  cc.set_now(0.5);
+  cc.on_delay_warning();
+  EXPECT_DOUBLE_EQ(cc.pkt_send_period_s(), p0);
+}
+
+}  // namespace
+}  // namespace udtr

@@ -1,0 +1,129 @@
+// Cross-module integration: mixed UDT/TCP workloads on shared bottlenecks,
+// determinism, and the headline protocol properties at reduced scale.
+#include <gtest/gtest.h>
+
+#include "common/metrics.hpp"
+#include "netsim/stats.hpp"
+#include "netsim/topology.hpp"
+
+namespace udtr::sim {
+namespace {
+
+TEST(Integration, MultipleUdtFlowsShareFairly) {
+  Simulator sim;
+  Dumbbell net{sim, {Bandwidth::mbps(100), 100}};
+  for (int i = 0; i < 4; ++i) net.add_udt_flow({}, 0.020);
+  sim.run_until(40.0);
+  std::vector<double> tput;
+  for (std::size_t i = 0; i < 4; ++i) {
+    tput.push_back(average_mbps(net.udt_receiver(i).stats().delivered, 1500,
+                                0.0, 40.0));
+  }
+  EXPECT_GT(jain_fairness_index(tput), 0.9);
+  double total = 0.0;
+  for (double v : tput) total += v;
+  EXPECT_GT(total, 70.0);  // aggregate utilization stays high
+}
+
+TEST(Integration, UdtRttFairnessBeatsTcp) {
+  // Two UDT flows with 10x different RTTs split the link far more evenly
+  // than two TCP flows do (constant SYN -> RTT fairness, §3.8).
+  const auto ratio = [](bool udt) {
+    Simulator sim;
+    Dumbbell net{sim, {Bandwidth::mbps(100), 100}};
+    if (udt) {
+      net.add_udt_flow({}, 0.010);
+      net.add_udt_flow({}, 0.100);
+    } else {
+      net.add_tcp_flow({}, 0.010);
+      net.add_tcp_flow({}, 0.100);
+    }
+    sim.run_until(40.0);
+    const double fast = udt ? static_cast<double>(
+                                  net.udt_receiver(0).stats().delivered)
+                            : static_cast<double>(
+                                  net.tcp_receiver(0).stats().delivered);
+    const double slow = udt ? static_cast<double>(
+                                  net.udt_receiver(1).stats().delivered)
+                            : static_cast<double>(
+                                  net.tcp_receiver(1).stats().delivered);
+    return slow / std::max(fast, 1.0);
+  };
+  const double udt_ratio = ratio(true);
+  const double tcp_ratio = ratio(false);
+  EXPECT_GT(udt_ratio, tcp_ratio);
+  EXPECT_GT(udt_ratio, 0.5);  // paper: within ~10%; allow sim slack
+}
+
+TEST(Integration, DeterministicUnderFixedSeed) {
+  const auto run_once = [] {
+    Simulator sim;
+    Dumbbell net{sim, {Bandwidth::mbps(50), 50}};
+    net.add_udt_flow({}, 0.020);
+    net.add_tcp_flow({}, 0.020);
+    net.add_burst_source(Bandwidth::mbps(30), 1500, 0.1, 0.4, 0.0, 10.0, 7);
+    sim.run_until(10.0);
+    return std::tuple{net.udt_receiver(0).stats().delivered,
+                      net.tcp_receiver(0).stats().delivered,
+                      net.bottleneck().stats().dropped};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Integration, ThroughputSamplerMatchesAverage) {
+  Simulator sim;
+  Dumbbell net{sim, {Bandwidth::mbps(50), 100}};
+  net.add_udt_flow({}, 0.010);
+  ThroughputSampler sampler{
+      sim, [&] { return net.udt_receiver(0).stats().delivered; }, 1500, 1.0};
+  sim.run_until(10.0);
+  ASSERT_EQ(sampler.samples_mbps().size(), 10u);
+  const double avg = average_mbps(net.udt_receiver(0).stats().delivered, 1500,
+                                  0.0, 10.0);
+  EXPECT_NEAR(sampler.mean_mbps(), avg, 0.5);
+}
+
+TEST(Integration, BurstTrafficCausesUdtLossEventsButRecovers) {
+  Simulator sim;
+  Dumbbell net{sim, {Bandwidth::mbps(100), 60}};
+  net.add_udt_flow({}, 0.020);
+  net.add_burst_source(Bandwidth::mbps(120), 1500, 0.05, 0.5, 2.0, 6.0, 11);
+  sim.run_until(20.0);
+  const auto& r = net.udt_receiver(0).stats();
+  EXPECT_GT(r.loss_events, 0u);
+  // After the burster stops at t=6, UDT must re-acquire the link.
+  const double late_mbps = average_mbps(
+      r.delivered, 1500, 0.0, 20.0);
+  EXPECT_GT(late_mbps, 40.0);
+}
+
+TEST(Integration, UdtCoexistsWithTcpWithoutStarvingIt) {
+  Simulator sim;
+  Dumbbell net{sim, {Bandwidth::mbps(100), 150}};
+  net.add_udt_flow({}, 0.010);
+  net.add_tcp_flow({}, 0.010);
+  sim.run_until(30.0);
+  const double tcp_mbps =
+      average_mbps(net.tcp_receiver(0).stats().delivered, 1500, 0.0, 30.0);
+  // At short RTT, TCP is more aggressive than UDT (§3.7): it must get a
+  // healthy share of the 100 Mb/s link.
+  EXPECT_GT(tcp_mbps, 20.0);
+}
+
+TEST(Integration, LinkConservationAcrossMixedWorkload) {
+  Simulator sim;
+  Dumbbell net{sim, {Bandwidth::mbps(60), 40}};
+  net.add_udt_flow({}, 0.030);
+  net.add_tcp_flow({}, 0.030);
+  net.add_cbr_source(Bandwidth::mbps(20), 1500, 0.0, 15.0);
+  sim.run_until(15.0);
+  const auto& st = net.bottleneck().stats();
+  // One packet may still be mid-serialization when the run stops.
+  const std::uint64_t accounted =
+      st.delivered + st.dropped + net.bottleneck().queue_depth();
+  EXPECT_GE(st.enqueued, accounted);
+  EXPECT_LE(st.enqueued - accounted, 1u);
+}
+
+}  // namespace
+}  // namespace udtr::sim

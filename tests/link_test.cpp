@@ -1,0 +1,179 @@
+#include "netsim/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netsim/demux.hpp"
+
+namespace udtr::sim {
+namespace {
+
+struct Recorder final : Consumer {
+  void receive(Packet pkt) override {
+    arrivals.push_back(pkt);
+    times.push_back(when != nullptr ? when->now() : 0.0);
+  }
+  Simulator* when = nullptr;
+  std::vector<Packet> arrivals;
+  std::vector<double> times;
+};
+
+Packet data_packet(int flow, int bytes) {
+  Packet p;
+  p.kind = PacketKind::kPlainUdp;
+  p.flow = flow;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(Link, SerializationPlusPropagationDelay) {
+  Simulator sim;
+  // 1500 B at 100 Mb/s = 120 us serialization; 10 ms propagation.
+  Link link{sim, Bandwidth::mbps(100), 0.010, 100};
+  Recorder rec;
+  rec.when = &sim;
+  link.set_next(&rec);
+  sim.at(0.0, [&] { link.receive(data_packet(1, 1500)); });
+  sim.run_all();
+  ASSERT_EQ(rec.arrivals.size(), 1u);
+  EXPECT_NEAR(rec.times[0], 120e-6 + 0.010, 1e-12);
+}
+
+TEST(Link, BackToBackPacketsSpacedBySerializationTime) {
+  // This dispersion is exactly what RBPP measures (paper §3.4).
+  Simulator sim;
+  Link link{sim, Bandwidth::gbps(1), 0.0, 100};
+  Recorder rec;
+  rec.when = &sim;
+  link.set_next(&rec);
+  sim.at(0.0, [&] {
+    link.receive(data_packet(1, 1500));
+    link.receive(data_packet(1, 1500));
+  });
+  sim.run_all();
+  ASSERT_EQ(rec.arrivals.size(), 2u);
+  EXPECT_NEAR(rec.times[1] - rec.times[0], 12e-6, 1e-12);
+}
+
+TEST(Link, DropTailDropsWhenQueueFull) {
+  Simulator sim;
+  Link link{sim, Bandwidth::mbps(1), 0.0, 2};  // tiny queue
+  Recorder rec;
+  rec.when = &sim;
+  link.set_next(&rec);
+  sim.at(0.0, [&] {
+    // 1 transmitting + 2 queued; the 4th and 5th are dropped.
+    for (int i = 0; i < 5; ++i) link.receive(data_packet(1, 1500));
+  });
+  sim.run_all();
+  EXPECT_EQ(rec.arrivals.size(), 3u);
+  EXPECT_EQ(link.stats().dropped, 2u);
+  EXPECT_EQ(link.stats().enqueued, 5u);
+  EXPECT_EQ(link.stats().delivered, 3u);
+}
+
+TEST(Link, ConservationDeliveredPlusDroppedEqualsEnqueued) {
+  Simulator sim;
+  Link link{sim, Bandwidth::mbps(10), 0.001, 5};
+  Recorder rec;
+  rec.when = &sim;
+  link.set_next(&rec);
+  for (int burst = 0; burst < 20; ++burst) {
+    sim.at(burst * 0.003, [&] {
+      for (int i = 0; i < 7; ++i) link.receive(data_packet(1, 1500));
+    });
+  }
+  sim.run_all();
+  EXPECT_EQ(link.stats().delivered + link.stats().dropped,
+            link.stats().enqueued);
+  EXPECT_EQ(rec.arrivals.size(), link.stats().delivered);
+}
+
+TEST(Link, PreservesFifoOrder) {
+  Simulator sim;
+  Link link{sim, Bandwidth::mbps(10), 0.002, 50};
+  Recorder rec;
+  rec.when = &sim;
+  link.set_next(&rec);
+  sim.at(0.0, [&] {
+    for (int i = 0; i < 20; ++i) {
+      Packet p = data_packet(1, 1500);
+      p.seq = udtr::SeqNo{i};
+      link.receive(std::move(p));
+    }
+  });
+  sim.run_all();
+  ASSERT_EQ(rec.arrivals.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(rec.arrivals[i].seq.value(), i);
+  }
+}
+
+TEST(Link, VariablePacketSizesSerializeProportionally) {
+  Simulator sim;
+  Link link{sim, Bandwidth::mbps(8), 0.0, 10};  // 1 byte = 1 us
+  Recorder rec;
+  rec.when = &sim;
+  link.set_next(&rec);
+  sim.at(0.0, [&] {
+    link.receive(data_packet(1, 1000));
+    link.receive(data_packet(1, 40));
+  });
+  sim.run_all();
+  ASSERT_EQ(rec.times.size(), 2u);
+  EXPECT_NEAR(rec.times[0], 1000e-6, 1e-12);
+  EXPECT_NEAR(rec.times[1], 1040e-6, 1e-12);
+}
+
+TEST(DelayLink, PureDelayNoQueueing) {
+  Simulator sim;
+  DelayLink link{sim, 0.050};
+  Recorder rec;
+  rec.when = &sim;
+  link.set_next(&rec);
+  sim.at(0.0, [&] {
+    link.receive(data_packet(1, 1500));
+    link.receive(data_packet(2, 1500));
+  });
+  sim.run_all();
+  ASSERT_EQ(rec.times.size(), 2u);
+  EXPECT_NEAR(rec.times[0], 0.050, 1e-12);
+  EXPECT_NEAR(rec.times[1], 0.050, 1e-12);  // no serialization spacing
+}
+
+TEST(LossyLink, ZeroProbabilityPassesEverything) {
+  Simulator sim;
+  LossyLink lossy{0.0, 42};
+  Recorder rec;
+  lossy.set_next(&rec);
+  for (int i = 0; i < 100; ++i) lossy.receive(data_packet(1, 100));
+  EXPECT_EQ(rec.arrivals.size(), 100u);
+  EXPECT_EQ(lossy.dropped(), 0u);
+}
+
+TEST(LossyLink, DropsApproximatelyAtConfiguredRate) {
+  Simulator sim;
+  LossyLink lossy{0.3, 42};
+  Recorder rec;
+  lossy.set_next(&rec);
+  for (int i = 0; i < 10000; ++i) lossy.receive(data_packet(1, 100));
+  EXPECT_NEAR(static_cast<double>(lossy.dropped()), 3000.0, 200.0);
+  EXPECT_EQ(rec.arrivals.size() + lossy.dropped(), 10000u);
+}
+
+TEST(FlowDemux, RoutesByFlowId) {
+  FlowDemux demux;
+  Recorder a, b;
+  demux.route(1, &a);
+  demux.route(2, &b);
+  demux.receive(data_packet(1, 100));
+  demux.receive(data_packet(2, 100));
+  demux.receive(data_packet(2, 100));
+  demux.receive(data_packet(99, 100));  // unrouted: silently discarded
+  EXPECT_EQ(a.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals.size(), 2u);
+}
+
+}  // namespace
+}  // namespace udtr::sim

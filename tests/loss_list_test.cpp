@@ -1,0 +1,268 @@
+#include "udt/loss_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+namespace udtr::udt {
+namespace {
+
+using udtr::SeqNo;
+
+std::vector<std::pair<std::int32_t, std::int32_t>> ranges_of(
+    const LossList& ll) {
+  std::vector<std::pair<std::int32_t, std::int32_t>> out;
+  ll.for_each([&](const LossList::Range& r) {
+    out.emplace_back(r.first.value(), r.last.value());
+  });
+  return out;
+}
+
+TEST(LossList, StartsEmpty) {
+  LossList ll{1024};
+  EXPECT_TRUE(ll.empty());
+  EXPECT_EQ(ll.packet_count(), 0);
+  EXPECT_EQ(ll.event_count(), 0);
+  EXPECT_FALSE(ll.first().has_value());
+  EXPECT_FALSE(ll.pop_first().has_value());
+}
+
+TEST(LossList, SingleInsert) {
+  LossList ll{1024};
+  EXPECT_EQ(ll.insert(SeqNo{5}), 1);
+  EXPECT_EQ(ll.packet_count(), 1);
+  EXPECT_TRUE(ll.contains(SeqNo{5}));
+  EXPECT_FALSE(ll.contains(SeqNo{4}));
+  EXPECT_EQ(ll.first()->value(), 5);
+}
+
+TEST(LossList, RangeInsertCountsPackets) {
+  LossList ll{1024};
+  EXPECT_EQ(ll.insert(SeqNo{10}, SeqNo{19}), 10);
+  EXPECT_EQ(ll.packet_count(), 10);
+  EXPECT_EQ(ll.event_count(), 1);
+}
+
+TEST(LossList, DuplicateInsertAddsNothing) {
+  LossList ll{1024};
+  ll.insert(SeqNo{10}, SeqNo{19});
+  EXPECT_EQ(ll.insert(SeqNo{12}, SeqNo{15}), 0);
+  EXPECT_EQ(ll.packet_count(), 10);
+}
+
+TEST(LossList, AdjacentRangesCoalesce) {
+  LossList ll{1024};
+  ll.insert(SeqNo{10}, SeqNo{19});
+  ll.insert(SeqNo{20}, SeqNo{29});
+  EXPECT_EQ(ll.event_count(), 1);
+  EXPECT_EQ(ll.packet_count(), 20);
+  EXPECT_EQ(ranges_of(ll), (std::vector<std::pair<std::int32_t,
+                                                  std::int32_t>>{{10, 29}}));
+}
+
+TEST(LossList, OverlappingInsertMergesAndCounts) {
+  LossList ll{1024};
+  ll.insert(SeqNo{10}, SeqNo{19});
+  EXPECT_EQ(ll.insert(SeqNo{15}, SeqNo{25}), 6);  // 20..25 are new
+  EXPECT_EQ(ll.packet_count(), 16);
+  EXPECT_EQ(ll.event_count(), 1);
+}
+
+TEST(LossList, InsertBeforeHeadBecomesNewHead) {
+  LossList ll{1024};
+  ll.insert(SeqNo{100}, SeqNo{110});
+  ll.insert(SeqNo{5}, SeqNo{8});
+  EXPECT_EQ(ll.first()->value(), 5);
+  EXPECT_EQ(ll.event_count(), 2);
+}
+
+TEST(LossList, InsertBridgingTwoNodesMergesAll) {
+  LossList ll{1024};
+  ll.insert(SeqNo{10}, SeqNo{19});
+  ll.insert(SeqNo{30}, SeqNo{39});
+  EXPECT_EQ(ll.insert(SeqNo{15}, SeqNo{34}), 10);  // 20..29 new
+  EXPECT_EQ(ll.event_count(), 1);
+  EXPECT_EQ(ll.packet_count(), 30);
+}
+
+TEST(LossList, RemoveSingleton) {
+  LossList ll{1024};
+  ll.insert(SeqNo{5});
+  EXPECT_TRUE(ll.remove(SeqNo{5}));
+  EXPECT_TRUE(ll.empty());
+  EXPECT_FALSE(ll.remove(SeqNo{5}));
+}
+
+TEST(LossList, RemoveFrontOfRange) {
+  LossList ll{1024};
+  ll.insert(SeqNo{10}, SeqNo{14});
+  EXPECT_TRUE(ll.remove(SeqNo{10}));
+  EXPECT_EQ(ranges_of(ll), (std::vector<std::pair<std::int32_t,
+                                                  std::int32_t>>{{11, 14}}));
+}
+
+TEST(LossList, RemoveBackOfRange) {
+  LossList ll{1024};
+  ll.insert(SeqNo{10}, SeqNo{14});
+  EXPECT_TRUE(ll.remove(SeqNo{14}));
+  EXPECT_EQ(ranges_of(ll), (std::vector<std::pair<std::int32_t,
+                                                  std::int32_t>>{{10, 13}}));
+}
+
+TEST(LossList, RemoveMiddleSplitsRange) {
+  LossList ll{1024};
+  ll.insert(SeqNo{10}, SeqNo{14});
+  EXPECT_TRUE(ll.remove(SeqNo{12}));
+  EXPECT_EQ(ranges_of(ll),
+            (std::vector<std::pair<std::int32_t, std::int32_t>>{{10, 11},
+                                                                {13, 14}}));
+  EXPECT_EQ(ll.packet_count(), 4);
+}
+
+TEST(LossList, RemoveAbsentInGapReturnsFalse) {
+  LossList ll{1024};
+  ll.insert(SeqNo{10}, SeqNo{14});
+  ll.insert(SeqNo{20}, SeqNo{24});
+  EXPECT_FALSE(ll.remove(SeqNo{17}));
+  EXPECT_EQ(ll.packet_count(), 10);
+}
+
+TEST(LossList, RemoveUpToDropsAndTrims) {
+  LossList ll{1024};
+  ll.insert(SeqNo{10}, SeqNo{14});
+  ll.insert(SeqNo{20}, SeqNo{24});
+  ll.remove_up_to(SeqNo{21});
+  EXPECT_EQ(ranges_of(ll), (std::vector<std::pair<std::int32_t,
+                                                  std::int32_t>>{{22, 24}}));
+  EXPECT_EQ(ll.packet_count(), 3);
+}
+
+TEST(LossList, PopFirstDrainsInOrder) {
+  LossList ll{1024};
+  ll.insert(SeqNo{10}, SeqNo{12});
+  ll.insert(SeqNo{20});
+  std::vector<std::int32_t> popped;
+  while (auto s = ll.pop_first()) popped.push_back(s->value());
+  EXPECT_EQ(popped, (std::vector<std::int32_t>{10, 11, 12, 20}));
+}
+
+TEST(LossList, WrapAroundRange) {
+  LossList ll{1024};
+  const SeqNo a{SeqNo::kMax - 2};
+  const SeqNo b{2};
+  EXPECT_EQ(ll.insert(a, b), 6);
+  EXPECT_TRUE(ll.contains(SeqNo{SeqNo::kMax}));
+  EXPECT_TRUE(ll.contains(SeqNo{0}));
+  EXPECT_TRUE(ll.remove(SeqNo{0}));
+  EXPECT_EQ(ll.packet_count(), 5);
+  EXPECT_EQ(ll.event_count(), 2);
+}
+
+TEST(LossList, CollectExpiredBacksOff) {
+  LossList ll{1024};
+  ll.set_now_us(1000);
+  ll.insert(SeqNo{10}, SeqNo{14});
+  // Fresh entries were just reported (insert-time NAK): nothing expires yet.
+  EXPECT_TRUE(ll.collect_expired(1000, 10000).empty());
+  // After the base timeout, the first re-report fires.
+  auto r1 = ll.collect_expired(11000, 10000);
+  ASSERT_EQ(r1.size(), 1u);
+  // The next re-report needs 2x the base.
+  EXPECT_TRUE(ll.collect_expired(20000, 10000).empty());
+  EXPECT_EQ(ll.collect_expired(31000, 10000).size(), 1u);
+}
+
+// ---- property test: behaves exactly like a std::set reference model ------
+
+struct ModelParams {
+  std::uint64_t seed;
+  std::int32_t base;  // starting sequence (exercises the wrap boundary)
+};
+
+class LossListModel : public ::testing::TestWithParam<ModelParams> {};
+
+TEST_P(LossListModel, MatchesReferenceSetUnderRandomOps) {
+  const auto [seed, base] = GetParam();
+  std::mt19937_64 rng{seed};
+  constexpr std::int32_t kWindow = 4000;
+  LossList ll{8192};
+  std::set<std::int64_t> model;  // unwrapped sequence numbers
+
+  const auto to_seq = [&](std::int64_t unwrapped) {
+    return SeqNo{static_cast<std::int32_t>(
+        (static_cast<std::int64_t>(base) + unwrapped) &
+        SeqNo::kMax)};
+  };
+
+  std::int64_t low = 0;  // everything below is acknowledged
+  for (int step = 0; step < 4000; ++step) {
+    const int op = static_cast<int>(rng() % 100);
+    if (op < 45) {
+      // insert a random range within the live window
+      const std::int64_t a = low + static_cast<std::int64_t>(
+                                       rng() % kWindow);
+      const std::int64_t len = 1 + static_cast<std::int64_t>(rng() % 30);
+      const std::int64_t b = std::min(a + len - 1, low + kWindow - 1);
+      const std::int32_t added = ll.insert(to_seq(a), to_seq(b));
+      std::int32_t model_added = 0;
+      for (std::int64_t s = a; s <= b; ++s) {
+        if (model.insert(s).second) ++model_added;
+      }
+      ASSERT_EQ(added, model_added) << "step " << step;
+    } else if (op < 75) {
+      // remove a random element (sometimes absent)
+      const std::int64_t s = low + static_cast<std::int64_t>(rng() % kWindow);
+      const bool removed = ll.remove(to_seq(s));
+      ASSERT_EQ(removed, model.erase(s) > 0) << "step " << step;
+    } else if (op < 85) {
+      // pop the smallest
+      const auto popped = ll.pop_first();
+      if (model.empty()) {
+        ASSERT_FALSE(popped.has_value());
+      } else {
+        ASSERT_TRUE(popped.has_value());
+        ASSERT_EQ(popped->value(), to_seq(*model.begin()).value())
+            << "step " << step;
+        model.erase(model.begin());
+      }
+    } else if (op < 95) {
+      // advance the acknowledged horizon
+      low += static_cast<std::int64_t>(rng() % 200);
+      if (low > 0) {
+        ll.remove_up_to(to_seq(low - 1));
+        model.erase(model.begin(), model.lower_bound(low));
+      }
+    } else {
+      // full state check
+      ASSERT_EQ(ll.packet_count(),
+                static_cast<std::int32_t>(model.size()));
+      if (!model.empty()) {
+        ASSERT_EQ(ll.first()->value(), to_seq(*model.begin()).value());
+      }
+    }
+  }
+  // Final deep equality: enumerate list contents against the model.
+  std::vector<std::int32_t> list_contents;
+  ll.for_each([&](const LossList::Range& r) {
+    for (SeqNo s = r.first;; s = s.next()) {
+      list_contents.push_back(s.value());
+      if (s == r.last) break;
+    }
+  });
+  std::vector<std::int32_t> model_contents;
+  for (std::int64_t s : model) model_contents.push_back(to_seq(s).value());
+  ASSERT_EQ(list_contents, model_contents);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LossListModel,
+    ::testing::Values(ModelParams{1, 0}, ModelParams{2, 0},
+                      ModelParams{3, 1000000},
+                      // start just below the 31-bit wrap
+                      ModelParams{4, SeqNo::kMax - 2000},
+                      ModelParams{5, SeqNo::kMax - 2000},
+                      ModelParams{6, SeqNo::kMax / 2}));
+
+}  // namespace
+}  // namespace udtr::udt

@@ -1,0 +1,89 @@
+#include "common/median_filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace udtr {
+namespace {
+
+TEST(ArrivalSpeed, ReportsZeroUntilWindowFull) {
+  ArrivalSpeedEstimator est{16};
+  for (int i = 0; i < 15; ++i) {
+    est.add_interval(0.001);
+    EXPECT_EQ(est.packets_per_second(), 0.0);
+  }
+  est.add_interval(0.001);
+  EXPECT_NEAR(est.packets_per_second(), 1000.0, 1e-6);
+}
+
+TEST(ArrivalSpeed, UniformIntervalsGiveExactRate) {
+  ArrivalSpeedEstimator est{16};
+  for (int i = 0; i < 16; ++i) est.add_interval(0.0001);
+  EXPECT_NEAR(est.packets_per_second(), 10000.0, 1e-6);
+}
+
+TEST(ArrivalSpeed, MedianFilterDiscardsPauseOutliers) {
+  // 15 fast intervals plus one huge sending pause: the pause must not drag
+  // the estimate down (the paper's reason for rejecting a plain mean).
+  ArrivalSpeedEstimator est{16};
+  for (int i = 0; i < 15; ++i) est.add_interval(0.001);
+  est.add_interval(5.0);  // sender idle for 5 seconds
+  EXPECT_NEAR(est.packets_per_second(), 1000.0, 1.0);
+}
+
+TEST(ArrivalSpeed, MedianFilterDiscardsPacketPairGaps) {
+  // Packet-pair probes arrive nearly back to back; those tiny intervals are
+  // outliers below median/8 and must be filtered out too.
+  ArrivalSpeedEstimator est{16};
+  for (int i = 0; i < 14; ++i) est.add_interval(0.001);
+  est.add_interval(0.00001);
+  est.add_interval(0.00001);
+  EXPECT_NEAR(est.packets_per_second(), 1000.0, 1.0);
+}
+
+TEST(ArrivalSpeed, UnreliableWhenMajorityFiltered) {
+  // If fewer than half the samples survive, UDT reports "unknown" (0).
+  ArrivalSpeedEstimator est{16};
+  for (int i = 0; i < 8; ++i) est.add_interval(1.0);
+  for (int i = 0; i < 8; ++i) est.add_interval(1e-6);
+  EXPECT_EQ(est.packets_per_second(), 0.0);
+}
+
+TEST(ArrivalSpeed, ResetClearsState) {
+  ArrivalSpeedEstimator est{16};
+  for (int i = 0; i < 16; ++i) est.add_interval(0.001);
+  ASSERT_GT(est.packets_per_second(), 0.0);
+  est.reset();
+  EXPECT_EQ(est.packets_per_second(), 0.0);
+  EXPECT_FALSE(est.full());
+}
+
+TEST(PacketPair, EstimatesCapacityFromDispersion) {
+  // 1500-byte packets on a 1 Gb/s link: dispersion = 12 us -> 83333 pkt/s.
+  PacketPairEstimator est{16};
+  for (int i = 0; i < 16; ++i) est.add_dispersion(12e-6);
+  EXPECT_NEAR(est.capacity_packets_per_second(), 1.0 / 12e-6, 1.0);
+}
+
+TEST(PacketPair, WorksBeforeWindowFills) {
+  PacketPairEstimator est{16};
+  est.add_dispersion(12e-6);
+  EXPECT_NEAR(est.capacity_packets_per_second(), 1.0 / 12e-6, 1.0);
+}
+
+TEST(PacketPair, IgnoresNonPositiveSamples) {
+  PacketPairEstimator est{16};
+  est.add_dispersion(0.0);
+  est.add_dispersion(-1.0);
+  EXPECT_EQ(est.capacity_packets_per_second(), 0.0);
+}
+
+TEST(PacketPair, MedianRejectsCrossTrafficOutliers) {
+  PacketPairEstimator est{16};
+  for (int i = 0; i < 12; ++i) est.add_dispersion(12e-6);
+  for (int i = 0; i < 4; ++i) est.add_dispersion(900e-6);  // queued behind burst
+  const double cap = est.capacity_packets_per_second();
+  EXPECT_NEAR(cap, 1.0 / 12e-6, 1.0 / 12e-6 * 0.05);
+}
+
+}  // namespace
+}  // namespace udtr

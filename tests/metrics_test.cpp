@@ -1,0 +1,83 @@
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace udtr {
+namespace {
+
+TEST(Jain, EqualSharesAreIdeal) {
+  std::array<double, 4> xs{100.0, 100.0, 100.0, 100.0};
+  EXPECT_DOUBLE_EQ(jain_fairness_index(xs), 1.0);
+}
+
+TEST(Jain, SingleHogIsWorstCase) {
+  std::array<double, 4> xs{400.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_fairness_index(xs), 0.25);  // 1/n
+}
+
+TEST(Jain, HandComputedMixedCase) {
+  // (1+2+3)^2 / (3 * (1+4+9)) = 36/42
+  std::array<double, 3> xs{1.0, 2.0, 3.0};
+  EXPECT_NEAR(jain_fairness_index(xs), 36.0 / 42.0, 1e-12);
+}
+
+TEST(Jain, ScaleInvariant) {
+  std::array<double, 3> a{1.0, 2.0, 3.0};
+  std::array<double, 3> b{10.0, 20.0, 30.0};
+  EXPECT_NEAR(jain_fairness_index(a), jain_fairness_index(b), 1e-12);
+}
+
+TEST(Jain, EmptyAndZeroInputs) {
+  EXPECT_EQ(jain_fairness_index({}), 0.0);
+  std::array<double, 2> zeros{0.0, 0.0};
+  EXPECT_EQ(jain_fairness_index(zeros), 0.0);
+}
+
+TEST(Stability, ConstantThroughputIsPerfectlyStable) {
+  std::vector<std::vector<double>> s{{5.0, 5.0, 5.0}, {7.0, 7.0, 7.0}};
+  EXPECT_DOUBLE_EQ(stability_index(s), 0.0);
+}
+
+TEST(Stability, HandComputedOscillation) {
+  // One flow oscillating 0/10: mean 5, sample stddev sqrt(50/3)... use
+  // samples {4,6}: mean 5, stddev sqrt(2); index = sqrt(2)/5.
+  std::vector<std::vector<double>> s{{4.0, 6.0}};
+  EXPECT_NEAR(stability_index(s), std::sqrt(2.0) / 5.0, 1e-12);
+}
+
+TEST(Stability, AveragesAcrossFlows) {
+  std::vector<std::vector<double>> s{{4.0, 6.0}, {5.0, 5.0}};
+  EXPECT_NEAR(stability_index(s), std::sqrt(2.0) / 5.0 / 2.0, 1e-12);
+}
+
+TEST(Stability, SkipsDegenerateFlows) {
+  std::vector<std::vector<double>> s{{0.0, 0.0}, {4.0, 6.0}};
+  EXPECT_NEAR(stability_index(s), std::sqrt(2.0) / 5.0, 1e-12);
+}
+
+TEST(Friendliness, IdealWhenTcpKeepsFairShare) {
+  // 2 TCP flows with UDT average 30; 5 flows alone average 30 -> T = 1.
+  std::array<double, 2> with_udt{30.0, 30.0};
+  std::array<double, 5> alone{30.0, 30.0, 30.0, 30.0, 30.0};
+  EXPECT_DOUBLE_EQ(friendliness_index(with_udt, alone, 3), 1.0);
+}
+
+TEST(Friendliness, BelowOneWhenUdtOverruns) {
+  std::array<double, 2> with_udt{10.0, 10.0};
+  std::array<double, 5> alone{30.0, 30.0, 30.0, 30.0, 30.0};
+  EXPECT_NEAR(friendliness_index(with_udt, alone, 3), 1.0 / 3.0, 1e-12);
+}
+
+TEST(StdDev, MatchesHandComputation) {
+  std::array<double, 4> xs{2.0, 4.0, 4.0, 6.0};
+  // mean 4, sum sq dev = 4+0+0+4 = 8, sample var = 8/3.
+  EXPECT_NEAR(sample_stddev(xs), std::sqrt(8.0 / 3.0), 1e-12);
+  EXPECT_EQ(sample_stddev(std::array<double, 1>{3.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace udtr

@@ -1,0 +1,79 @@
+#include "netsim/multibottleneck.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netsim/stats.hpp"
+
+namespace udtr::sim {
+namespace {
+
+TEST(ParkingLot, SingleFlowTraversesAllHops) {
+  Simulator sim;
+  ParkingLot net{sim, {Bandwidth::mbps(50), Bandwidth::mbps(50)}, 100};
+  UdtFlowConfig cfg;
+  cfg.total_packets = 2000;
+  net.add_udt_flow(cfg, 0, 1, 0.020);
+  sim.run_until(30.0);
+  EXPECT_EQ(net.udt_receiver(0).stats().delivered, 2000u);
+  // Both hop links carried the data.
+  EXPECT_GE(net.hop_link(0).stats().delivered, 2000u);
+  EXPECT_GE(net.hop_link(1).stats().delivered, 2000u);
+}
+
+TEST(ParkingLot, CrossFlowOnlyTouchesItsHop) {
+  Simulator sim;
+  ParkingLot net{sim, {Bandwidth::mbps(50), Bandwidth::mbps(50)}, 100};
+  UdtFlowConfig cfg;
+  cfg.total_packets = 1000;
+  net.add_udt_flow(cfg, 1, 1, 0.010);  // only the second hop
+  sim.run_until(20.0);
+  EXPECT_EQ(net.udt_receiver(0).stats().delivered, 1000u);
+  EXPECT_EQ(net.hop_link(0).stats().delivered, 0u);
+  EXPECT_GE(net.hop_link(1).stats().delivered, 1000u);
+}
+
+TEST(ParkingLot, NarrowestHopGovernsThroughput) {
+  Simulator sim;
+  ParkingLot net{sim,
+                 {Bandwidth::mbps(100), Bandwidth::mbps(20),
+                  Bandwidth::mbps(100)},
+                 100};
+  net.add_udt_flow({}, 0, 2, 0.020);
+  sim.run_until(20.0);
+  const double mbps = average_mbps(net.udt_receiver(0).stats().delivered,
+                                   1500, 0.0, 20.0);
+  EXPECT_GT(mbps, 14.0);
+  EXPECT_LE(mbps, 20.5);
+}
+
+TEST(ParkingLot, LongUdtFlowKeepsHalfMaxMinShare) {
+  // Footnote 3 at test scale: 2 equal hops, 1 cross flow each; max-min
+  // share of the long flow = C/2; claim: >= C/4.
+  Simulator sim;
+  ParkingLot net{sim, {Bandwidth::mbps(60), Bandwidth::mbps(60)}, 1000};
+  const std::size_t long_idx = net.add_udt_flow({}, 0, 1, 0.030);
+  net.add_udt_flow({}, 0, 0, 0.030);
+  net.add_udt_flow({}, 1, 1, 0.030);
+  sim.run_until(40.0);
+  const double long_mbps = average_mbps(
+      net.udt_receiver(long_idx).stats().delivered, 1500, 0.0, 40.0);
+  EXPECT_GE(long_mbps, 60.0 / 4.0);
+}
+
+TEST(ParkingLot, MixedUdtTcpCoexist) {
+  Simulator sim;
+  ParkingLot net{sim, {Bandwidth::mbps(60), Bandwidth::mbps(60)}, 500};
+  net.add_udt_flow({}, 0, 1, 0.020);
+  net.add_tcp_flow({}, 1, 1, 0.020);
+  sim.run_until(30.0);
+  const double udt = average_mbps(net.udt_receiver(0).stats().delivered,
+                                  1500, 0.0, 30.0);
+  const double tcp = average_mbps(net.tcp_receiver(0).stats().delivered,
+                                  1500, 0.0, 30.0);
+  EXPECT_GT(udt, 10.0);
+  EXPECT_GT(tcp, 10.0);
+  EXPECT_LT(udt + tcp, 70.0);  // hop-1 capacity bounds them jointly
+}
+
+}  // namespace
+}  // namespace udtr::sim

@@ -1,0 +1,111 @@
+#include "udt/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace udtr::udt {
+namespace {
+
+TEST(PacketCodec, DataHeaderRoundTrip) {
+  std::array<std::uint8_t, kHeaderBytes> buf{};
+  DataHeader h;
+  h.seq = udtr::SeqNo{0x12345678};
+  h.timestamp_us = 987654321;
+  h.dst_socket = 0xCAFEBABE;
+  write_data_header(buf, h);
+  EXPECT_FALSE(is_control(buf));
+  const DataHeader out = read_data_header(buf);
+  EXPECT_EQ(out.seq, h.seq);
+  EXPECT_EQ(out.timestamp_us, h.timestamp_us);
+  EXPECT_EQ(out.dst_socket, h.dst_socket);
+}
+
+TEST(PacketCodec, DataSeqBitThirtyOneIsClear) {
+  std::array<std::uint8_t, kHeaderBytes> buf{};
+  DataHeader h;
+  h.seq = udtr::SeqNo{SeqNo::kMax};
+  write_data_header(buf, h);
+  EXPECT_EQ(buf[0] & 0x80U, 0U);  // data flag
+  EXPECT_EQ(read_data_header(buf).seq, h.seq);
+}
+
+TEST(PacketCodec, CtrlHeaderRoundTrip) {
+  std::array<std::uint8_t, kHeaderBytes> buf{};
+  CtrlHeader h;
+  h.type = CtrlType::kNak;
+  h.info = 4242;
+  h.timestamp_us = 1111;
+  h.dst_socket = 77;
+  write_ctrl_header(buf, h);
+  EXPECT_TRUE(is_control(buf));
+  const CtrlHeader out = read_ctrl_header(buf);
+  EXPECT_EQ(out.type, CtrlType::kNak);
+  EXPECT_EQ(out.info, 4242u);
+  EXPECT_EQ(out.timestamp_us, 1111u);
+  EXPECT_EQ(out.dst_socket, 77u);
+}
+
+TEST(PacketCodec, AllCtrlTypesSurviveRoundTrip) {
+  for (CtrlType t : {CtrlType::kHandshake, CtrlType::kKeepAlive,
+                     CtrlType::kAck, CtrlType::kNak, CtrlType::kShutdown,
+                     CtrlType::kAck2}) {
+    std::array<std::uint8_t, kHeaderBytes> buf{};
+    CtrlHeader h;
+    h.type = t;
+    write_ctrl_header(buf, h);
+    EXPECT_EQ(read_ctrl_header(buf).type, t);
+  }
+}
+
+TEST(LossEncoding, PaperAppendixExample) {
+  // The Appendix example: 0x80000003, 0x86, 0x8000000F(?), ... — encoded
+  // ranges [3,6] read as "flag set on 3 means everything to the next word
+  // (6) is lost".  Verify with [3,6] and singleton 18.
+  const std::vector<std::pair<udtr::SeqNo, udtr::SeqNo>> ranges{
+      {udtr::SeqNo{3}, udtr::SeqNo{6}}, {udtr::SeqNo{18}, udtr::SeqNo{18}}};
+  const auto words = encode_loss_ranges(ranges);
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], 0x80000003U);
+  EXPECT_EQ(words[1], 6U);
+  EXPECT_EQ(words[2], 18U);
+  EXPECT_EQ(decode_loss_ranges(words), ranges);
+}
+
+TEST(LossEncoding, SingleLossUsesOneWord) {
+  const std::vector<std::pair<udtr::SeqNo, udtr::SeqNo>> ranges{
+      {udtr::SeqNo{42}, udtr::SeqNo{42}}};
+  const auto words = encode_loss_ranges(ranges);
+  ASSERT_EQ(words.size(), 1u);
+  EXPECT_EQ(words[0], 42U);
+  EXPECT_EQ(decode_loss_ranges(words), ranges);
+}
+
+TEST(LossEncoding, CompressionBeatsEnumeration) {
+  // 30000 consecutive losses encode in two words, not 30000 (§4.2).
+  const std::vector<std::pair<udtr::SeqNo, udtr::SeqNo>> ranges{
+      {udtr::SeqNo{1000}, udtr::SeqNo{31000}}};
+  EXPECT_EQ(encode_loss_ranges(ranges).size(), 2u);
+}
+
+TEST(LossEncoding, TruncatedRangeIsDropped) {
+  const std::vector<std::uint32_t> words{0x80000005U};  // open, no close
+  EXPECT_TRUE(decode_loss_ranges(words).empty());
+}
+
+TEST(LossEncoding, MixedRoundTrip) {
+  std::vector<std::pair<udtr::SeqNo, udtr::SeqNo>> ranges;
+  for (int i = 0; i < 50; ++i) {
+    const std::int32_t start = i * 100;
+    const std::int32_t end = (i % 3 == 0) ? start : start + i;
+    ranges.emplace_back(udtr::SeqNo{start}, udtr::SeqNo{end});
+  }
+  EXPECT_EQ(decode_loss_ranges(encode_loss_ranges(ranges)), ranges);
+}
+
+TEST(LossEncoding, WrapBoundaryRange) {
+  const std::vector<std::pair<udtr::SeqNo, udtr::SeqNo>> ranges{
+      {udtr::SeqNo{SeqNo::kMax - 2}, udtr::SeqNo{3}}};
+  EXPECT_EQ(decode_loss_ranges(encode_loss_ranges(ranges)), ranges);
+}
+
+}  // namespace
+}  // namespace udtr::udt

@@ -1,0 +1,116 @@
+#include "netsim/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netsim/link.hpp"
+#include "netsim/stats.hpp"
+#include "netsim/topology.hpp"
+
+namespace udtr::sim {
+namespace {
+
+TEST(DropTailPolicy, DropsExactlyAtLimit) {
+  DropTailPolicy p{3};
+  EXPECT_FALSE(p.should_drop(0));
+  EXPECT_FALSE(p.should_drop(2));
+  EXPECT_TRUE(p.should_drop(3));
+  EXPECT_TRUE(p.should_drop(100));
+}
+
+TEST(RedPolicy, NeverDropsWhileAverageBelowMinTh) {
+  RedPolicy::Params params;
+  params.min_th = 5;
+  params.max_th = 15;
+  params.weight = 1.0;  // average == instantaneous for the test
+  RedPolicy p{params};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(p.should_drop(3));
+  }
+}
+
+TEST(RedPolicy, AlwaysDropsAboveMaxTh) {
+  RedPolicy::Params params;
+  params.min_th = 5;
+  params.max_th = 15;
+  params.weight = 1.0;
+  RedPolicy p{params};
+  EXPECT_TRUE(p.should_drop(20));
+}
+
+TEST(RedPolicy, ProbabilisticRegionDropsSome) {
+  RedPolicy::Params params;
+  params.min_th = 5;
+  params.max_th = 15;
+  params.max_p = 0.2;
+  params.weight = 1.0;
+  params.seed = 3;
+  RedPolicy p{params};
+  int drops = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (p.should_drop(10)) ++drops;  // midway: pb ~ 0.1, pa escalates
+  }
+  EXPECT_GT(drops, 50);
+  EXPECT_LT(drops, 1500);
+}
+
+TEST(RedPolicy, PhysicalLimitIsHard) {
+  RedPolicy::Params params;
+  params.limit = 50;
+  RedPolicy p{params};
+  EXPECT_TRUE(p.should_drop(50));
+}
+
+TEST(RedPolicy, EwmaSmoothsBursts) {
+  RedPolicy::Params params;
+  params.min_th = 5;
+  params.max_th = 15;
+  params.weight = 0.002;  // slow average
+  RedPolicy p{params};
+  // A short burst above max_th must not trigger hard drops while the
+  // average is still low.
+  EXPECT_FALSE(p.should_drop(20));
+  EXPECT_LT(p.average_queue(), 1.0);
+}
+
+TEST(RedLink, TcpKeepsShorterQueueUnderRed) {
+  // RED's point: early random drops keep the standing queue short compared
+  // to a deep DropTail buffer filled to the brim by TCP.
+  const auto max_depth = [](bool red) {
+    Simulator sim;
+    DumbbellConfig cfg;
+    cfg.bottleneck = Bandwidth::mbps(50);
+    cfg.queue_pkts = 200;
+    if (red) {
+      RedPolicy::Params params;
+      params.min_th = 10;
+      params.max_th = 60;
+      params.limit = 200;
+      cfg.red = params;
+    }
+    Dumbbell net{sim, cfg};
+    net.add_tcp_flow({}, 0.020);
+    sim.run_until(20.0);
+    return net.bottleneck().stats().max_queue_depth;
+  };
+  EXPECT_LT(max_depth(true), max_depth(false));
+}
+
+TEST(RedLink, UdtStillDeliversReliably) {
+  Simulator sim;
+  DumbbellConfig cfg;
+  cfg.bottleneck = Bandwidth::mbps(50);
+  RedPolicy::Params params;
+  params.min_th = 10;
+  params.max_th = 60;
+  params.limit = 200;
+  cfg.red = params;
+  Dumbbell net{sim, cfg};
+  UdtFlowConfig flow;
+  flow.total_packets = 5000;
+  net.add_udt_flow(flow, 0.020);
+  sim.run_until(60.0);
+  EXPECT_EQ(net.udt_receiver(0).stats().delivered, 5000u);
+}
+
+}  // namespace
+}  // namespace udtr::sim

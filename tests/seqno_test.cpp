@@ -1,0 +1,77 @@
+#include "common/seqno.hpp"
+
+#include <gtest/gtest.h>
+
+namespace udtr {
+namespace {
+
+TEST(SeqNo, MasksTo31Bits) {
+  EXPECT_EQ(SeqNo{-1}.value(), SeqNo::kMax);
+  EXPECT_EQ(SeqNo{SeqNo::kMax}.value(), SeqNo::kMax);
+  EXPECT_EQ(SeqNo{0}.value(), 0);
+}
+
+TEST(SeqNo, BasicComparison) {
+  EXPECT_LT(SeqNo::cmp(SeqNo{1}, SeqNo{2}), 0);
+  EXPECT_GT(SeqNo::cmp(SeqNo{5}, SeqNo{2}), 0);
+  EXPECT_EQ(SeqNo::cmp(SeqNo{7}, SeqNo{7}), 0);
+}
+
+TEST(SeqNo, WrapAroundComparison) {
+  // kMax precedes 0 across the wrap boundary.
+  EXPECT_LT(SeqNo::cmp(SeqNo{SeqNo::kMax}, SeqNo{0}), 0);
+  EXPECT_GT(SeqNo::cmp(SeqNo{0}, SeqNo{SeqNo::kMax}), 0);
+  EXPECT_LT(SeqNo::cmp(SeqNo{SeqNo::kMax - 5}, SeqNo{10}), 0);
+}
+
+TEST(SeqNo, OffsetAcrossWrap) {
+  EXPECT_EQ(SeqNo::offset(SeqNo{SeqNo::kMax}, SeqNo{0}), 1);
+  EXPECT_EQ(SeqNo::offset(SeqNo{0}, SeqNo{SeqNo::kMax}), -1);
+  EXPECT_EQ(SeqNo::offset(SeqNo{SeqNo::kMax - 1}, SeqNo{3}), 5);
+  EXPECT_EQ(SeqNo::offset(SeqNo{3}, SeqNo{SeqNo::kMax - 1}), -5);
+  EXPECT_EQ(SeqNo::offset(SeqNo{100}, SeqNo{100}), 0);
+}
+
+TEST(SeqNo, LengthInclusive) {
+  EXPECT_EQ(SeqNo::length(SeqNo{3}, SeqNo{3}), 1);
+  EXPECT_EQ(SeqNo::length(SeqNo{3}, SeqNo{7}), 5);
+  EXPECT_EQ(SeqNo::length(SeqNo{SeqNo::kMax}, SeqNo{0}), 2);
+  EXPECT_EQ(SeqNo::length(SeqNo{SeqNo::kMax - 1}, SeqNo{1}), 4);
+}
+
+TEST(SeqNo, NextPrevWrap) {
+  EXPECT_EQ(SeqNo{SeqNo::kMax}.next(), SeqNo{0});
+  EXPECT_EQ(SeqNo{0}.prev(), SeqNo{SeqNo::kMax});
+  EXPECT_EQ(SeqNo{41}.next(), SeqNo{42});
+  EXPECT_EQ(SeqNo{42}.prev(), SeqNo{41});
+}
+
+TEST(SeqNo, AdvancedBy) {
+  EXPECT_EQ(SeqNo{10}.advanced_by(5), SeqNo{15});
+  EXPECT_EQ(SeqNo{10}.advanced_by(-5), SeqNo{5});
+  EXPECT_EQ(SeqNo{SeqNo::kMax}.advanced_by(1), SeqNo{0});
+  EXPECT_EQ(SeqNo{0}.advanced_by(-1), SeqNo{SeqNo::kMax});
+  EXPECT_EQ(SeqNo{5}.advanced_by(-10), SeqNo{SeqNo::kMax - 4});
+}
+
+TEST(SeqNo, OffsetIsInverseOfAdvance) {
+  // Property sweep across the wrap boundary.
+  for (std::int32_t base :
+       {0, 1, 1000, SeqNo::kMax - 1000, SeqNo::kMax - 1, SeqNo::kMax}) {
+    for (std::int32_t d : {-100000, -7, -1, 0, 1, 7, 100000}) {
+      const SeqNo a{base};
+      const SeqNo b = a.advanced_by(d);
+      EXPECT_EQ(SeqNo::offset(a, b), d) << "base=" << base << " d=" << d;
+    }
+  }
+}
+
+TEST(SeqNo, PrecedesFollows) {
+  EXPECT_TRUE(SeqNo{1}.precedes(SeqNo{2}));
+  EXPECT_TRUE(SeqNo{2}.follows(SeqNo{1}));
+  EXPECT_TRUE(SeqNo{SeqNo::kMax}.precedes(SeqNo{0}));
+  EXPECT_FALSE(SeqNo{3}.precedes(SeqNo{3}));
+}
+
+}  // namespace
+}  // namespace udtr

@@ -1,0 +1,77 @@
+#include "netsim/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace udtr::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimestampOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(3.0, [&] { order.push_back(3); });
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(2.0, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, TiesBreakFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] {
+    ++fired;
+    sim.after(1.0, [&] { ++fired; });
+  });
+  sim.run_all();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(2.0, [&] { ++fired; });
+  sim.at(3.0, [&] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(5.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, PastTimestampsClampToNow) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.at(2.0, [&] {
+    sim.at(0.5, [&] { seen = sim.now(); });  // in the past -> runs "now"
+  });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(seen, 2.0);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+}
+
+}  // namespace
+}  // namespace udtr::sim

@@ -1,0 +1,120 @@
+// Socket lifecycle edge cases: empty operations, timeouts, teardown during
+// active transfer, and bind conflicts.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "udt/socket.hpp"
+
+namespace udtr::udt {
+namespace {
+
+TEST(SocketEdge, AcceptTimesOutQuicklyWithNoClient) {
+  auto listener = Socket::listen(0);
+  ASSERT_NE(listener, nullptr);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto s = listener->accept(std::chrono::milliseconds{300});
+  EXPECT_EQ(s, nullptr);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::milliseconds{1500});
+}
+
+TEST(SocketEdge, BindConflictFails) {
+  auto a = Socket::listen(0);
+  ASSERT_NE(a, nullptr);
+  auto b = Socket::listen(a->local_port());
+  EXPECT_EQ(b, nullptr);
+}
+
+TEST(SocketEdge, ZeroLengthSendIsANoOp) {
+  auto listener = Socket::listen(0);
+  auto accepted = std::async(std::launch::async, [&] {
+    return listener->accept(std::chrono::seconds{5});
+  });
+  auto client = Socket::connect("127.0.0.1", listener->local_port());
+  auto server = accepted.get();
+  ASSERT_NE(client, nullptr);
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(client->send({}), 0u);
+  EXPECT_TRUE(client->flush(std::chrono::seconds{1}));
+  client->close();
+  server->close();
+}
+
+TEST(SocketEdge, CloseDuringActiveTransferDoesNotHang) {
+  auto listener = Socket::listen(0);
+  auto accepted = std::async(std::launch::async, [&] {
+    return listener->accept(std::chrono::seconds{5});
+  });
+  auto client = Socket::connect("127.0.0.1", listener->local_port());
+  auto server = accepted.get();
+  ASSERT_NE(client, nullptr);
+  ASSERT_NE(server, nullptr);
+
+  std::atomic<bool> stop{false};
+  auto pump = std::async(std::launch::async, [&] {
+    std::vector<std::uint8_t> block(1 << 20, 0x33);
+    while (!stop && client->send(block) > 0) {
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds{100});
+  const auto t0 = std::chrono::steady_clock::now();
+  client->close();  // tears down mid-flight
+  stop = true;
+  pump.get();
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds{3});
+  // The peer observes the shutdown rather than blocking forever.
+  std::vector<std::uint8_t> buf(1 << 16);
+  while (server->recv(buf, std::chrono::milliseconds{500}) > 0) {
+  }
+  server->close();
+}
+
+TEST(SocketEdge, SendAfterCloseReturnsZero) {
+  auto listener = Socket::listen(0);
+  auto accepted = std::async(std::launch::async, [&] {
+    return listener->accept(std::chrono::seconds{5});
+  });
+  auto client = Socket::connect("127.0.0.1", listener->local_port());
+  auto server = accepted.get();
+  ASSERT_NE(client, nullptr);
+  client->close();
+  const std::vector<std::uint8_t> data(100, 1);
+  EXPECT_EQ(client->send(data), 0u);
+  EXPECT_TRUE(client->closed());
+  if (server) server->close();
+}
+
+TEST(SocketEdge, FlushOnIdleConnectionSucceedsImmediately) {
+  auto listener = Socket::listen(0);
+  auto accepted = std::async(std::launch::async, [&] {
+    return listener->accept(std::chrono::seconds{5});
+  });
+  auto client = Socket::connect("127.0.0.1", listener->local_port());
+  auto server = accepted.get();
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->flush(std::chrono::milliseconds{100}));
+  client->close();
+  server->close();
+}
+
+TEST(SocketEdge, PerfOnFreshConnectionIsZeroed) {
+  auto listener = Socket::listen(0);
+  auto accepted = std::async(std::launch::async, [&] {
+    return listener->accept(std::chrono::seconds{5});
+  });
+  auto client = Socket::connect("127.0.0.1", listener->local_port());
+  auto server = accepted.get();
+  ASSERT_NE(client, nullptr);
+  const PerfStats p = client->perf();
+  EXPECT_EQ(p.data_packets_sent, 0u);
+  EXPECT_EQ(p.bytes_sent, 0u);
+  EXPECT_EQ(p.retransmitted, 0u);
+  client->close();
+  server->close();
+}
+
+}  // namespace
+}  // namespace udtr::udt

@@ -1,0 +1,93 @@
+#include "netsim/sources.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netsim/demux.hpp"
+#include "netsim/link.hpp"
+#include "netsim/stats.hpp"
+
+namespace udtr::sim {
+namespace {
+
+TEST(CbrSource, SendsAtConfiguredRate) {
+  Simulator sim;
+  CountingSink sink;
+  CbrSource src{sim, 1, Bandwidth::mbps(12), 1500, 0.0, 10.0};
+  src.set_out(&sink);
+  sim.run_until(10.0);
+  // 12 Mb/s / (1500*8 b) = 1000 pkt/s for 10 s.
+  EXPECT_NEAR(static_cast<double>(sink.packets()), 10000.0, 5.0);
+  EXPECT_EQ(src.sent(), sink.packets());
+}
+
+TEST(CbrSource, RespectsStartAndStop) {
+  Simulator sim;
+  CountingSink sink;
+  CbrSource src{sim, 1, Bandwidth::mbps(12), 1500, 2.0, 4.0};
+  src.set_out(&sink);
+  sim.run_until(1.9);
+  EXPECT_EQ(sink.packets(), 0u);
+  sim.run_until(10.0);
+  EXPECT_NEAR(static_cast<double>(sink.packets()), 2000.0, 5.0);
+}
+
+TEST(BurstSource, AverageRateMatchesDutyCycle) {
+  Simulator sim;
+  CountingSink sink;
+  // 100 Mb/s bursts, on ~0.1 s / off ~0.3 s -> ~25 Mb/s average.
+  BurstSource src{sim, 1, Bandwidth::mbps(100), 1500, 0.1, 0.3, 0.0, 60.0, 7};
+  src.set_out(&sink);
+  sim.run_until(60.0);
+  const double mbps = average_mbps(sink.packets(), 1500, 0.0, 60.0);
+  EXPECT_NEAR(mbps, 25.0, 6.0);  // exponential on/off: generous tolerance
+}
+
+TEST(BurstSource, DeterministicPerSeed) {
+  const auto count = [](std::uint64_t seed) {
+    Simulator sim;
+    CountingSink sink;
+    BurstSource src{sim, 1, Bandwidth::mbps(100), 1500, 0.05, 0.2,
+                    0.0, 10.0, seed};
+    src.set_out(&sink);
+    sim.run_until(10.0);
+    return sink.packets();
+  };
+  EXPECT_EQ(count(42), count(42));
+  EXPECT_NE(count(42), count(43));
+}
+
+TEST(BurstSource, IsActuallyBursty) {
+  // Per-100ms bins must show both silent and saturated stretches.
+  Simulator sim;
+  CountingSink sink;
+  BurstSource src{sim, 1, Bandwidth::mbps(100), 1500, 0.1, 0.4, 0.0, 30.0, 5};
+  src.set_out(&sink);
+  std::vector<std::uint64_t> bins;
+  for (int i = 1; i <= 300; ++i) {
+    sim.run_until(0.1 * i);
+    bins.push_back(sink.packets());
+  }
+  int silent = 0, busy = 0;
+  for (std::size_t i = 1; i < bins.size(); ++i) {
+    const auto delta = bins[i] - bins[i - 1];
+    if (delta == 0) ++silent;
+    if (delta > 500) ++busy;  // near line rate: 833 pkt per 100 ms
+  }
+  EXPECT_GT(silent, 50);
+  EXPECT_GT(busy, 10);
+}
+
+TEST(ThroughputSampler, CountsOnlyDeltas) {
+  Simulator sim;
+  std::uint64_t counter = 0;
+  ThroughputSampler sampler{sim, [&] { return counter; }, 1500, 1.0};
+  sim.at(0.5, [&] { counter = 1000; });
+  sim.at(1.5, [&] { counter = 1000; });  // no progress in second interval
+  sim.run_until(2.0);
+  ASSERT_EQ(sampler.samples_mbps().size(), 2u);
+  EXPECT_NEAR(sampler.samples_mbps()[0], 12.0, 1e-9);
+  EXPECT_NEAR(sampler.samples_mbps()[1], 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace udtr::sim

@@ -1,0 +1,151 @@
+#include "netsim/tcp_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netsim/link.hpp"
+#include "netsim/stats.hpp"
+#include "netsim/topology.hpp"
+
+namespace udtr::sim {
+namespace {
+
+TEST(TcpAgent, SaturatesSmallBdpLink) {
+  Simulator sim;
+  Dumbbell net{sim, {Bandwidth::mbps(50), 100}};
+  TcpFlowConfig cfg;
+  net.add_tcp_flow(cfg, 0.010);
+  sim.run_until(10.0);
+  const double mbps =
+      average_mbps(net.tcp_receiver(0).stats().delivered, 1500, 0.0, 10.0);
+  EXPECT_GT(mbps, 40.0);
+  EXPECT_LE(mbps, 50.5);
+}
+
+TEST(TcpAgent, FiniteTransferCompletesInOrder) {
+  Simulator sim;
+  Dumbbell net{sim, {Bandwidth::mbps(50), 100}};
+  TcpFlowConfig cfg;
+  cfg.total_packets = 2000;
+  net.add_tcp_flow(cfg, 0.020);
+  udtr::SeqNo expected{0};
+  bool in_order = true;
+  net.tcp_receiver(0).set_on_deliver([&](udtr::SeqNo s) {
+    if (s != expected) in_order = false;
+    expected = expected.next();
+  });
+  sim.run_until(30.0);
+  EXPECT_TRUE(in_order);
+  EXPECT_TRUE(net.tcp_sender(0).finished());
+  EXPECT_EQ(net.tcp_receiver(0).stats().delivered, 2000u);
+}
+
+class TcpLossReliability : public ::testing::TestWithParam<double> {};
+
+TEST_P(TcpLossReliability, LossyPathStillDeliversAll) {
+  const double loss_rate = GetParam();
+  Simulator sim;
+  TcpFlowConfig cfg;
+  cfg.flow_id = 3;
+  cfg.total_packets = 1500;
+  TcpSender snd{sim, cfg};
+  TcpReceiver rcv{sim, cfg};
+  DelayLink fwd_delay{sim, 0.005};
+  LossyLink lossy{loss_rate, 99};
+  Link bottleneck{sim, Bandwidth::mbps(50), 0.0, 100};
+  DelayLink rev_delay{sim, 0.005};
+
+  snd.set_out(&fwd_delay);
+  fwd_delay.set_next(&lossy);
+  lossy.set_next(&bottleneck);
+  bottleneck.set_next(&rcv);
+  rcv.set_out(&rev_delay);
+  rev_delay.set_next(&snd);
+  snd.start();
+
+  sim.run_until(300.0);
+  EXPECT_TRUE(snd.finished()) << "loss=" << loss_rate;
+  EXPECT_EQ(rcv.stats().delivered, 1500u);
+  if (loss_rate >= 0.01) {
+    EXPECT_GT(snd.stats().retransmitted, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossSweep, TcpLossReliability,
+                         ::testing::Values(0.0, 0.01, 0.05));
+
+TEST(TcpAgent, DropTailOverflowTriggersFastRecoveryNotOnlyTimeouts) {
+  Simulator sim;
+  Dumbbell net{sim, {Bandwidth::mbps(50), 25}};
+  net.add_tcp_flow({}, 0.040);
+  sim.run_until(30.0);
+  const auto& s = net.tcp_sender(0).stats();
+  EXPECT_GT(s.fast_recoveries, 0u);
+  EXPECT_GT(s.retransmitted, 0u);
+  // SACK recovery should keep timeouts rare on a steady drop-tail cycle.
+  EXPECT_LT(s.timeouts, s.fast_recoveries);
+}
+
+TEST(TcpAgent, CwndSawtoothStaysBounded) {
+  Simulator sim;
+  Dumbbell net{sim, {Bandwidth::mbps(50), 50}};
+  net.add_tcp_flow({}, 0.020);
+  sim.run_until(20.0);
+  // BDP = 83 pkts + 50 queue; cwnd must stay in a plausible band.
+  EXPECT_LT(net.tcp_sender(0).cwnd(), 400.0);
+  EXPECT_GT(net.tcp_sender(0).cwnd(), 2.0);
+}
+
+TEST(TcpAgent, SrttTracksPathRtt) {
+  Simulator sim;
+  Dumbbell net{sim, {Bandwidth::mbps(50), 200}};
+  net.add_tcp_flow({}, 0.080);
+  sim.run_until(10.0);
+  EXPECT_GT(net.tcp_sender(0).srtt_s(), 0.070);
+  EXPECT_LT(net.tcp_sender(0).srtt_s(), 0.200);
+}
+
+TEST(TcpAgent, RttBiasTwoFlowsUnequalRtts) {
+  // Classic TCP RTT unfairness (paper §2.1): the short-RTT flow wins big.
+  Simulator sim;
+  Dumbbell net{sim, {Bandwidth::mbps(100), 100}};
+  net.add_tcp_flow({}, 0.010);
+  net.add_tcp_flow({}, 0.100);
+  sim.run_until(40.0);
+  const double fast = static_cast<double>(
+      net.tcp_receiver(0).stats().delivered);
+  const double slow = static_cast<double>(
+      net.tcp_receiver(1).stats().delivered);
+  EXPECT_GT(fast / std::max(slow, 1.0), 2.0);
+}
+
+TEST(TcpAgent, FinishCallbackFires) {
+  Simulator sim;
+  Dumbbell net{sim, {Bandwidth::mbps(50), 100}};
+  TcpFlowConfig cfg;
+  cfg.total_packets = 200;
+  const std::size_t idx = net.add_tcp_flow(cfg, 0.010);
+  bool fired = false;
+  net.tcp_sender(idx).set_on_finish([&] { fired = true; });
+  sim.run_until(20.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(TcpAgent, ScalableVariantOutpacesRenoOnHighBdp) {
+  // Scalable TCP probes much faster on large-BDP paths (paper §5.2).
+  const auto run_variant = [](const std::string& ca) {
+    Simulator sim;
+    Dumbbell net{sim, {Bandwidth::mbps(200), 400}};
+    TcpFlowConfig cfg;
+    cfg.cong_avoid = ca;
+    net.add_tcp_flow(cfg, 0.100);
+    sim.run_until(30.0);
+    return average_mbps(net.tcp_receiver(0).stats().delivered, 1500, 0.0,
+                        30.0);
+  };
+  const double reno = run_variant("reno-sack");
+  const double scal = run_variant("scalable");
+  EXPECT_GT(scal, reno);
+}
+
+}  // namespace
+}  // namespace udtr::sim

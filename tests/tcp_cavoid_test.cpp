@@ -1,0 +1,73 @@
+#include "cc/tcp_cavoid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace udtr::cc {
+namespace {
+
+TEST(Reno, AddsOneSegmentPerWindowOfAcks) {
+  RenoCongAvoid ca;
+  double w = 100.0;
+  for (int i = 0; i < 100; ++i) w = ca.on_ack(w);
+  EXPECT_NEAR(w, 101.0, 0.01);
+}
+
+TEST(Reno, HalvesOnLoss) {
+  RenoCongAvoid ca;
+  EXPECT_DOUBLE_EQ(ca.on_loss(100.0), 50.0);
+  EXPECT_DOUBLE_EQ(ca.on_loss(3.0), 2.0);  // floor at 2 segments
+}
+
+TEST(Scalable, MimdGrowthAboveThreshold) {
+  ScalableCongAvoid ca;
+  EXPECT_DOUBLE_EQ(ca.on_ack(1000.0), 1000.01);
+  EXPECT_DOUBLE_EQ(ca.on_loss(1000.0), 875.0);
+}
+
+TEST(Scalable, FallsBackToRenoBelowThreshold) {
+  ScalableCongAvoid ca{16.0};
+  EXPECT_NEAR(ca.on_ack(8.0), 8.0 + 1.0 / 8.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ca.on_loss(8.0), 4.0);
+}
+
+TEST(HighSpeed, LegacyRegionMatchesReno) {
+  HighSpeedCongAvoid ca;
+  EXPECT_DOUBLE_EQ(HighSpeedCongAvoid::a(38.0), 1.0);
+  EXPECT_DOUBLE_EQ(HighSpeedCongAvoid::b(38.0), 0.5);
+  EXPECT_NEAR(ca.on_ack(30.0), 30.0 + 1.0 / 30.0, 1e-12);
+}
+
+TEST(HighSpeed, RfcEndpointValues) {
+  // RFC 3649: at W = 83000, a(w) ~ 72 and b(w) = 0.1.
+  EXPECT_NEAR(HighSpeedCongAvoid::b(83000.0), 0.1, 1e-9);
+  EXPECT_NEAR(HighSpeedCongAvoid::a(83000.0), 72.0, 4.0);
+}
+
+TEST(HighSpeed, GrowthAndDecreaseAreMonotoneInWindow) {
+  double prev_a = 0.0;
+  double prev_b = 1.0;
+  for (double w = 38.0; w <= 83000.0; w *= 1.7) {
+    EXPECT_GE(HighSpeedCongAvoid::a(w), prev_a);
+    EXPECT_LE(HighSpeedCongAvoid::b(w), prev_b + 1e-12);
+    prev_a = HighSpeedCongAvoid::a(w);
+    prev_b = HighSpeedCongAvoid::b(w);
+  }
+}
+
+TEST(HighSpeed, LessAggressiveDecreaseAtLargeWindows) {
+  HighSpeedCongAvoid ca;
+  // 10000-packet window loses less than half.
+  EXPECT_GT(ca.on_loss(10000.0), 5000.0);
+  EXPECT_LT(ca.on_loss(10000.0), 10000.0);
+}
+
+TEST(Factory, ResolvesAllNames) {
+  EXPECT_EQ(make_cong_avoid("reno-sack")->name(), "reno-sack");
+  EXPECT_EQ(make_cong_avoid("reno")->name(), "reno-sack");
+  EXPECT_EQ(make_cong_avoid("scalable")->name(), "scalable");
+  EXPECT_EQ(make_cong_avoid("highspeed")->name(), "highspeed");
+  EXPECT_THROW((void)make_cong_avoid("warp-speed"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace udtr::cc

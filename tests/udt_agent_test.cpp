@@ -1,0 +1,159 @@
+#include "netsim/udt_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netsim/link.hpp"
+#include "netsim/stats.hpp"
+#include "netsim/topology.hpp"
+
+namespace udtr::sim {
+namespace {
+
+// A single bulk UDT flow on a clean 100 Mb/s, 20 ms RTT dumbbell should
+// saturate most of the link (Fig. 11 behaviour at small scale).
+TEST(UdtAgent, SaturatesCleanLink) {
+  Simulator sim;
+  Dumbbell net{sim, {Bandwidth::mbps(100), 200}};
+  UdtFlowConfig cfg;
+  net.add_udt_flow(cfg, 0.020);
+  sim.run_until(10.0);
+  const auto& rcv = net.udt_receiver(0).stats();
+  const double mbps = average_mbps(rcv.delivered, 1500, 0.0, 10.0);
+  EXPECT_GT(mbps, 80.0);
+  EXPECT_LE(mbps, 100.5);
+}
+
+TEST(UdtAgent, DeliversEverythingInOrderOnFiniteTransfer) {
+  Simulator sim;
+  Dumbbell net{sim, {Bandwidth::mbps(100), 100}};
+  UdtFlowConfig cfg;
+  cfg.total_packets = 5000;
+  net.add_udt_flow(cfg, 0.010);
+  udtr::SeqNo expected{0};
+  bool in_order = true;
+  net.udt_receiver(0).set_on_deliver([&](udtr::SeqNo s) {
+    if (s != expected) in_order = false;
+    expected = expected.next();
+  });
+  sim.run_until(30.0);
+  EXPECT_TRUE(in_order);
+  EXPECT_EQ(net.udt_receiver(0).stats().delivered, 5000u);
+  EXPECT_TRUE(net.udt_sender(0).finished());
+  EXPECT_GT(net.udt_sender(0).finish_time(), 0.0);
+}
+
+// Reliability under random loss: every packet must still be delivered
+// exactly once and in order (NAK + retransmission machinery).
+class UdtLossReliability : public ::testing::TestWithParam<double> {};
+
+TEST_P(UdtLossReliability, LossyPathStillDeliversAll) {
+  const double loss_rate = GetParam();
+  Simulator sim;
+  UdtFlowConfig cfg;
+  cfg.flow_id = 7;
+  cfg.total_packets = 3000;
+  UdtSender snd{sim, cfg};
+  UdtReceiver rcv{sim, cfg};
+  DelayLink fwd_delay{sim, 0.005};
+  LossyLink lossy{loss_rate, /*seed=*/1234};
+  Link bottleneck{sim, Bandwidth::mbps(50), 0.0, 100};
+  DelayLink rev_delay{sim, 0.005};
+
+  snd.set_out(&fwd_delay);
+  fwd_delay.set_next(&lossy);
+  lossy.set_next(&bottleneck);
+  bottleneck.set_next(&rcv);
+  rcv.set_out(&rev_delay);
+  rev_delay.set_next(&snd);
+  snd.start();
+  rcv.start();
+
+  udtr::SeqNo expected{0};
+  bool in_order = true;
+  std::uint64_t delivered_cb = 0;
+  rcv.set_on_deliver([&](udtr::SeqNo s) {
+    if (s != expected) in_order = false;
+    expected = expected.next();
+    ++delivered_cb;
+  });
+
+  sim.run_until(120.0);
+  EXPECT_TRUE(in_order);
+  EXPECT_EQ(delivered_cb, 3000u);
+  EXPECT_EQ(rcv.stats().delivered, 3000u);
+  if (loss_rate > 0.0) {
+    EXPECT_GT(snd.stats().retransmitted, 0u);
+    EXPECT_GT(rcv.stats().naks_sent, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossSweep, UdtLossReliability,
+                         ::testing::Values(0.0, 0.001, 0.01, 0.05, 0.2));
+
+TEST(UdtAgent, PacketPairEstimatesBottleneckCapacity) {
+  Simulator sim;
+  Dumbbell net{sim, {Bandwidth::mbps(100), 200}};
+  net.add_udt_flow({}, 0.020);
+  sim.run_until(5.0);
+  const double cap_pps = net.udt_receiver(0).capacity_pps();
+  const double true_pps = Bandwidth::mbps(100).packets_per_sec(1500);
+  EXPECT_NEAR(cap_pps, true_pps, true_pps * 0.15);
+}
+
+TEST(UdtAgent, ReceiverMeasuresRttThroughAck2) {
+  Simulator sim;
+  Dumbbell net{sim, {Bandwidth::mbps(100), 200}};
+  net.add_udt_flow({}, 0.050);
+  sim.run_until(5.0);
+  // Base RTT 50 ms plus queueing; must be in a sane band.
+  EXPECT_GT(net.udt_receiver(0).rtt_s(), 0.045);
+  EXPECT_LT(net.udt_receiver(0).rtt_s(), 0.150);
+}
+
+TEST(UdtAgent, CongestionOnSmallQueueCausesNaksNotCollapse) {
+  Simulator sim;
+  Dumbbell net{sim, {Bandwidth::mbps(100), 20}};  // shallow buffer
+  net.add_udt_flow({}, 0.040);
+  sim.run_until(20.0);
+  const auto& s = net.udt_sender(0).stats();
+  const auto& r = net.udt_receiver(0).stats();
+  EXPECT_GT(s.naks_received, 0u);      // loss happened and was reported
+  const double mbps = average_mbps(r.delivered, 1500, 0.0, 20.0);
+  EXPECT_GT(mbps, 50.0);               // still utilizes the link decently
+}
+
+TEST(UdtAgent, SenderStatsConsistent) {
+  Simulator sim;
+  Dumbbell net{sim, {Bandwidth::mbps(50), 50}};
+  UdtFlowConfig cfg;
+  cfg.total_packets = 2000;
+  net.add_udt_flow(cfg, 0.010);
+  sim.run_until(30.0);
+  const auto& s = net.udt_sender(0).stats();
+  const auto& r = net.udt_receiver(0).stats();
+  EXPECT_EQ(s.data_sent, 2000u);
+  // Everything received is accounted as delivered or duplicate overhead.
+  EXPECT_GE(s.data_sent + s.retransmitted, r.data_received);
+  EXPECT_EQ(r.delivered, 2000u);
+}
+
+TEST(UdtAgent, TwoFlowsConvergeToFairShares) {
+  Simulator sim;
+  Dumbbell net{sim, {Bandwidth::mbps(100), 100}};
+  net.add_udt_flow({}, 0.020);
+  UdtFlowConfig late;
+  late.start_time = 5.0;
+  net.add_udt_flow(late, 0.020);
+  sim.run_until(60.0);
+  // Compare throughput over the shared window [30, 60] via deltas.
+  const std::uint64_t d0 = net.udt_receiver(0).stats().delivered;
+  const std::uint64_t d1 = net.udt_receiver(1).stats().delivered;
+  // Crude check over full run: the latecomer must capture a substantial
+  // share (intra-protocol fairness, §3.4).
+  const double r0 = static_cast<double>(d0);
+  const double r1 = static_cast<double>(d1);
+  EXPECT_GT(r1 / (r0 + r1), 0.25);
+}
+
+}  // namespace
+}  // namespace udtr::sim

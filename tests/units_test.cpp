@@ -1,0 +1,55 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace udtr {
+namespace {
+
+TEST(Bandwidth, FactoriesAgree) {
+  EXPECT_DOUBLE_EQ(Bandwidth::bps(1e9).bits_per_sec(),
+                   Bandwidth::gbps(1).bits_per_sec());
+  EXPECT_DOUBLE_EQ(Bandwidth::kbps(1000).bits_per_sec(),
+                   Bandwidth::mbps(1).bits_per_sec());
+}
+
+TEST(Bandwidth, PacketsPerSecond) {
+  // 1 Gb/s, 1500 B packets -> 83333.3 pkt/s.
+  EXPECT_NEAR(Bandwidth::gbps(1).packets_per_sec(1500), 83333.33, 0.01);
+}
+
+TEST(Bandwidth, SerializationTime) {
+  // 1500 B at 1 Gb/s = 12 us; at 100 Mb/s = 120 us.
+  EXPECT_NEAR(Bandwidth::gbps(1).serialization_time(1500), 12e-6, 1e-12);
+  EXPECT_NEAR(Bandwidth::mbps(100).serialization_time(1500), 120e-6, 1e-12);
+}
+
+TEST(Bandwidth, SerializationInvertsPacketRate) {
+  const Bandwidth bw = Bandwidth::mbps(622);
+  EXPECT_NEAR(bw.serialization_time(1500) * bw.packets_per_sec(1500), 1.0,
+              1e-12);
+}
+
+TEST(Bandwidth, ScalingOperators) {
+  EXPECT_DOUBLE_EQ((Bandwidth::mbps(100) * 2.0).mbits_per_sec(), 200.0);
+  EXPECT_DOUBLE_EQ((Bandwidth::mbps(100) / 4.0).mbits_per_sec(), 25.0);
+}
+
+TEST(Bandwidth, Comparisons) {
+  EXPECT_LT(Bandwidth::mbps(100), Bandwidth::gbps(1));
+  EXPECT_EQ(Bandwidth::mbps(1000), Bandwidth::gbps(1));
+}
+
+TEST(TimeHelpers, MsUs) {
+  EXPECT_DOUBLE_EQ(ms(100), 0.1);
+  EXPECT_DOUBLE_EQ(us(12), 12e-6);
+}
+
+TEST(Bdp, PaperExampleValues) {
+  // 1 Gb/s x 100 ms at 1500 B = 8333 packets (the paper's long-haul BDP).
+  EXPECT_NEAR(bdp_packets(Bandwidth::gbps(1), 0.1, 1500), 8333.3, 0.1);
+  // 10 Gb/s link: 5e5 packets/second arrive (paper §1's processing claim).
+  EXPECT_NEAR(Bandwidth::gbps(10).packets_per_sec(1500) / 1e5, 8.3, 0.1);
+}
+
+}  // namespace
+}  // namespace udtr

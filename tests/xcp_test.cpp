@@ -1,0 +1,103 @@
+#include "netsim/xcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netsim/demux.hpp"
+#include "netsim/stats.hpp"
+
+namespace udtr::sim {
+namespace {
+
+// One XCP flow through one router+link with a reverse delay path.
+struct XcpNet {
+  Simulator sim;
+  Link link;
+  XcpRouter router;
+  FlowDemux demux;
+  std::vector<std::unique_ptr<XcpSender>> snd;
+  std::vector<std::unique_ptr<XcpReceiver>> rcv;
+  std::vector<std::unique_ptr<DelayLink>> delays;
+
+  XcpNet(Bandwidth cap, std::size_t queue)
+      : link(sim, cap, 0.0, queue), router(sim, link) {
+    link.set_next(&demux);
+  }
+
+  std::size_t add_flow(double rtt_s, double start = 0.0) {
+    XcpFlowConfig cfg;
+    cfg.flow_id = static_cast<int>(snd.size()) + 1;
+    cfg.start_time = start;
+    auto s = std::make_unique<XcpSender>(sim, cfg);
+    auto r = std::make_unique<XcpReceiver>(sim);
+    auto fwd = std::make_unique<DelayLink>(sim, rtt_s / 2);
+    auto rev = std::make_unique<DelayLink>(sim, rtt_s / 2);
+    s->set_out(fwd.get());
+    fwd->set_next(&router);
+    demux.route(cfg.flow_id, r.get());
+    r->set_out(rev.get());
+    rev->set_next(s.get());
+    s->start();
+    snd.push_back(std::move(s));
+    rcv.push_back(std::move(r));
+    delays.push_back(std::move(fwd));
+    delays.push_back(std::move(rev));
+    return snd.size() - 1;
+  }
+};
+
+TEST(Xcp, SingleFlowConvergesToLinkCapacity) {
+  XcpNet net{Bandwidth::mbps(100), 200};
+  net.add_flow(0.040);
+  net.sim.run_until(10.0);
+  const double mbps =
+      average_mbps(net.rcv[0]->stats().delivered, 1500, 0.0, 10.0);
+  EXPECT_GT(mbps, 75.0);
+  EXPECT_LE(mbps, 100.5);
+}
+
+TEST(Xcp, KeepsQueueNearEmpty) {
+  // XCP's efficiency controller drains the standing queue (the router
+  // "knows everything about the link", §3.4) — unlike loss-probing TCP,
+  // which must fill the buffer to find the capacity.
+  XcpNet net{Bandwidth::mbps(100), 500};
+  net.add_flow(0.040);
+  net.sim.run_until(10.0);
+  EXPECT_LT(net.link.stats().max_queue_depth, 250u);
+  EXPECT_EQ(net.link.stats().dropped, 0u);
+}
+
+TEST(Xcp, TwoFlowsConvergeToFairShares) {
+  XcpNet net{Bandwidth::mbps(100), 200};
+  net.add_flow(0.040);
+  net.add_flow(0.040, 3.0);  // latecomer
+  net.sim.run_until(20.0);
+  // Compare over the shared window via cwnd at the end (both at fair rate).
+  const double r0 = static_cast<double>(net.rcv[0]->stats().delivered);
+  const double r1 = static_cast<double>(net.rcv[1]->stats().delivered);
+  EXPECT_GT(r1 / r0, 0.4);  // latecomer caught up fast (XCP's selling point)
+  EXPECT_NEAR(net.snd[0]->cwnd(), net.snd[1]->cwnd(),
+              0.5 * std::max(net.snd[0]->cwnd(), net.snd[1]->cwnd()));
+}
+
+TEST(Xcp, UnequalRttFlowsStillShareEvenly) {
+  XcpNet net{Bandwidth::mbps(100), 200};
+  net.add_flow(0.010);
+  net.add_flow(0.100);
+  net.sim.run_until(30.0);
+  const double fast = static_cast<double>(net.rcv[0]->stats().delivered);
+  const double slow = static_cast<double>(net.rcv[1]->stats().delivered);
+  // Throughput-fair (not window-fair): ratio well above TCP's ~0.05.
+  EXPECT_GT(slow / fast, 0.5);
+}
+
+TEST(Xcp, RouterFeedbackBudgetGoesNegativeUnderOverload) {
+  XcpNet net{Bandwidth::mbps(50), 100};
+  net.add_flow(0.020);
+  net.sim.run_until(0.3);  // while the flow still overshoots
+  // After convergence phi hovers near zero; just assert the controller ran
+  // and produced a finite budget.
+  EXPECT_TRUE(std::isfinite(net.router.last_phi_pkts()));
+}
+
+}  // namespace
+}  // namespace udtr::sim
