@@ -44,22 +44,16 @@ UdpChannel::~UdpChannel() { close(); }
 UdpChannel::UdpChannel(UdpChannel&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       local_port_(other.local_port_),
-      loss_p_(other.loss_p_),
-      loss_min_bytes_(other.loss_min_bytes_),
-      loss_rng_(other.loss_rng_),
-      sent_(other.sent_),
-      dropped_(other.dropped_) {}
+      faults_(std::move(other.faults_)),
+      sent_(other.sent_) {}
 
 UdpChannel& UdpChannel::operator=(UdpChannel&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
     local_port_ = other.local_port_;
-    loss_p_ = other.loss_p_;
-    loss_min_bytes_ = other.loss_min_bytes_;
-    loss_rng_ = other.loss_rng_;
+    faults_ = std::move(other.faults_);
     sent_ = other.sent_;
-    dropped_ = other.dropped_;
   }
   return *this;
 }
@@ -108,38 +102,61 @@ bool UdpChannel::set_buffer_sizes(int snd_bytes, int rcv_bytes) {
   return a && b;
 }
 
-void UdpChannel::set_loss_injection(double p, std::uint64_t seed,
-                                    std::size_t min_bytes) {
-  loss_p_ = p;
-  loss_rng_.seed(seed);
-  loss_min_bytes_ = min_bytes;
+void UdpChannel::set_fault_injector(std::shared_ptr<FaultInjector> faults) {
+  faults_ = std::move(faults);
+}
+
+std::uint64_t UdpChannel::datagrams_dropped() const {
+  if (!faults_) return 0;
+  const FaultStats s = faults_->stats(FaultDir::kSend);
+  return s.dropped + s.outage_dropped;
 }
 
 std::int64_t UdpChannel::send_to(const Endpoint& dst,
                                  std::span<const std::uint8_t> data) {
   ++sent_;
-  if (loss_p_ > 0.0 && data.size() > loss_min_bytes_ &&
-      std::uniform_real_distribution<double>{0.0, 1.0}(loss_rng_) < loss_p_) {
-    ++dropped_;
-    return static_cast<std::int64_t>(data.size());  // swallowed by the "net"
-  }
   const sockaddr_in sa = dst.to_sockaddr();
+  if (faults_) {
+    faults_->on_send(data, [&](std::span<const std::uint8_t> d) {
+      ::sendto(fd_, d.data(), d.size(), 0,
+               reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+    });
+    return static_cast<std::int64_t>(data.size());
+  }
   return ::sendto(fd_, data.data(), data.size(), 0,
                   reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
 }
 
-std::int64_t UdpChannel::recv_from(Endpoint& src,
-                                   std::span<std::uint8_t> buf) {
+RecvResult UdpChannel::recv_from(Endpoint& src, std::span<std::uint8_t> buf) {
+  if (faults_) {
+    if (auto owed = faults_->pop_ready_recv()) {
+      const std::size_t n = std::min(buf.size(), owed->bytes.size());
+      std::memcpy(buf.data(), owed->bytes.data(), n);
+      src = Endpoint{owed->src_ip, owed->src_port};
+      return {RecvStatus::kDatagram, n};
+    }
+  }
   sockaddr_in sa{};
   socklen_t len = sizeof sa;
   const ssize_t n = ::recvfrom(fd_, buf.data(), buf.size(), 0,
                                reinterpret_cast<sockaddr*>(&sa), &len);
   if (n < 0) {
-    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return 0;
-    return -1;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return {RecvStatus::kTimeout, 0};
+    }
+    return {RecvStatus::kError, 0};
   }
   src = Endpoint::from_sockaddr(sa);
-  return n;
+  if (faults_) {
+    auto delivered = faults_->filter_recv(
+        {buf.data(), static_cast<std::size_t>(n)}, src.ip_host_order,
+        src.port);
+    if (!delivered) return {RecvStatus::kTimeout, 0};  // swallowed by the net
+    const std::size_t m = std::min(buf.size(), delivered->size());
+    std::memcpy(buf.data(), delivered->data(), m);
+    return {RecvStatus::kDatagram, m};
+  }
+  return {RecvStatus::kDatagram, static_cast<std::size_t>(n)};
 }
 
 }  // namespace udtr::udt

@@ -1,17 +1,20 @@
 // UDP channel: a thin RAII wrapper over a datagram socket with the
 // time-bounded receive the protocol core relies on (§4.8: the four timers
 // are checked after each bounded UDP receive call), plus an optional
-// deterministic loss injector for tests and experiments.
+// deterministic fault injector (drop / duplicate / reorder / corrupt /
+// truncate / outage, per direction) for tests and experiments.
 #pragma once
 
 #include <netinet/in.h>
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
-#include <random>
 #include <span>
 #include <string>
+
+#include "udt/fault.hpp"
 
 namespace udtr::udt {
 
@@ -24,6 +27,15 @@ struct Endpoint {
   [[nodiscard]] static std::optional<Endpoint> resolve(
       const std::string& host, std::uint16_t port);
   bool operator==(const Endpoint&) const = default;
+};
+
+// Outcome of one bounded receive.  A genuine zero-length datagram is a
+// kDatagram with bytes == 0 — distinct from kTimeout (nothing arrived
+// within SO_RCVTIMEO) and from kError (the socket is broken).
+enum class RecvStatus { kDatagram, kTimeout, kError };
+struct RecvResult {
+  RecvStatus status = RecvStatus::kTimeout;
+  std::size_t bytes = 0;
 };
 
 class UdpChannel {
@@ -46,28 +58,29 @@ class UdpChannel {
   // Enlarged socket buffers for high-rate transfer.
   bool set_buffer_sizes(int snd_bytes, int rcv_bytes);
 
-  // Sends one datagram; returns bytes sent or -1.
+  // Sends one datagram; returns bytes accepted or -1.  A datagram swallowed
+  // by the fault injector still reports success — from the sender's point
+  // of view it left the host.
   std::int64_t send_to(const Endpoint& dst, std::span<const std::uint8_t> data);
-  // Receives one datagram; returns bytes received, 0 on timeout, -1 on error.
-  std::int64_t recv_from(Endpoint& src, std::span<std::uint8_t> buf);
+  // Receives one datagram (or one the injector owed us); see RecvResult.
+  RecvResult recv_from(Endpoint& src, std::span<std::uint8_t> buf);
 
-  // Deterministic outbound loss injection: each *data-carrying* datagram
-  // (larger than `min_bytes`) is dropped with probability `p`.  Control
-  // packets stay intact so experiments model forward-path data loss.
-  void set_loss_injection(double p, std::uint64_t seed,
-                          std::size_t min_bytes = 32);
+  // Installs (or clears, with nullptr) the fault injector both directions
+  // pass through.  The caller may keep its reference to flip faults on and
+  // off mid-run; the injector is thread-safe.
+  void set_fault_injector(std::shared_ptr<FaultInjector> faults);
+  [[nodiscard]] const std::shared_ptr<FaultInjector>& fault_injector() const {
+    return faults_;
+  }
 
   [[nodiscard]] std::uint64_t datagrams_sent() const { return sent_; }
-  [[nodiscard]] std::uint64_t datagrams_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t datagrams_dropped() const;
 
  private:
   int fd_ = -1;
   std::uint16_t local_port_ = 0;
-  double loss_p_ = 0.0;
-  std::size_t loss_min_bytes_ = 32;
-  std::mt19937_64 loss_rng_{0};
+  std::shared_ptr<FaultInjector> faults_;
   std::uint64_t sent_ = 0;
-  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace udtr::udt

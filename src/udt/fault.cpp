@@ -1,0 +1,178 @@
+#include "udt/fault.hpp"
+
+#include <algorithm>
+
+namespace udtr::udt {
+
+FaultInjector::FaultInjector(FaultConfig cfg) : rng_(cfg.seed) {
+  send_.prof = cfg.send;
+  recv_.prof = cfg.recv;
+}
+
+void FaultInjector::schedule_outage(std::chrono::milliseconds delay,
+                                    std::chrono::milliseconds duration) {
+  std::lock_guard lk{mu_};
+  const auto start = std::chrono::steady_clock::now() + delay;
+  outage_ = {start, start + duration};
+}
+
+void FaultInjector::set_black_hole(bool on) {
+  std::lock_guard lk{mu_};
+  black_hole_ = on;
+}
+
+bool FaultInjector::black_hole() const {
+  std::lock_guard lk{mu_};
+  return black_hole_;
+}
+
+FaultStats FaultInjector::stats(FaultDir dir) const {
+  std::lock_guard lk{mu_};
+  return dir == FaultDir::kSend ? send_.stats : recv_.stats;
+}
+
+bool FaultInjector::outage_active_locked() {
+  if (black_hole_) return true;
+  if (!outage_) return false;
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= outage_->second) {
+    outage_.reset();  // over; stop checking the clock for every datagram
+    return false;
+  }
+  return now >= outage_->first;
+}
+
+bool FaultInjector::chance_locked(double p) {
+  if (p <= 0.0) return false;
+  return std::uniform_real_distribution<double>{0.0, 1.0}(rng_) < p;
+}
+
+void FaultInjector::mutate_locked(DirState& d, std::vector<std::uint8_t>& b) {
+  if (!b.empty() && chance_locked(d.prof.corrupt_p)) {
+    const auto bit = std::uniform_int_distribution<std::size_t>{
+        0, b.size() * 8 - 1}(rng_);
+    b[bit / 8] ^= static_cast<std::uint8_t>(1U << (bit % 8));
+    ++d.stats.corrupted;
+  }
+  if (!b.empty() && chance_locked(d.prof.truncate_p)) {
+    const auto len =
+        std::uniform_int_distribution<std::size_t>{0, b.size() - 1}(rng_);
+    b.resize(len);
+    ++d.stats.truncated;
+  }
+}
+
+void FaultInjector::on_send(
+    std::span<const std::uint8_t> data,
+    const std::function<void(std::span<const std::uint8_t>)>& emit) {
+  std::lock_guard lk{mu_};
+  ++send_.stats.seen;
+
+  // Age reorder holds: datagrams overtaken by enough successors get out now,
+  // *after* the current one (that is what makes it reordering).
+  std::vector<std::vector<std::uint8_t>> released;
+  for (auto& h : send_.held) --h.release_after;
+  while (!send_.held.empty() && send_.held.front().release_after <= 0) {
+    released.push_back(std::move(send_.held.front().dgram.bytes));
+    send_.held.pop_front();
+  }
+
+  const bool outage = outage_active_locked();
+  const FaultProfile& p = send_.prof;
+  const bool applies = !p.data_only || data.size() >= p.data_min_bytes;
+
+  if (outage) {
+    ++send_.stats.outage_dropped;
+    send_.stats.outage_dropped += released.size();
+    return;  // the wire is dead: current and released alike vanish
+  }
+
+  if (applies && chance_locked(p.drop_p)) {
+    ++send_.stats.dropped;
+  } else if (applies && chance_locked(p.reorder_p)) {
+    Held h;
+    h.dgram.bytes.assign(data.begin(), data.end());
+    h.release_after = std::max(1, p.reorder_hold);
+    send_.held.push_back(std::move(h));
+    ++send_.stats.reordered;
+  } else {
+    std::vector<std::uint8_t> copy;
+    if (applies &&
+        (p.corrupt_p > 0.0 || p.truncate_p > 0.0 || p.dup_p > 0.0)) {
+      copy.assign(data.begin(), data.end());
+      mutate_locked(send_, copy);
+      emit(copy);
+      if (chance_locked(p.dup_p)) {
+        emit(copy);
+        ++send_.stats.duplicated;
+      }
+    } else {
+      emit(data);
+    }
+  }
+  for (const auto& r : released) emit(r);
+}
+
+std::optional<std::vector<std::uint8_t>> FaultInjector::filter_recv(
+    std::span<const std::uint8_t> data, std::uint32_t src_ip,
+    std::uint16_t src_port) {
+  std::lock_guard lk{mu_};
+  ++recv_.stats.seen;
+
+  for (auto& h : recv_.held) --h.release_after;
+  while (!recv_.held.empty() && recv_.held.front().release_after <= 0) {
+    recv_ready_.push_back(std::move(recv_.held.front().dgram));
+    recv_.held.pop_front();
+  }
+
+  const FaultProfile& p = recv_.prof;
+  const bool applies = !p.data_only || data.size() >= p.data_min_bytes;
+
+  if (outage_active_locked()) {
+    ++recv_.stats.outage_dropped;
+    return std::nullopt;
+  }
+  if (applies && chance_locked(p.drop_p)) {
+    ++recv_.stats.dropped;
+    return std::nullopt;
+  }
+  if (applies && chance_locked(p.reorder_p)) {
+    Held h;
+    h.dgram.bytes.assign(data.begin(), data.end());
+    h.dgram.src_ip = src_ip;
+    h.dgram.src_port = src_port;
+    h.release_after = std::max(1, p.reorder_hold);
+    recv_.held.push_back(std::move(h));
+    ++recv_.stats.reordered;
+    return std::nullopt;
+  }
+
+  std::vector<std::uint8_t> bytes(data.begin(), data.end());
+  if (applies) mutate_locked(recv_, bytes);
+  if (applies && chance_locked(p.dup_p)) {
+    recv_ready_.push_back(ReadyDatagram{bytes, src_ip, src_port});
+    ++recv_.stats.duplicated;
+  }
+  return bytes;
+}
+
+std::optional<FaultInjector::ReadyDatagram> FaultInjector::pop_ready_recv() {
+  std::lock_guard lk{mu_};
+  if (recv_ready_.empty()) return std::nullopt;
+  ReadyDatagram d = std::move(recv_ready_.front());
+  recv_ready_.pop_front();
+  return d;
+}
+
+std::shared_ptr<FaultInjector> make_loss_injector(double drop_p,
+                                                  std::uint64_t seed,
+                                                  std::size_t data_min_bytes) {
+  FaultConfig cfg;
+  cfg.send.drop_p = drop_p;
+  cfg.send.data_only = true;
+  cfg.send.data_min_bytes = data_min_bytes;
+  cfg.seed = seed;
+  return std::make_shared<FaultInjector>(cfg);
+}
+
+}  // namespace udtr::udt

@@ -18,9 +18,10 @@ std::vector<std::uint32_t> encode_loss_ranges(
 }
 
 std::vector<std::pair<udtr::SeqNo, udtr::SeqNo>> decode_loss_ranges(
-    std::span<const std::uint32_t> words) {
+    std::span<const std::uint32_t> words, std::size_t max_ranges) {
   std::vector<std::pair<udtr::SeqNo, udtr::SeqNo>> ranges;
-  for (std::size_t i = 0; i < words.size(); ++i) {
+  for (std::size_t i = 0; i < words.size() && ranges.size() < max_ranges;
+       ++i) {
     const std::uint32_t w = words[i];
     const udtr::SeqNo first{static_cast<std::int32_t>(w & 0x7FFFFFFFU)};
     if ((w & 0x80000000U) != 0) {
@@ -34,6 +35,87 @@ std::vector<std::pair<udtr::SeqNo, udtr::SeqNo>> decode_loss_ranges(
     }
   }
   return ranges;
+}
+
+// --- validated decode layer -------------------------------------------------
+
+std::optional<DataHeader> decode_data_header(
+    std::span<const std::uint8_t> pkt) {
+  if (pkt.size() < kHeaderBytes || (pkt[0] & 0x80U) != 0) return std::nullopt;
+  return read_data_header(pkt);
+}
+
+std::optional<CtrlHeader> decode_ctrl_header(
+    std::span<const std::uint8_t> pkt) {
+  if (pkt.size() < kHeaderBytes || (pkt[0] & 0x80U) == 0) return std::nullopt;
+  const auto raw =
+      static_cast<std::uint16_t>((load_be32(pkt.data()) >> 16) & 0x7FFFU);
+  if (!is_known_ctrl_type(raw)) return std::nullopt;
+  return read_ctrl_header(pkt);
+}
+
+std::optional<AckPayload> decode_ack_payload(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() < 4 * AckPayload::kWords) return std::nullopt;
+  AckPayload ack;
+  ack.ack_seq = udtr::SeqNo{static_cast<std::int32_t>(
+      load_be32(payload.data()) & udtr::SeqNo::kMax)};
+  ack.rtt_us = load_be32(payload.data() + 4);
+  ack.rtt_var_us = load_be32(payload.data() + 8);
+  ack.avail_buffer_pkts = load_be32(payload.data() + 12);
+  ack.recv_rate_pps = load_be32(payload.data() + 16);
+  ack.capacity_pps = load_be32(payload.data() + 20);
+  return ack;
+}
+
+std::optional<HandshakePayload> decode_handshake_payload(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() < 4 * HandshakePayload::kWords) return std::nullopt;
+  HandshakePayload h;
+  h.version = load_be32(payload.data());
+  h.initial_seq = load_be32(payload.data() + 4);
+  h.mss_bytes = load_be32(payload.data() + 8);
+  h.flight_window = load_be32(payload.data() + 12);
+  h.request_type = load_be32(payload.data() + 16);
+  h.socket_id = load_be32(payload.data() + 20);
+  h.port = load_be32(payload.data() + 24);
+  return h;
+}
+
+std::vector<std::pair<udtr::SeqNo, udtr::SeqNo>> decode_nak_payload(
+    std::span<const std::uint8_t> payload) {
+  // At most 2 words per range need inspecting; anything past the cap is
+  // either redundant or hostile, so it is simply not decoded.
+  const std::size_t words_avail = payload.size() / 4;
+  const std::size_t n = std::min(words_avail, 2 * kMaxNakRanges);
+  std::vector<std::uint32_t> words(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    words[i] = load_be32(payload.data() + 4 * i);
+  }
+  return decode_loss_ranges(words, kMaxNakRanges);
+}
+
+std::size_t encode_ack_payload(std::span<std::uint8_t> out,
+                               const AckPayload& ack) {
+  store_be32(out.data(), static_cast<std::uint32_t>(ack.ack_seq.value()));
+  store_be32(out.data() + 4, ack.rtt_us);
+  store_be32(out.data() + 8, ack.rtt_var_us);
+  store_be32(out.data() + 12, ack.avail_buffer_pkts);
+  store_be32(out.data() + 16, ack.recv_rate_pps);
+  store_be32(out.data() + 20, ack.capacity_pps);
+  return 4 * AckPayload::kWords;
+}
+
+std::size_t encode_handshake_payload(std::span<std::uint8_t> out,
+                                     const HandshakePayload& hs) {
+  store_be32(out.data(), hs.version);
+  store_be32(out.data() + 4, hs.initial_seq);
+  store_be32(out.data() + 8, hs.mss_bytes);
+  store_be32(out.data() + 12, hs.flight_window);
+  store_be32(out.data() + 16, hs.request_type);
+  store_be32(out.data() + 20, hs.socket_id);
+  store_be32(out.data() + 24, hs.port);
+  return 4 * HandshakePayload::kWords;
 }
 
 }  // namespace udtr::udt

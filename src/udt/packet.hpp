@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -28,6 +29,10 @@
 namespace udtr::udt {
 
 inline constexpr std::size_t kHeaderBytes = 16;
+// Cap on loss ranges per NAK: keeps the packet inside one datagram on the
+// way out and bounds what a corrupt or hostile NAK can make the sender do
+// on the way in.
+inline constexpr std::size_t kMaxNakRanges = 128;
 
 enum class CtrlType : std::uint16_t {
   kHandshake = 0,
@@ -90,6 +95,19 @@ struct HandshakePayload {
   return pkt.size() >= kHeaderBytes && (pkt[0] & 0x80U) != 0;
 }
 
+[[nodiscard]] inline bool is_known_ctrl_type(std::uint16_t raw) {
+  switch (static_cast<CtrlType>(raw)) {
+    case CtrlType::kHandshake:
+    case CtrlType::kKeepAlive:
+    case CtrlType::kAck:
+    case CtrlType::kNak:
+    case CtrlType::kShutdown:
+    case CtrlType::kAck2:
+      return true;
+  }
+  return false;
+}
+
 // --- data packets -----------------------------------------------------------
 
 inline void write_data_header(std::span<std::uint8_t> buf,
@@ -147,8 +165,43 @@ inline std::size_t write_words(std::span<std::uint8_t> buf,
     std::span<const std::pair<udtr::SeqNo, udtr::SeqNo>> ranges);
 
 // Decodes a NAK payload back into inclusive ranges.  Malformed trailing
-// range-opens are ignored.
+// range-opens are ignored; at most `max_ranges` are returned so an
+// oversized payload cannot amplify into unbounded sender-side work.
 [[nodiscard]] std::vector<std::pair<udtr::SeqNo, udtr::SeqNo>>
-decode_loss_ranges(std::span<const std::uint32_t> words);
+decode_loss_ranges(std::span<const std::uint32_t> words,
+                   std::size_t max_ranges = SIZE_MAX);
+
+// --- validated decode layer -------------------------------------------------
+//
+// The read_* helpers above assume a well-formed buffer and are kept for the
+// hot paths that already verified the size.  Everything that touches bytes
+// straight off the wire goes through these instead: they bounds-check first
+// and return nullopt for anything short, truncated, or of unknown type, so
+// a corrupt datagram dies at the decode boundary instead of deeper in the
+// protocol state machine.
+
+[[nodiscard]] std::optional<DataHeader> decode_data_header(
+    std::span<const std::uint8_t> pkt);
+
+// Rejects short buffers, data packets, and unknown control types.
+[[nodiscard]] std::optional<CtrlHeader> decode_ctrl_header(
+    std::span<const std::uint8_t> pkt);
+
+// `payload` is the bytes after the 16-byte header.
+[[nodiscard]] std::optional<AckPayload> decode_ack_payload(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] std::optional<HandshakePayload> decode_handshake_payload(
+    std::span<const std::uint8_t> payload);
+
+// Decodes a whole NAK payload (bytes after the header) into ranges, capped
+// at kMaxNakRanges.  A payload that is not a multiple of 4 bytes is carrying
+// garbage; the trailing fragment is ignored.
+[[nodiscard]] std::vector<std::pair<udtr::SeqNo, udtr::SeqNo>>
+decode_nak_payload(std::span<const std::uint8_t> payload);
+
+std::size_t encode_ack_payload(std::span<std::uint8_t> out,
+                               const AckPayload& ack);
+std::size_t encode_handshake_payload(std::span<std::uint8_t> out,
+                                     const HandshakePayload& hs);
 
 }  // namespace udtr::udt

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <fstream>
 #include <random>
+#include <thread>
 
 namespace udtr::udt {
 
@@ -12,8 +13,10 @@ namespace {
 constexpr std::uint16_t kDefaultIsn = 0;
 constexpr int kHandshakeRetries = 50;
 constexpr auto kHandshakeRetryGap = std::chrono::milliseconds{100};
-// Cap on loss ranges per NAK so the packet stays inside one datagram.
-constexpr std::size_t kMaxNakRanges = 128;
+// A shutdown is fire-and-forget; repeating it makes a single lost datagram
+// unlikely to strand the peer until its EXP budget runs out.
+constexpr int kShutdownRepeat = 3;
+constexpr auto kShutdownGap = std::chrono::milliseconds{1};
 
 std::uint32_t random_socket_id() {
   static std::atomic<std::uint32_t> counter{1};
@@ -65,25 +68,6 @@ std::unique_ptr<Socket> Socket::listen(std::uint16_t port,
 }
 
 namespace {
-// Handshake payload <-> words.
-std::array<std::uint32_t, HandshakePayload::kWords> hs_to_words(
-    const HandshakePayload& h) {
-  return {h.version,      h.initial_seq, h.mss_bytes, h.flight_window,
-          h.request_type, h.socket_id,   h.port};
-}
-HandshakePayload hs_from_words(std::span<const std::uint8_t> payload) {
-  HandshakePayload h;
-  if (payload.size() < 4 * HandshakePayload::kWords) return h;
-  h.version = load_be32(payload.data());
-  h.initial_seq = load_be32(payload.data() + 4);
-  h.mss_bytes = load_be32(payload.data() + 8);
-  h.flight_window = load_be32(payload.data() + 12);
-  h.request_type = load_be32(payload.data() + 16);
-  h.socket_id = load_be32(payload.data() + 20);
-  h.port = load_be32(payload.data() + 24);
-  return h;
-}
-
 void send_handshake(UdpChannel& ch, const Endpoint& to, std::uint32_t dst_id,
                     const HandshakePayload& h) {
   std::array<std::uint8_t, kHeaderBytes + 4 * HandshakePayload::kWords> buf{};
@@ -91,8 +75,7 @@ void send_handshake(UdpChannel& ch, const Endpoint& to, std::uint32_t dst_id,
   hdr.type = CtrlType::kHandshake;
   hdr.dst_socket = dst_id;
   write_ctrl_header(buf, hdr);
-  const auto words = hs_to_words(h);
-  write_words(std::span{buf}.subspan(kHeaderBytes), words);
+  encode_handshake_payload(std::span{buf}.subspan(kHeaderBytes), h);
   ch.send_to(to, buf);
 }
 }  // namespace
@@ -103,15 +86,14 @@ std::unique_ptr<Socket> Socket::accept(std::chrono::milliseconds timeout) {
   std::vector<std::uint8_t> buf(2048);
   while (std::chrono::steady_clock::now() < deadline) {
     Endpoint src;
-    const std::int64_t n = channel_.recv_from(src, buf);
-    if (n < static_cast<std::int64_t>(kHeaderBytes)) continue;
-    std::span<const std::uint8_t> pkt{buf.data(),
-                                      static_cast<std::size_t>(n)};
-    if (!is_control(pkt)) continue;
-    const CtrlHeader hdr = read_ctrl_header(pkt);
-    if (hdr.type != CtrlType::kHandshake) continue;
-    const HandshakePayload req = hs_from_words(pkt.subspan(kHeaderBytes));
-    if (req.request_type != 1) continue;
+    const RecvResult r = channel_.recv_from(src, buf);
+    if (r.status != RecvStatus::kDatagram || r.bytes < kHeaderBytes) continue;
+    std::span<const std::uint8_t> pkt{buf.data(), r.bytes};
+    const auto hdr = decode_ctrl_header(pkt);
+    if (!hdr || hdr->type != CtrlType::kHandshake) continue;
+    const auto req_opt = decode_handshake_payload(pkt.subspan(kHeaderBytes));
+    if (!req_opt || req_opt->request_type != 1) continue;
+    const HandshakePayload req = *req_opt;
 
     // A retransmitted request (our earlier response was lost or is still in
     // flight) gets the recorded response again instead of a second socket.
@@ -168,15 +150,14 @@ std::unique_ptr<Socket> Socket::connect(const std::string& host,
   for (int attempt = 0; attempt < kHandshakeRetries; ++attempt) {
     send_handshake(s->channel_, *server, 0, req);
     Endpoint src;
-    const std::int64_t n = s->channel_.recv_from(src, buf);
-    if (n < static_cast<std::int64_t>(kHeaderBytes)) continue;
-    std::span<const std::uint8_t> pkt{buf.data(),
-                                      static_cast<std::size_t>(n)};
-    if (!is_control(pkt)) continue;
-    const CtrlHeader hdr = read_ctrl_header(pkt);
-    if (hdr.type != CtrlType::kHandshake) continue;
-    const HandshakePayload resp = hs_from_words(pkt.subspan(kHeaderBytes));
-    if (resp.request_type != 0) continue;
+    const RecvResult r = s->channel_.recv_from(src, buf);
+    if (r.status != RecvStatus::kDatagram || r.bytes < kHeaderBytes) continue;
+    std::span<const std::uint8_t> pkt{buf.data(), r.bytes};
+    const auto hdr = decode_ctrl_header(pkt);
+    if (!hdr || hdr->type != CtrlType::kHandshake) continue;
+    const auto resp_opt = decode_handshake_payload(pkt.subspan(kHeaderBytes));
+    if (!resp_opt || resp_opt->request_type != 0) continue;
+    const HandshakePayload resp = *resp_opt;
     // The dedicated endpoint: the advertised port on the server's address
     // (the response may come from the listener when it was a re-reply).
     s->peer_ = Endpoint{server->ip_host_order,
@@ -198,12 +179,15 @@ void Socket::start_threads() {
   channel_.set_recv_timeout(std::chrono::microseconds{
       static_cast<std::int64_t>(opts_.syn_s * 1e6 / 2)});
   channel_.set_buffer_sizes(4 << 20, 8 << 20);
-  if (opts_.loss_injection > 0.0) {
-    channel_.set_loss_injection(opts_.loss_injection, opts_.loss_seed,
-                                kHeaderBytes + 16);
+  if (opts_.faults) {
+    channel_.set_fault_injector(opts_.faults);
+  } else if (opts_.loss_injection > 0.0) {
+    channel_.set_fault_injector(make_loss_injector(
+        opts_.loss_injection, opts_.loss_seed, kHeaderBytes + 16));
   }
   epoch_ = std::chrono::steady_clock::now();
   last_ctrl_us_ = now_us();
+  state_ = ConnState::kEstablished;
   running_ = true;
   snd_thread_ = std::thread([this] { sender_loop(); });
   rcv_thread_ = std::thread([this] { receiver_loop(); });
@@ -331,16 +315,17 @@ void Socket::receiver_loop() {
 
   while (running_) {
     Endpoint src;
-    std::int64_t n;
+    RecvResult r;
     {
       ScopedTimer t{prof, ProfUnit::kUdpIo};
-      n = channel_.recv_from(src, buf);
+      r = channel_.recv_from(src, buf);
     }
     std::unique_lock lk{state_mu_};
-    if (n >= static_cast<std::int64_t>(kHeaderBytes)) {
-      std::span<const std::uint8_t> pkt{buf.data(),
-                                        static_cast<std::size_t>(n)};
-      if (is_control(pkt)) {
+    if (r.status == RecvStatus::kDatagram) {
+      std::span<const std::uint8_t> pkt{buf.data(), r.bytes};
+      if (r.bytes < kHeaderBytes || !packet_addressed_to_us(pkt)) {
+        ++stats_.invalid_packets;
+      } else if (is_control(pkt)) {
         handle_ctrl(pkt);
       } else {
         handle_data(pkt);
@@ -352,6 +337,20 @@ void Socket::receiver_loop() {
   }
 }
 
+bool Socket::packet_addressed_to_us(
+    std::span<const std::uint8_t> pkt) const {
+  const std::uint32_t dst = load_be32(pkt.data() + 12);
+  if (dst == socket_id_) return true;
+  // Handshakes may legitimately carry dst 0: the peer retransmits its
+  // request until our response (carrying our id) gets through.
+  if (is_control(pkt)) {
+    const auto raw =
+        static_cast<std::uint16_t>((load_be32(pkt.data()) >> 16) & 0x7FFFU);
+    return static_cast<CtrlType>(raw) == CtrlType::kHandshake && dst == 0;
+  }
+  return false;
+}
+
 void Socket::handle_data(std::span<const std::uint8_t> pkt) {
   Profiler* prof = opts_.enable_profiler ? &profiler_ : nullptr;
   const DataHeader h = read_data_header(pkt);
@@ -360,6 +359,9 @@ void Socket::handle_data(std::span<const std::uint8_t> pkt) {
   if (index < 0) return;
   if (index >= rcv_buffer_.window_end()) return;  // no room: like a net drop
   ++stats_.data_packets_recv;
+  // A data packet is as much proof of peer liveness as a control packet.
+  last_ctrl_us_ = now;
+  consecutive_timeouts_ = 0;
 
   {
     ScopedTimer t{prof, ProfUnit::kRateMeasure};
@@ -410,29 +412,41 @@ void Socket::handle_data(std::span<const std::uint8_t> pkt) {
 void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
   Profiler* prof = opts_.enable_profiler ? &profiler_ : nullptr;
   ScopedTimer ctrl_timer{prof, ProfUnit::kCtrlProcessing};
-  const CtrlHeader hdr = read_ctrl_header(pkt);
+  const auto hdr_opt = decode_ctrl_header(pkt);
+  if (!hdr_opt) {
+    // Unknown control type: a corrupt header or a future protocol rev.
+    ++stats_.invalid_packets;
+    return;
+  }
+  const CtrlHeader hdr = *hdr_opt;
   const std::uint64_t now = now_us();
   const double now_sec = static_cast<double>(now) * 1e-6;
   cc_.set_now(now_sec);
 
+  // Any well-formed control packet is proof of peer liveness: it re-arms
+  // the EXP timer and unwinds the escalation (§3.5).  Malformed payloads
+  // below do NOT reach this point for ACKs (validated first) — but for the
+  // other types the 16-byte header alone passed validation, which is enough.
+  if (hdr.type != CtrlType::kAck) {
+    last_ctrl_us_ = now;
+    consecutive_timeouts_ = 0;
+  }
+
   switch (hdr.type) {
     case CtrlType::kAck: {
+      // Validate before acting: a truncated ACK must not reset the EXP
+      // timer or trigger an ACK2 echo.
+      const auto ack_opt = decode_ack_payload(pkt.subspan(kHeaderBytes));
+      if (!ack_opt) {
+        ++stats_.invalid_packets;
+        break;
+      }
+      const AckPayload ack = *ack_opt;
       ++stats_.acks_recv;
       last_ctrl_us_ = now;
       consecutive_timeouts_ = 0;
       // Echo ACK2 so the receiver can measure RTT.
       send_ctrl_simple(CtrlType::kAck2, hdr.info);
-
-      const auto body = pkt.subspan(kHeaderBytes);
-      if (body.size() < 4 * AckPayload::kWords) break;
-      AckPayload ack;
-      ack.ack_seq = udtr::SeqNo{
-          static_cast<std::int32_t>(load_be32(body.data()))};
-      ack.rtt_us = load_be32(body.data() + 4);
-      ack.rtt_var_us = load_be32(body.data() + 8);
-      ack.avail_buffer_pkts = load_be32(body.data() + 12);
-      ack.recv_rate_pps = load_be32(body.data() + 16);
-      ack.capacity_pps = load_be32(body.data() + 20);
 
       const std::int64_t ack_index = index_of(ack.ack_seq, snd_una_);
       if (ack_index > snd_una_ && ack_index <= snd_next_) {
@@ -457,29 +471,40 @@ void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
     }
     case CtrlType::kNak: {
       ++stats_.naks_recv;
-      last_ctrl_us_ = now;
-      const auto body = pkt.subspan(kHeaderBytes);
-      std::vector<std::uint32_t> words(body.size() / 4);
-      for (std::size_t i = 0; i < words.size(); ++i) {
-        words[i] = load_be32(body.data() + 4 * i);
-      }
-      const auto ranges = decode_loss_ranges(words);
+      // Capped at kMaxNakRanges inside the decoder, so an oversized payload
+      // cannot turn into unbounded loss-list work.
+      const auto ranges = decode_nak_payload(pkt.subspan(kHeaderBytes));
       udtr::SeqNo biggest = seq_of(snd_una_);
+      bool any_valid = false;
       {
         ScopedTimer t{prof, ProfUnit::kLossProcessing};
         for (const auto& [first, last] : ranges) {
           const std::int64_t a = index_of(first, snd_una_);
           const std::int64_t b = index_of(last, snd_una_);
-          if (b < snd_una_ || a >= snd_next_) continue;
+          // Inverted ranges and ranges entirely outside [snd_una_,
+          // snd_next_) are fabrications — a corrupt NAK must not be able to
+          // trigger a retransmit storm.
+          if (b < a || b < snd_una_ || a >= snd_next_) {
+            ++stats_.invalid_nak_ranges;
+            continue;
+          }
           const std::int64_t ca = std::max(a, snd_una_);
           const std::int64_t cb = std::min(b, snd_next_ - 1);
-          if (ca > cb) continue;
+          if (ca > cb) {
+            ++stats_.invalid_nak_ranges;
+            continue;
+          }
           snd_loss_.insert(seq_of(ca), seq_of(cb));
+          any_valid = true;
           if (udtr::SeqNo::cmp(seq_of(cb), biggest) > 0) biggest = seq_of(cb);
         }
       }
-      cc_.on_nak(biggest, seq_of(std::max<std::int64_t>(snd_next_ - 1, 0)));
-      snd_cv_.notify_one();
+      // Only a NAK that actually named in-flight packets is a congestion
+      // signal; garbage must not halve the sending rate either.
+      if (any_valid) {
+        cc_.on_nak(biggest, seq_of(std::max<std::int64_t>(snd_next_ - 1, 0)));
+        snd_cv_.notify_one();
+      }
       break;
     }
     case CtrlType::kAck2: {
@@ -496,17 +521,23 @@ void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
     }
     case CtrlType::kShutdown: {
       peer_shutdown_ = true;
+      if (state_ == ConnState::kEstablished) state_ = ConnState::kClosing;
       app_rcv_cv_.notify_all();
       app_snd_cv_.notify_all();
       break;
     }
     case CtrlType::kHandshake: {
-      // Duplicate handshake (our response got lost): re-acknowledge.
-      const HandshakePayload req = hs_from_words(pkt.subspan(kHeaderBytes));
-      if (req.request_type == 1) {
+      // Duplicate handshake (our response got lost): re-acknowledge.  A
+      // short or mangled payload is not a request.
+      const auto req = decode_handshake_payload(pkt.subspan(kHeaderBytes));
+      if (!req) {
+        ++stats_.invalid_packets;
+        break;
+      }
+      if (req->request_type == 1) {
         HandshakePayload resp;
         resp.request_type = 0;
-        resp.initial_seq = req.initial_seq;
+        resp.initial_seq = req->initial_seq;
         resp.mss_bytes = static_cast<std::uint32_t>(opts_.mss_bytes);
         resp.socket_id = socket_id_;
         resp.port = channel_.local_port();
@@ -515,7 +546,6 @@ void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
       break;
     }
     case CtrlType::kKeepAlive:
-      last_ctrl_us_ = now;
       break;
   }
 }
@@ -557,6 +587,8 @@ void Socket::check_timers() {
   }
 
   // EXP timer: nothing heard from the peer for a growing expiration period.
+  // The backoff factor doubles per consecutive timeout and caps at 16
+  // (§3.5, congestion-collapse avoidance).
   const double rtt = cc_.last_rtt_s();
   const double base = std::max(opts_.min_exp_timeout_s, 4.0 * rtt);
   const double factor = std::min(1 << std::min(consecutive_timeouts_, 4), 16);
@@ -566,14 +598,35 @@ void Socket::check_timers() {
     if (snd_next_ > snd_una_ || !snd_loss_.empty()) {
       ++consecutive_timeouts_;
       ++stats_.timeouts;
+      if (consecutive_timeouts_ > opts_.max_exp_timeouts) {
+        // The escalation budget is spent: every retransmission into the
+        // void went unanswered.  Declaring the connection broken beats
+        // retrying forever with callers blocked.
+        declare_broken();
+        return;
+      }
       cc_.set_now(static_cast<double>(now) * 1e-6);
       cc_.on_timeout();
       if (snd_next_ > snd_una_) {
         snd_loss_.insert(seq_of(snd_una_), seq_of(snd_next_ - 1));
       }
       snd_cv_.notify_one();
+    } else {
+      // Idle (nothing unacknowledged): not a timeout at all.  Emit a
+      // keepalive so the peer's EXP timer stays re-armed too.
+      send_ctrl_simple(CtrlType::kKeepAlive);
+      ++stats_.keepalives_sent;
     }
   }
+}
+
+void Socket::declare_broken() {
+  state_ = ConnState::kBroken;
+  last_error_ = SocketError::kConnectionBroken;
+  running_ = false;
+  snd_cv_.notify_all();
+  app_snd_cv_.notify_all();
+  app_rcv_cv_.notify_all();
 }
 
 void Socket::send_ack() {
@@ -792,9 +845,26 @@ bool Socket::flush(std::chrono::milliseconds timeout) {
 }
 
 void Socket::close() {
-  bool was_running = running_.exchange(false);
-  if (mode_ == Mode::kConnected && was_running) {
-    send_ctrl_simple(CtrlType::kShutdown);
+  // Linger: give in-flight data a bounded chance to be acknowledged while
+  // the service threads are still alive; a close right after send() must
+  // not silently discard the tail of the stream.
+  if (mode_ == Mode::kConnected && running_ &&
+      state_ == ConnState::kEstablished) {
+    state_ = ConnState::kClosing;
+    if (opts_.linger_s > 0.0) {
+      flush(std::chrono::milliseconds{
+          static_cast<std::int64_t>(opts_.linger_s * 1e3)});
+    }
+  }
+  const bool was_running = running_.exchange(false);
+  if (mode_ == Mode::kConnected && was_running &&
+      state_ != ConnState::kBroken) {
+    // Repeat the shutdown: it has no acknowledgment, and a peer that misses
+    // all copies only discovers the close through its EXP budget.
+    for (int i = 0; i < kShutdownRepeat; ++i) {
+      send_ctrl_simple(CtrlType::kShutdown);
+      if (i + 1 < kShutdownRepeat) std::this_thread::sleep_for(kShutdownGap);
+    }
   }
   snd_cv_.notify_all();
   app_snd_cv_.notify_all();
@@ -802,6 +872,12 @@ void Socket::close() {
   if (snd_thread_.joinable()) snd_thread_.join();
   if (rcv_thread_.joinable()) rcv_thread_.join();
   channel_.close();
+  if (state_ != ConnState::kBroken) state_ = ConnState::kClosed;
+}
+
+int Socket::consecutive_exp_timeouts() const {
+  std::unique_lock lk{state_mu_};
+  return consecutive_timeouts_;
 }
 
 PerfStats Socket::perf() const {

@@ -39,6 +39,19 @@
 
 namespace udtr::udt {
 
+// Connection lifecycle (§3.5 recovery semantics).  kConnecting covers the
+// handshake; kEstablished is normal duplex operation; kClosing means a
+// shutdown is in progress (ours or the peer's); kClosed is a completed
+// orderly close; kBroken means the EXP timer escalated past its budget with
+// data outstanding — the peer is presumed dead and every blocked or future
+// operation returns instead of hanging.
+enum class ConnState { kConnecting, kEstablished, kClosing, kClosed, kBroken };
+
+enum class SocketError {
+  kNone,
+  kConnectionBroken,  // EXP escalation exhausted: peer declared dead
+};
+
 struct SocketOptions {
   // Maximum UDT payload per packet; +16 header bytes go on the wire.
   int mss_bytes = 1456;
@@ -48,9 +61,21 @@ struct SocketOptions {
   bool window_control = true;       // flow control on/off (Fig. 7 ablation)
   int probe_interval = 16;          // packet pair every N packets
   double min_exp_timeout_s = 0.3;
+  // EXP escalations (with data outstanding) tolerated before the connection
+  // is declared broken; the backoff factor doubles per timeout and caps at
+  // 16, so the total patience is bounded (§3.5).
+  int max_exp_timeouts = 16;
+  // close(): bounded wait for in-flight data to be acknowledged before the
+  // shutdown is sent.
+  double linger_s = 1.0;
   // Outbound data-packet loss injection (emulates a lossy path on loopback).
   double loss_injection = 0.0;
   std::uint64_t loss_seed = 1;
+  // Full fault-injection layer for the channel (both directions; drop /
+  // duplicate / reorder / corrupt / truncate / outage).  Takes precedence
+  // over `loss_injection`.  The caller may keep its reference and flip
+  // faults mid-run; see fault.hpp.
+  std::shared_ptr<FaultInjector> faults;
   // Optional sending-rate cap in Mb/s (0 = uncapped).
   double max_bandwidth_mbps = 0.0;
   bool enable_profiler = false;     // Table 3 instrumentation
@@ -70,6 +95,12 @@ struct PerfStats {
   std::uint64_t bytes_sent = 0;     // application payload accepted by send()
   std::uint64_t bytes_delivered = 0;  // application payload handed to recv()
   std::uint64_t timeouts = 0;
+  std::uint64_t keepalives_sent = 0;
+  // Datagrams rejected by the validation layer (short, wrong destination
+  // socket, unknown control type, truncated control payload).
+  std::uint64_t invalid_packets = 0;
+  // NAK ranges discarded as inverted or entirely outside the send window.
+  std::uint64_t invalid_nak_ranges = 0;
   double rtt_ms = 0.0;
   double capacity_mbps = 0.0;       // RBPP estimate
   double recv_rate_mbps = 0.0;      // arrival-speed estimate
@@ -129,6 +160,17 @@ class Socket {
   void close();
   [[nodiscard]] bool closed() const { return !running_; }
 
+  // --- lifecycle / error surfacing --------------------------------------
+  [[nodiscard]] ConnState state() const { return state_; }
+  [[nodiscard]] SocketError last_error() const { return last_error_; }
+  [[nodiscard]] bool broken() const { return state_ == ConnState::kBroken; }
+  // This socket's id on the wire (the peer addresses us with it); exposed
+  // so tests can craft raw datagrams that pass validation.
+  [[nodiscard]] std::uint32_t id() const { return socket_id_; }
+  // Consecutive EXP expirations with data outstanding since the last
+  // control packet from the peer (resets to 0 on any control arrival).
+  [[nodiscard]] int consecutive_exp_timeouts() const;
+
   [[nodiscard]] PerfStats perf() const;
   [[nodiscard]] Profiler& profiler() { return profiler_; }
   [[nodiscard]] const cc::UdtCc& congestion() const { return cc_; }
@@ -143,9 +185,16 @@ class Socket {
   void receiver_loop();
 
   // Receiver-thread handlers (state_mu_ held).
+  // First line of defence: every datagram must carry our socket id (or be
+  // a handshake, which may arrive before the peer learns it).
+  [[nodiscard]] bool packet_addressed_to_us(
+      std::span<const std::uint8_t> pkt) const;
   void handle_data(std::span<const std::uint8_t> pkt);
   void handle_ctrl(std::span<const std::uint8_t> pkt);
   void check_timers();
+  // EXP budget exhausted: mark the connection dead and release every
+  // blocked thread (state_mu_ held).
+  void declare_broken();
   void send_ack();
   void send_nak(std::span<const std::pair<udtr::SeqNo, udtr::SeqNo>> ranges);
   void send_ctrl_simple(CtrlType type, std::uint32_t info = 0);
@@ -174,6 +223,8 @@ class Socket {
 
   std::atomic<bool> running_{false};
   std::atomic<bool> peer_shutdown_{false};
+  std::atomic<ConnState> state_{ConnState::kConnecting};
+  std::atomic<SocketError> last_error_{SocketError::kNone};
   std::thread snd_thread_;
   std::thread rcv_thread_;
 

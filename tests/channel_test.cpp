@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <thread>
 #include <vector>
 
 namespace udtr::udt {
@@ -36,7 +38,9 @@ TEST(UdpChannel, SendReceiveDatagram) {
   EXPECT_EQ(a.send_to(to, msg), 5);
   std::vector<std::uint8_t> buf(64);
   Endpoint src;
-  EXPECT_EQ(b.recv_from(src, buf), 5);
+  const RecvResult r = b.recv_from(src, buf);
+  EXPECT_EQ(r.status, RecvStatus::kDatagram);
+  EXPECT_EQ(r.bytes, 5u);
   EXPECT_EQ(src.port, a.local_port());
   EXPECT_TRUE(std::equal(msg.begin(), msg.end(), buf.begin()));
 }
@@ -48,16 +52,37 @@ TEST(UdpChannel, RecvTimesOutCleanly) {
   std::vector<std::uint8_t> buf(64);
   Endpoint src;
   const auto t0 = std::chrono::steady_clock::now();
-  EXPECT_EQ(ch.recv_from(src, buf), 0);
+  EXPECT_EQ(ch.recv_from(src, buf).status, RecvStatus::kTimeout);
   EXPECT_GE(std::chrono::steady_clock::now() - t0,
             std::chrono::milliseconds{40});
 }
 
-TEST(UdpChannel, LossInjectionDropsOnlyLargeDatagrams) {
+// Regression: a genuine zero-length datagram used to be indistinguishable
+// from a timeout (both returned 0).
+TEST(UdpChannel, ZeroLengthDatagramIsNotATimeout) {
   UdpChannel a, b;
   ASSERT_TRUE(a.open(0));
   ASSERT_TRUE(b.open(0));
-  a.set_loss_injection(1.0, 7, /*min_bytes=*/32);  // drop all data packets
+  b.set_recv_timeout(std::chrono::milliseconds{500});
+  const Endpoint to{0x7F000001u, b.local_port()};
+  EXPECT_EQ(a.send_to(to, {}), 0);
+  std::vector<std::uint8_t> buf(64);
+  Endpoint src;
+  const RecvResult r = b.recv_from(src, buf);
+  EXPECT_EQ(r.status, RecvStatus::kDatagram);
+  EXPECT_EQ(r.bytes, 0u);
+  EXPECT_EQ(src.port, a.local_port());
+  // ... and with nothing pending, the next receive really is a timeout.
+  b.set_recv_timeout(std::chrono::milliseconds{50});
+  EXPECT_EQ(b.recv_from(src, buf).status, RecvStatus::kTimeout);
+}
+
+TEST(UdpChannel, LossInjectorDropsOnlyLargeDatagrams) {
+  UdpChannel a, b;
+  ASSERT_TRUE(a.open(0));
+  ASSERT_TRUE(b.open(0));
+  // Drop all data-sized datagrams; control-sized ones pass.
+  a.set_fault_injector(make_loss_injector(1.0, 7, /*data_min_bytes=*/32));
   b.set_recv_timeout(std::chrono::milliseconds{50});
   const Endpoint to{0x7F000001u, b.local_port()};
 
@@ -67,9 +92,110 @@ TEST(UdpChannel, LossInjectionDropsOnlyLargeDatagrams) {
   a.send_to(to, small);  // control-sized: passes
   std::vector<std::uint8_t> buf(256);
   Endpoint src;
-  EXPECT_EQ(b.recv_from(src, buf), 16);
-  EXPECT_EQ(b.recv_from(src, buf), 0);  // nothing else
+  RecvResult r = b.recv_from(src, buf);
+  EXPECT_EQ(r.status, RecvStatus::kDatagram);
+  EXPECT_EQ(r.bytes, 16u);
+  EXPECT_EQ(b.recv_from(src, buf).status, RecvStatus::kTimeout);
   EXPECT_EQ(a.datagrams_dropped(), 1u);
+}
+
+TEST(UdpChannel, InjectorDuplicatesDatagrams) {
+  UdpChannel a, b;
+  ASSERT_TRUE(a.open(0));
+  ASSERT_TRUE(b.open(0));
+  FaultConfig cfg;
+  cfg.send.dup_p = 1.0;
+  cfg.seed = 3;
+  a.set_fault_injector(std::make_shared<FaultInjector>(cfg));
+  b.set_recv_timeout(std::chrono::milliseconds{200});
+  const Endpoint to{0x7F000001u, b.local_port()};
+  const std::vector<std::uint8_t> msg{9, 9, 9};
+  a.send_to(to, msg);
+  std::vector<std::uint8_t> buf(64);
+  Endpoint src;
+  EXPECT_EQ(b.recv_from(src, buf).bytes, 3u);
+  EXPECT_EQ(b.recv_from(src, buf).bytes, 3u);  // the duplicate
+  EXPECT_EQ(a.fault_injector()->stats(FaultDir::kSend).duplicated, 1u);
+}
+
+TEST(UdpChannel, InjectorReordersHeldDatagram) {
+  UdpChannel a, b;
+  ASSERT_TRUE(a.open(0));
+  ASSERT_TRUE(b.open(0));
+  FaultConfig cfg;
+  // Deterministic reordering: every data-sized datagram is held until two
+  // later sends overtake it; control-sized datagrams pass straight through.
+  cfg.send.reorder_p = 1.0;
+  cfg.send.reorder_hold = 2;
+  cfg.send.data_only = true;
+  cfg.send.data_min_bytes = 32;
+  cfg.seed = 4;
+  auto inj = std::make_shared<FaultInjector>(cfg);
+  a.set_fault_injector(inj);
+  b.set_recv_timeout(std::chrono::milliseconds{500});
+  const Endpoint to{0x7F000001u, b.local_port()};
+  const std::vector<std::uint8_t> big(100, 0xAA);  // held
+  const std::vector<std::uint8_t> s1{1};           // overtakes
+  const std::vector<std::uint8_t> s2{2};           // overtakes + releases
+  a.send_to(to, big);
+  a.send_to(to, s1);
+  a.send_to(to, s2);
+  std::vector<std::uint8_t> buf(256);
+  Endpoint src;
+  std::vector<std::size_t> sizes;
+  for (int i = 0; i < 3; ++i) {
+    const RecvResult r = b.recv_from(src, buf);
+    ASSERT_EQ(r.status, RecvStatus::kDatagram);
+    sizes.push_back(r.bytes);
+  }
+  // The big datagram left first but arrives last.
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1, 1, 100}));
+  EXPECT_EQ(inj->stats(FaultDir::kSend).reordered, 1u);
+}
+
+TEST(UdpChannel, InjectorOutageDropsEverything) {
+  UdpChannel a, b;
+  ASSERT_TRUE(a.open(0));
+  ASSERT_TRUE(b.open(0));
+  auto inj = std::make_shared<FaultInjector>(FaultConfig{});
+  a.set_fault_injector(inj);
+  b.set_recv_timeout(std::chrono::milliseconds{50});
+  const Endpoint to{0x7F000001u, b.local_port()};
+  inj->schedule_outage(std::chrono::milliseconds{0},
+                       std::chrono::milliseconds{100});
+  const std::vector<std::uint8_t> msg{1, 2, 3};
+  a.send_to(to, msg);
+  std::vector<std::uint8_t> buf(8);
+  Endpoint src;
+  EXPECT_EQ(b.recv_from(src, buf).status, RecvStatus::kTimeout);
+  std::this_thread::sleep_for(std::chrono::milliseconds{120});
+  a.send_to(to, msg);  // outage over: goes through
+  b.set_recv_timeout(std::chrono::milliseconds{500});
+  EXPECT_EQ(b.recv_from(src, buf).bytes, 3u);
+  EXPECT_EQ(inj->stats(FaultDir::kSend).outage_dropped, 1u);
+}
+
+TEST(UdpChannel, InjectorCorruptionFlipsExactlyOneBit) {
+  UdpChannel a, b;
+  ASSERT_TRUE(a.open(0));
+  ASSERT_TRUE(b.open(0));
+  FaultConfig cfg;
+  cfg.recv.corrupt_p = 1.0;
+  cfg.seed = 11;
+  b.set_fault_injector(std::make_shared<FaultInjector>(cfg));
+  b.set_recv_timeout(std::chrono::milliseconds{500});
+  const Endpoint to{0x7F000001u, b.local_port()};
+  const std::vector<std::uint8_t> msg(32, 0x00);
+  a.send_to(to, msg);
+  std::vector<std::uint8_t> buf(64);
+  Endpoint src;
+  const RecvResult r = b.recv_from(src, buf);
+  ASSERT_EQ(r.bytes, 32u);
+  int set_bits = 0;
+  for (std::size_t i = 0; i < r.bytes; ++i) {
+    set_bits += __builtin_popcount(buf[i]);
+  }
+  EXPECT_EQ(set_bits, 1);  // all zeros in, exactly one flipped bit out
 }
 
 TEST(UdpChannel, MoveTransfersOwnership) {

@@ -1,0 +1,186 @@
+// Deterministic fuzz harness for the packet codec layer (the tentpole's
+// third leg): every decode path that touches bytes straight off the wire is
+// fed random, truncated, and bit-flipped buffers.  The assertions are
+// intentionally weak — the decoders may reject or accept — but they must
+// never read out of bounds, crash, or hang, and what they do accept must
+// satisfy basic structural invariants.  Run under
+// -DUDTR_SANITIZE=address,undefined for the full effect (CI does).
+#include "udt/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+namespace udtr::udt {
+namespace {
+
+constexpr int kRandomIters = 60000;
+constexpr int kMutationIters = 60000;
+
+// Runs every wire-facing decoder over one buffer.
+void decode_everything(std::span<const std::uint8_t> pkt) {
+  (void)is_control(pkt);
+  if (const auto d = decode_data_header(pkt)) {
+    // 31-bit sequence invariant.
+    EXPECT_GE(d->seq.value(), 0);
+    EXPECT_LE(d->seq.value(), udtr::SeqNo::kMax);
+  }
+  if (const auto c = decode_ctrl_header(pkt)) {
+    EXPECT_TRUE(is_known_ctrl_type(static_cast<std::uint16_t>(c->type)));
+  }
+  if (pkt.size() >= kHeaderBytes) {
+    const auto payload = pkt.subspan(kHeaderBytes);
+    if (const auto ack = decode_ack_payload(payload)) {
+      EXPECT_GE(ack->ack_seq.value(), 0);
+      EXPECT_LE(ack->ack_seq.value(), udtr::SeqNo::kMax);
+    }
+    (void)decode_handshake_payload(payload);
+    const auto ranges = decode_nak_payload(payload);
+    EXPECT_LE(ranges.size(), kMaxNakRanges);
+    for (const auto& [first, last] : ranges) {
+      EXPECT_GE(first.value(), 0);
+      EXPECT_LE(first.value(), udtr::SeqNo::kMax);
+      EXPECT_GE(last.value(), 0);
+      EXPECT_LE(last.value(), udtr::SeqNo::kMax);
+    }
+  }
+}
+
+TEST(PacketFuzz, RandomBuffersNeverCrashDecoders) {
+  std::mt19937_64 rng{0xF00DF00Du};
+  std::vector<std::uint8_t> buf;
+  for (int i = 0; i < kRandomIters; ++i) {
+    // Bias towards interesting sizes: empty, sub-header, header-ish, and a
+    // tail of large buffers.
+    const std::size_t len = [&]() -> std::size_t {
+      switch (rng() % 4) {
+        case 0:
+          return rng() % (kHeaderBytes + 1);       // 0..16
+        case 1:
+          return kHeaderBytes + rng() % 32;        // small payloads
+        case 2:
+          return kHeaderBytes + rng() % 256;
+        default:
+          return rng() % 2048;
+      }
+    }();
+    buf.resize(len);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+    decode_everything(buf);
+  }
+}
+
+TEST(PacketFuzz, MutatedValidPacketsNeverCrashDecoders) {
+  std::mt19937_64 rng{0xBEEFCAFEu};
+  std::vector<std::uint8_t> pkt;
+  for (int i = 0; i < kMutationIters; ++i) {
+    pkt.clear();
+    // Start from a structurally valid packet of a random kind.
+    switch (rng() % 4) {
+      case 0: {  // data packet
+        pkt.resize(kHeaderBytes + rng() % 64);
+        DataHeader h;
+        h.seq = udtr::SeqNo{static_cast<std::int32_t>(
+            rng() & static_cast<std::uint64_t>(udtr::SeqNo::kMax))};
+        h.timestamp_us = static_cast<std::uint32_t>(rng());
+        h.dst_socket = static_cast<std::uint32_t>(rng());
+        write_data_header(pkt, h);
+        break;
+      }
+      case 1: {  // full ACK
+        pkt.resize(kHeaderBytes + 4 * AckPayload::kWords);
+        CtrlHeader h;
+        h.type = CtrlType::kAck;
+        h.info = static_cast<std::uint32_t>(rng());
+        write_ctrl_header(pkt, h);
+        AckPayload ack;
+        ack.ack_seq = udtr::SeqNo{static_cast<std::int32_t>(
+            rng() & static_cast<std::uint64_t>(udtr::SeqNo::kMax))};
+        ack.rtt_us = static_cast<std::uint32_t>(rng());
+        encode_ack_payload(std::span{pkt}.subspan(kHeaderBytes), ack);
+        break;
+      }
+      case 2: {  // NAK with random ranges
+        const std::size_t n_ranges = rng() % 200;  // may exceed the cap
+        std::vector<std::pair<udtr::SeqNo, udtr::SeqNo>> ranges;
+        for (std::size_t k = 0; k < n_ranges; ++k) {
+          const auto a = static_cast<std::int32_t>(
+              rng() & static_cast<std::uint64_t>(udtr::SeqNo::kMax));
+          const auto b = static_cast<std::int32_t>(
+              rng() & static_cast<std::uint64_t>(udtr::SeqNo::kMax));
+          ranges.emplace_back(udtr::SeqNo{a}, udtr::SeqNo{b});
+        }
+        const auto words = encode_loss_ranges(ranges);
+        pkt.resize(kHeaderBytes + 4 * words.size());
+        CtrlHeader h;
+        h.type = CtrlType::kNak;
+        write_ctrl_header(pkt, h);
+        write_words(std::span{pkt}.subspan(kHeaderBytes), words);
+        break;
+      }
+      default: {  // handshake
+        pkt.resize(kHeaderBytes + 4 * HandshakePayload::kWords);
+        CtrlHeader h;
+        h.type = CtrlType::kHandshake;
+        write_ctrl_header(pkt, h);
+        HandshakePayload hs;
+        hs.initial_seq = static_cast<std::uint32_t>(rng());
+        hs.socket_id = static_cast<std::uint32_t>(rng());
+        encode_handshake_payload(std::span{pkt}.subspan(kHeaderBytes), hs);
+        break;
+      }
+    }
+    // Mutate: bit flips, truncation, or both.
+    if (!pkt.empty() && rng() % 2 == 0) {
+      const int flips = 1 + static_cast<int>(rng() % 8);
+      for (int f = 0; f < flips; ++f) {
+        const std::size_t bit = rng() % (pkt.size() * 8);
+        pkt[bit / 8] ^= static_cast<std::uint8_t>(1U << (bit % 8));
+      }
+    }
+    if (rng() % 3 == 0) {
+      pkt.resize(rng() % (pkt.size() + 1));
+    }
+    decode_everything(pkt);
+  }
+}
+
+TEST(PacketFuzz, DecodersRejectAllSubHeaderBuffers) {
+  std::mt19937_64 rng{77};
+  for (std::size_t len = 0; len < kHeaderBytes; ++len) {
+    std::vector<std::uint8_t> buf(len);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+    EXPECT_FALSE(is_control(buf));
+    EXPECT_FALSE(decode_data_header(buf).has_value());
+    EXPECT_FALSE(decode_ctrl_header(buf).has_value());
+  }
+}
+
+TEST(PacketFuzz, NakDecodeCapsRanges) {
+  // 1000 singleton losses encode to 1000 words; the decoder must stop at
+  // kMaxNakRanges.
+  std::vector<std::pair<udtr::SeqNo, udtr::SeqNo>> ranges;
+  for (std::int32_t i = 0; i < 1000; ++i) {
+    ranges.emplace_back(udtr::SeqNo{2 * i}, udtr::SeqNo{2 * i});
+  }
+  const auto words = encode_loss_ranges(ranges);
+  std::vector<std::uint8_t> payload(4 * words.size());
+  write_words(payload, words);
+  EXPECT_EQ(decode_nak_payload(payload).size(), kMaxNakRanges);
+}
+
+TEST(PacketFuzz, TruncatedAckPayloadIsRejected) {
+  for (std::size_t len = 0; len < 4 * AckPayload::kWords; ++len) {
+    const std::vector<std::uint8_t> payload(len, 0xFF);
+    EXPECT_FALSE(decode_ack_payload(payload).has_value());
+  }
+  for (std::size_t len = 0; len < 4 * HandshakePayload::kWords; ++len) {
+    const std::vector<std::uint8_t> payload(len, 0xFF);
+    EXPECT_FALSE(decode_handshake_payload(payload).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace udtr::udt
