@@ -4,6 +4,11 @@
 // receiving entities.  The paper (VTune, dual Xeon): UDP writing dominates
 // sending at 66.7%, UDP reading dominates receiving at 90.9%; everything
 // else — timing, packing, control/loss processing — is single-digit.
+//
+// Since udp-io dominates both sides, the batched-I/O path (sendmmsg /
+// recvmmsg, SocketOptions::io_batch) attacks exactly this row.  The run is
+// repeated with batching on (16) and off (1), and the udp-io *invocations
+// per data packet* are reported — the syscall-amortization factor.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -13,28 +18,37 @@
 #include "bench_util.hpp"
 #include "udt/socket.hpp"
 
-int main(int argc, char** argv) {
-  using namespace udtr::udt;
-  const auto scale = udtr::bench::parse_scale(argc, argv);
-  udtr::bench::banner("Table 3", "CPU share per functional unit "
-                      "(instrumented transfer)", scale);
-  const double seconds = scale.seconds(4, 15);
+namespace {
 
+using namespace udtr::udt;
+
+struct ProfiledRun {
+  double rate_mbps = 0.0;
+  // udp-io ScopedTimer invocations per data packet, each side.  One
+  // invocation is one batch (one syscall round), so this is the direct
+  // measure of syscall amortization.
+  double snd_calls_per_packet = 0.0;
+  double rcv_calls_per_packet = 0.0;
+  std::vector<Profiler::Share> snd_report;
+  std::vector<Profiler::Share> rcv_report;
+  bool ok = false;
+};
+
+ProfiledRun run_profiled(double seconds, int io_batch) {
   SocketOptions opts;
   opts.enable_profiler = true;
   // Match the paper's conditions: a ~GigE-rate transfer, where pacing waits
   // (the "timing" row) are a real cost rather than rounding noise.
   opts.max_bandwidth_mbps = 950.0;
+  opts.io_batch = io_batch;
   auto listener = Socket::listen(0, opts);
   auto accepted = std::async(std::launch::async, [&] {
     return listener->accept(std::chrono::seconds{5});
   });
   auto client = Socket::connect("127.0.0.1", listener->local_port(), opts);
   auto server = accepted.get();
-  if (!client || !server) {
-    std::fprintf(stderr, "connection failed\n");
-    return 1;
-  }
+  ProfiledRun out;
+  if (!client || !server) return out;
 
   std::atomic<bool> stop{false};
   auto snd = std::async(std::launch::async, [&] {
@@ -46,31 +60,86 @@ int main(int argc, char** argv) {
     while (!stop) server->recv(buf, std::chrono::milliseconds{100});
   });
   std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
-  const auto rate_mbps =
-      static_cast<double>(server->perf().bytes_delivered) * 8.0 / seconds /
-      1e6;
+  out.rate_mbps = static_cast<double>(server->perf().bytes_delivered) * 8.0 /
+                  seconds / 1e6;
+  const auto snd_pkts = client->perf().data_packets_sent;
+  const auto rcv_pkts = server->perf().data_packets_recv;
+  const auto snd_calls = client->profiler().calls(ProfUnit::kUdpIo);
+  const auto rcv_calls = server->profiler().calls(ProfUnit::kUdpIo);
+  out.snd_calls_per_packet =
+      snd_pkts > 0 ? static_cast<double>(snd_calls) / snd_pkts : 0.0;
+  out.rcv_calls_per_packet =
+      rcv_pkts > 0 ? static_cast<double>(rcv_calls) / rcv_pkts : 0.0;
+  out.snd_report = client->profiler().report();
+  out.rcv_report = server->profiler().report();
+  out.ok = true;
   stop = true;
   client->close();
   server->close();
   snd.get();
   rcv.get();
+  return out;
+}
 
-  const auto print_side = [](const char* side, Profiler& prof) {
-    std::printf("\n%s entity:\n", side);
-    std::printf("  %-18s %12s %8s\n", "unit", "time (ms)", "share");
-    for (const auto& s : prof.report()) {
-      std::printf("  %-18s %12.2f %7.1f%%\n",
-                  std::string{prof_unit_name(s.unit)}.c_str(),
-                  static_cast<double>(s.nanos) / 1e6, s.percent);
-    }
-  };
-  std::printf("transfer rate: %.0f Mb/s\n", rate_mbps);
-  print_side("sending (client)", client->profiler());
-  print_side("receiving (server)", server->profiler());
+void print_side(const char* side, const std::vector<Profiler::Share>& report) {
+  std::printf("\n%s entity:\n", side);
+  std::printf("  %-18s %12s %8s %10s\n", "unit", "time (ms)", "share",
+              "calls");
+  for (const auto& s : report) {
+    std::printf("  %-18s %12.2f %7.1f%% %10llu\n",
+                std::string{prof_unit_name(s.unit)}.c_str(),
+                static_cast<double>(s.nanos) / 1e6, s.percent,
+                static_cast<unsigned long long>(s.calls));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto scale = udtr::bench::parse_scale(argc, argv);
+  udtr::bench::banner("Table 3", "CPU share per functional unit "
+                      "(instrumented transfer)", scale);
+  const double seconds = scale.seconds(4, 15);
+
+  const ProfiledRun batched = run_profiled(seconds, /*io_batch=*/16);
+  const ProfiledRun single = run_profiled(seconds, /*io_batch=*/1);
+  if (!batched.ok || !single.ok) {
+    std::fprintf(stderr, "connection failed\n");
+    return 1;
+  }
+
+  std::printf("transfer rate: %.0f Mb/s (batch=16), %.0f Mb/s (batch=1)\n",
+              batched.rate_mbps, single.rate_mbps);
+  print_side("sending (client, batch=16)", batched.snd_report);
+  print_side("receiving (server, batch=16)", batched.rcv_report);
+
+  std::printf("\nudp-io invocations per data packet (syscall "
+              "amortization):\n");
+  std::printf("  %-10s %14s %14s\n", "side", "batch=16", "batch=1");
+  std::printf("  %-10s %14.3f %14.3f\n", "sending", batched.snd_calls_per_packet,
+              single.snd_calls_per_packet);
+  std::printf("  %-10s %14.3f %14.3f\n", "receiving",
+              batched.rcv_calls_per_packet, single.rcv_calls_per_packet);
+  const double snd_x = batched.snd_calls_per_packet > 0
+      ? single.snd_calls_per_packet / batched.snd_calls_per_packet : 0.0;
+  const double rcv_x = batched.rcv_calls_per_packet > 0
+      ? single.rcv_calls_per_packet / batched.rcv_calls_per_packet : 0.0;
+  std::printf("  amortization: %.1fx fewer sends, %.1fx fewer receives per "
+              "packet\n", snd_x, rcv_x);
 
   std::printf("\npaper Table 3 (dual Xeon, 970 Mb/s): sending = UDP writing "
               "66.7%%, timing 4.9%%, packing 5.9%%, ctrl 5.1%%, app 3.5%%; "
               "receiving = UDP reading 90.9%%, rate measurement 2.7%%, "
               "unpacking 0.9%%, loss 0.6%%.\n");
+  udtr::bench::write_json(scale.json_path, {
+      {"rate_mbps_batched", batched.rate_mbps},
+      {"rate_mbps_unbatched", single.rate_mbps},
+      {"udpio_calls_per_packet_snd_batched", batched.snd_calls_per_packet},
+      {"udpio_calls_per_packet_rcv_batched", batched.rcv_calls_per_packet},
+      {"udpio_calls_per_packet_snd_unbatched", single.snd_calls_per_packet},
+      {"udpio_calls_per_packet_rcv_unbatched", single.rcv_calls_per_packet},
+      {"send_amortization_x", snd_x},
+      {"recv_amortization_x", rcv_x},
+  });
   return 0;
 }

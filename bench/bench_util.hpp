@@ -7,11 +7,16 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace udtr::bench {
 
 struct Scale {
   bool full = false;
+  // When set (--json <path>), the bench appends its headline numbers there
+  // so CI can archive a BENCH_*.json perf trajectory run over run.
+  std::string json_path;
   // Simulated seconds per scenario.
   [[nodiscard]] double seconds(double dflt, double full_val) const {
     return full ? full_val : dflt;
@@ -25,8 +30,29 @@ inline Scale parse_scale(int argc, char** argv) {
   Scale s;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) s.full = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      s.json_path = argv[i + 1];
+    }
   }
   return s;
+}
+
+// Flat {"key": number, ...} document — all any perf-trajectory consumer
+// needs, with no dependency beyond stdio.
+inline bool write_json(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& fields) {
+  if (path.empty()) return false;
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n");
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    std::fprintf(f, "  \"%s\": %.6g%s\n", fields[i].first.c_str(),
+                 fields[i].second, i + 1 < fields.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
 }
 
 inline void banner(const char* id, const char* what, const Scale& s) {

@@ -5,9 +5,19 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <array>
 #include <cerrno>
 #include <cstring>
 #include <utility>
+#include <vector>
+
+// sendmmsg/recvmmsg appeared in Linux 3.0 / glibc 2.14; everything else
+// takes the portable per-datagram fallback inside send_batch/recv_batch.
+#if defined(__linux__)
+#define UDTR_HAVE_MMSG 1
+#else
+#define UDTR_HAVE_MMSG 0
+#endif
 
 namespace udtr::udt {
 
@@ -45,7 +55,9 @@ UdpChannel::UdpChannel(UdpChannel&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       local_port_(other.local_port_),
       faults_(std::move(other.faults_)),
-      sent_(other.sent_) {}
+      sent_(other.sent_.load()),
+      send_calls_(other.send_calls_.load()),
+      recv_calls_(other.recv_calls_.load()) {}
 
 UdpChannel& UdpChannel::operator=(UdpChannel&& other) noexcept {
   if (this != &other) {
@@ -53,7 +65,9 @@ UdpChannel& UdpChannel::operator=(UdpChannel&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     local_port_ = other.local_port_;
     faults_ = std::move(other.faults_);
-    sent_ = other.sent_;
+    sent_ = other.sent_.load();
+    send_calls_ = other.send_calls_.load();
+    recv_calls_ = other.recv_calls_.load();
   }
   return *this;
 }
@@ -118,13 +132,196 @@ std::int64_t UdpChannel::send_to(const Endpoint& dst,
   const sockaddr_in sa = dst.to_sockaddr();
   if (faults_) {
     faults_->on_send(data, [&](std::span<const std::uint8_t> d) {
+      ++send_calls_;
       ::sendto(fd_, d.data(), d.size(), 0,
                reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
     });
     return static_cast<std::int64_t>(data.size());
   }
+  ++send_calls_;
   return ::sendto(fd_, data.data(), data.size(), 0,
                   reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+}
+
+std::size_t UdpChannel::send_batch(
+    const Endpoint& dst, std::span<const std::span<const std::uint8_t>> data) {
+  if (data.empty()) return 0;
+  sent_ += data.size();
+  const sockaddr_in sa = dst.to_sockaddr();
+
+  // The wire set defaults to the caller's datagrams; the injector may drop,
+  // mutate or multiply entries (mutations are owned by `mutated` so the
+  // spans stay alive until the syscall).
+  std::vector<std::span<const std::uint8_t>> wire;
+  std::vector<std::vector<std::uint8_t>> mutated;
+  wire.reserve(data.size());
+  if (faults_) {
+    mutated.reserve(data.size());
+    for (const auto& d : data) {
+      faults_->on_send(d, [&](std::span<const std::uint8_t> out) {
+        if (out.data() == d.data() && out.size() == d.size()) {
+          wire.push_back(d);
+        } else {
+          mutated.emplace_back(out.begin(), out.end());
+          wire.emplace_back(mutated.back().data(), mutated.back().size());
+        }
+      });
+    }
+    if (wire.empty()) return data.size();  // all swallowed: "left the host"
+  } else {
+    wire.assign(data.begin(), data.end());
+  }
+
+#if UDTR_HAVE_MMSG
+  std::size_t done = 0;
+  while (done < wire.size()) {
+    constexpr std::size_t kChunk = 64;
+    const std::size_t n = std::min(kChunk, wire.size() - done);
+    std::array<mmsghdr, kChunk> msgs{};
+    std::array<iovec, kChunk> iovs{};
+    for (std::size_t i = 0; i < n; ++i) {
+      iovs[i].iov_base = const_cast<std::uint8_t*>(wire[done + i].data());
+      iovs[i].iov_len = wire[done + i].size();
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+      msgs[i].msg_hdr.msg_name = const_cast<sockaddr_in*>(&sa);
+      msgs[i].msg_hdr.msg_namelen = sizeof sa;
+    }
+    ++send_calls_;
+    const int sent = ::sendmmsg(fd_, msgs.data(), static_cast<unsigned>(n), 0);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      break;  // e.g. closed mid-send; partial batch already accounted
+    }
+    done += static_cast<std::size_t>(sent);
+    if (static_cast<std::size_t>(sent) < n) continue;  // retry the remainder
+  }
+#else
+  for (const auto& d : wire) {
+    ++send_calls_;
+    ::sendto(fd_, d.data(), d.size(), 0,
+             reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+  }
+#endif
+  return data.size();
+}
+
+// Accepts the raw datagram sitting in `raw`'s buffer (from slot `from`)
+// into slot `slots[filled]`, running it through the recv-direction fault
+// filter first.  Returns true if the datagram survived (and `filled` should
+// advance).  `from == filled` is the common no-fault case and costs nothing.
+bool UdpChannel::accept_raw(std::span<RecvSlot> slots, std::size_t filled,
+                            std::size_t from, std::size_t bytes,
+                            const Endpoint& src) {
+  if (!faults_) {
+    slots[filled].bytes = bytes;
+    slots[filled].src = src;
+    return true;
+  }
+  auto delivered = faults_->filter_recv({slots[from].buf.data(), bytes},
+                                        src.ip_host_order, src.port);
+  if (!delivered) return false;  // swallowed by the net
+  RecvSlot& dst = slots[filled];
+  dst.bytes = std::min(dst.buf.size(), delivered->size());
+  std::memcpy(dst.buf.data(), delivered->data(), dst.bytes);
+  dst.src = src;
+  return true;
+}
+
+UdpChannel::RecvBatchResult UdpChannel::recv_batch(std::span<RecvSlot> slots) {
+  if (slots.empty()) return {RecvStatus::kTimeout, 0};
+
+  // Datagrams the injector owes us (reorder releases, duplicates) come
+  // first; they were "on the wire" before anything still in the kernel.
+  std::size_t filled = 0;
+  if (faults_) {
+    while (filled < slots.size()) {
+      auto owed = faults_->pop_ready_recv();
+      if (!owed) break;
+      RecvSlot& s = slots[filled];
+      s.bytes = std::min(s.buf.size(), owed->bytes.size());
+      std::memcpy(s.buf.data(), owed->bytes.data(), s.bytes);
+      s.src = Endpoint{owed->src_ip, owed->src_port};
+      ++filled;
+    }
+  }
+  const bool have_owed = filled > 0;
+  const std::size_t base = filled;
+
+#if UDTR_HAVE_MMSG
+  if (base < slots.size()) {
+    constexpr std::size_t kChunk = 64;
+    const std::size_t n = std::min(kChunk, slots.size() - base);
+    std::array<mmsghdr, kChunk> msgs{};
+    std::array<iovec, kChunk> iovs{};
+    std::array<sockaddr_in, kChunk> addrs{};
+    for (std::size_t i = 0; i < n; ++i) {
+      iovs[i].iov_base = slots[base + i].buf.data();
+      iovs[i].iov_len = slots[base + i].buf.size();
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+      msgs[i].msg_hdr.msg_name = &addrs[i];
+      msgs[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+    }
+    // One syscall per wakeup: block (SO_RCVTIMEO-bounded, §4.8) until at
+    // least one datagram arrives, then take everything already queued.
+    // With owed datagrams in hand we must not block again — only top up.
+    ++recv_calls_;
+    const int got = ::recvmmsg(fd_, msgs.data(), static_cast<unsigned>(n),
+                               have_owed ? MSG_DONTWAIT : MSG_WAITFORONE,
+                               nullptr);
+    if (got < 0 && !have_owed) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        return {RecvStatus::kTimeout, 0};
+      }
+      return {RecvStatus::kError, 0};
+    }
+    for (int i = 0; i < std::max(got, 0); ++i) {
+      if (accept_raw(slots, filled, base + static_cast<std::size_t>(i),
+                     msgs[i].msg_len, Endpoint::from_sockaddr(addrs[i]))) {
+        ++filled;
+      }
+    }
+  }
+#else
+  if (!have_owed) {
+    // Portable path: one blocking bounded receive, then drain non-blocking.
+    RecvSlot& first = slots[0];
+    sockaddr_in sa{};
+    socklen_t len = sizeof sa;
+    ++recv_calls_;
+    const ssize_t n = ::recvfrom(fd_, first.buf.data(), first.buf.size(), 0,
+                                 reinterpret_cast<sockaddr*>(&sa), &len);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        return {RecvStatus::kTimeout, 0};
+      }
+      return {RecvStatus::kError, 0};
+    }
+    if (accept_raw(slots, filled, 0, static_cast<std::size_t>(n),
+                   Endpoint::from_sockaddr(sa))) {
+      ++filled;
+    }
+  }
+  while (filled < slots.size()) {
+    RecvSlot& s = slots[filled];
+    sockaddr_in sa{};
+    socklen_t len = sizeof sa;
+    ++recv_calls_;
+    const ssize_t n = ::recvfrom(fd_, s.buf.data(), s.buf.size(),
+                                 MSG_DONTWAIT,
+                                 reinterpret_cast<sockaddr*>(&sa), &len);
+    if (n < 0) break;
+    if (accept_raw(slots, filled, filled, static_cast<std::size_t>(n),
+                   Endpoint::from_sockaddr(sa))) {
+      ++filled;
+    }
+  }
+#endif
+  // Traffic arrived even if the injector swallowed all of it: report a
+  // datagram wakeup (possibly with count 0), not a timeout, so the caller's
+  // timer pass runs with fresh timing either way.
+  return {RecvStatus::kDatagram, filled};
 }
 
 RecvResult UdpChannel::recv_from(Endpoint& src, std::span<std::uint8_t> buf) {
@@ -138,6 +335,7 @@ RecvResult UdpChannel::recv_from(Endpoint& src, std::span<std::uint8_t> buf) {
   }
   sockaddr_in sa{};
   socklen_t len = sizeof sa;
+  ++recv_calls_;
   const ssize_t n = ::recvfrom(fd_, buf.data(), buf.size(), 0,
                                reinterpret_cast<sockaddr*>(&sa), &len);
   if (n < 0) {

@@ -156,6 +156,11 @@ std::optional<std::vector<std::uint8_t>> FaultInjector::filter_recv(
   return bytes;
 }
 
+std::size_t FaultInjector::ready_recv_count() const {
+  std::lock_guard lk{mu_};
+  return recv_ready_.size();
+}
+
 std::optional<FaultInjector::ReadyDatagram> FaultInjector::pop_ready_recv() {
   std::lock_guard lk{mu_};
   if (recv_ready_.empty()) return std::nullopt;

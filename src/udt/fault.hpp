@@ -11,7 +11,9 @@
 // directions.  Every decision draws from one explicitly seeded engine, so a
 // given (seed, traffic) pair replays the same fault sequence run-to-run.
 // All entry points are thread-safe: the sender and receiver threads share
-// one injector.
+// one injector.  Batched channel I/O (UdpChannel::send_batch / recv_batch)
+// routes every datagram through these same per-datagram entry points, so a
+// batch is a syscall optimisation, never a unit of loss.
 #pragma once
 
 #include <chrono>
@@ -93,6 +95,10 @@ class FaultInjector {
     std::uint16_t src_port = 0;
   };
   std::optional<ReadyDatagram> pop_ready_recv();
+  // Owed datagrams currently queued (not counting reorder holds still
+  // waiting to be overtaken).  Batched receives drain these into leading
+  // batch slots before touching the socket.
+  [[nodiscard]] std::size_t ready_recv_count() const;
 
   [[nodiscard]] FaultStats stats(FaultDir dir) const;
 

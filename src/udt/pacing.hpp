@@ -7,6 +7,7 @@
 // OS to honour, then busy-wait on the monotonic clock for the remainder.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -26,14 +27,24 @@ class Pacer {
   // `period`.  If we are already late, sending proceeds immediately and the
   // schedule re-anchors at now (no packet bursts to "catch up" — that would
   // defeat rate control, §4.5).
-  void pace(std::chrono::nanoseconds period) {
+  void pace(std::chrono::nanoseconds period) { pace(period, 1); }
+
+  // Batched variant: one wait covers `count` back-to-back packets, and the
+  // schedule advances by count * period, so the average rate is exactly the
+  // per-packet schedule while the syscall cost is paid once per batch.  The
+  // §3.3 inter-packet spacing becomes inter-*batch* spacing; callers bound
+  // the batch to a small horizon (see batch_credit) so the burst stays well
+  // under kernel buffer scale.  The late-schedule re-anchor rule is
+  // unchanged.
+  void pace(std::chrono::nanoseconds period, int count) {
+    const auto total = period * std::max(count, 1);
     const auto now = Clock::now();
     if (next_ <= now) {
-      next_ = now + period;
+      next_ = now + total;
       return;
     }
     wait_until(next_);
-    next_ += period;
+    next_ += total;
   }
 
   // Re-anchors the schedule (e.g. after a freeze or an idle stretch).
@@ -56,5 +67,22 @@ class Pacer {
  private:
   Clock::time_point next_;
 };
+
+// How many packets one send syscall may cover at the given pacing period
+// without distorting the §4.5 schedule: enough to amortise the syscall at
+// high rates, but never spanning more than `horizon` of schedule, and
+// always 1 when the period itself exceeds the horizon (low rates keep true
+// per-packet spacing).  `max_batch` is the caller's hard ceiling (iovec
+// array size / SocketOptions::io_batch).
+[[nodiscard]] inline int batch_credit(std::chrono::nanoseconds period,
+                                      int max_batch,
+                                      std::chrono::nanoseconds horizon =
+                                          std::chrono::microseconds{200}) {
+  if (max_batch <= 1) return 1;
+  if (period <= std::chrono::nanoseconds::zero()) return max_batch;
+  const auto n = horizon.count() / period.count();
+  return static_cast<int>(
+      std::clamp<std::int64_t>(n, 1, static_cast<std::int64_t>(max_batch)));
+}
 
 }  // namespace udtr::udt

@@ -42,13 +42,24 @@ enum class ProfUnit : std::size_t {
 
 class Profiler {
  public:
-  void add(ProfUnit unit, std::uint64_t ns) {
+  // `calls` is the number of instrumented invocations the `ns` span covers
+  // (for kUdpIo: system calls).  Batched I/O makes the distinction matter —
+  // one recvmmsg may deliver 16 packets, and the calls-per-packet ratio is
+  // the direct measure of what batching buys.
+  void add(ProfUnit unit, std::uint64_t ns, std::uint64_t calls = 1) {
     cells_[static_cast<std::size_t>(unit)].fetch_add(
         ns, std::memory_order_relaxed);
+    calls_[static_cast<std::size_t>(unit)].fetch_add(
+        calls, std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::uint64_t nanos(ProfUnit unit) const {
     return cells_[static_cast<std::size_t>(unit)].load(
+        std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t calls(ProfUnit unit) const {
+    return calls_[static_cast<std::size_t>(unit)].load(
         std::memory_order_relaxed);
   }
 
@@ -62,6 +73,7 @@ class Profiler {
     ProfUnit unit;
     std::uint64_t nanos;
     double percent;
+    std::uint64_t calls;
   };
 
   [[nodiscard]] std::vector<Share> report() const {
@@ -70,19 +82,24 @@ class Profiler {
     for (std::size_t i = 0; i < cells_.size(); ++i) {
       const std::uint64_t ns = cells_[i].load(std::memory_order_relaxed);
       out.push_back({static_cast<ProfUnit>(i), ns,
-                     total > 0 ? 100.0 * ns / total : 0.0});
+                     total > 0 ? 100.0 * ns / total : 0.0,
+                     calls_[i].load(std::memory_order_relaxed)});
     }
     return out;
   }
 
   void reset() {
     for (auto& c : cells_) c.store(0, std::memory_order_relaxed);
+    for (auto& c : calls_) c.store(0, std::memory_order_relaxed);
   }
 
  private:
   std::array<std::atomic<std::uint64_t>,
              static_cast<std::size_t>(ProfUnit::kCount)>
       cells_{};
+  std::array<std::atomic<std::uint64_t>,
+             static_cast<std::size_t>(ProfUnit::kCount)>
+      calls_{};
 };
 
 // RAII span around one instrumented section.  Disabled profilers (nullptr)

@@ -63,6 +63,9 @@ std::unique_ptr<Socket> Socket::listen(std::uint16_t port,
   auto s = std::unique_ptr<Socket>(new Socket(opts));
   s->mode_ = Mode::kListener;
   if (!s->channel_.open(port)) return nullptr;
+  // Listeners never start service threads, so the fault injector must be
+  // installed here for handshake traffic to pass through it.
+  if (opts.faults) s->channel_.set_fault_injector(opts.faults);
   s->channel_.set_recv_timeout(std::chrono::milliseconds{100});
   return s;
 }
@@ -109,8 +112,22 @@ std::unique_ptr<Socket> Socket::accept(std::chrono::milliseconds timeout) {
         std::min<std::uint32_t>(req.mss_bytes,
                                 static_cast<std::uint32_t>(opts_.mss_bytes)));
     child_opts.initial_seq = req.initial_seq;
+    // A zero-or-absurd MSS proposal would break buffer math downstream;
+    // such a request is hostile or corrupt, not a client to serve.
+    if (child_opts.mss_bytes <= 0) continue;
     auto child = std::unique_ptr<Socket>(new Socket(child_opts));
-    if (!child->channel_.open(0)) return nullptr;
+    if (!child->channel_.open(0)) {
+      // Transient resource failure (fd exhaustion, ephemeral-port pressure)
+      // must not kill the whole accept loop: drop this request — the client
+      // retries its handshake — and keep serving others.
+      continue;
+    }
+    // The child inherits the listener's injector, and it must be live
+    // before the response below leaves — otherwise listener-side fault
+    // configs silently skip the most loss-sensitive datagram of all.
+    if (child_opts.faults) {
+      child->channel_.set_fault_injector(child_opts.faults);
+    }
     child->peer_ = src;
     child->peer_socket_id_ = req.socket_id;
 
@@ -125,6 +142,13 @@ std::unique_ptr<Socket> Socket::accept(std::chrono::milliseconds timeout) {
     // explicit port field, which duplicate-response handling relies on).
     send_handshake(child->channel_, src, req.socket_id, resp);
     handled_.emplace(key, resp);
+    handled_order_.push_back(key);
+    // FIFO-bound the duplicate-handshake map so a long-lived listener
+    // cannot grow it without limit.
+    while (handled_.size() > kMaxHandledHandshakes) {
+      handled_.erase(handled_order_.front());
+      handled_order_.pop_front();
+    }
     child->start_threads();
     return child;
   }
@@ -158,6 +182,14 @@ std::unique_ptr<Socket> Socket::connect(const std::string& host,
     const auto resp_opt = decode_handshake_payload(pkt.subspan(kHeaderBytes));
     if (!resp_opt || resp_opt->request_type != 0) continue;
     const HandshakePayload resp = *resp_opt;
+    // The negotiated MSS must land in (0, our proposal]: a corrupt or
+    // hostile response advertising 0 (division in buffer math) or more than
+    // we offered (overflows every MSS-sized buffer, distorts pacing) is
+    // rejected, and the retry loop waits for a trustworthy response.
+    if (resp.mss_bytes == 0 ||
+        resp.mss_bytes > static_cast<std::uint32_t>(opts.mss_bytes)) {
+      continue;
+    }
     // The dedicated endpoint: the advertised port on the server's address
     // (the response may come from the listener when it was a re-reply).
     s->peer_ = Endpoint{server->ip_host_order,
@@ -196,8 +228,15 @@ void Socket::start_threads() {
 // ---------------------------------------------------------- sender loop ---
 
 void Socket::sender_loop() {
-  std::vector<std::uint8_t> wire(
-      static_cast<std::size_t>(opts_.mss_bytes) + kHeaderBytes);
+  // One wire buffer per batch slot, plus one spare so an RBPP probe pair
+  // never splits across two syscalls when the head lands on the batch edge.
+  const int max_batch = std::clamp(opts_.io_batch, 1, 64);
+  std::vector<std::vector<std::uint8_t>> wires(
+      static_cast<std::size_t>(max_batch) + 1,
+      std::vector<std::uint8_t>(static_cast<std::size_t>(opts_.mss_bytes) +
+                                kHeaderBytes));
+  std::vector<std::span<const std::uint8_t>> batch;
+  batch.reserve(wires.size());
   Profiler* prof = opts_.enable_profiler ? &profiler_ : nullptr;
 
   const auto has_work = [this] {
@@ -208,10 +247,8 @@ void Socket::sender_loop() {
   };
 
   while (running_) {
-    std::int64_t index = -1;
-    bool retransmit = false;
-    std::size_t payload_len = 0;
-    bool pair_head = false;
+    batch.clear();
+    double period = 0.0;
     {
       std::unique_lock lk{state_mu_};
       if (!snd_cv_.wait_for(lk, std::chrono::milliseconds{10},
@@ -228,80 +265,88 @@ void Socket::sender_loop() {
         continue;
       }
 
-      if (auto lost = snd_loss_.pop_first()) {
-        index = index_of(*lost, snd_una_);
-        retransmit = true;
-        if (index < snd_una_ || index >= snd_next_) continue;  // stale
-      } else {
-        index = snd_next_;
+      period = cc_.pkt_send_period_s();
+      if (opts_.max_bandwidth_mbps > 0.0) {
+        const double min_period = (opts_.mss_bytes + kHeaderBytes) * 8.0 /
+                                  (opts_.max_bandwidth_mbps * 1e6);
+        period = std::max(period, min_period);
       }
+      // Accumulate up to one pacing-credit of packets for a single syscall:
+      // the credit never spans more than ~200 us of §4.5 schedule, so low
+      // rates degenerate to one packet per call (true inter-packet spacing)
+      // while GigE-class rates amortise the syscall 8-16x.
+      const auto credit = static_cast<std::size_t>(batch_credit(
+          std::chrono::nanoseconds{static_cast<std::int64_t>(period * 1e9)},
+          max_batch));
+      const double wnd = cc_.window_packets();
+      const auto next_new = [&]() -> std::int64_t {
+        if (snd_next_ < snd_buffer_.end_index() &&
+            static_cast<double>(snd_next_ - snd_una_) < wnd) {
+          return snd_next_;
+        }
+        return -1;
+      };
 
-      const auto chunk = snd_buffer_.chunk(index);
-      if (!chunk) continue;  // already acknowledged (stale loss entry)
-      {
-        ScopedTimer t{prof, ProfUnit::kPacking};
-        DataHeader h;
-        h.seq = seq_of(index);
-        h.timestamp_us = static_cast<std::uint32_t>(now_us());
-        h.dst_socket = peer_socket_id_;
-        write_data_header(wire, h);
-        std::memcpy(wire.data() + kHeaderBytes, chunk->data(),
-                    chunk->size());
-        payload_len = chunk->size();
-      }
-      if (!retransmit) {
-        snd_next_ = index + 1;
-        ++stats_.data_packets_sent;
-        pair_head = opts_.probe_interval > 0 &&
-                    index % opts_.probe_interval == 0 &&
-                    snd_next_ < snd_buffer_.end_index();
-      } else {
-        ++stats_.retransmitted;
+      // Loss-list retransmissions keep strict priority within the batch;
+      // after an RBPP pair head the successor is forced in back-to-back
+      // (even one slot past the credit), preserving the probe semantics.
+      bool force_successor = false;
+      while (batch.size() < wires.size() &&
+             (batch.size() < credit || force_successor)) {
+        std::int64_t index = -1;
+        bool retransmit = false;
+        if (force_successor) {
+          force_successor = false;
+          index = next_new();
+          if (index < 0) break;
+        } else if (auto lost = snd_loss_.pop_first()) {
+          index = index_of(*lost, snd_una_);
+          if (index < snd_una_ || index >= snd_next_) continue;  // stale
+          retransmit = true;
+        } else {
+          index = next_new();
+          if (index < 0) break;
+        }
+
+        const auto chunk = snd_buffer_.chunk(index);
+        if (!chunk) continue;  // already acknowledged (stale loss entry)
+        auto& wire = wires[batch.size()];
+        {
+          ScopedTimer t{prof, ProfUnit::kPacking};
+          DataHeader h;
+          h.seq = seq_of(index);
+          h.timestamp_us = static_cast<std::uint32_t>(now_us());
+          h.dst_socket = peer_socket_id_;
+          write_data_header(wire, h);
+          std::memcpy(wire.data() + kHeaderBytes, chunk->data(),
+                      chunk->size());
+        }
+        if (!retransmit) {
+          snd_next_ = index + 1;
+          ++stats_.data_packets_sent;
+          force_successor = opts_.probe_interval > 0 &&
+                            index % opts_.probe_interval == 0;
+        } else {
+          ++stats_.retransmitted;
+        }
+        batch.emplace_back(wire.data(), kHeaderBytes + chunk->size());
       }
     }
+    if (batch.empty()) continue;
 
-    // Pace outside the lock; the guard in §4.4 lives inside Pacer (a late
-    // schedule re-anchors instead of bursting).
-    double period = cc_.pkt_send_period_s();
-    if (opts_.max_bandwidth_mbps > 0.0) {
-      const double min_period = (opts_.mss_bytes + kHeaderBytes) * 8.0 /
-                                (opts_.max_bandwidth_mbps * 1e6);
-      period = std::max(period, min_period);
-    }
+    // Pace outside the lock: one wait covers the whole batch and the
+    // schedule advances by batch-size periods, so the average rate is
+    // exactly the per-packet §4.5 schedule.  The §4.4 guard lives inside
+    // Pacer (a late schedule re-anchors instead of bursting).
     {
       ScopedTimer t{prof, ProfUnit::kTiming};
       pacer_.pace(std::chrono::nanoseconds{
-          static_cast<std::int64_t>(period * 1e9)});
+                      static_cast<std::int64_t>(period * 1e9)},
+                  static_cast<int>(batch.size()));
     }
     {
       ScopedTimer t{prof, ProfUnit::kUdpIo};
-      channel_.send_to(peer_, std::span{wire.data(),
-                                        kHeaderBytes + payload_len});
-    }
-
-    if (pair_head) {
-      // RBPP probe: the successor leaves back to back with no pacing gap.
-      std::unique_lock lk{state_mu_};
-      const std::int64_t tail = snd_next_;
-      const auto chunk = snd_buffer_.chunk(tail);
-      const double wnd = cc_.window_packets();
-      if (chunk && static_cast<double>(tail - snd_una_) < wnd) {
-        DataHeader h;
-        h.seq = seq_of(tail);
-        h.timestamp_us = static_cast<std::uint32_t>(now_us());
-        h.dst_socket = peer_socket_id_;
-        write_data_header(wire, h);
-        std::memcpy(wire.data() + kHeaderBytes, chunk->data(),
-                    chunk->size());
-        const std::size_t len = chunk->size();
-        snd_next_ = tail + 1;
-        ++stats_.data_packets_sent;
-        lk.unlock();
-        ScopedTimer t{prof, ProfUnit::kUdpIo};
-        channel_.send_to(peer_, std::span{wire.data(), kHeaderBytes + len});
-        pacer_.pace(std::chrono::nanoseconds{
-            static_cast<std::int64_t>(period * 1e9)});
-      }
+      channel_.send_batch(peer_, batch);
     }
   }
 }
@@ -309,21 +354,33 @@ void Socket::sender_loop() {
 // -------------------------------------------------------- receiver loop ---
 
 void Socket::receiver_loop() {
-  std::vector<std::uint8_t> buf(
-      static_cast<std::size_t>(opts_.mss_bytes) + kHeaderBytes + 64);
+  // A batch of per-datagram buffers backed by one arena: each wakeup blocks
+  // for the first datagram, then drains whatever else the kernel already
+  // queued in the same recvmmsg call (Table 3: per-packet recvfrom is the
+  // receiver's dominant cost).
+  const int max_batch = std::clamp(opts_.io_batch, 1, 64);
+  const std::size_t dgram_cap =
+      static_cast<std::size_t>(opts_.mss_bytes) + kHeaderBytes + 64;
+  std::vector<std::uint8_t> arena(static_cast<std::size_t>(max_batch) *
+                                  dgram_cap);
+  std::vector<UdpChannel::RecvSlot> slots(
+      static_cast<std::size_t>(max_batch));
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    slots[i].buf = std::span{arena.data() + i * dgram_cap, dgram_cap};
+  }
   Profiler* prof = opts_.enable_profiler ? &profiler_ : nullptr;
 
   while (running_) {
-    Endpoint src;
-    RecvResult r;
+    UdpChannel::RecvBatchResult r;
     {
       ScopedTimer t{prof, ProfUnit::kUdpIo};
-      r = channel_.recv_from(src, buf);
+      r = channel_.recv_batch(slots);
     }
     std::unique_lock lk{state_mu_};
-    if (r.status == RecvStatus::kDatagram) {
-      std::span<const std::uint8_t> pkt{buf.data(), r.bytes};
-      if (r.bytes < kHeaderBytes || !packet_addressed_to_us(pkt)) {
+    for (std::size_t i = 0; i < r.count; ++i) {
+      const UdpChannel::RecvSlot& s = slots[i];
+      std::span<const std::uint8_t> pkt{s.buf.data(), s.bytes};
+      if (s.bytes < kHeaderBytes || !packet_addressed_to_us(pkt)) {
         ++stats_.invalid_packets;
       } else if (is_control(pkt)) {
         handle_ctrl(pkt);
@@ -332,7 +389,8 @@ void Socket::receiver_loop() {
       }
     }
     // §4.8: the four low-precision timers are checked after every
-    // time-bounded receive call.
+    // time-bounded receive call — the whole drained batch counts as one
+    // call, so timer work is amortised alongside the syscall.
     check_timers();
   }
 }
@@ -727,12 +785,15 @@ std::size_t Socket::send_overlapped(std::span<const std::uint8_t> data,
   // The caller's buffer must stay borrowed until every chunk is
   // acknowledged — block here so returning implies the memory is free.
   while (running_ && snd_una_ < last_index) {
-    if (app_snd_cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
-        std::chrono::steady_clock::now() >= deadline) {
-      // Timed out with caller memory still referenced: the only safe exit
-      // is to wait for the in-flight window to drain or the socket to die.
-      if (!running_) break;
-      continue;
+    if (std::chrono::steady_clock::now() < deadline) {
+      app_snd_cv_.wait_until(lk, deadline);
+    } else {
+      // Past the deadline with caller memory still referenced: the only
+      // safe exit is for the in-flight window to drain or the socket to
+      // die.  A wait_until on the stale deadline would return immediately
+      // and spin a core; re-arm periodically instead and rely on the ACK /
+      // broken-state notifications to end the wait early.
+      app_snd_cv_.wait_for(lk, std::chrono::milliseconds{100});
     }
   }
   const std::size_t acked =
@@ -807,7 +868,14 @@ std::uint64_t Socket::sendfile(const std::string& path, std::uint64_t offset,
     if (got == 0) break;
     sent += send(std::span{chunk.data(), static_cast<std::size_t>(got)});
   }
-  flush(std::chrono::seconds{60});
+  // Delivery, not buffering, is the contract: if the flush fails (broken
+  // connection, timeout) the unacknowledged tail still sits in the send
+  // buffer — report only what the peer actually acknowledged.
+  if (!flush(std::chrono::seconds{60})) {
+    std::unique_lock lk{state_mu_};
+    const auto unacked = static_cast<std::uint64_t>(snd_buffer_.bytes());
+    sent -= std::min(sent, unacked);
+  }
   return sent;
 }
 

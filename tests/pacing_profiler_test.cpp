@@ -48,6 +48,29 @@ TEST(Pacer, LateScheduleReanchorsInsteadOfBursting) {
   EXPECT_GE(Clock::now() - t1, std::chrono::microseconds{350});
 }
 
+TEST(Pacer, BatchedPaceAdvancesScheduleByCountPeriods) {
+  // pace(period, n) must consume exactly n periods of schedule: 10 batches
+  // of 5 at 100 us spacing take the same wall time as 50 singles.
+  Pacer pacer;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < 10; ++i) pacer.pace(std::chrono::microseconds{100}, 5);
+  const auto elapsed = Clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::microseconds{9 * 500 - 200});
+}
+
+TEST(Pacer, BatchCreditRespectsHorizonAndBounds) {
+  using std::chrono::microseconds;
+  // Low rate (period above the horizon): strict per-packet pacing.
+  EXPECT_EQ(batch_credit(microseconds{300}, 16), 1);
+  // High rate: the 200 us horizon divided by the period, capped by max.
+  EXPECT_EQ(batch_credit(microseconds{25}, 16), 8);
+  EXPECT_EQ(batch_credit(microseconds{10}, 16), 16);
+  EXPECT_EQ(batch_credit(microseconds{10}, 4), 4);
+  // Unpaced (period 0) saturates the batch; batching off always yields 1.
+  EXPECT_EQ(batch_credit(std::chrono::nanoseconds{0}, 16), 16);
+  EXPECT_EQ(batch_credit(microseconds{1}, 1), 1);
+}
+
 TEST(Profiler, AccumulatesPerUnit) {
   Profiler prof;
   prof.add(ProfUnit::kUdpIo, 600);
@@ -79,6 +102,20 @@ TEST(Profiler, ResetZeroesEverything) {
   prof.add(ProfUnit::kLossProcessing, 123);
   prof.reset();
   EXPECT_EQ(prof.total_nanos(), 0u);
+  EXPECT_EQ(prof.calls(ProfUnit::kLossProcessing), 0u);
+}
+
+TEST(Profiler, CountsInvocationsPerUnit) {
+  // The calls column is what makes batched I/O visible: one kUdpIo call
+  // may now cover many packets, and calls-per-packet is the Table 3 metric
+  // batching improves.
+  Profiler prof;
+  prof.add(ProfUnit::kUdpIo, 500);        // default: one invocation
+  prof.add(ProfUnit::kUdpIo, 700, 1);
+  { ScopedTimer t{&prof, ProfUnit::kUdpIo}; }
+  EXPECT_EQ(prof.calls(ProfUnit::kUdpIo), 3u);
+  EXPECT_EQ(prof.report()[static_cast<std::size_t>(ProfUnit::kUdpIo)].calls,
+            3u);
 }
 
 TEST(Profiler, UnitNamesAreStable) {

@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <memory>
 #include <random>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -334,6 +336,141 @@ TEST(SocketFault, RandomDatagramBlastDoesNotKillTheConnection) {
   EXPECT_EQ(p.server->state(), ConnState::kEstablished);
   p.client->close();
   p.server->close();
+}
+
+// --- handshake under faults -------------------------------------------------
+
+TEST(SocketFault, ConnectSurvivesListenerSideResponseLoss) {
+  // Listener-side injection: half of everything the listener (and its
+  // children) send is dropped, and client->listener requests are lossy too.
+  // The handshake retry loop must still converge, and the accept loop must
+  // keep serving rather than aborting on the noise.
+  FaultConfig cfg;
+  cfg.send.drop_p = 0.5;  // listener responses
+  cfg.recv.drop_p = 0.3;  // client requests as seen by the listener
+  cfg.seed = 424242;
+  SocketOptions server_opts;
+  server_opts.faults = std::make_shared<FaultInjector>(cfg);
+
+  auto listener = Socket::listen(0, server_opts);
+  ASSERT_NE(listener, nullptr);
+  auto accepted = std::async(std::launch::async, [&] {
+    return listener->accept(std::chrono::seconds{10});
+  });
+  auto client = Socket::connect("127.0.0.1", listener->local_port(), {});
+  auto server = accepted.get();
+  ASSERT_NE(client, nullptr);
+  ASSERT_NE(server, nullptr);
+
+  // The connection works (the children inherit the lossy channel, so this
+  // also exercises data transfer under listener-side faults).
+  const auto payload = make_payload(64 << 10, 15);
+  EXPECT_EQ(pump(*client, *server, payload), payload);
+  // The server side genuinely lost datagrams on the way to that byte-exact
+  // transfer — the injector was live, not bypassed.
+  EXPECT_GT(server_opts.faults->stats(FaultDir::kSend).dropped +
+                server_opts.faults->stats(FaultDir::kRecv).dropped,
+            0u);
+  client->close();
+  server->close();
+}
+
+TEST(SocketFault, ConnectRejectsHostileMssAndAcceptsValidResponse) {
+  // A fake "listener" answers the first request with mss = 0, the second
+  // with mss far above the proposal, and only then with an honest response.
+  // The client must reject both hostile responses and connect on the third.
+  UdpChannel fake;
+  ASSERT_TRUE(fake.open(0));
+  fake.set_recv_timeout(std::chrono::seconds{5});
+
+  SocketOptions client_opts;
+  client_opts.mss_bytes = 1456;
+  auto server_thread = std::async(std::launch::async, [&] {
+    std::vector<std::uint8_t> buf(2048);
+    const std::array<std::uint32_t, 3> hostile_then_valid{
+        0u, 1u << 20, static_cast<std::uint32_t>(client_opts.mss_bytes)};
+    std::uint32_t answered = 0;
+    Endpoint src;
+    while (answered < hostile_then_valid.size()) {
+      const RecvResult r = fake.recv_from(src, buf);
+      if (r.status != RecvStatus::kDatagram || r.bytes < kHeaderBytes) {
+        continue;
+      }
+      std::span<const std::uint8_t> pkt{buf.data(), r.bytes};
+      const auto hdr = decode_ctrl_header(pkt);
+      if (!hdr || hdr->type != CtrlType::kHandshake) continue;
+      const auto req = decode_handshake_payload(pkt.subspan(kHeaderBytes));
+      if (!req || req->request_type != 1) continue;
+
+      HandshakePayload resp = *req;
+      resp.request_type = 0;
+      resp.mss_bytes = hostile_then_valid[answered];
+      resp.socket_id = 77;
+      resp.port = fake.local_port();
+      std::vector<std::uint8_t> out(kHeaderBytes +
+                                    4 * HandshakePayload::kWords);
+      CtrlHeader out_hdr;
+      out_hdr.type = CtrlType::kHandshake;
+      out_hdr.dst_socket = req->socket_id;
+      write_ctrl_header(out, out_hdr);
+      encode_handshake_payload(std::span{out}.subspan(kHeaderBytes), resp);
+      fake.send_to(src, out);
+      ++answered;
+    }
+    return answered;
+  });
+
+  auto client =
+      Socket::connect("127.0.0.1", fake.local_port(), client_opts);
+  EXPECT_EQ(server_thread.get(), 3u);  // needed all three responses
+  ASSERT_NE(client, nullptr);          // hostile MSS rejected, valid accepted
+  client->close();
+}
+
+TEST(SocketFault, ConnectRefusesWhenOnlyHostileMssResponsesArrive) {
+  // Every response is hostile (mss larger than proposed): connect must keep
+  // retrying and give up cleanly, never adopt the bogus MSS.
+  UdpChannel fake;
+  ASSERT_TRUE(fake.open(0));
+  fake.set_recv_timeout(std::chrono::milliseconds{200});
+
+  std::atomic<bool> stop{false};
+  auto server_thread = std::async(std::launch::async, [&] {
+    std::vector<std::uint8_t> buf(2048);
+    Endpoint src;
+    while (!stop) {
+      const RecvResult r = fake.recv_from(src, buf);
+      if (r.status != RecvStatus::kDatagram || r.bytes < kHeaderBytes) {
+        continue;
+      }
+      std::span<const std::uint8_t> pkt{buf.data(), r.bytes};
+      const auto hdr = decode_ctrl_header(pkt);
+      if (!hdr || hdr->type != CtrlType::kHandshake) continue;
+      const auto req = decode_handshake_payload(pkt.subspan(kHeaderBytes));
+      if (!req || req->request_type != 1) continue;
+      HandshakePayload resp = *req;
+      resp.request_type = 0;
+      resp.mss_bytes = 1u << 24;  // absurd
+      resp.socket_id = 99;
+      resp.port = fake.local_port();
+      std::vector<std::uint8_t> out(kHeaderBytes +
+                                    4 * HandshakePayload::kWords);
+      CtrlHeader out_hdr;
+      out_hdr.type = CtrlType::kHandshake;
+      out_hdr.dst_socket = req->socket_id;
+      write_ctrl_header(out, out_hdr);
+      encode_handshake_payload(std::span{out}.subspan(kHeaderBytes), resp);
+      fake.send_to(src, out);
+    }
+  });
+
+  // Shorten the retry budget via a tiny payload?  The retry count is fixed
+  // (50 x 100 ms), so bound the test by running connect in a thread and
+  // requiring a nullptr within the full budget.
+  auto client = Socket::connect("127.0.0.1", fake.local_port(), {});
+  EXPECT_EQ(client, nullptr);
+  stop = true;
+  server_thread.get();
 }
 
 // --- graceful shutdown ------------------------------------------------------
