@@ -29,18 +29,28 @@ struct ProfiledRun {
   // measure of syscall amortization.
   double snd_calls_per_packet = 0.0;
   double rcv_calls_per_packet = 0.0;
+  // Payload bytes memcpy'd per data packet on each side, summed over every
+  // copy the packet's payload passes through (app<->buffer staging, wire
+  // packing/unpacking).  The zero-copy datapath's whole point: ~1 payload
+  // size per direction instead of 2-3.
+  double snd_copied_per_packet = 0.0;
+  double rcv_copied_per_packet = 0.0;
+  // Same, normalized by payload bytes: copies each payload byte suffers.
+  double snd_copies_per_byte = 0.0;
+  double rcv_copies_per_byte = 0.0;
   std::vector<Profiler::Share> snd_report;
   std::vector<Profiler::Share> rcv_report;
   bool ok = false;
 };
 
-ProfiledRun run_profiled(double seconds, int io_batch) {
+ProfiledRun run_profiled(double seconds, int io_batch, bool zero_copy) {
   SocketOptions opts;
   opts.enable_profiler = true;
   // Match the paper's conditions: a ~GigE-rate transfer, where pacing waits
   // (the "timing" row) are a real cost rather than rounding noise.
   opts.max_bandwidth_mbps = 950.0;
   opts.io_batch = io_batch;
+  opts.zero_copy = zero_copy;
   auto listener = Socket::listen(0, opts);
   auto accepted = std::async(std::launch::async, [&] {
     return listener->accept(std::chrono::seconds{5});
@@ -70,8 +80,20 @@ ProfiledRun run_profiled(double seconds, int io_batch) {
       snd_pkts > 0 ? static_cast<double>(snd_calls) / snd_pkts : 0.0;
   out.rcv_calls_per_packet =
       rcv_pkts > 0 ? static_cast<double>(rcv_calls) / rcv_pkts : 0.0;
-  out.snd_report = client->profiler().report();
-  out.rcv_report = server->profiler().report();
+  const auto& sp = client->profiler();
+  const auto& rp = server->profiler();
+  const double snd_copied = static_cast<double>(
+      sp.bytes(ProfUnit::kPacking) + sp.bytes(ProfUnit::kAppInteraction));
+  const double rcv_copied = static_cast<double>(
+      rp.bytes(ProfUnit::kUnpacking) + rp.bytes(ProfUnit::kAppInteraction));
+  out.snd_copied_per_packet = snd_pkts > 0 ? snd_copied / snd_pkts : 0.0;
+  out.rcv_copied_per_packet = rcv_pkts > 0 ? rcv_copied / rcv_pkts : 0.0;
+  const auto snd_bytes = client->perf().bytes_sent;
+  const auto rcv_bytes = server->perf().bytes_delivered;
+  out.snd_copies_per_byte = snd_bytes > 0 ? snd_copied / snd_bytes : 0.0;
+  out.rcv_copies_per_byte = rcv_bytes > 0 ? rcv_copied / rcv_bytes : 0.0;
+  out.snd_report = sp.report();
+  out.rcv_report = rp.report();
   out.ok = true;
   stop = true;
   client->close();
@@ -83,13 +105,14 @@ ProfiledRun run_profiled(double seconds, int io_batch) {
 
 void print_side(const char* side, const std::vector<Profiler::Share>& report) {
   std::printf("\n%s entity:\n", side);
-  std::printf("  %-18s %12s %8s %10s\n", "unit", "time (ms)", "share",
-              "calls");
+  std::printf("  %-18s %12s %8s %10s %14s\n", "unit", "time (ms)", "share",
+              "calls", "bytes copied");
   for (const auto& s : report) {
-    std::printf("  %-18s %12.2f %7.1f%% %10llu\n",
+    std::printf("  %-18s %12.2f %7.1f%% %10llu %14llu\n",
                 std::string{prof_unit_name(s.unit)}.c_str(),
                 static_cast<double>(s.nanos) / 1e6, s.percent,
-                static_cast<unsigned long long>(s.calls));
+                static_cast<unsigned long long>(s.calls),
+                static_cast<unsigned long long>(s.bytes));
   }
 }
 
@@ -101,9 +124,13 @@ int main(int argc, char** argv) {
                       "(instrumented transfer)", scale);
   const double seconds = scale.seconds(4, 15);
 
-  const ProfiledRun batched = run_profiled(seconds, /*io_batch=*/16);
-  const ProfiledRun single = run_profiled(seconds, /*io_batch=*/1);
-  if (!batched.ok || !single.ok) {
+  const ProfiledRun batched =
+      run_profiled(seconds, /*io_batch=*/16, /*zero_copy=*/true);
+  const ProfiledRun single =
+      run_profiled(seconds, /*io_batch=*/1, /*zero_copy=*/true);
+  const ProfiledRun legacy =
+      run_profiled(seconds, /*io_batch=*/16, /*zero_copy=*/false);
+  if (!batched.ok || !single.ok || !legacy.ok) {
     std::fprintf(stderr, "connection failed\n");
     return 1;
   }
@@ -127,6 +154,17 @@ int main(int argc, char** argv) {
   std::printf("  amortization: %.1fx fewer sends, %.1fx fewer receives per "
               "packet\n", snd_x, rcv_x);
 
+  std::printf("\npayload bytes memcpy'd per data packet (zero-copy "
+              "datapath):\n");
+  std::printf("  %-10s %16s %16s %14s %14s\n", "side", "zero-copy B/pkt",
+              "legacy B/pkt", "zc copies/B", "legacy cp/B");
+  std::printf("  %-10s %16.0f %16.0f %14.2f %14.2f\n", "sending",
+              batched.snd_copied_per_packet, legacy.snd_copied_per_packet,
+              batched.snd_copies_per_byte, legacy.snd_copies_per_byte);
+  std::printf("  %-10s %16.0f %16.0f %14.2f %14.2f\n", "receiving",
+              batched.rcv_copied_per_packet, legacy.rcv_copied_per_packet,
+              batched.rcv_copies_per_byte, legacy.rcv_copies_per_byte);
+
   std::printf("\npaper Table 3 (dual Xeon, 970 Mb/s): sending = UDP writing "
               "66.7%%, timing 4.9%%, packing 5.9%%, ctrl 5.1%%, app 3.5%%; "
               "receiving = UDP reading 90.9%%, rate measurement 2.7%%, "
@@ -140,6 +178,15 @@ int main(int argc, char** argv) {
       {"udpio_calls_per_packet_rcv_unbatched", single.rcv_calls_per_packet},
       {"send_amortization_x", snd_x},
       {"recv_amortization_x", rcv_x},
+      {"copied_bytes_per_packet_snd_zerocopy", batched.snd_copied_per_packet},
+      {"copied_bytes_per_packet_rcv_zerocopy", batched.rcv_copied_per_packet},
+      {"copied_bytes_per_packet_snd_legacy", legacy.snd_copied_per_packet},
+      {"copied_bytes_per_packet_rcv_legacy", legacy.rcv_copied_per_packet},
+      {"payload_copies_per_byte_snd_zerocopy", batched.snd_copies_per_byte},
+      {"payload_copies_per_byte_rcv_zerocopy", batched.rcv_copies_per_byte},
+      {"payload_copies_per_byte_snd_legacy", legacy.snd_copies_per_byte},
+      {"payload_copies_per_byte_rcv_legacy", legacy.rcv_copies_per_byte},
+      {"rate_mbps_legacy", legacy.rate_mbps},
   });
   return 0;
 }

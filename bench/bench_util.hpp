@@ -6,9 +6,16 @@
 
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <utility>
 #include <vector>
+
+// Measurement provenance baked in at configure time (bench/CMakeLists.txt);
+// "unknown" for builds outside a git checkout.
+#ifndef UDTR_GIT_SHA
+#define UDTR_GIT_SHA "unknown"
+#endif
 
 namespace udtr::bench {
 
@@ -38,7 +45,9 @@ inline Scale parse_scale(int argc, char** argv) {
 }
 
 // Flat {"key": number, ...} document — all any perf-trajectory consumer
-// needs, with no dependency beyond stdio.
+// needs, with no dependency beyond stdio.  Every document is stamped with
+// the commit it measured and the UTC wall time of the run, so archived
+// BENCH_*.json files are comparable across the trajectory.
 inline bool write_json(
     const std::string& path,
     const std::vector<std::pair<std::string, double>>& fields) {
@@ -46,6 +55,14 @@ inline bool write_json(
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "{\n");
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char stamp[32] = "unknown";
+  std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  std::fprintf(f, "  \"git_sha\": \"%s\",\n", UDTR_GIT_SHA);
+  std::fprintf(f, "  \"generated_utc\": \"%s\"%s\n", stamp,
+               fields.empty() ? "" : ",");
   for (std::size_t i = 0; i < fields.size(); ++i) {
     std::fprintf(f, "  \"%s\": %.6g%s\n", fields[i].first.c_str(),
                  fields[i].second, i + 1 < fields.size() ? "," : "");

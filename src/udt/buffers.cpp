@@ -8,7 +8,41 @@ namespace udtr::udt {
 // ------------------------------------------------------------- SndBuffer ---
 
 SndBuffer::SndBuffer(int mss_bytes, std::size_t capacity_bytes)
-    : mss_(mss_bytes), capacity_bytes_(capacity_bytes) {}
+    : mss_(mss_bytes),
+      capacity_bytes_(capacity_bytes),
+      // The free list must absorb a whole buffer's worth of chunk storage:
+      // ACKs arrive in SYN-cadence bursts that can release thousands of
+      // chunks at once, and anything the list cannot hold is a fresh heap
+      // allocation on the very next add() — the steady state would allocate
+      // per packet.  Retained memory is bounded by capacity_bytes_, which
+      // the buffer is already sized to commit.
+      free_store_cap_(capacity_bytes / static_cast<std::size_t>(mss_bytes) +
+                      64) {
+  parked_.reserve(64);
+  free_store_.reserve(64);
+}
+
+void SndBuffer::recycle(std::vector<std::uint8_t>&& storage) {
+  if (free_store_.size() < free_store_cap_ && storage.capacity() > 0) {
+    free_store_.push_back(std::move(storage));
+  }
+}
+
+void SndBuffer::push_chunk(Chunk&& c) {
+  if (count_ == ring_.size()) {
+    // Grow the circle, unrolling it so head_ returns to 0.  Chunk moves keep
+    // the owned heap buffers (and thus any captured spans) address-stable.
+    std::vector<Chunk> bigger;
+    bigger.resize(std::max<std::size_t>(16, ring_.size() * 2));
+    for (std::size_t i = 0; i < count_; ++i) {
+      bigger[i] = std::move(ring_[(head_ + i) % ring_.size()]);
+    }
+    ring_ = std::move(bigger);
+    head_ = 0;
+  }
+  ring_[(head_ + count_) % ring_.size()] = std::move(c);
+  ++count_;
+}
 
 std::size_t SndBuffer::add(std::span<const std::uint8_t> data) {
   std::size_t accepted = 0;
@@ -17,8 +51,12 @@ std::size_t SndBuffer::add(std::span<const std::uint8_t> data) {
     const std::size_t take = std::min(
         {static_cast<std::size_t>(mss_), data.size() - accepted, room});
     Chunk c;
+    if (!free_store_.empty()) {
+      c.owned = std::move(free_store_.back());
+      free_store_.pop_back();
+    }
     c.owned.assign(data.begin() + accepted, data.begin() + accepted + take);
-    chunks_.push_back(std::move(c));
+    push_chunk(std::move(c));
     bytes_ += take;
     accepted += take;
   }
@@ -33,7 +71,7 @@ std::size_t SndBuffer::add_borrowed(std::span<const std::uint8_t> data) {
         {static_cast<std::size_t>(mss_), data.size() - accepted, room});
     Chunk c;
     c.view = data.subspan(accepted, take);
-    chunks_.push_back(std::move(c));
+    push_chunk(std::move(c));
     bytes_ += take;
     accepted += take;
   }
@@ -43,15 +81,88 @@ std::size_t SndBuffer::add_borrowed(std::span<const std::uint8_t> data) {
 std::optional<std::span<const std::uint8_t>> SndBuffer::chunk(
     std::int64_t index) const {
   if (index < base_index_ || index >= end_index()) return std::nullopt;
-  return chunks_[static_cast<std::size_t>(index - base_index_)].bytes();
+  return ring_[ring_pos(index)].bytes();
 }
 
 void SndBuffer::ack_up_to(std::int64_t index) {
-  while (base_index_ < index && !chunks_.empty()) {
-    bytes_ -= chunks_.front().bytes().size();
-    chunks_.pop_front();
+  while (base_index_ < index && count_ > 0) {
+    Chunk& c = ring_[head_];
+    bytes_ -= c.bytes().size();
+    if (!c.owned.empty()) {
+      if (pin_active_ && base_index_ >= pin_first_ && base_index_ < pin_end_) {
+        // A sender syscall may hold iovecs into this storage: park it until
+        // unpin().  (Borrowed views need no parking — the overlapped caller
+        // is itself blocked on pinned_below() and keeps the memory alive.)
+        parked_.push_back(std::move(c.owned));
+      } else {
+        recycle(std::move(c.owned));
+      }
+      c.owned.clear();
+    }
+    c.view = {};
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
     ++base_index_;
   }
+}
+
+void SndBuffer::pin(std::int64_t first, std::int64_t end) {
+  pin_active_ = true;
+  pin_first_ = first;
+  pin_end_ = end;
+}
+
+bool SndBuffer::unpin() {
+  const bool had = pin_active_;
+  pin_active_ = false;
+  for (auto& v : parked_) recycle(std::move(v));
+  parked_.clear();
+  return had;
+}
+
+bool SndBuffer::pinned_below(std::int64_t end) const {
+  return pin_active_ && pin_first_ < end;
+}
+
+// -------------------------------------------------------------- RecvSlab ---
+
+RecvSlab::RecvSlab(std::size_t slot_bytes, std::size_t slot_count)
+    : slot_bytes_(slot_bytes),
+      slot_count_(slot_count),
+      arena_(slot_bytes * slot_count),
+      refs_(slot_count, 0) {
+  free_.reserve(slot_count);
+  // LIFO free list: the hottest slot (most recently released) is reused
+  // first, which keeps the working set small and cache-warm.
+  for (std::size_t i = slot_count; i-- > 0;) {
+    free_.push_back(static_cast<int>(i));
+  }
+}
+
+int RecvSlab::acquire() {
+  std::lock_guard lk{mu_};
+  if (free_.empty()) return -1;
+  const int slot = free_.back();
+  free_.pop_back();
+  refs_[static_cast<std::size_t>(slot)] = 1;
+  return slot;
+}
+
+void RecvSlab::add_ref(int slot) {
+  std::lock_guard lk{mu_};
+  ++refs_[static_cast<std::size_t>(slot)];
+}
+
+void RecvSlab::release(int slot) {
+  std::lock_guard lk{mu_};
+  if (--refs_[static_cast<std::size_t>(slot)] == 0) {
+    free_.push_back(slot);
+  }
+}
+
+std::size_t RecvSlab::free_count() const {
+  std::lock_guard lk{mu_};
+  return free_.size();
 }
 
 // ------------------------------------------------------------- RcvBuffer ---
@@ -59,14 +170,39 @@ void SndBuffer::ack_up_to(std::int64_t index) {
 RcvBuffer::RcvBuffer(int mss_bytes, std::int32_t capacity_pkts)
     : mss_(mss_bytes),
       capacity_(capacity_pkts),
-      slots_(static_cast<std::size_t>(capacity_pkts)) {}
+      slots_(static_cast<std::size_t>(capacity_pkts)) {
+  spare_.reserve(64);
+}
+
+RcvBuffer::~RcvBuffer() {
+  for (auto& s : slots_) release_slot(s);
+}
+
+void RcvBuffer::release_slot(Slot& s) {
+  if (s.slab != nullptr) {
+    s.slab->release(s.slab_slot);
+    s.slab = nullptr;
+    s.slab_slot = -1;
+  }
+  s.ext = nullptr;
+  s.ext_len = 0;
+  if (s.data.capacity() > 0 &&
+      spare_.size() < static_cast<std::size_t>(capacity_)) {
+    // Pool the copy storage instead of leaving it slot-local: the next
+    // store() may land anywhere in the ring.
+    s.data.clear();
+    spare_.push_back(std::move(s.data));
+  }
+  s.data = {};
+  s.filled = false;
+}
 
 std::size_t RcvBuffer::readable_bytes() const {
   if (contig_ <= read_index_) return 0;
   std::size_t n = 0;
   for (std::int64_t i = read_index_; i < contig_; ++i) {
     const auto& s = slots_[static_cast<std::size_t>(i % capacity_)];
-    n += s.data.size();
+    n += s.size();
   }
   return n - read_offset_;
 }
@@ -89,25 +225,28 @@ void RcvBuffer::drain_into_user_buffer() {
   while (!user_buf_.empty() && user_filled_ < user_buf_.size() &&
          read_index_ < contig_) {
     Slot& s = slot(read_index_);
-    const std::size_t avail = s.data.size() - read_offset_;
+    const std::size_t avail = s.size() - read_offset_;
     const std::size_t want = user_buf_.size() - user_filled_;
     const std::size_t take = std::min(avail, want);
     std::memcpy(user_buf_.data() + user_filled_,
-                s.data.data() + read_offset_, take);
+                s.bytes() + read_offset_, take);
+    user_copied_bytes_ += take;
     user_filled_ += take;
     read_offset_ += take;
-    if (read_offset_ == s.data.size()) {
-      s = Slot{};
+    if (read_offset_ == s.size()) {
+      release_slot(s);
       ++read_index_;
       read_offset_ = 0;
     }
   }
 }
 
-bool RcvBuffer::store(std::int64_t index,
-                      std::span<const std::uint8_t> payload) {
-  if (index < contig_) return false;                    // duplicate / stale
-  if (index >= read_index_ + capacity_) return false;   // beyond the window
+bool RcvBuffer::store_common(std::int64_t index,
+                             std::span<const std::uint8_t> payload,
+                             bool& accepted) {
+  accepted = false;
+  if (index < contig_) return true;                    // duplicate / stale
+  if (index >= read_index_ + capacity_) return true;   // beyond the window
 
   // Overlapped-IO fast path: the next expected packet with an armed user
   // buffer that can absorb it entirely goes straight to application memory
@@ -118,6 +257,7 @@ bool RcvBuffer::store(std::int64_t index,
       user_buf_.size() - user_filled_ >= payload.size()) {
     std::memcpy(user_buf_.data() + user_filled_, payload.data(),
                 payload.size());
+    user_copied_bytes_ += payload.size();
     user_filled_ += payload.size();
     ++contig_;
     ++read_index_;
@@ -125,12 +265,47 @@ bool RcvBuffer::store(std::int64_t index,
     // Later packets may already sit in the ring contiguously.
     advance_contig();
     drain_into_user_buffer();
+    accepted = true;
     return true;
   }
+  return false;
+}
+
+bool RcvBuffer::store(std::int64_t index,
+                      std::span<const std::uint8_t> payload) {
+  bool accepted = false;
+  if (store_common(index, payload, accepted)) return accepted;
 
   Slot& s = slot(index);
   if (s.filled) return false;
+  if (s.data.capacity() == 0 && !spare_.empty()) {
+    s.data = std::move(spare_.back());
+    spare_.pop_back();
+  }
   s.data.assign(payload.begin(), payload.end());
+  ring_copied_bytes_ += payload.size();
+  s.filled = true;
+  max_index_ = std::max(max_index_, index + 1);
+  if (index == contig_) {
+    advance_contig();
+    if (!user_buf_.empty()) drain_into_user_buffer();
+  }
+  return true;
+}
+
+bool RcvBuffer::store_ref(std::int64_t index,
+                          std::span<const std::uint8_t> payload,
+                          RecvSlab* slab, int slot_id) {
+  bool accepted = false;
+  if (store_common(index, payload, accepted)) return accepted;
+
+  Slot& s = slot(index);
+  if (s.filled) return false;
+  s.ext = payload.data();
+  s.ext_len = payload.size();
+  s.slab = slab;
+  s.slab_slot = slot_id;
+  slab->add_ref(slot_id);
   s.filled = true;
   max_index_ = std::max(max_index_, index + 1);
   if (index == contig_) {
@@ -144,13 +319,14 @@ std::size_t RcvBuffer::read(std::span<std::uint8_t> out) {
   std::size_t copied = 0;
   while (copied < out.size() && read_index_ < contig_) {
     Slot& s = slot(read_index_);
-    const std::size_t avail = s.data.size() - read_offset_;
+    const std::size_t avail = s.size() - read_offset_;
     const std::size_t take = std::min(avail, out.size() - copied);
-    std::memcpy(out.data() + copied, s.data.data() + read_offset_, take);
+    std::memcpy(out.data() + copied, s.bytes() + read_offset_, take);
+    user_copied_bytes_ += take;
     copied += take;
     read_offset_ += take;
-    if (read_offset_ == s.data.size()) {
-      s = Slot{};
+    if (read_offset_ == s.size()) {
+      release_slot(s);
       ++read_index_;
       read_offset_ = 0;
     }

@@ -2,23 +2,32 @@
 //
 // SndBuffer pre-packetizes application bytes into MSS-sized chunks indexed
 // by an absolute packet index (the socket maps sequence numbers to indexes),
-// so (re)transmission is a direct lookup.
+// so (re)transmission is a direct lookup.  Chunks live in a circular array
+// and their byte storage is recycled through a free list, so the steady
+// state allocates nothing per packet.  The zero-copy sender hands the kernel
+// iovecs that point straight into these chunks while the socket lock is
+// dropped; the pin/unpin API below keeps an ACK that races the syscall from
+// freeing storage out from under the in-flight iovec.
 //
 // RcvBuffer is a ring of packet slots addressed by absolute index.  Because
 // the slot of an arrival is computed from its sequence number, out-of-order
 // data lands directly at its destination offset — the "speculation of next
-// packet" technique costs nothing here beyond the ring addressing.  The
-// buffer also supports *user-buffer insertion* (overlapped IO): a reader may
-// register its own buffer as a logical extension of the protocol buffer, and
-// in-order arrivals are then copied directly into application memory,
-// skipping the protocol-buffer staging copy.
+// packet" technique costs nothing here beyond the ring addressing.  A slot
+// either owns a copied payload (legacy path) or *references* a RecvSlab slot
+// the datagram was received into, in which case the buffer holds a slab
+// reference until the reader drains it — that is what makes the receive path
+// copy-once.  The buffer also supports *user-buffer insertion* (overlapped
+// IO): a reader may register its own buffer as a logical extension of the
+// protocol buffer, and in-order arrivals are then copied directly into
+// application memory, skipping the protocol-buffer staging copy.
 //
-// Both classes are plain single-threaded data structures; the socket core
-// provides locking.
+// SndBuffer/RcvBuffer are plain single-threaded data structures; the socket
+// core provides locking.  RecvSlab is internally synchronized because the
+// receiver thread acquires slots while the application thread releases them.
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -43,14 +52,30 @@ class SndBuffer {
   [[nodiscard]] std::optional<std::span<const std::uint8_t>> chunk(
       std::int64_t index) const;
 
-  // Releases every chunk before `index` (cumulative acknowledgment).
+  // Releases every chunk before `index` (cumulative acknowledgment).  While
+  // a pin covers an index, its storage is parked instead of recycled.
   void ack_up_to(std::int64_t index);
+
+  // --- zero-copy send pinning ------------------------------------------
+  // The sender pins [first, end) before dropping the socket lock to pass
+  // iovecs into those chunks to the kernel.  An ACK that lands during the
+  // syscall still advances base_index_, but the pinned chunks' storage is
+  // parked rather than freed, so the in-flight iovecs stay valid.  unpin()
+  // (called with the lock re-held, after the syscall) recycles the parked
+  // storage and returns whether a pin was active — the caller uses that to
+  // wake overlapped senders blocked on pinned_below().
+  void pin(std::int64_t first, std::int64_t end);
+  bool unpin();
+  // True while a pin could still reference a chunk below `end`.  Overlapped
+  // sends must not return to the caller (whose memory the chunks borrow)
+  // until this clears.
+  [[nodiscard]] bool pinned_below(std::int64_t end) const;
 
   [[nodiscard]] std::int64_t first_index() const { return base_index_; }
   [[nodiscard]] std::int64_t end_index() const {
-    return base_index_ + static_cast<std::int64_t>(chunks_.size());
+    return base_index_ + static_cast<std::int64_t>(count_);
   }
-  [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+  [[nodiscard]] std::size_t chunk_count() const { return count_; }
   [[nodiscard]] std::size_t bytes() const { return bytes_; }
   [[nodiscard]] std::size_t free_bytes() const {
     return capacity_bytes_ - bytes_;
@@ -69,22 +94,86 @@ class SndBuffer {
     }
   };
 
+  void push_chunk(Chunk&& c);
+  void recycle(std::vector<std::uint8_t>&& storage);
+  [[nodiscard]] std::size_t ring_pos(std::int64_t index) const {
+    return (head_ + static_cast<std::size_t>(index - base_index_)) %
+           ring_.size();
+  }
+
   int mss_;
   std::size_t capacity_bytes_;
-  std::int64_t base_index_ = 0;  // index of chunks_.front()
-  std::deque<Chunk> chunks_;
+  // One buffer's worth of chunks: what recycle() retains so bursty ACK
+  // releases never force add() to allocate.
+  std::size_t free_store_cap_ = 0;
+  std::int64_t base_index_ = 0;  // index of the chunk at ring_[head_]
+  std::vector<Chunk> ring_;      // circular; grows amortized, never per-packet
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   std::size_t bytes_ = 0;
+  // Recycled chunk storage: add() reuses these instead of allocating.
+  std::vector<std::vector<std::uint8_t>> free_store_;
+  // Storage of chunks acked while pinned; recycled by unpin().
+  std::vector<std::vector<std::uint8_t>> parked_;
+  bool pin_active_ = false;
+  std::int64_t pin_first_ = 0;
+  std::int64_t pin_end_ = 0;
+};
+
+// Preallocated arena of fixed-size receive slots shared between the channel
+// (which receives datagrams into free slots) and the RcvBuffer (which keeps
+// a reference per payload still parked in a slot).  Reference counted: the
+// receiver thread holds one reference while it parses a slot, each stored
+// payload holds one, and the slot returns to the free list when the last
+// drops.  Exhaustion is not an error — acquire() returns -1 and callers fall
+// back to the copying path, trading a memcpy for bounded memory.
+class RecvSlab {
+ public:
+  RecvSlab(std::size_t slot_bytes, std::size_t slot_count);
+
+  // Claims a free slot with refcount 1; -1 when exhausted.
+  [[nodiscard]] int acquire();
+  void add_ref(int slot);
+  void release(int slot);
+
+  [[nodiscard]] std::uint8_t* data(int slot) {
+    return arena_.data() + static_cast<std::size_t>(slot) * slot_bytes_;
+  }
+  [[nodiscard]] std::size_t slot_bytes() const { return slot_bytes_; }
+  [[nodiscard]] std::size_t slot_count() const { return slot_count_; }
+  [[nodiscard]] std::size_t free_count() const;
+
+ private:
+  std::size_t slot_bytes_;
+  std::size_t slot_count_;
+  std::vector<std::uint8_t> arena_;
+  std::vector<int> refs_;
+  std::vector<int> free_;
+  mutable std::mutex mu_;
 };
 
 class RcvBuffer {
  public:
   RcvBuffer(int mss_bytes, std::int32_t capacity_pkts);
+  ~RcvBuffer();
+  RcvBuffer(const RcvBuffer&) = delete;
+  RcvBuffer& operator=(const RcvBuffer&) = delete;
 
-  // Stores the payload of packet `index`.  Returns false if the index falls
-  // outside the receivable window (behind the read cursor or beyond the
-  // ring) or is a duplicate.  In-order data destined for a registered user
-  // buffer bypasses the ring entirely.
+  // Stores the payload of packet `index`, copying it into owned slot
+  // storage.  Returns false if the index falls outside the receivable
+  // window (behind the read cursor or beyond the ring) or is a duplicate.
+  // In-order data destined for a registered user buffer bypasses the ring
+  // entirely.
   bool store(std::int64_t index, std::span<const std::uint8_t> payload);
+
+  // Zero-copy variant: parks `payload` BY REFERENCE.  The bytes live in
+  // `slab` slot `slot` and the buffer takes a slab reference (released when
+  // the reader consumes the slot), so the caller may drop its own reference
+  // after the call.  The overlapped fast path still copies straight into
+  // the user buffer and takes no reference.  Same return contract as
+  // store().
+  bool store_ref(std::int64_t index, std::span<const std::uint8_t> payload,
+                 RecvSlab* slab, int slot);
 
   // Copies contiguous received data into `out`; returns bytes copied.
   std::size_t read(std::span<std::uint8_t> out);
@@ -114,14 +203,43 @@ class RcvBuffer {
   // Contiguous bytes ready for read().
   [[nodiscard]] std::size_t readable_bytes() const;
 
+  // Copy accounting for the Table-3 bytes-per-packet column: payload bytes
+  // memcpy'd into ring slot storage (the copy zero-copy mode deletes) and
+  // payload bytes memcpy'd into application memory (the one copy that
+  // always remains).
+  [[nodiscard]] std::uint64_t ring_copied_bytes() const {
+    return ring_copied_bytes_;
+  }
+  [[nodiscard]] std::uint64_t user_copied_bytes() const {
+    return user_copied_bytes_;
+  }
+
  private:
   struct Slot {
-    std::vector<std::uint8_t> data;
+    std::vector<std::uint8_t> data;     // owned copy (store / fallback)
+    const std::uint8_t* ext = nullptr;  // borrowed view into a slab slot
+    std::size_t ext_len = 0;
+    RecvSlab* slab = nullptr;
+    int slab_slot = -1;
     bool filled = false;
+    [[nodiscard]] const std::uint8_t* bytes() const {
+      return ext != nullptr ? ext : data.data();
+    }
+    [[nodiscard]] std::size_t size() const {
+      return ext != nullptr ? ext_len : data.size();
+    }
   };
   [[nodiscard]] Slot& slot(std::int64_t index) {
     return slots_[static_cast<std::size_t>(index % capacity_)];
   }
+  // Common admission + fast-path logic for store/store_ref; returns true if
+  // the packet was fully consumed (rejected or delivered straight to the
+  // user buffer), with `accepted` telling the two apart.
+  bool store_common(std::int64_t index, std::span<const std::uint8_t> payload,
+                    bool& accepted);
+  // Returns the slot's storage to its owner (slab reference released,
+  // vector capacity recycled into spare_) and marks it empty.
+  void release_slot(Slot& s);
   void advance_contig();
   // Moves contiguous ring data into the user buffer while space remains.
   void drain_into_user_buffer();
@@ -136,6 +254,17 @@ class RcvBuffer {
 
   std::span<std::uint8_t> user_buf_{};
   std::size_t user_filled_ = 0;
+
+  // Recycled copy storage for the store() fallback path.  Pooled rather
+  // than kept per slot: arrivals land at arbitrary ring positions, so
+  // slot-local capacity would re-allocate on every first touch of a new
+  // position while the pool makes the copy path allocation-free once warm.
+  // Bounded by the window (capacity_ entries), the same high-water
+  // retention the per-slot scheme had.
+  std::vector<std::vector<std::uint8_t>> spare_;
+
+  std::uint64_t ring_copied_bytes_ = 0;
+  std::uint64_t user_copied_bytes_ = 0;
 };
 
 }  // namespace udtr::udt

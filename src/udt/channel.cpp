@@ -2,11 +2,13 @@
 
 #include <arpa/inet.h>
 #include <netdb.h>
+#include <netinet/udp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <array>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 #include <vector>
@@ -19,7 +21,49 @@
 #define UDTR_HAVE_MMSG 0
 #endif
 
+// UDP_SEGMENT (GSO, Linux 4.18) / UDP_GRO (Linux 5.0).  Where the headers
+// lack them the offload paths compile out and send_gather degrades to the
+// two-iovec sendmmsg path, recv_batch to plain datagrams.
+#if defined(__linux__) && defined(UDP_SEGMENT) && defined(UDP_GRO)
+#define UDTR_HAVE_UDP_OFFLOAD 1
+#else
+#define UDTR_HAVE_UDP_OFFLOAD 0
+#endif
+
 namespace udtr::udt {
+
+namespace {
+// Kernel bounds on one GSO send: 64 segments, one 16-bit UDP payload.
+constexpr std::size_t kGsoMaxSegments = 64;
+constexpr std::size_t kGsoMaxBytes = 65507;
+
+// Longest GSO run starting at `i`: consecutive datagrams of identical wire
+// size (one trailing smaller one may close the run — the kernel emits the
+// short tail as the final segment), bounded by the segment and byte caps.
+// A probe head (`keep_with_next`) is never left as the last datagram of a
+// run while its successor exists: the pair must share one kernel traversal
+// for the §3.4 packet-pair spacing to mean anything, so the run shrinks by
+// one and the pair opens the next send instead.
+std::size_t gso_run_length(std::span<const UdpChannel::TxDatagram> d,
+                           std::size_t i) {
+  const std::size_t seg = d[i].head.size() + d[i].body.size();
+  if (seg == 0 || seg > kGsoMaxBytes) return 1;
+  const std::size_t cap =
+      std::min(kGsoMaxSegments, kGsoMaxBytes / seg);
+  std::size_t j = i + 1;
+  while (j < d.size() && j - i < cap) {
+    const std::size_t w = d[j].head.size() + d[j].body.size();
+    if (w == seg) {
+      ++j;
+      continue;
+    }
+    if (w < seg && w > 0) ++j;  // short tail closes the run
+    break;
+  }
+  if (j < d.size() && j > i + 1 && d[j - 1].keep_with_next) --j;
+  return j - i;
+}
+}  // namespace
 
 sockaddr_in Endpoint::to_sockaddr() const {
   sockaddr_in sa{};
@@ -55,9 +99,13 @@ UdpChannel::UdpChannel(UdpChannel&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       local_port_(other.local_port_),
       faults_(std::move(other.faults_)),
+      gro_enabled_(other.gro_enabled_),
+      gso_ok_(other.gso_ok_.load()),
+      gather_scratch_(std::move(other.gather_scratch_)),
       sent_(other.sent_.load()),
       send_calls_(other.send_calls_.load()),
-      recv_calls_(other.recv_calls_.load()) {}
+      recv_calls_(other.recv_calls_.load()),
+      gso_sends_(other.gso_sends_.load()) {}
 
 UdpChannel& UdpChannel::operator=(UdpChannel&& other) noexcept {
   if (this != &other) {
@@ -65,9 +113,13 @@ UdpChannel& UdpChannel::operator=(UdpChannel&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     local_port_ = other.local_port_;
     faults_ = std::move(other.faults_);
+    gro_enabled_ = other.gro_enabled_;
+    gso_ok_ = other.gso_ok_.load();
+    gather_scratch_ = std::move(other.gather_scratch_);
     sent_ = other.sent_.load();
     send_calls_ = other.send_calls_.load();
     recv_calls_ = other.recv_calls_.load();
+    gso_sends_ = other.gso_sends_.load();
   }
   return *this;
 }
@@ -90,6 +142,11 @@ bool UdpChannel::open(std::uint16_t port) {
     return false;
   }
   local_port_ = ntohs(sa.sin_port);
+  // UDTR_NO_GSO is the operational kill-switch (and the CI fallback job):
+  // with it set every send takes the plain sendmmsg path from the start.
+  gso_ok_.store(std::getenv("UDTR_NO_GSO") == nullptr,
+                std::memory_order_relaxed);
+  gro_enabled_ = false;
   return true;
 }
 
@@ -98,7 +155,29 @@ void UdpChannel::close() {
     ::close(fd_);
     fd_ = -1;
     local_port_ = 0;
+    gro_enabled_ = false;
   }
+}
+
+bool UdpChannel::offload_supported() { return UDTR_HAVE_UDP_OFFLOAD != 0; }
+
+bool UdpChannel::gso_active() const {
+  return offload_supported() && gso_ok_.load(std::memory_order_relaxed);
+}
+
+bool UdpChannel::enable_gro() {
+#if UDTR_HAVE_UDP_OFFLOAD
+  if (fd_ < 0 || faults_ != nullptr) return false;
+  if (std::getenv("UDTR_NO_GSO") != nullptr) return false;
+  const int one = 1;
+  if (::setsockopt(fd_, SOL_UDP, UDP_GRO, &one, sizeof one) != 0) {
+    return false;
+  }
+  gro_enabled_ = true;
+  return true;
+#else
+  return false;
+#endif
 }
 
 bool UdpChannel::set_recv_timeout(std::chrono::microseconds timeout) {
@@ -206,6 +285,162 @@ std::size_t UdpChannel::send_batch(
   return data.size();
 }
 
+bool UdpChannel::send_gso_run(const sockaddr_in& sa,
+                              std::span<const TxDatagram> run,
+                              std::size_t seg_bytes) {
+#if UDTR_HAVE_UDP_OFFLOAD
+  std::array<iovec, 2 * kGsoMaxSegments> iovs;
+  std::size_t niov = 0;
+  for (const auto& d : run) {
+    iovs[niov++] = {const_cast<std::uint8_t*>(d.head.data()), d.head.size()};
+    if (!d.body.empty()) {
+      iovs[niov++] = {const_cast<std::uint8_t*>(d.body.data()),
+                      d.body.size()};
+    }
+  }
+  alignas(cmsghdr) char control[CMSG_SPACE(sizeof(std::uint16_t))] = {};
+  msghdr msg{};
+  msg.msg_name = const_cast<sockaddr_in*>(&sa);
+  msg.msg_namelen = sizeof sa;
+  msg.msg_iov = iovs.data();
+  msg.msg_iovlen = niov;
+  msg.msg_control = control;
+  msg.msg_controllen = sizeof control;
+  cmsghdr* cm = CMSG_FIRSTHDR(&msg);
+  cm->cmsg_level = SOL_UDP;
+  cm->cmsg_type = UDP_SEGMENT;
+  cm->cmsg_len = CMSG_LEN(sizeof(std::uint16_t));
+  const auto seg16 = static_cast<std::uint16_t>(seg_bytes);
+  std::memcpy(CMSG_DATA(cm), &seg16, sizeof seg16);
+  for (;;) {
+    ++send_calls_;
+    if (::sendmsg(fd_, &msg, 0) >= 0) {
+      ++gso_sends_;
+      return true;
+    }
+    if (errno == EINTR) continue;
+    // Transient pressure is ordinary UDP loss, not an offload problem.
+    if (errno == ENOBUFS || errno == EAGAIN || errno == EWOULDBLOCK) {
+      return true;
+    }
+    return false;  // EINVAL / EOPNOTSUPP ...: the kernel refused UDP_SEGMENT
+  }
+#else
+  (void)sa;
+  (void)run;
+  (void)seg_bytes;
+  return false;
+#endif
+}
+
+void UdpChannel::send_plain(const sockaddr_in& sa,
+                            std::span<const TxDatagram> dgrams) {
+#if UDTR_HAVE_MMSG
+  std::size_t done = 0;
+  while (done < dgrams.size()) {
+    constexpr std::size_t kChunk = 64;
+    const std::size_t n = std::min(kChunk, dgrams.size() - done);
+    std::array<mmsghdr, kChunk> msgs{};
+    std::array<iovec, 2 * kChunk> iovs{};
+    for (std::size_t i = 0; i < n; ++i) {
+      const TxDatagram& d = dgrams[done + i];
+      iovec* iv = &iovs[2 * i];
+      iv[0] = {const_cast<std::uint8_t*>(d.head.data()), d.head.size()};
+      std::size_t niov = 1;
+      if (!d.body.empty()) {
+        iv[1] = {const_cast<std::uint8_t*>(d.body.data()), d.body.size()};
+        niov = 2;
+      }
+      msgs[i].msg_hdr.msg_iov = iv;
+      msgs[i].msg_hdr.msg_iovlen = niov;
+      msgs[i].msg_hdr.msg_name = const_cast<sockaddr_in*>(&sa);
+      msgs[i].msg_hdr.msg_namelen = sizeof sa;
+    }
+    ++send_calls_;
+    const int sent = ::sendmmsg(fd_, msgs.data(), static_cast<unsigned>(n), 0);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    done += static_cast<std::size_t>(sent);
+  }
+#else
+  for (const auto& d : dgrams) {
+    std::array<iovec, 2> iovs{};
+    iovs[0] = {const_cast<std::uint8_t*>(d.head.data()), d.head.size()};
+    std::size_t niov = 1;
+    if (!d.body.empty()) {
+      iovs[1] = {const_cast<std::uint8_t*>(d.body.data()), d.body.size()};
+      niov = 2;
+    }
+    msghdr msg{};
+    msg.msg_name = const_cast<sockaddr_in*>(&sa);
+    msg.msg_namelen = sizeof sa;
+    msg.msg_iov = iovs.data();
+    msg.msg_iovlen = niov;
+    ++send_calls_;
+    ::sendmsg(fd_, &msg, 0);
+  }
+#endif
+}
+
+std::size_t UdpChannel::send_gather(const Endpoint& dst,
+                                    std::span<const TxDatagram> dgrams,
+                                    bool allow_gso) {
+  if (dgrams.empty()) return 0;
+  sent_ += dgrams.size();
+  const sockaddr_in sa = dst.to_sockaddr();
+
+  if (faults_) {
+    // The injector must see each logical datagram whole and individually
+    // (pre-GSO), so the header/payload pair is linearized into reused
+    // scratch — the one staging copy the fault path keeps, paid only when
+    // faults are configured.
+    for (const auto& d : dgrams) {
+      gather_scratch_.assign(d.head.begin(), d.head.end());
+      gather_scratch_.insert(gather_scratch_.end(), d.body.begin(),
+                             d.body.end());
+      faults_->on_send(gather_scratch_,
+                       [&](std::span<const std::uint8_t> out) {
+                         ++send_calls_;
+                         ::sendto(fd_, out.data(), out.size(), 0,
+                                  reinterpret_cast<const sockaddr*>(&sa),
+                                  sizeof sa);
+                       });
+    }
+    return dgrams.size();
+  }
+
+  const bool use_gso = allow_gso && gso_active();
+  std::size_t i = 0;
+  std::size_t plain_start = 0;  // pending non-run datagrams [plain_start, i)
+  while (i < dgrams.size()) {
+    const std::size_t run =
+        use_gso ? gso_run_length(dgrams, i) : std::size_t{1};
+    if (run < 2) {
+      ++i;
+      continue;
+    }
+    // Flush the singles that precede the run so wire order is preserved.
+    if (plain_start < i) {
+      send_plain(sa, dgrams.subspan(plain_start, i - plain_start));
+    }
+    const auto seg = dgrams[i].head.size() + dgrams[i].body.size();
+    if (!send_gso_run(sa, dgrams.subspan(i, run), seg)) {
+      // Kernel refused: latch GSO off for this socket and resend the run
+      // plainly.  Nothing was transmitted by the failed call.
+      gso_ok_.store(false, std::memory_order_relaxed);
+      send_plain(sa, dgrams.subspan(i, run));
+    }
+    i += run;
+    plain_start = i;
+  }
+  if (plain_start < dgrams.size()) {
+    send_plain(sa, dgrams.subspan(plain_start));
+  }
+  return dgrams.size();
+}
+
 // Accepts the raw datagram sitting in `raw`'s buffer (from slot `from`)
 // into slot `slots[filled]`, running it through the recv-direction fault
 // filter first.  Returns true if the datagram survived (and `filled` should
@@ -218,12 +453,17 @@ bool UdpChannel::accept_raw(std::span<RecvSlot> slots, std::size_t filled,
     slots[filled].src = src;
     return true;
   }
+  // The filter mutates the receive buffer in place; nothing is copied
+  // unless earlier batch entries were swallowed and the survivor has to be
+  // compacted forward into the next unfilled slot.
   auto delivered = faults_->filter_recv({slots[from].buf.data(), bytes},
                                         src.ip_host_order, src.port);
   if (!delivered) return false;  // swallowed by the net
   RecvSlot& dst = slots[filled];
-  dst.bytes = std::min(dst.buf.size(), delivered->size());
-  std::memcpy(dst.buf.data(), delivered->data(), dst.bytes);
+  dst.bytes = std::min(dst.buf.size(), *delivered);
+  if (from != filled) {
+    std::memcpy(dst.buf.data(), slots[from].buf.data(), dst.bytes);
+  }
   dst.src = src;
   return true;
 }
@@ -242,6 +482,7 @@ UdpChannel::RecvBatchResult UdpChannel::recv_batch(std::span<RecvSlot> slots) {
       s.bytes = std::min(s.buf.size(), owed->bytes.size());
       std::memcpy(s.buf.data(), owed->bytes.data(), s.bytes);
       s.src = Endpoint{owed->src_ip, owed->src_port};
+      s.gro_size = 0;
       ++filled;
     }
   }
@@ -255,6 +496,10 @@ UdpChannel::RecvBatchResult UdpChannel::recv_batch(std::span<RecvSlot> slots) {
     std::array<mmsghdr, kChunk> msgs{};
     std::array<iovec, kChunk> iovs{};
     std::array<sockaddr_in, kChunk> addrs{};
+#if UDTR_HAVE_UDP_OFFLOAD
+    // Per-message control space for the UDP_GRO segment-size cmsg.
+    std::array<std::array<char, CMSG_SPACE(sizeof(int))>, kChunk> ctrls;
+#endif
     for (std::size_t i = 0; i < n; ++i) {
       iovs[i].iov_base = slots[base + i].buf.data();
       iovs[i].iov_len = slots[base + i].buf.size();
@@ -262,6 +507,12 @@ UdpChannel::RecvBatchResult UdpChannel::recv_batch(std::span<RecvSlot> slots) {
       msgs[i].msg_hdr.msg_iovlen = 1;
       msgs[i].msg_hdr.msg_name = &addrs[i];
       msgs[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+#if UDTR_HAVE_UDP_OFFLOAD
+      if (gro_enabled_) {
+        msgs[i].msg_hdr.msg_control = ctrls[i].data();
+        msgs[i].msg_hdr.msg_controllen = ctrls[i].size();
+      }
+#endif
     }
     // One syscall per wakeup: block (SO_RCVTIMEO-bounded, §4.8) until at
     // least one datagram arrives, then take everything already queued.
@@ -277,8 +528,26 @@ UdpChannel::RecvBatchResult UdpChannel::recv_batch(std::span<RecvSlot> slots) {
       return {RecvStatus::kError, 0};
     }
     for (int i = 0; i < std::max(got, 0); ++i) {
+      std::size_t gro = 0;
+#if UDTR_HAVE_UDP_OFFLOAD
+      if (gro_enabled_) {
+        for (cmsghdr* cm = CMSG_FIRSTHDR(&msgs[i].msg_hdr); cm != nullptr;
+             cm = CMSG_NXTHDR(&msgs[i].msg_hdr, cm)) {
+          if (cm->cmsg_level == SOL_UDP && cm->cmsg_type == UDP_GRO) {
+            int v = 0;
+            std::memcpy(&v, CMSG_DATA(cm), sizeof v);
+            // The kernel reports the segment grid even for a lone datagram;
+            // a value covering the whole payload means "not coalesced".
+            if (v > 0 && static_cast<std::size_t>(v) < msgs[i].msg_len) {
+              gro = static_cast<std::size_t>(v);
+            }
+          }
+        }
+      }
+#endif
       if (accept_raw(slots, filled, base + static_cast<std::size_t>(i),
                      msgs[i].msg_len, Endpoint::from_sockaddr(addrs[i]))) {
+        slots[filled].gro_size = faults_ ? 0 : gro;
         ++filled;
       }
     }
@@ -300,6 +569,7 @@ UdpChannel::RecvBatchResult UdpChannel::recv_batch(std::span<RecvSlot> slots) {
     }
     if (accept_raw(slots, filled, 0, static_cast<std::size_t>(n),
                    Endpoint::from_sockaddr(sa))) {
+      slots[filled].gro_size = 0;
       ++filled;
     }
   }
@@ -314,6 +584,7 @@ UdpChannel::RecvBatchResult UdpChannel::recv_batch(std::span<RecvSlot> slots) {
     if (n < 0) break;
     if (accept_raw(slots, filled, filled, static_cast<std::size_t>(n),
                    Endpoint::from_sockaddr(sa))) {
+      slots[filled].gro_size = 0;
       ++filled;
     }
   }
@@ -346,13 +617,12 @@ RecvResult UdpChannel::recv_from(Endpoint& src, std::span<std::uint8_t> buf) {
   }
   src = Endpoint::from_sockaddr(sa);
   if (faults_) {
+    // In-place filtering: the delivered bytes are already where they belong.
     auto delivered = faults_->filter_recv(
         {buf.data(), static_cast<std::size_t>(n)}, src.ip_host_order,
         src.port);
     if (!delivered) return {RecvStatus::kTimeout, 0};  // swallowed by the net
-    const std::size_t m = std::min(buf.size(), delivered->size());
-    std::memcpy(buf.data(), delivered->data(), m);
-    return {RecvStatus::kDatagram, m};
+    return {RecvStatus::kDatagram, std::min(buf.size(), *delivered)};
   }
   return {RecvStatus::kDatagram, static_cast<std::size_t>(n)};
 }

@@ -21,6 +21,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "udt/fault.hpp"
 
@@ -81,11 +82,53 @@ class UdpChannel {
   std::size_t send_batch(const Endpoint& dst,
                          std::span<const std::span<const std::uint8_t>> data);
 
+  // --- zero-copy scatter-gather send -------------------------------------
+  // One wire datagram described in place: `head` (the serialized 16-byte
+  // header) and `body` (payload, may be empty) are gathered by the kernel
+  // from where they already live, so the bytes are never staged into a
+  // contiguous buffer.  `keep_with_next` marks an RBPP probe head whose
+  // successor must leave in the same system call (§3.4 packet-pair timing).
+  struct TxDatagram {
+    std::span<const std::uint8_t> head;
+    std::span<const std::uint8_t> body;
+    bool keep_with_next = false;
+  };
+  // Sends the datagrams in order with as few system calls as possible:
+  // where the kernel supports UDP_SEGMENT (and `allow_gso`), runs of
+  // equal-size datagrams are coalesced into one GSO super-datagram — one
+  // syscall and one kernel traversal for up to 64 wire packets; everything
+  // else goes out as two-iovec sendmmsg entries.  The fault injector, when
+  // installed, sees each logical datagram individually (pre-GSO), exactly
+  // as with send_to.  Returns the number of datagrams accepted.
+  std::size_t send_gather(const Endpoint& dst,
+                          std::span<const TxDatagram> dgrams,
+                          bool allow_gso = true);
+
+  // Requests kernel receive coalescing (UDP_GRO): bursts of same-source
+  // datagrams arrive as one buffer with RecvSlot::gro_size describing the
+  // segment grid.  Refused (returns false) when unsupported, when
+  // UDTR_NO_GSO is set, or when a fault injector is installed (the injector
+  // owns per-datagram semantics).
+  bool enable_gro();
+  [[nodiscard]] bool gro_enabled() const { return gro_enabled_; }
+  // False when the kernel rejected UDP_SEGMENT at runtime or UDTR_NO_GSO is
+  // set: send_gather quietly takes the sendmmsg path instead.
+  [[nodiscard]] bool gso_active() const;
+  // Compile-time offload support (false off-Linux).
+  [[nodiscard]] static bool offload_supported();
+  [[nodiscard]] std::uint64_t gso_super_datagrams() const {
+    return gso_sends_;
+  }
+
   // One filled entry of a recv_batch call.
   struct RecvSlot {
     std::span<std::uint8_t> buf;  // in: caller storage for one datagram
     std::size_t bytes = 0;        // out: payload length received
     Endpoint src{};               // out: datagram source
+    // out: GRO segment size.  0 = one plain datagram; otherwise the buffer
+    // carries ceil(bytes / gro_size) wire datagrams, every segment
+    // gro_size bytes except possibly the last.
+    std::size_t gro_size = 0;
   };
   struct RecvBatchResult {
     RecvStatus status = RecvStatus::kTimeout;  // outcome of the first wait
@@ -118,15 +161,31 @@ class UdpChannel {
   // per-datagram recv fault filter; returns false if it was swallowed.
   bool accept_raw(std::span<RecvSlot> slots, std::size_t filled,
                   std::size_t from, std::size_t bytes, const Endpoint& src);
+  // Sends one GSO super-datagram covering `run`; false if the kernel
+  // refused the offload (caller disables GSO and resends plainly).
+  bool send_gso_run(const sockaddr_in& sa, std::span<const TxDatagram> run,
+                    std::size_t seg_bytes);
+  // Plain two-iovec path for datagrams that did not form a GSO run.
+  void send_plain(const sockaddr_in& sa, std::span<const TxDatagram> dgrams);
 
   int fd_ = -1;
   std::uint16_t local_port_ = 0;
   std::shared_ptr<FaultInjector> faults_;
+  bool gro_enabled_ = false;
+  // Runtime GSO health: starts true (unless UDTR_NO_GSO), latched false the
+  // first time the kernel rejects UDP_SEGMENT.  Atomic only for the cheap
+  // cross-thread read; all writes come from the sending thread.
+  std::atomic<bool> gso_ok_{true};
+  // Reused linearization scratch for routing gathered datagrams through the
+  // per-datagram fault injector.  send_gather is only ever called by the
+  // one sender thread, so a single buffer suffices.
+  std::vector<std::uint8_t> gather_scratch_;
   // Atomic: the sender thread moves data while the receiver thread sends
   // control packets through the same channel.
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> send_calls_{0};
   std::atomic<std::uint64_t> recv_calls_{0};
+  std::atomic<std::uint64_t> gso_sends_{0};
 };
 
 }  // namespace udtr::udt

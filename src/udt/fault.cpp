@@ -47,19 +47,20 @@ bool FaultInjector::chance_locked(double p) {
   return std::uniform_real_distribution<double>{0.0, 1.0}(rng_) < p;
 }
 
-void FaultInjector::mutate_locked(DirState& d, std::vector<std::uint8_t>& b) {
-  if (!b.empty() && chance_locked(d.prof.corrupt_p)) {
-    const auto bit = std::uniform_int_distribution<std::size_t>{
-        0, b.size() * 8 - 1}(rng_);
+std::size_t FaultInjector::mutate_locked(DirState& d,
+                                         std::span<std::uint8_t> b) {
+  std::size_t len = b.size();
+  if (len > 0 && chance_locked(d.prof.corrupt_p)) {
+    const auto bit =
+        std::uniform_int_distribution<std::size_t>{0, len * 8 - 1}(rng_);
     b[bit / 8] ^= static_cast<std::uint8_t>(1U << (bit % 8));
     ++d.stats.corrupted;
   }
-  if (!b.empty() && chance_locked(d.prof.truncate_p)) {
-    const auto len =
-        std::uniform_int_distribution<std::size_t>{0, b.size() - 1}(rng_);
-    b.resize(len);
+  if (len > 0 && chance_locked(d.prof.truncate_p)) {
+    len = std::uniform_int_distribution<std::size_t>{0, len - 1}(rng_);
     ++d.stats.truncated;
   }
+  return len;
 }
 
 void FaultInjector::on_send(
@@ -96,14 +97,17 @@ void FaultInjector::on_send(
     send_.held.push_back(std::move(h));
     ++send_.stats.reordered;
   } else {
-    std::vector<std::uint8_t> copy;
     if (applies &&
         (p.corrupt_p > 0.0 || p.truncate_p > 0.0 || p.dup_p > 0.0)) {
-      copy.assign(data.begin(), data.end());
-      mutate_locked(send_, copy);
-      emit(copy);
+      // The staging copy is unavoidable (the source span must stay
+      // pristine for retransmission) but its storage is pooled per
+      // direction, so the cost is one memcpy, not an allocation.
+      send_.scratch.assign(data.begin(), data.end());
+      const std::size_t len = mutate_locked(send_, send_.scratch);
+      const std::span<const std::uint8_t> out{send_.scratch.data(), len};
+      emit(out);
       if (chance_locked(p.dup_p)) {
-        emit(copy);
+        emit(out);
         ++send_.stats.duplicated;
       }
     } else {
@@ -113,8 +117,8 @@ void FaultInjector::on_send(
   for (const auto& r : released) emit(r);
 }
 
-std::optional<std::vector<std::uint8_t>> FaultInjector::filter_recv(
-    std::span<const std::uint8_t> data, std::uint32_t src_ip,
+std::optional<std::size_t> FaultInjector::filter_recv(
+    std::span<std::uint8_t> data, std::uint32_t src_ip,
     std::uint16_t src_port) {
   std::lock_guard lk{mu_};
   ++recv_.stats.seen;
@@ -147,13 +151,17 @@ std::optional<std::vector<std::uint8_t>> FaultInjector::filter_recv(
     return std::nullopt;
   }
 
-  std::vector<std::uint8_t> bytes(data.begin(), data.end());
-  if (applies) mutate_locked(recv_, bytes);
+  // The delivered datagram is mutated in place in the caller's receive
+  // buffer — the no-fault and corrupt/truncate outcomes allocate nothing.
+  std::size_t len = data.size();
+  if (applies) len = mutate_locked(recv_, data);
   if (applies && chance_locked(p.dup_p)) {
-    recv_ready_.push_back(ReadyDatagram{bytes, src_ip, src_port});
+    recv_ready_.push_back(ReadyDatagram{
+        std::vector<std::uint8_t>(data.begin(), data.begin() + len), src_ip,
+        src_port});
     ++recv_.stats.duplicated;
   }
-  return bytes;
+  return len;
 }
 
 std::size_t FaultInjector::ready_recv_count() const {

@@ -81,12 +81,15 @@ class FaultInjector {
   void on_send(std::span<const std::uint8_t> data,
                const std::function<void(std::span<const std::uint8_t>)>& emit);
 
-  // Recv path.  Feed a datagram fresh off the socket; returns the bytes to
-  // deliver now (possibly mutated) or nullopt if it was swallowed (dropped
-  // or held back for reordering).
-  std::optional<std::vector<std::uint8_t>> filter_recv(
-      std::span<const std::uint8_t> data, std::uint32_t src_ip,
-      std::uint16_t src_port);
+  // Recv path.  Feed a datagram fresh off the socket; corruption and
+  // truncation mutate `data` IN PLACE (the caller owns the receive buffer,
+  // so the steady-state deliver path costs zero heap allocations).  Returns
+  // the number of bytes to deliver or nullopt if the datagram was swallowed
+  // (dropped or held back for reordering).  Only the fault outcomes that
+  // genuinely need owned storage (reorder holds, duplicates) copy.
+  std::optional<std::size_t> filter_recv(std::span<std::uint8_t> data,
+                                         std::uint32_t src_ip,
+                                         std::uint16_t src_port);
   // Datagrams owed to the receiver from earlier decisions (released reorder
   // holds, duplicates).  Poll before touching the socket.
   struct ReadyDatagram {
@@ -111,12 +114,18 @@ class FaultInjector {
     FaultProfile prof;
     FaultStats stats;
     std::deque<Held> held;
+    // Reused mutation staging for the send path (the caller's span may be a
+    // live SndBuffer chunk that a retransmission still needs pristine, so
+    // send-side mutation cannot happen in place).  Capacity persists across
+    // datagrams: no per-packet allocation once warmed up.
+    std::vector<std::uint8_t> scratch;
   };
 
   [[nodiscard]] bool outage_active_locked();
   [[nodiscard]] bool chance_locked(double p);
-  // Applies corruption / truncation in place; updates counters.
-  void mutate_locked(DirState& d, std::vector<std::uint8_t>& bytes);
+  // Applies corruption / truncation in place on the first `len` bytes of
+  // `bytes`; returns the post-truncation length and updates counters.
+  std::size_t mutate_locked(DirState& d, std::span<std::uint8_t> bytes);
 
   mutable std::mutex mu_;
   std::mt19937_64 rng_;

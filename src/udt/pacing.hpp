@@ -85,4 +85,24 @@ class Pacer {
       std::clamp<std::int64_t>(n, 1, static_cast<std::int64_t>(max_batch)));
 }
 
+// --- GSO run sizing ---------------------------------------------------------
+//
+// A UDP_SEGMENT super-datagram is one pacing unit: the kernel emits its
+// segments back-to-back, so a run must never exceed the batch credit the
+// pacer granted (the credit already bounds the burst to the §4.5 horizon).
+// On top of that the kernel imposes hard limits: at most 64 segments, and
+// the whole payload must fit one 16-bit UDP datagram.
+inline constexpr int kMaxGsoSegments = 64;
+inline constexpr std::size_t kMaxGsoBytes = 65507;
+
+// Largest number of `seg_bytes`-sized wire datagrams one GSO send may
+// coalesce.  Callers take min(this, pacing credit) — and additionally never
+// split an RBPP probe pair across two sends (the pair must stay
+// back-to-back through one kernel traversal for §3.4 timing to hold).
+[[nodiscard]] inline int gso_segment_cap(std::size_t seg_bytes) {
+  if (seg_bytes == 0) return 1;
+  return static_cast<int>(std::clamp<std::size_t>(
+      kMaxGsoBytes / seg_bytes, 1, static_cast<std::size_t>(kMaxGsoSegments)));
+}
+
 }  // namespace udtr::udt

@@ -95,6 +95,27 @@ struct HandshakePayload {
   return pkt.size() >= kHeaderBytes && (pkt[0] & 0x80U) != 0;
 }
 
+[[nodiscard]] inline bool is_data(std::span<const std::uint8_t> pkt) {
+  return pkt.size() >= kHeaderBytes && (pkt[0] & 0x80U) == 0;
+}
+
+// Calls `fn` once per logical datagram inside a possibly-GRO-coalesced
+// receive buffer, decoding segment boundaries in place (no copy): the
+// kernel's coalescing rule is that every segment spans `seg_size` bytes
+// except the last, which may be shorter.  `seg_size` == 0 means the buffer
+// was not coalesced and is a single datagram.
+template <typename Fn>
+inline void for_each_datagram(std::span<const std::uint8_t> buf,
+                              std::size_t seg_size, Fn&& fn) {
+  if (seg_size == 0 || seg_size >= buf.size()) {
+    fn(buf);
+    return;
+  }
+  for (std::size_t off = 0; off < buf.size(); off += seg_size) {
+    fn(buf.subspan(off, std::min(seg_size, buf.size() - off)));
+  }
+}
+
 [[nodiscard]] inline bool is_known_ctrl_type(std::uint16_t raw) {
   switch (static_cast<CtrlType>(raw)) {
     case CtrlType::kHandshake:

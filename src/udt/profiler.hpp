@@ -53,6 +53,14 @@ class Profiler {
         calls, std::memory_order_relaxed);
   }
 
+  // Payload bytes memcpy'd inside this unit (Table 3's packing/unpacking
+  // rows are copy costs; the zero-copy datapath is measured by this counter
+  // going to zero while the unit's call count stays up).
+  void add_bytes(ProfUnit unit, std::uint64_t bytes) {
+    bytes_[static_cast<std::size_t>(unit)].fetch_add(
+        bytes, std::memory_order_relaxed);
+  }
+
   [[nodiscard]] std::uint64_t nanos(ProfUnit unit) const {
     return cells_[static_cast<std::size_t>(unit)].load(
         std::memory_order_relaxed);
@@ -60,6 +68,11 @@ class Profiler {
 
   [[nodiscard]] std::uint64_t calls(ProfUnit unit) const {
     return calls_[static_cast<std::size_t>(unit)].load(
+        std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t bytes(ProfUnit unit) const {
+    return bytes_[static_cast<std::size_t>(unit)].load(
         std::memory_order_relaxed);
   }
 
@@ -74,6 +87,7 @@ class Profiler {
     std::uint64_t nanos;
     double percent;
     std::uint64_t calls;
+    std::uint64_t bytes;  // payload bytes memcpy'd within the unit
   };
 
   [[nodiscard]] std::vector<Share> report() const {
@@ -83,7 +97,8 @@ class Profiler {
       const std::uint64_t ns = cells_[i].load(std::memory_order_relaxed);
       out.push_back({static_cast<ProfUnit>(i), ns,
                      total > 0 ? 100.0 * ns / total : 0.0,
-                     calls_[i].load(std::memory_order_relaxed)});
+                     calls_[i].load(std::memory_order_relaxed),
+                     bytes_[i].load(std::memory_order_relaxed)});
     }
     return out;
   }
@@ -91,6 +106,7 @@ class Profiler {
   void reset() {
     for (auto& c : cells_) c.store(0, std::memory_order_relaxed);
     for (auto& c : calls_) c.store(0, std::memory_order_relaxed);
+    for (auto& c : bytes_) c.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -100,6 +116,9 @@ class Profiler {
   std::array<std::atomic<std::uint64_t>,
              static_cast<std::size_t>(ProfUnit::kCount)>
       calls_{};
+  std::array<std::atomic<std::uint64_t>,
+             static_cast<std::size_t>(ProfUnit::kCount)>
+      bytes_{};
 };
 
 // RAII span around one instrumented section.  Disabled profilers (nullptr)

@@ -217,6 +217,22 @@ void Socket::start_threads() {
     channel_.set_fault_injector(make_loss_injector(
         opts_.loss_injection, opts_.loss_seed, kHeaderBytes + 16));
   }
+  if (opts_.zero_copy) {
+    // Receive slab: datagrams are parsed in place inside these slots and
+    // RcvBuffer takes slot ownership, so the slots must cover the in-flight
+    // working set, not just one batch.  With GRO each slot holds a whole
+    // coalesced super-datagram (up to 64 KB); without it, one wire packet.
+    // enable_gro() self-guards (off-Linux, UDTR_NO_GSO, fault injector).
+    const auto max_batch =
+        static_cast<std::size_t>(std::clamp(opts_.io_batch, 1, 64));
+    const bool gro = opts_.gso && channel_.enable_gro();
+    const std::size_t slot_bytes =
+        gro ? 65535
+            : static_cast<std::size_t>(opts_.mss_bytes) + kHeaderBytes + 64;
+    const std::size_t slot_count =
+        gro ? max_batch * 4 : std::max<std::size_t>(512, max_batch * 4);
+    rcv_slab_ = std::make_unique<RecvSlab>(slot_bytes, slot_count);
+  }
   epoch_ = std::chrono::steady_clock::now();
   last_ctrl_us_ = now_us();
   state_ = ConnState::kEstablished;
@@ -228,16 +244,34 @@ void Socket::start_threads() {
 // ---------------------------------------------------------- sender loop ---
 
 void Socket::sender_loop() {
-  // One wire buffer per batch slot, plus one spare so an RBPP probe pair
-  // never splits across two syscalls when the head lands on the batch edge.
+  // One slot per batch entry, plus one spare so an RBPP probe pair never
+  // splits across two syscalls when the head lands on the batch edge.
   const int max_batch = std::clamp(opts_.io_batch, 1, 64);
-  std::vector<std::vector<std::uint8_t>> wires(
-      static_cast<std::size_t>(max_batch) + 1,
-      std::vector<std::uint8_t>(static_cast<std::size_t>(opts_.mss_bytes) +
-                                kHeaderBytes));
-  std::vector<std::span<const std::uint8_t>> batch;
-  batch.reserve(wires.size());
+  const std::size_t nslots = static_cast<std::size_t>(max_batch) + 1;
+  const bool zero_copy = opts_.zero_copy;
   Profiler* prof = opts_.enable_profiler ? &profiler_ : nullptr;
+
+  // Legacy datapath (zero_copy off): stage header+payload into wire
+  // buffers, exactly the PR 2 behavior.
+  std::vector<std::vector<std::uint8_t>> wires;
+  std::vector<std::span<const std::uint8_t>> batch;
+  // Zero-copy datapath: serialize only the 16-byte header into a pooled
+  // slot and describe each datagram as (header, chunk) spans the kernel
+  // gathers — the payload is read from the SndBuffer chunk where it already
+  // lives, never staged.
+  std::vector<std::array<std::uint8_t, kHeaderBytes>> headers;
+  std::vector<UdpChannel::TxDatagram> gather;
+  if (zero_copy) {
+    headers.resize(nslots);
+    gather.reserve(nslots);
+  } else {
+    wires.assign(nslots,
+                 std::vector<std::uint8_t>(
+                     static_cast<std::size_t>(opts_.mss_bytes) +
+                     kHeaderBytes));
+    batch.reserve(nslots);
+  }
+  const auto filled = [&] { return zero_copy ? gather.size() : batch.size(); };
 
   const auto has_work = [this] {
     if (!snd_loss_.empty()) return true;
@@ -248,7 +282,10 @@ void Socket::sender_loop() {
 
   while (running_) {
     batch.clear();
+    gather.clear();
     double period = 0.0;
+    std::int64_t pin_first = -1;
+    std::int64_t pin_end = -1;
     {
       std::unique_lock lk{state_mu_};
       if (!snd_cv_.wait_for(lk, std::chrono::milliseconds{10},
@@ -274,7 +311,9 @@ void Socket::sender_loop() {
       // Accumulate up to one pacing-credit of packets for a single syscall:
       // the credit never spans more than ~200 us of §4.5 schedule, so low
       // rates degenerate to one packet per call (true inter-packet spacing)
-      // while GigE-class rates amortise the syscall 8-16x.
+      // while GigE-class rates amortise the syscall 8-16x.  GSO run sizing
+      // downstream is bounded by this same credit — send_gather never sees
+      // more datagrams than the pacer granted.
       const auto credit = static_cast<std::size_t>(batch_credit(
           std::chrono::nanoseconds{static_cast<std::int64_t>(period * 1e9)},
           max_batch));
@@ -291,8 +330,7 @@ void Socket::sender_loop() {
       // after an RBPP pair head the successor is forced in back-to-back
       // (even one slot past the credit), preserving the probe semantics.
       bool force_successor = false;
-      while (batch.size() < wires.size() &&
-             (batch.size() < credit || force_successor)) {
+      while (filled() < nslots && (filled() < credit || force_successor)) {
         std::int64_t index = -1;
         bool retransmit = false;
         if (force_successor) {
@@ -310,8 +348,22 @@ void Socket::sender_loop() {
 
         const auto chunk = snd_buffer_.chunk(index);
         if (!chunk) continue;  // already acknowledged (stale loss entry)
-        auto& wire = wires[batch.size()];
-        {
+        if (zero_copy) {
+          ScopedTimer t{prof, ProfUnit::kPacking};
+          auto& hdr = headers[gather.size()];
+          DataHeader h;
+          h.seq = seq_of(index);
+          h.timestamp_us = static_cast<std::uint32_t>(now_us());
+          h.dst_socket = peer_socket_id_;
+          write_data_header(hdr, h);
+          UdpChannel::TxDatagram d;
+          d.head = {hdr.data(), kHeaderBytes};
+          d.body = *chunk;
+          gather.push_back(d);
+          if (pin_first < 0 || index < pin_first) pin_first = index;
+          if (index + 1 > pin_end) pin_end = index + 1;
+        } else {
+          auto& wire = wires[batch.size()];
           ScopedTimer t{prof, ProfUnit::kPacking};
           DataHeader h;
           h.seq = seq_of(index);
@@ -320,19 +372,34 @@ void Socket::sender_loop() {
           write_data_header(wire, h);
           std::memcpy(wire.data() + kHeaderBytes, chunk->data(),
                       chunk->size());
+          if (prof != nullptr) {
+            profiler_.add_bytes(ProfUnit::kPacking, chunk->size());
+          }
+          batch.emplace_back(wire.data(), kHeaderBytes + chunk->size());
         }
         if (!retransmit) {
           snd_next_ = index + 1;
           ++stats_.data_packets_sent;
           force_successor = opts_.probe_interval > 0 &&
                             index % opts_.probe_interval == 0;
+          // Mark a probe head so the channel never cuts a GSO run (a
+          // syscall boundary) between the pair.
+          if (zero_copy && force_successor) {
+            gather.back().keep_with_next = true;
+          }
         } else {
           ++stats_.retransmitted;
         }
-        batch.emplace_back(wire.data(), kHeaderBytes + chunk->size());
+      }
+      // Pin the covered index range before dropping the lock: an ACK that
+      // lands during the unlocked syscall below would otherwise free chunk
+      // storage the gather iovecs still reference.
+      if (zero_copy && !gather.empty()) {
+        snd_buffer_.pin(pin_first, pin_end);
       }
     }
-    if (batch.empty()) continue;
+    const std::size_t count = filled();
+    if (count == 0) continue;
 
     // Pace outside the lock: one wait covers the whole batch and the
     // schedule advances by batch-size periods, so the average rate is
@@ -342,11 +409,21 @@ void Socket::sender_loop() {
       ScopedTimer t{prof, ProfUnit::kTiming};
       pacer_.pace(std::chrono::nanoseconds{
                       static_cast<std::int64_t>(period * 1e9)},
-                  static_cast<int>(batch.size()));
+                  static_cast<int>(count));
     }
     {
       ScopedTimer t{prof, ProfUnit::kUdpIo};
-      channel_.send_batch(peer_, batch);
+      if (zero_copy) {
+        channel_.send_gather(peer_, gather, opts_.gso);
+      } else {
+        channel_.send_batch(peer_, batch);
+      }
+    }
+    if (zero_copy) {
+      // Syscall done: recycle any storage an ACK parked meanwhile and wake
+      // overlapped senders waiting on pinned_below().
+      std::lock_guard lk{state_mu_};
+      if (snd_buffer_.unpin()) app_snd_cv_.notify_all();
     }
   }
 }
@@ -354,23 +431,49 @@ void Socket::sender_loop() {
 // -------------------------------------------------------- receiver loop ---
 
 void Socket::receiver_loop() {
-  // A batch of per-datagram buffers backed by one arena: each wakeup blocks
-  // for the first datagram, then drains whatever else the kernel already
-  // queued in the same recvmmsg call (Table 3: per-packet recvfrom is the
-  // receiver's dominant cost).
+  // A batch of per-datagram buffers: each wakeup blocks for the first
+  // datagram, then drains whatever else the kernel already queued in the
+  // same recvmmsg call (Table 3: per-packet recvfrom is the receiver's
+  // dominant cost).  With the zero-copy slab, each slot is backed by slab
+  // storage whose ownership can move into RcvBuffer (no delivery copy); the
+  // arena is the fallback when the slab runs dry — bounded memory, the old
+  // copying behavior.
   const int max_batch = std::clamp(opts_.io_batch, 1, 64);
+  // With GRO enabled every receive buffer — arena fallback included — must
+  // hold a full coalesced super-datagram: a short buffer would make the
+  // kernel truncate the burst, silently destroying the packets (often
+  // retransmissions) riding in its tail.
   const std::size_t dgram_cap =
-      static_cast<std::size_t>(opts_.mss_bytes) + kHeaderBytes + 64;
+      channel_.gro_enabled()
+          ? 65535
+          : static_cast<std::size_t>(opts_.mss_bytes) + kHeaderBytes + 64;
   std::vector<std::uint8_t> arena(static_cast<std::size_t>(max_batch) *
                                   dgram_cap);
   std::vector<UdpChannel::RecvSlot> slots(
       static_cast<std::size_t>(max_batch));
+  std::vector<int> slab_ids(slots.size(), -1);  // -1 = arena-backed
+  RecvSlab* slab = rcv_slab_.get();
   for (std::size_t i = 0; i < slots.size(); ++i) {
     slots[i].buf = std::span{arena.data() + i * dgram_cap, dgram_cap};
   }
   Profiler* prof = opts_.enable_profiler ? &profiler_ : nullptr;
 
   while (running_) {
+    if (slab != nullptr) {
+      // (Re)arm every slot that handed its storage off last wakeup.  The
+      // free list is LIFO, so an un-parked slot comes straight back still
+      // cache-warm.
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (slab_ids[i] >= 0) continue;
+        const int id = slab->acquire();
+        if (id >= 0) {
+          slab_ids[i] = id;
+          slots[i].buf = std::span{slab->data(id), slab->slot_bytes()};
+        } else {
+          slots[i].buf = std::span{arena.data() + i * dgram_cap, dgram_cap};
+        }
+      }
+    }
     UdpChannel::RecvBatchResult r;
     {
       ScopedTimer t{prof, ProfUnit::kUdpIo};
@@ -379,19 +482,38 @@ void Socket::receiver_loop() {
     std::unique_lock lk{state_mu_};
     for (std::size_t i = 0; i < r.count; ++i) {
       const UdpChannel::RecvSlot& s = slots[i];
-      std::span<const std::uint8_t> pkt{s.buf.data(), s.bytes};
-      if (s.bytes < kHeaderBytes || !packet_addressed_to_us(pkt)) {
-        ++stats_.invalid_packets;
-      } else if (is_control(pkt)) {
-        handle_ctrl(pkt);
-      } else {
-        handle_data(pkt);
+      RecvSlab* pkt_slab = slab_ids[i] >= 0 ? slab : nullptr;
+      // A GRO buffer carries several wire datagrams on a fixed segment
+      // grid; decode each in place (no copy) and let RcvBuffer take slab
+      // references for the payloads it parks.
+      for_each_datagram(
+          {s.buf.data(), s.bytes}, s.gro_size,
+          [&](std::span<const std::uint8_t> pkt) {
+            if (pkt.size() < kHeaderBytes || !packet_addressed_to_us(pkt)) {
+              ++stats_.invalid_packets;
+            } else if (is_control(pkt)) {
+              handle_ctrl(pkt);
+            } else {
+              handle_data(pkt, pkt_slab, slab_ids[i]);
+            }
+          });
+      if (slab_ids[i] >= 0) {
+        // Drop the receive reference; the slot stays out of the free list
+        // exactly while RcvBuffer still holds payload references into it.
+        slab->release(slab_ids[i]);
+        slab_ids[i] = -1;
       }
     }
     // §4.8: the four low-precision timers are checked after every
     // time-bounded receive call — the whole drained batch counts as one
     // call, so timer work is amortised alongside the syscall.
     check_timers();
+  }
+  // Return still-armed slots to the slab before the thread exits.
+  if (slab != nullptr) {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slab_ids[i] >= 0) slab->release(slab_ids[i]);
+    }
   }
 }
 
@@ -409,7 +531,8 @@ bool Socket::packet_addressed_to_us(
   return false;
 }
 
-void Socket::handle_data(std::span<const std::uint8_t> pkt) {
+void Socket::handle_data(std::span<const std::uint8_t> pkt, RecvSlab* slab,
+                         int slab_slot) {
   Profiler* prof = opts_.enable_profiler ? &profiler_ : nullptr;
   const DataHeader h = read_data_header(pkt);
   const std::uint64_t now = now_us();
@@ -461,7 +584,24 @@ void Socket::handle_data(std::span<const std::uint8_t> pkt) {
 
   {
     ScopedTimer t{prof, ProfUnit::kUnpacking};
-    rcv_buffer_.store(index, pkt.subspan(kHeaderBytes));
+    const std::uint64_t ring_before = rcv_buffer_.ring_copied_bytes();
+    const std::uint64_t user_before = rcv_buffer_.user_copied_bytes();
+    if (slab != nullptr && slab_slot >= 0) {
+      // Zero-copy: the payload stays where the kernel wrote it; RcvBuffer
+      // takes a slab reference instead of copying.
+      rcv_buffer_.store_ref(index, pkt.subspan(kHeaderBytes), slab,
+                            slab_slot);
+    } else {
+      rcv_buffer_.store(index, pkt.subspan(kHeaderBytes));
+    }
+    if (prof != nullptr) {
+      // Ring copies belong to unpacking; direct-to-user-buffer copies are
+      // the app-interaction copy happening early (overlapped fast path).
+      profiler_.add_bytes(ProfUnit::kUnpacking,
+                          rcv_buffer_.ring_copied_bytes() - ring_before);
+      profiler_.add_bytes(ProfUnit::kAppInteraction,
+                          rcv_buffer_.user_copied_bytes() - user_before);
+    }
   }
   data_since_ack_ = true;
   app_rcv_cv_.notify_all();
@@ -753,6 +893,9 @@ std::size_t Socket::send(std::span<const std::uint8_t> data) {
     {
       ScopedTimer t{prof, ProfUnit::kAppInteraction};
       n = snd_buffer_.add(data.subspan(total));
+      if (prof != nullptr) {
+        profiler_.add_bytes(ProfUnit::kAppInteraction, n);
+      }
     }
     total += n;
     if (n > 0) snd_cv_.notify_one();
@@ -783,8 +926,11 @@ std::size_t Socket::send_overlapped(std::span<const std::uint8_t> data,
     }
   }
   // The caller's buffer must stay borrowed until every chunk is
-  // acknowledged — block here so returning implies the memory is free.
-  while (running_ && snd_una_ < last_index) {
+  // acknowledged — AND until no in-flight sender syscall still holds iovecs
+  // into it (pinned_below) — block here so returning implies the memory is
+  // free.
+  while (running_ &&
+         (snd_una_ < last_index || snd_buffer_.pinned_below(last_index))) {
     if (std::chrono::steady_clock::now() < deadline) {
       app_snd_cv_.wait_until(lk, deadline);
     } else {
@@ -817,6 +963,9 @@ std::size_t Socket::recv(std::span<std::uint8_t> out,
     {
       ScopedTimer t{prof, ProfUnit::kAppInteraction};
       n = rcv_buffer_.read(out);
+      if (prof != nullptr) {
+        profiler_.add_bytes(ProfUnit::kAppInteraction, n);
+      }
     }
     if (n > 0) {
       stats_.bytes_delivered += n;
@@ -827,7 +976,10 @@ std::size_t Socket::recv(std::span<std::uint8_t> out,
     if (out.size() >= static_cast<std::size_t>(4 * opts_.mss_bytes)) {
       // Overlapped IO: arm the user buffer as the protocol buffer's logical
       // extension; in-order arrivals land here directly (§4.3, Fig. 10).
-      rcv_buffer_.register_user_buffer(out);
+      const std::size_t drained = rcv_buffer_.register_user_buffer(out);
+      if (prof != nullptr && drained > 0) {
+        profiler_.add_bytes(ProfUnit::kAppInteraction, drained);
+      }
       app_rcv_cv_.wait_until(lk, deadline, [&] {
         return !running_ || peer_shutdown_ ||
                rcv_buffer_.user_buffer_filled() > 0;

@@ -91,6 +91,19 @@ struct SocketOptions {
   // rates still get true per-packet spacing).  1 = unbatched, the paper's
   // original per-packet behavior; clamped to [1, 64].
   int io_batch = 16;
+  // Zero-copy datapath: the sender hands the kernel (header, payload)
+  // iovecs pointing straight into SndBuffer chunks (no staging buffer,
+  // chunks pinned across the unlocked syscall) and the receiver parses
+  // datagrams in place inside a pooled slab whose slot ownership moves into
+  // RcvBuffer — one payload memcpy per direction in steady state instead of
+  // 2-3.  Off reproduces the previous staging datapath byte-for-byte.
+  bool zero_copy = true;
+  // UDP GSO/GRO offload on top of the zero-copy path: contiguous
+  // equal-size runs leave as one UDP_SEGMENT super-datagram and bursts
+  // arrive GRO-coalesced.  Silently degrades to plain sendmmsg/recvmmsg
+  // off-Linux, when the kernel refuses the offload, when UDTR_NO_GSO is
+  // set, or when a fault injector owns per-datagram semantics.
+  bool gso = true;
   bool enable_profiler = false;     // Table 3 instrumentation
   // Initial sequence number (< 0 = default).  Exposed so tests can start
   // near the 31-bit wrap boundary.
@@ -204,7 +217,11 @@ class Socket {
   // a handshake, which may arrive before the peer learns it).
   [[nodiscard]] bool packet_addressed_to_us(
       std::span<const std::uint8_t> pkt) const;
-  void handle_data(std::span<const std::uint8_t> pkt);
+  // `slab`/`slab_slot` describe where `pkt` physically lives: when non-null
+  // the payload is parked in RcvBuffer by reference (slot ownership moves,
+  // no copy); when null the payload is copied into owned slot storage.
+  void handle_data(std::span<const std::uint8_t> pkt,
+                   RecvSlab* slab = nullptr, int slab_slot = -1);
   void handle_ctrl(std::span<const std::uint8_t> pkt);
   void check_timers();
   // EXP budget exhausted: mark the connection dead and release every
@@ -257,6 +274,9 @@ class Socket {
   Pacer pacer_;
 
   // --- receiver state (guarded by state_mu_) -----------------------------
+  // Declared before rcv_buffer_: the buffer's destructor releases slab
+  // references, so the slab must be destroyed after it.
+  std::unique_ptr<RecvSlab> rcv_slab_;
   RcvBuffer rcv_buffer_;
   LossList rcv_loss_;
   std::int64_t lrsn_ = -1;      // largest received index
