@@ -2,17 +2,132 @@
 // Reports aggregate bandwidth utilization and the standard deviation of
 // per-flow throughput as the flow count grows (paper: oscillations grow with
 // concurrency — UDT targets a small number of bulk sources, §3.6).
+//
+// On top of the simulated sweep, a real-socket section measures the
+// loopback stack as the flow count grows, in both connection modes: the
+// multiplexed default (all flows share one UDP port and one pair of service
+// threads per endpoint) and the legacy exclusive-port mode (two dedicated
+// threads per socket).  The paper's §3.6 concern — per-connection cost
+// limits concurrency — is exactly what the multiplexer removes.
+#include <sys/resource.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/metrics.hpp"
 #include "netsim/stats.hpp"
 #include "netsim/topology.hpp"
+#include "udt/poller.hpp"
+#include "udt/socket.hpp"
 
 using namespace udtr;
 using namespace udtr::sim;
+
+namespace {
+
+double cpu_seconds() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_utime.tv_sec + ru.ru_stime.tv_sec) +
+         1e-6 * static_cast<double>(ru.ru_utime.tv_usec +
+                                    ru.ru_stime.tv_usec);
+}
+
+int thread_count() {
+  std::ifstream f("/proc/self/status");
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.rfind("Threads:", 0) == 0) return std::atoi(line.c_str() + 8);
+  }
+  return -1;
+}
+
+struct RealRun {
+  double goodput_mbps = 0.0;
+  int threads = 0;        // OS threads serving the flows (delta over idle)
+  double cpu_percent = 0.0;  // of one core, over the transfer window
+  bool ok = false;
+};
+
+// `flows` loopback connections, every client buffering one payload and the
+// server side drained from a single Poller loop; both endpoints live in
+// this process, so `threads` counts the service cost of BOTH sides.
+RealRun run_real(int flows, bool exclusive, std::size_t total_bytes) {
+  using namespace udtr::udt;
+  RealRun out;
+  const std::size_t per_flow = std::clamp<std::size_t>(
+      total_bytes / static_cast<std::size_t>(flows), 64 << 10, 4 << 20);
+
+  SocketOptions opts;
+  opts.exclusive_port = exclusive;
+  opts.snd_buffer_bytes = per_flow;  // send() returns once buffered
+  opts.rcv_buffer_pkts = 256;
+
+  const int threads_idle = thread_count();
+  auto listener = Socket::listen(0, opts);
+  if (!listener) return out;
+  const std::uint16_t port = listener->local_port();
+
+  std::vector<std::unique_ptr<Socket>> clients(
+      static_cast<std::size_t>(flows));
+  auto connector = std::async(std::launch::async, [&] {
+    for (auto& c : clients) {
+      c = Socket::connect("127.0.0.1", port, opts);
+      if (!c) return false;
+    }
+    return true;
+  });
+  std::vector<std::unique_ptr<Socket>> servers;
+  servers.reserve(static_cast<std::size_t>(flows));
+  for (int i = 0; i < flows; ++i) {
+    auto s = listener->accept(std::chrono::seconds{30});
+    if (!s) return out;
+    servers.push_back(std::move(s));
+  }
+  if (!connector.get()) return out;
+  out.threads = thread_count() - threads_idle;
+
+  const std::vector<std::uint8_t> payload(per_flow, 0x5a);
+  const std::size_t expected =
+      per_flow * static_cast<std::size_t>(flows);
+
+  const double cpu0 = cpu_seconds();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto& c : clients) {
+    if (c->send(payload) != payload.size()) return out;
+  }
+  Poller poller;
+  for (auto& s : servers) poller.add(s.get(), kPollIn);
+  std::vector<PollEvent> events(servers.size());
+  std::vector<std::uint8_t> buf(1 << 16);
+  std::size_t drained = 0;
+  const auto deadline = t0 + std::chrono::seconds{120};
+  while (drained < expected && std::chrono::steady_clock::now() < deadline) {
+    const std::size_t n = poller.wait(events, std::chrono::milliseconds{500});
+    for (std::size_t e = 0; e < n; ++e) {
+      drained += events[e].sock->recv(buf, std::chrono::milliseconds{0});
+    }
+  }
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  const double cpu = cpu_seconds() - cpu0;
+  if (drained < expected || wall <= 0.0) return out;
+  out.goodput_mbps = static_cast<double>(drained) * 8.0 / wall / 1e6;
+  out.cpu_percent = 100.0 * cpu / wall;
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const auto scale = udtr::bench::parse_scale(argc, argv);
@@ -55,5 +170,56 @@ int main(int argc, char** argv) {
   std::printf("\npaper: stddev (oscillation) grows with concurrency while "
               "aggregate utilization stays high; UDT is not designed for "
               "high-concurrency regimes.\n");
+
+  // --- real loopback sockets: multiplexed vs per-socket threads ----------
+  const std::size_t total_bytes =
+      scale.full ? (std::size_t{128} << 20) : (std::size_t{32} << 20);
+  const std::vector<int> real_flows = {1, 8, 64, 512};
+  // The legacy mode spends two threads (and one UDP port) per socket on
+  // each side; 512 flows would need 2048 service threads in this process,
+  // so its sweep stops at 64 — which is itself the point of the figure.
+  const int exclusive_cap = 64;
+
+  std::printf("\nreal loopback sockets (%zu MB aggregate per run):\n",
+              total_bytes >> 20);
+  std::printf("%8s %12s %22s %22s\n", "", "", "multiplexed", "exclusive-port");
+  std::printf("%8s %12s %9s %7s %4s %9s %7s %4s\n", "#flows", "", "Mb/s",
+              "cpu%", "thr", "Mb/s", "cpu%", "thr");
+  std::vector<std::pair<std::string, double>> json;
+  for (const int n : real_flows) {
+    const RealRun mux = run_real(n, /*exclusive=*/false, total_bytes);
+    RealRun excl;
+    if (n <= exclusive_cap) excl = run_real(n, /*exclusive=*/true, total_bytes);
+    std::printf("%8d %12s", n, "");
+    if (mux.ok) {
+      std::printf(" %9.0f %6.0f%% %4d", mux.goodput_mbps, mux.cpu_percent,
+                  mux.threads);
+      json.emplace_back("fig3_real_goodput_mbps_mux_" + std::to_string(n),
+                        mux.goodput_mbps);
+      json.emplace_back("fig3_real_cpu_pct_mux_" + std::to_string(n),
+                        mux.cpu_percent);
+      json.emplace_back("fig3_real_threads_mux_" + std::to_string(n),
+                        mux.threads);
+    } else {
+      std::printf(" %9s %7s %4s", "FAIL", "-", "-");
+    }
+    if (excl.ok) {
+      std::printf(" %9.0f %6.0f%% %4d", excl.goodput_mbps, excl.cpu_percent,
+                  excl.threads);
+      json.emplace_back("fig3_real_goodput_mbps_excl_" + std::to_string(n),
+                        excl.goodput_mbps);
+      json.emplace_back("fig3_real_cpu_pct_excl_" + std::to_string(n),
+                        excl.cpu_percent);
+      json.emplace_back("fig3_real_threads_excl_" + std::to_string(n),
+                        excl.threads);
+    } else {
+      std::printf(" %9s %7s %4s", n > exclusive_cap ? "skip" : "FAIL", "-",
+                  "-");
+    }
+    std::printf("\n");
+  }
+  std::printf("multiplexed flows share 4 service threads total (2 per "
+              "endpoint); exclusive-port spends 4 per connection.\n");
+  udtr::bench::write_json(scale.json_path, json);
   return 0;
 }

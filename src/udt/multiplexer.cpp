@@ -1,0 +1,451 @@
+#include "udt/multiplexer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace udtr::udt {
+
+namespace {
+
+// Receive slots must hold a whole GRO super-datagram when coalescing is on
+// (a short buffer makes the kernel truncate the burst), one wire packet
+// plus headroom otherwise.
+constexpr std::size_t kGroSlotBytes = 65535;
+
+[[nodiscard]] std::size_t plain_slot_bytes(int mss_bytes) {
+  return static_cast<std::size_t>(mss_bytes) + kHeaderBytes + 64;
+}
+
+// Process-wide registry of live multiplexers.  Weak pointers: a multiplexer
+// lives exactly as long as some socket holds it, and expired entries are
+// pruned on the next lookup.
+std::mutex g_registry_mu;
+std::vector<std::weak_ptr<Multiplexer>> g_registry;
+
+void registry_add(const std::shared_ptr<Multiplexer>& m) {
+  std::lock_guard lk{g_registry_mu};
+  std::erase_if(g_registry, [](const auto& w) { return w.expired(); });
+  g_registry.push_back(m);
+}
+
+}  // namespace
+
+void send_handshake_packet(UdpChannel& ch, const Endpoint& to,
+                           std::uint32_t dst_id, const HandshakePayload& h) {
+  std::array<std::uint8_t, kHeaderBytes + 4 * HandshakePayload::kWords> buf{};
+  CtrlHeader hdr;
+  hdr.type = CtrlType::kHandshake;
+  hdr.dst_socket = dst_id;
+  write_ctrl_header(buf, hdr);
+  encode_handshake_payload(std::span{buf}.subspan(kHeaderBytes), h);
+  ch.send_to(to, buf);
+}
+
+Multiplexer::Multiplexer(Private, const SocketOptions& opts) : cfg_(opts) {
+  io_batch_ = std::clamp(opts.io_batch, 1, 64);
+}
+
+Multiplexer::~Multiplexer() {
+  running_ = false;
+  {
+    std::lock_guard lk{send_mu_};
+  }
+  send_cv_.notify_all();
+  {
+    std::lock_guard lk{hs_mu_};
+  }
+  hs_cv_.notify_all();
+  if (rcv_thread_.joinable()) rcv_thread_.join();
+  if (snd_thread_.joinable()) snd_thread_.join();
+  channel_.close();
+}
+
+std::shared_ptr<Multiplexer> Multiplexer::open(std::uint16_t port,
+                                               const SocketOptions& opts) {
+  auto m = std::make_shared<Multiplexer>(Private{}, opts);
+  if (!m->channel_.open(port)) return nullptr;
+  m->start();
+  registry_add(m);
+  return m;
+}
+
+std::shared_ptr<Multiplexer> Multiplexer::for_client(
+    const SocketOptions& opts) {
+  {
+    std::lock_guard lk{g_registry_mu};
+    for (const auto& w : g_registry) {
+      auto m = w.lock();
+      if (m && m->client_shared_ && m->compatible(opts)) return m;
+    }
+  }
+  auto m = open(0, opts);
+  if (m) m->client_shared_ = true;
+  return m;
+}
+
+std::shared_ptr<Multiplexer> Multiplexer::find(std::uint16_t port) {
+  std::lock_guard lk{g_registry_mu};
+  for (const auto& w : g_registry) {
+    auto m = w.lock();
+    if (m && m->local_port() == port) return m;
+  }
+  return nullptr;
+}
+
+void Multiplexer::start() {
+  if (cfg_.faults) {
+    channel_.set_fault_injector(cfg_.faults);
+  } else if (cfg_.loss_injection > 0.0) {
+    channel_.set_fault_injector(make_loss_injector(
+        cfg_.loss_injection, cfg_.loss_seed, kHeaderBytes + 16));
+  }
+  channel_.set_recv_timeout(std::chrono::microseconds{
+      static_cast<std::int64_t>(cfg_.syn_s * 1e6 / 2)});
+  channel_.set_buffer_sizes(4 << 20, 8 << 20);
+  gro_ = cfg_.gso && channel_.enable_gro();
+  slot_bytes_ = gro_ ? kGroSlotBytes : plain_slot_bytes(cfg_.mss_bytes);
+  const auto max_batch = static_cast<std::size_t>(io_batch_);
+  const std::size_t slot_count =
+      gro_ ? max_batch * 4 : std::max<std::size_t>(512, max_batch * 4);
+  slab_ = std::make_shared<RecvSlab>(slot_bytes_, slot_count);
+  heap_.reserve(256);
+  due_scratch_.reserve(256);
+  running_ = true;
+  rcv_thread_ = std::thread([this] { recv_loop(); });
+  snd_thread_ = std::thread([this] { send_loop(); });
+}
+
+bool Multiplexer::compatible(const SocketOptions& opts) const {
+  return opts.faults == cfg_.faults &&
+         opts.loss_injection == cfg_.loss_injection &&
+         (opts.loss_injection == 0.0 || opts.loss_seed == cfg_.loss_seed) &&
+         std::clamp(opts.io_batch, 1, 64) == io_batch_ &&
+         opts.gso == cfg_.gso && opts.syn_s == cfg_.syn_s &&
+         plain_slot_bytes(opts.mss_bytes) <= slot_bytes_;
+}
+
+// ----------------------------------------------------------- attachment ---
+
+void Multiplexer::attach(Socket* s) {
+  std::unique_lock al{attach_mu_};
+  socks_[s->socket_id_] = s;
+}
+
+void Multiplexer::attach_child(Socket* s, const HandshakePayload& resp) {
+  const HsKey key{s->peer_.ip_host_order, s->peer_.port, s->peer_socket_id_};
+  {
+    std::unique_lock al{attach_mu_};
+    socks_[s->socket_id_] = s;
+  }
+  std::lock_guard lk{hs_mu_};
+  child_resp_[key] = resp;
+  // The request is no longer pending — and any duplicate already sitting in
+  // the queue must not spawn a second socket for the same connection.
+  pending_keys_.erase(key);
+  std::erase_if(pending_, [&](const PendingHandshake& p) {
+    return p.src.ip_host_order == std::get<0>(key) &&
+           p.src.port == std::get<1>(key) &&
+           p.req.socket_id == std::get<2>(key);
+  });
+}
+
+void Multiplexer::detach(Socket* s) {
+  {
+    std::unique_lock al{attach_mu_};
+    socks_.erase(s->socket_id_);
+  }
+  std::lock_guard lk{hs_mu_};
+  if (listener_ == s) {
+    listener_ = nullptr;
+    hs_cv_.notify_all();
+    return;
+  }
+  const HsKey key{s->peer_.ip_host_order, s->peer_.port, s->peer_socket_id_};
+  if (auto it = child_resp_.find(key);
+      it != child_resp_.end() && it->second.socket_id == s->socket_id_) {
+    // The child is gone; demote its response to the age+count bounded
+    // memory so a straggling retransmit still gets an answer for a while.
+    remember_answered(key, it->second);
+    child_resp_.erase(it);
+  }
+}
+
+bool Multiplexer::attach_listener(Socket* s) {
+  std::lock_guard lk{hs_mu_};
+  if (listener_ != nullptr) return false;
+  listener_ = s;
+  return true;
+}
+
+std::optional<Multiplexer::PendingHandshake> Multiplexer::wait_handshake(
+    std::chrono::milliseconds timeout) {
+  std::unique_lock lk{hs_mu_};
+  if (!hs_cv_.wait_for(lk, timeout,
+                       [&] { return !pending_.empty() || !running_; })) {
+    return std::nullopt;
+  }
+  if (pending_.empty()) return std::nullopt;
+  PendingHandshake p = pending_.front();
+  pending_.pop_front();
+  // The key stays in pending_keys_ until attach_child/reject_handshake, so
+  // a retransmit racing the accept decision is not queued twice.
+  return p;
+}
+
+void Multiplexer::reject_handshake(const Endpoint& src,
+                                   std::uint32_t peer_socket_id) {
+  std::lock_guard lk{hs_mu_};
+  pending_keys_.erase(HsKey{src.ip_host_order, src.port, peer_socket_id});
+}
+
+std::size_t Multiplexer::attached_sockets() const {
+  std::shared_lock al{attach_mu_};
+  return socks_.size();
+}
+
+std::size_t Multiplexer::remembered_handshakes() const {
+  std::lock_guard lk{hs_mu_};
+  return answered_.size() + child_resp_.size();
+}
+
+// ------------------------------------------------------------ handshake ---
+
+void Multiplexer::remember_answered(const HsKey& key,
+                                    const HandshakePayload& resp) {
+  answered_[key] = Answered{resp, Clock::now()};
+  answered_order_.push_back(key);
+  evict_answered();
+}
+
+void Multiplexer::evict_answered() {
+  const auto now = Clock::now();
+  while (!answered_order_.empty()) {
+    const auto it = answered_.find(answered_order_.front());
+    if (it == answered_.end()) {  // stale order entry (re-remembered key)
+      answered_order_.pop_front();
+      continue;
+    }
+    if (answered_.size() > kMaxAnswered || now - it->second.at > kAnsweredTtl) {
+      answered_.erase(it);
+      answered_order_.pop_front();
+      continue;
+    }
+    break;
+  }
+}
+
+void Multiplexer::handle_handshake(std::span<const std::uint8_t> pkt,
+                                   const Endpoint& src) {
+  const auto hdr = decode_ctrl_header(pkt);
+  if (!hdr || hdr->type != CtrlType::kHandshake) {
+    unroutable_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const auto req = decode_handshake_payload(pkt.subspan(kHeaderBytes));
+  if (!req || req->request_type != 1) {
+    unroutable_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const HsKey key{src.ip_host_order, src.port, req->socket_id};
+  std::unique_lock lk{hs_mu_};
+  // A live child for this (address, socket id) answers authoritatively: the
+  // earlier response was lost or is still in flight, and re-sending it is
+  // what keeps a slow retransmit from ever spawning a ghost second socket.
+  if (const auto it = child_resp_.find(key); it != child_resp_.end()) {
+    const HandshakePayload resp = it->second;
+    lk.unlock();
+    send_handshake_packet(channel_, src, req->socket_id, resp);
+    return;
+  }
+  if (const auto it = answered_.find(key); it != answered_.end()) {
+    const HandshakePayload resp = it->second.resp;
+    lk.unlock();
+    send_handshake_packet(channel_, src, req->socket_id, resp);
+    return;
+  }
+  if (listener_ == nullptr) return;  // nobody accepting on this port
+  if (pending_keys_.contains(key)) return;
+  if (pending_.size() >= kMaxPendingHandshakes) return;
+  pending_keys_.insert(key);
+  pending_.push_back(PendingHandshake{src, *req});
+  hs_cv_.notify_one();
+}
+
+// -------------------------------------------------------------- receive ---
+
+void Multiplexer::dispatch(std::span<const std::uint8_t> pkt,
+                           const Endpoint& src, RecvSlab* slab,
+                           int slab_slot) {
+  if (pkt.size() < kHeaderBytes) {
+    unroutable_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint32_t dst = load_be32(pkt.data() + 12);
+  if (dst == 0) {
+    // Only handshakes may travel with destination id 0 (the peer does not
+    // know our id yet); anything else is noise.
+    if (is_control(pkt)) {
+      handle_handshake(pkt, src);
+    } else {
+      unroutable_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  std::shared_lock al{attach_mu_};
+  const auto it = socks_.find(dst);
+  if (it == socks_.end()) {
+    unroutable_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  it->second->mux_ingest(pkt, slab, slab_slot);
+}
+
+void Multiplexer::recv_loop() {
+  // Same structure as the per-socket receiver loop: slab-backed recv slots,
+  // one recvmmsg drain per wakeup, in-place GRO segment walking — but every
+  // decoded datagram is routed by its destination socket id instead of
+  // being handled by one owner.
+  const auto max_batch = static_cast<std::size_t>(io_batch_);
+  const std::size_t dgram_cap = slot_bytes_;
+  std::vector<std::uint8_t> arena(max_batch * dgram_cap);
+  std::vector<UdpChannel::RecvSlot> slots(max_batch);
+  std::vector<int> slab_ids(max_batch, -1);  // -1 = arena-backed
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    slots[i].buf = std::span{arena.data() + i * dgram_cap, dgram_cap};
+  }
+  constexpr auto kSweepGap = std::chrono::milliseconds{1};
+  auto last_sweep = Clock::now();
+
+  while (running_) {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slab_ids[i] >= 0) continue;
+      const int id = slab_->acquire();
+      if (id >= 0) {
+        slab_ids[i] = id;
+        slots[i].buf = std::span{slab_->data(id), slab_->slot_bytes()};
+      } else {
+        slots[i].buf = std::span{arena.data() + i * dgram_cap, dgram_cap};
+      }
+    }
+    const UdpChannel::RecvBatchResult r = channel_.recv_batch(slots);
+    for (std::size_t i = 0; i < r.count; ++i) {
+      const UdpChannel::RecvSlot& s = slots[i];
+      RecvSlab* pkt_slab = slab_ids[i] >= 0 ? slab_.get() : nullptr;
+      for_each_datagram({s.buf.data(), s.bytes}, s.gro_size,
+                        [&](std::span<const std::uint8_t> pkt) {
+                          dispatch(pkt, s.src, pkt_slab, slab_ids[i]);
+                        });
+      if (slab_ids[i] >= 0) {
+        slab_->release(slab_ids[i]);
+        slab_ids[i] = -1;
+      }
+    }
+    // §4.8 timer check, shared-thread form: every attached socket's timers
+    // are swept after a bounded receive, rate-limited so a busy port does
+    // not pay the sweep per wakeup.
+    const auto now = Clock::now();
+    if (now - last_sweep >= kSweepGap) {
+      last_sweep = now;
+      sweep_timers();
+    }
+  }
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slab_ids[i] >= 0) slab_->release(slab_ids[i]);
+  }
+}
+
+void Multiplexer::sweep_timers() {
+  {
+    std::shared_lock al{attach_mu_};
+    for (const auto& [id, s] : socks_) s->sweep_timers();
+  }
+  std::lock_guard lk{hs_mu_};
+  evict_answered();
+}
+
+// ----------------------------------------------------------------- send ---
+
+void Multiplexer::kick(Socket* s) {
+  if (!running_) return;
+  if (s->tx_scheduled_.exchange(true)) return;  // already queued
+  {
+    std::lock_guard lk{send_mu_};
+    heap_.push_back(TxEntry{Clock::now(), order_++, s->socket_id_});
+    std::push_heap(heap_.begin(), heap_.end(), TxLater{});
+  }
+  send_cv_.notify_one();
+}
+
+void Multiplexer::kick_all() {
+  std::shared_lock al{attach_mu_};
+  for (const auto& [id, s] : socks_) kick(s);
+}
+
+void Multiplexer::serve(std::uint32_t id) {
+  std::shared_lock al{attach_mu_};
+  const auto it = socks_.find(id);
+  if (it == socks_.end()) return;  // detached after its entry was queued
+  Socket* s = it->second;
+  // Clear-then-recheck: the flag drops before tx_round reads the socket
+  // state, so a kick landing mid-round either sees the flag down and queues
+  // a fresh entry, or sees it up because we re-queued below — never lost.
+  s->tx_scheduled_.store(false, std::memory_order_release);
+  const auto next = s->tx_round();
+  if (next == Clock::time_point::max()) return;  // parked until kicked
+  if (s->tx_scheduled_.exchange(true)) return;   // a kick re-queued it first
+  std::lock_guard lk{send_mu_};
+  heap_.push_back(TxEntry{next, order_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), TxLater{});
+}
+
+void Multiplexer::send_loop() {
+  // Safety net: losing a kick would strand a socket with queued data, so
+  // every attached socket is re-kicked on a slow heartbeat; a parked socket
+  // with no work simply parks again.
+  constexpr auto kKickSweepGap = std::chrono::milliseconds{100};
+  std::unique_lock lk{send_mu_};
+  auto next_kick_sweep = Clock::now() + kKickSweepGap;
+  while (running_) {
+    const auto now = Clock::now();
+    if (now >= next_kick_sweep) {
+      next_kick_sweep = now + kKickSweepGap;
+      lk.unlock();
+      kick_all();
+      lk.lock();
+      continue;
+    }
+    if (heap_.empty()) {
+      send_cv_.wait_until(lk, next_kick_sweep);
+      continue;
+    }
+    const auto due = heap_.front().due;
+    if (due > now) {
+      if (due - now > Pacer::kSpinThreshold) {
+        send_cv_.wait_until(lk,
+                            std::min(due - Pacer::kSpinThreshold,
+                                     next_kick_sweep));
+      } else {
+        // Sub-threshold remainder: spin for §4.5 precision, exactly as the
+        // per-socket Pacer would.
+        lk.unlock();
+        Pacer::wait_until(due);
+        lk.lock();
+      }
+      continue;
+    }
+    // Serve every socket due this instant outside the heap lock; FIFO order
+    // among equal deadlines keeps service round-robin fair.
+    due_scratch_.clear();
+    while (!heap_.empty() && heap_.front().due <= now) {
+      std::pop_heap(heap_.begin(), heap_.end(), TxLater{});
+      due_scratch_.push_back(heap_.back().id);
+      heap_.pop_back();
+    }
+    lk.unlock();
+    for (const std::uint32_t id : due_scratch_) serve(id);
+    lk.lock();
+  }
+}
+
+}  // namespace udtr::udt

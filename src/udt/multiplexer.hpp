@@ -1,0 +1,229 @@
+// UDP multiplexer: one UDP port and one pair of service threads shared by
+// every UDT socket bound to it (paper §4, Fig. 3 — concurrency must cost
+// per-flow state, not per-flow threads).
+//
+// The legacy (PR 3) layout gives each socket its own UdpChannel plus a
+// dedicated sender and receiver thread, which caps a process at hundreds of
+// connections.  The multiplexer inverts the ownership: the channel, the
+// receive slab and the two threads belong to the *port*, and sockets attach
+// to it.
+//
+//   * The receive thread runs the same batched recv_batch / for_each_datagram
+//     drain as the per-socket receiver, then demultiplexes each wire datagram
+//     by the destination-socket-id field (validated in decode_*) and hands it
+//     to the owning socket under that socket's lock.  Handshake requests
+//     (dst id 0) rendezvous here too: they are answered from the duplicate-
+//     handshake memory or queued for the listener's accept().
+//   * The send thread services all attached sockets from a timestamp-ordered
+//     min-heap of pacing deadlines.  Each socket keeps its own Pacer and
+//     congestion state; a heap pop runs one tx_round (fill a batch-credit's
+//     worth of packets, one gather/GSO syscall, advance the pacer) and pushes
+//     the socket's next deadline back.  Ties are FIFO-ordered, which is what
+//     makes service round-robin fair when many sockets are due at once.
+//
+// Accepted connections stay on the listener's port — no child channel — and
+// connect()/listen() route through a small process-wide registry so client
+// sockets with compatible options share one multiplexer.  The fault injector
+// attaches per-multiplexer (it wraps the shared channel) and still sees every
+// logical datagram, exactly as it did per-socket.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <shared_mutex>
+#include <span>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "udt/buffers.hpp"
+#include "udt/channel.hpp"
+#include "udt/packet.hpp"
+#include "udt/pacing.hpp"
+#include "udt/socket.hpp"
+
+namespace udtr::udt {
+
+// Serializes one handshake control packet (16-byte header + payload) and
+// sends it to `to`.  Shared by the socket's handshake paths and the
+// multiplexer's duplicate-request re-replies.
+void send_handshake_packet(UdpChannel& ch, const Endpoint& to,
+                           std::uint32_t dst_id, const HandshakePayload& h);
+
+class Multiplexer : public std::enable_shared_from_this<Multiplexer> {
+ public:
+  using Clock = Pacer::Clock;
+
+  // One handshake request parked for the listener's accept().
+  struct PendingHandshake {
+    Endpoint src;
+    HandshakePayload req;
+  };
+
+  // Duplicate-handshake memory bounds: answered requests are remembered
+  // until BOTH limits allow eviction pressure — the map is FIFO-capped at
+  // kMaxAnswered and entries older than kAnsweredTtl are swept out — while
+  // a request whose child socket is still attached is answered from the
+  // live-children index regardless, so a slow SYN retransmit can never
+  // spawn a ghost second socket for a live connection.
+  static constexpr std::size_t kMaxAnswered = 1024;
+  static constexpr std::chrono::seconds kAnsweredTtl{30};
+  // Requests queued for accept(); overflow is dropped (the client simply
+  // retransmits), so a SYN flood cannot grow the queue without bound.
+  static constexpr std::size_t kMaxPendingHandshakes = 128;
+
+  ~Multiplexer();
+  Multiplexer(const Multiplexer&) = delete;
+  Multiplexer& operator=(const Multiplexer&) = delete;
+
+  // Opens a multiplexer on 127.0.0.1:`port` (0 = ephemeral) and starts its
+  // two service threads.  nullptr when the bind fails (port in use).
+  [[nodiscard]] static std::shared_ptr<Multiplexer> open(
+      std::uint16_t port, const SocketOptions& opts);
+  // Process-wide client registry: returns a live shared client-side
+  // multiplexer whose configuration is compatible with `opts`, creating one
+  // on an ephemeral port when none exists.
+  [[nodiscard]] static std::shared_ptr<Multiplexer> for_client(
+      const SocketOptions& opts);
+  // Registry lookup by local port (nullptr when no live multiplexer owns
+  // it).  Exposed for tests and diagnostics.
+  [[nodiscard]] static std::shared_ptr<Multiplexer> find(std::uint16_t port);
+
+  [[nodiscard]] UdpChannel& channel() { return channel_; }
+  [[nodiscard]] std::uint16_t local_port() const {
+    return channel_.local_port();
+  }
+  [[nodiscard]] const std::shared_ptr<RecvSlab>& shared_slab() const {
+    return slab_;
+  }
+
+  // True when a socket with these options can share this multiplexer: same
+  // fault/loss configuration (the injector is per-channel), same batching
+  // and offload setup, and an MSS that fits the receive slots.
+  [[nodiscard]] bool compatible(const SocketOptions& opts) const;
+
+  // --- socket attachment --------------------------------------------------
+  // Routes datagrams addressed to s->id() to `s`.  detach() blocks until no
+  // service thread still holds a reference to `s`, so after it returns the
+  // socket may be destroyed.
+  void attach(Socket* s);
+  // Accepted child: additionally remembers (peer ip, port, peer socket id)
+  // -> `resp` in the live-children index for duplicate-request re-replies.
+  void attach_child(Socket* s, const HandshakePayload& resp);
+  void detach(Socket* s);
+
+  // At most one listener per port; false when one is already attached.
+  bool attach_listener(Socket* s);
+  // Blocks up to `timeout` for a queued handshake request.
+  [[nodiscard]] std::optional<PendingHandshake> wait_handshake(
+      std::chrono::milliseconds timeout);
+  // accept() declined a queued request (hostile MSS): forget it so the
+  // peer's retransmit can be queued again.
+  void reject_handshake(const Endpoint& src, std::uint32_t peer_socket_id);
+
+  // --- send scheduling ----------------------------------------------------
+  // Schedules `s` for a tx_round as soon as possible.  Idempotent while an
+  // entry for the socket is already pending (at most one heap entry per
+  // socket).  Safe to call with the socket's state_mu_ held.
+  void kick(Socket* s);
+
+  // --- diagnostics --------------------------------------------------------
+  // Datagrams that could not be delivered to any attached socket: too short
+  // to carry a header, unknown destination socket id, or a malformed
+  // handshake.  The per-socket validation counters only see routable
+  // traffic, so this is where wrong-destination packets land.
+  [[nodiscard]] std::uint64_t unroutable_datagrams() const {
+    return unroutable_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t attached_sockets() const;
+  [[nodiscard]] std::size_t remembered_handshakes() const;
+
+  // make_shared needs a public constructor; Private keeps it unusable
+  // outside the factory functions.
+  struct Private {};
+  Multiplexer(Private, const SocketOptions& opts);
+
+ private:
+  using HsKey = std::tuple<std::uint32_t, std::uint16_t, std::uint32_t>;
+
+  void start();
+  void recv_loop();
+  void send_loop();
+  void dispatch(std::span<const std::uint8_t> pkt, const Endpoint& src,
+                RecvSlab* slab, int slab_slot);
+  void handle_handshake(std::span<const std::uint8_t> pkt,
+                        const Endpoint& src);
+  void serve(std::uint32_t id);
+  void sweep_timers();
+  void kick_all();
+  // Moves a detached child's response into the answered (age+count bounded)
+  // memory; hs_mu_ held.
+  void remember_answered(const HsKey& key, const HandshakePayload& resp);
+  void evict_answered();
+
+  // Configuration fingerprint for compatible(); `cfg_` keeps the creating
+  // socket's options (faults pointer identity included).
+  SocketOptions cfg_;
+  int io_batch_ = 16;
+  std::size_t slot_bytes_ = 0;
+  bool gro_ = false;
+  bool client_shared_ = false;  // eligible for for_client() reuse
+
+  UdpChannel channel_;
+  std::shared_ptr<RecvSlab> slab_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> unroutable_{0};
+
+  // Routing table.  The service threads hold it shared for the duration of
+  // any call into a socket; attach/detach take it exclusively, so detach()
+  // returning guarantees no service thread still references the socket.
+  mutable std::shared_mutex attach_mu_;
+  std::map<std::uint32_t, Socket*> socks_;
+
+  // Handshake rendezvous between the receive thread and accept() callers,
+  // plus the duplicate-handshake memory (see the constants above).
+  mutable std::mutex hs_mu_;
+  std::condition_variable hs_cv_;
+  std::deque<PendingHandshake> pending_;
+  std::set<HsKey> pending_keys_;
+  struct Answered {
+    HandshakePayload resp;
+    Clock::time_point at;
+  };
+  std::map<HsKey, Answered> answered_;
+  std::deque<HsKey> answered_order_;
+  std::map<HsKey, HandshakePayload> child_resp_;  // live accepted children
+  Socket* listener_ = nullptr;
+
+  // Send heap: min-heap over (deadline, FIFO order) kept in a plain vector
+  // via push_heap/pop_heap so steady-state scheduling never allocates.
+  struct TxEntry {
+    Clock::time_point due;
+    std::uint64_t order = 0;
+    std::uint32_t id = 0;
+  };
+  struct TxLater {
+    bool operator()(const TxEntry& a, const TxEntry& b) const {
+      if (a.due != b.due) return a.due > b.due;
+      return a.order > b.order;
+    }
+  };
+  std::mutex send_mu_;
+  std::condition_variable send_cv_;
+  std::vector<TxEntry> heap_;
+  std::uint64_t order_ = 0;
+  std::vector<std::uint32_t> due_scratch_;
+
+  std::thread rcv_thread_;
+  std::thread snd_thread_;
+};
+
+}  // namespace udtr::udt

@@ -47,6 +47,21 @@ class Pacer {
     next_ += total;
   }
 
+  // Non-blocking variant for an external scheduler (the multiplexer's send
+  // heap): the caller is expected to have waited until next_send() itself
+  // before sending `count` packets, and this advances the schedule exactly
+  // as pace() would have — including the late re-anchor rule, so a socket
+  // that fell behind resumes at its rate instead of bursting to catch up.
+  void schedule(std::chrono::nanoseconds period, int count) {
+    const auto total = period * std::max(count, 1);
+    const auto now = Clock::now();
+    if (next_ <= now) {
+      next_ = now + total;
+    } else {
+      next_ += total;
+    }
+  }
+
   // Re-anchors the schedule (e.g. after a freeze or an idle stretch).
   void reset() { next_ = Clock::now(); }
   void delay_until(Clock::time_point t) {

@@ -1,0 +1,151 @@
+#include "udt/poller.hpp"
+
+#include <algorithm>
+
+#include "udt/socket.hpp"
+
+namespace udtr::udt {
+
+namespace {
+
+// One mutex guards every Poller's entries_ and every Socket's watchers_.
+// A global lock is the point, not a shortcut: the notification path runs
+// with the socket's state_mu_ held, so per-poller locks would need a
+// socket-lock -> poller-lock order while wait() naturally wants the
+// reverse.  With a single registry mutex the order is fixed (state_mu_
+// before g_poll_mu, never after) and wait() computes readiness with no
+// registry lock held at all.
+std::mutex g_poll_mu;
+
+}  // namespace
+
+Poller::~Poller() {
+  std::lock_guard lk{g_poll_mu};
+  for (const Entry& e : entries_) {
+    auto& w = e.sock->watchers_;
+    std::erase(w, this);
+    e.sock->watched_.store(!w.empty(), std::memory_order_release);
+  }
+  entries_.clear();
+}
+
+bool Poller::add(Socket* s, std::uint32_t mask) {
+  if (s == nullptr || mask == 0) return false;
+  {
+    std::lock_guard lk{g_poll_mu};
+    auto it = std::find_if(entries_.begin(), entries_.end(),
+                           [&](const Entry& e) { return e.sock == s; });
+    if (it != entries_.end()) {
+      it->mask = mask;
+    } else {
+      entries_.push_back(Entry{s, mask});
+      s->watchers_.push_back(this);
+      s->watched_.store(true, std::memory_order_release);
+    }
+  }
+  // The socket may already be ready: bump the version so a concurrent
+  // wait() re-snapshots instead of sleeping through the level.
+  poke();
+  return true;
+}
+
+void Poller::remove(Socket* s) {
+  std::lock_guard lk{g_poll_mu};
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const Entry& e) { return e.sock == s; });
+  if (it == entries_.end()) return;
+  entries_.erase(it);
+  auto& w = s->watchers_;
+  std::erase(w, this);
+  s->watched_.store(!w.empty(), std::memory_order_release);
+}
+
+std::size_t Poller::size() const {
+  std::lock_guard lk{g_poll_mu};
+  return entries_.size();
+}
+
+void Poller::poke() {
+  {
+    std::lock_guard lk{wake_mu_};
+    ++version_;
+  }
+  wake_cv_.notify_all();
+}
+
+std::size_t Poller::wait(std::span<PollEvent> out,
+                         std::chrono::milliseconds timeout) {
+  if (out.empty()) return 0;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    // Order matters: capture the wakeup version BEFORE scanning, so an edge
+    // that fires between the scan and the wait is seen as a version change
+    // and re-scanned rather than slept through.
+    std::uint64_t seen;
+    {
+      std::lock_guard lk{wake_mu_};
+      seen = version_;
+    }
+    {
+      std::lock_guard lk{g_poll_mu};
+      wait_scratch_ = entries_;
+    }
+    std::size_t n = 0;
+    for (const Entry& e : wait_scratch_) {
+      // kPollErr is always reported, matching epoll.
+      const std::uint32_t ready = e.sock->poll_ready(e.mask | kPollErr);
+      if (ready != 0 && n < out.size()) {
+        out[n++] = PollEvent{e.sock, ready};
+      }
+    }
+    if (n > 0) return n;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return 0;
+    std::unique_lock lk{wake_mu_};
+    wake_cv_.wait_until(lk, deadline, [&] { return version_ != seen; });
+  }
+}
+
+// --- Socket side -------------------------------------------------------------
+
+void Socket::poke_watchers() {
+  if (!watched_.load(std::memory_order_acquire)) return;
+  // Snapshot under the registry lock, poke outside it: poke() only touches
+  // the poller's own wake_mu_, but keeping lock scopes minimal keeps the
+  // ordering story simple (g_poll_mu is a leaf except for wake_mu_).
+  std::lock_guard lk{g_poll_mu};
+  for (Poller* p : watchers_) p->poke();
+}
+
+void Socket::drop_watchers() {
+  std::lock_guard lk{g_poll_mu};
+  for (Poller* p : watchers_) {
+    std::erase_if(p->entries_, [&](const Poller::Entry& e) {
+      return e.sock == this;
+    });
+    p->poke();
+  }
+  watchers_.clear();
+  watched_.store(false, std::memory_order_release);
+}
+
+std::uint32_t Socket::poll_ready(std::uint32_t mask) const {
+  std::uint32_t ready = 0;
+  std::lock_guard lk{state_mu_};
+  const bool broken = state_ == ConnState::kBroken;
+  if ((mask & kPollIn) != 0 &&
+      (rcv_buffer_.readable_bytes() > 0 || peer_shutdown_ || broken ||
+       state_ == ConnState::kClosed)) {
+    ready |= kPollIn;
+  }
+  if ((mask & kPollOut) != 0 && running_ && state_ == ConnState::kEstablished &&
+      snd_buffer_.free_bytes() > 0) {
+    ready |= kPollOut;
+  }
+  if ((mask & kPollErr) != 0 && broken) {
+    ready |= kPollErr;
+  }
+  return ready;
+}
+
+}  // namespace udtr::udt

@@ -1,0 +1,91 @@
+// udt::Poller — epoll-style readiness for UDT sockets.
+//
+// One application thread can drive thousands of multiplexed sockets by
+// registering them with a Poller and blocking in wait() instead of blocking
+// inside per-socket recv()/send() calls.  Readiness is *level-triggered*:
+// wait() reports a socket for as long as the condition holds, computed
+// fresh from the socket's protocol buffers under its own lock —
+//
+//   kPollIn   data is readable (RcvBuffer has contiguous bytes), the peer
+//             shut down (recv() would return 0 = EOF), or the connection
+//             broke;
+//   kPollOut  the connection is established and SndBuffer has free space
+//             (send() would accept bytes without blocking);
+//   kPollErr  the connection is broken (EXP escalation declared the peer
+//             dead — Socket::last_error() has the reason).
+//
+// Sockets feed the poller edge notifications from the points where their
+// state changes (data arrival, ACK freeing send-buffer space, shutdown,
+// breakage), so wait() wakes promptly; the level-triggered recheck makes
+// those wakeups advisory — a spurious or consumed edge is harmless.
+//
+// Locking: a single registry mutex (internal to poller.cpp) guards every
+// poller's socket list and every socket's watcher list, and is taken after
+// a socket's state_mu_ on the notification path and before it never —
+// wait() drops the registry mutex before computing readiness.  A Poller and
+// its Sockets may be destroyed in either order; each side deregisters
+// itself from the other.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace udtr::udt {
+
+class Socket;
+
+inline constexpr std::uint32_t kPollIn = 0x1;
+inline constexpr std::uint32_t kPollOut = 0x2;
+inline constexpr std::uint32_t kPollErr = 0x4;
+
+struct PollEvent {
+  Socket* sock = nullptr;
+  std::uint32_t events = 0;
+};
+
+class Poller {
+ public:
+  Poller() = default;
+  ~Poller();
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  // Registers `s` for the conditions in `mask` (kPollErr is always
+  // reported; including it in the mask is optional, matching epoll).
+  // Re-adding an already-registered socket updates its mask.  Returns false
+  // on a null socket or empty mask.
+  bool add(Socket* s, std::uint32_t mask);
+  // Removes `s`; a no-op when it was never added.
+  void remove(Socket* s);
+
+  // Blocks until at least one registered socket is ready or `timeout`
+  // elapses, fills `out` with ready sockets (up to out.size()) and returns
+  // the number filled; 0 on timeout or when nothing is registered.
+  std::size_t wait(std::span<PollEvent> out, std::chrono::milliseconds timeout);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  friend class Socket;
+
+  struct Entry {
+    Socket* sock = nullptr;
+    std::uint32_t mask = 0;
+  };
+
+  // Edge notification from a watched socket (registry mutex held).
+  void poke();
+
+  std::vector<Entry> entries_;       // guarded by the poller registry mutex
+  std::vector<Entry> wait_scratch_;  // wait()-thread private snapshot
+
+  mutable std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::uint64_t version_ = 0;  // bumped by poke(); guarded by wake_mu_
+};
+
+}  // namespace udtr::udt

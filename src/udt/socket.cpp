@@ -6,6 +6,8 @@
 #include <random>
 #include <thread>
 
+#include "udt/multiplexer.hpp"
+
 namespace udtr::udt {
 
 namespace {
@@ -23,12 +25,23 @@ std::uint32_t random_socket_id() {
   return counter.fetch_add(1) * 2654435761U % 0x7FFFFFFFU + 1;
 }
 
+// Loss-list node pool size.  With flow control on, in-flight data (and thus
+// any loss range) is bounded by the receive window, which is itself bounded
+// by rcv_buffer_pkts — a small floor suffices and keeps per-socket memory
+// flat enough for hundreds of multiplexed connections per port.  With flow
+// control off (Fig. 7 ablation) the window is effectively unbounded, so the
+// historic large floor stays.
+std::int32_t loss_list_capacity(const SocketOptions& o) {
+  const std::int32_t floor_nodes = o.window_control ? 1 << 10 : 1 << 16;
+  return std::max<std::int32_t>(2 * o.rcv_buffer_pkts, floor_nodes);
+}
+
 }  // namespace
 
 Socket::Socket(SocketOptions opts)
     : opts_(opts),
       snd_buffer_(opts.mss_bytes, opts.snd_buffer_bytes),
-      snd_loss_(std::max<std::int32_t>(2 * opts.rcv_buffer_pkts, 1 << 16)),
+      snd_loss_(loss_list_capacity(opts)),
       cc_([&] {
         cc::UdtCcConfig c;
         c.mss_bytes = opts.mss_bytes + static_cast<int>(kHeaderBytes);
@@ -41,13 +54,16 @@ Socket::Socket(SocketOptions opts)
         return c;
       }()),
       rcv_buffer_(opts.mss_bytes, opts.rcv_buffer_pkts),
-      rcv_loss_(std::max<std::int32_t>(2 * opts.rcv_buffer_pkts, 1 << 16)) {
+      rcv_loss_(loss_list_capacity(opts)) {
   isn_ = opts.initial_seq >= 0 ? opts.initial_seq : kDefaultIsn;
   socket_id_ = random_socket_id();
   epoch_ = std::chrono::steady_clock::now();
 }
 
-Socket::~Socket() { close(); }
+Socket::~Socket() {
+  close();
+  drop_watchers();
+}
 
 std::uint64_t Socket::now_us() const {
   return static_cast<std::uint64_t>(
@@ -62,6 +78,17 @@ std::unique_ptr<Socket> Socket::listen(std::uint16_t port,
                                        SocketOptions opts) {
   auto s = std::unique_ptr<Socket>(new Socket(opts));
   s->mode_ = Mode::kListener;
+  if (!opts.exclusive_port) {
+    // Shared-port mode: the multiplexer owns the channel and its service
+    // threads; the listener only parks on the handshake queue.  A bind
+    // failure (port in use — by anyone, including another multiplexer in
+    // this process) surfaces as nullptr exactly as before.
+    auto mux = Multiplexer::open(port, opts);
+    if (!mux || !mux->attach_listener(s.get())) return nullptr;
+    s->net_ = &mux->channel();
+    s->mux_ = std::move(mux);
+    return s;
+  }
   if (!s->channel_.open(port)) return nullptr;
   // Listeners never start service threads, so the fault injector must be
   // installed here for handshake traffic to pass through it.
@@ -70,21 +97,9 @@ std::unique_ptr<Socket> Socket::listen(std::uint16_t port,
   return s;
 }
 
-namespace {
-void send_handshake(UdpChannel& ch, const Endpoint& to, std::uint32_t dst_id,
-                    const HandshakePayload& h) {
-  std::array<std::uint8_t, kHeaderBytes + 4 * HandshakePayload::kWords> buf{};
-  CtrlHeader hdr;
-  hdr.type = CtrlType::kHandshake;
-  hdr.dst_socket = dst_id;
-  write_ctrl_header(buf, hdr);
-  encode_handshake_payload(std::span{buf}.subspan(kHeaderBytes), h);
-  ch.send_to(to, buf);
-}
-}  // namespace
-
 std::unique_ptr<Socket> Socket::accept(std::chrono::milliseconds timeout) {
   if (mode_ != Mode::kListener) return nullptr;
+  if (mux_) return accept_mux(timeout);
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::vector<std::uint8_t> buf(2048);
   while (std::chrono::steady_clock::now() < deadline) {
@@ -103,7 +118,7 @@ std::unique_ptr<Socket> Socket::accept(std::chrono::milliseconds timeout) {
     const auto key = std::pair{src.ip_host_order,
                                (std::uint32_t{src.port} << 16) | req.socket_id};
     if (auto it = handled_.find(key); it != handled_.end()) {
-      send_handshake(channel_, src, req.socket_id, it->second);
+      send_handshake_packet(channel_, src, req.socket_id, it->second);
       continue;
     }
 
@@ -140,7 +155,7 @@ std::unique_ptr<Socket> Socket::accept(std::chrono::milliseconds timeout) {
     // The response leaves from the child's channel so the client learns the
     // dedicated endpoint from the datagram's source address (and from the
     // explicit port field, which duplicate-response handling relies on).
-    send_handshake(child->channel_, src, req.socket_id, resp);
+    send_handshake_packet(child->channel_, src, req.socket_id, resp);
     handled_.emplace(key, resp);
     handled_order_.push_back(key);
     // FIFO-bound the duplicate-handshake map so a long-lived listener
@@ -155,12 +170,59 @@ std::unique_ptr<Socket> Socket::accept(std::chrono::milliseconds timeout) {
   return nullptr;
 }
 
+std::unique_ptr<Socket> Socket::accept_mux(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return nullptr;
+    auto pending = mux_->wait_handshake(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now));
+    if (!pending) continue;
+    const HandshakePayload req = pending->req;
+
+    SocketOptions child_opts = opts_;
+    child_opts.mss_bytes = static_cast<int>(
+        std::min<std::uint32_t>(req.mss_bytes,
+                                static_cast<std::uint32_t>(opts_.mss_bytes)));
+    child_opts.initial_seq = req.initial_seq;
+    // A zero-or-absurd MSS proposal would break buffer math downstream;
+    // such a request is hostile or corrupt, not a client to serve.
+    if (child_opts.mss_bytes <= 0) {
+      mux_->reject_handshake(pending->src, req.socket_id);
+      continue;
+    }
+    auto child = std::unique_ptr<Socket>(new Socket(child_opts));
+    // The child stays on the listener's port — no dedicated channel, no
+    // service threads; the multiplexer routes by the child's socket id.
+    child->mux_ = mux_;
+    child->net_ = &mux_->channel();
+    child->peer_ = pending->src;
+    child->peer_socket_id_ = req.socket_id;
+
+    HandshakePayload resp;
+    resp.request_type = 0;
+    resp.initial_seq = req.initial_seq;
+    resp.mss_bytes = static_cast<std::uint32_t>(child_opts.mss_bytes);
+    resp.socket_id = child->socket_id_;
+    resp.port = mux_->local_port();
+    // Order matters: the child must be in steady state before it becomes
+    // routable (a datagram arriving mid-setup would be dropped), and
+    // routable — with its response recorded for duplicate requests — before
+    // the response leaves.
+    child->setup_mux_mode();
+    mux_->attach_child(child.get(), resp);
+    send_handshake_packet(mux_->channel(), pending->src, req.socket_id, resp);
+    return child;
+  }
+}
+
 std::unique_ptr<Socket> Socket::connect(const std::string& host,
                                         std::uint16_t port,
                                         SocketOptions opts) {
   const auto server = Endpoint::resolve(host, port);
   if (!server) return nullptr;
   auto s = std::unique_ptr<Socket>(new Socket(opts));
+  if (!opts.exclusive_port) return connect_mux(std::move(s), *server, opts);
   if (!s->channel_.open(0)) return nullptr;
   s->channel_.set_recv_timeout(kHandshakeRetryGap);
 
@@ -172,7 +234,7 @@ std::unique_ptr<Socket> Socket::connect(const std::string& host,
 
   std::vector<std::uint8_t> buf(2048);
   for (int attempt = 0; attempt < kHandshakeRetries; ++attempt) {
-    send_handshake(s->channel_, *server, 0, req);
+    send_handshake_packet(s->channel_, *server, 0, req);
     Endpoint src;
     const RecvResult r = s->channel_.recv_from(src, buf);
     if (r.status != RecvStatus::kDatagram || r.bytes < kHeaderBytes) continue;
@@ -207,6 +269,53 @@ std::unique_ptr<Socket> Socket::connect(const std::string& host,
   return nullptr;
 }
 
+std::unique_ptr<Socket> Socket::connect_mux(std::unique_ptr<Socket> s,
+                                            const Endpoint& server,
+                                            const SocketOptions& opts) {
+  auto mux = Multiplexer::for_client(opts);
+  if (!mux) return nullptr;
+  s->mux_ = mux;
+  s->net_ = &mux->channel();
+  // Attach before the first request leaves: the response carries our socket
+  // id as its destination, so it arrives through the normal routing path
+  // and mux_ingest stashes it for us (state_ is still kConnecting).
+  mux->attach(s.get());
+
+  HandshakePayload req;
+  req.request_type = 1;
+  req.initial_seq = static_cast<std::uint32_t>(s->isn_);
+  req.mss_bytes = static_cast<std::uint32_t>(opts.mss_bytes);
+  req.socket_id = s->socket_id_;
+
+  for (int attempt = 0; attempt < kHandshakeRetries; ++attempt) {
+    send_handshake_packet(mux->channel(), server, 0, req);
+    std::unique_lock lk{s->state_mu_};
+    s->app_rcv_cv_.wait_for(lk, kHandshakeRetryGap,
+                            [&] { return s->hs_resp_.has_value(); });
+    if (!s->hs_resp_) continue;
+    const HandshakePayload resp = *s->hs_resp_;
+    s->hs_resp_.reset();
+    // Same trust boundary as the dedicated-channel path: the negotiated MSS
+    // must land in (0, our proposal].
+    if (resp.mss_bytes == 0 ||
+        resp.mss_bytes > static_cast<std::uint32_t>(opts.mss_bytes)) {
+      continue;
+    }
+    s->peer_ = Endpoint{server.ip_host_order,
+                        static_cast<std::uint16_t>(resp.port)};
+    s->peer_socket_id_ = resp.socket_id;
+    if (static_cast<int>(resp.mss_bytes) != s->opts_.mss_bytes) {
+      s->opts_.mss_bytes = static_cast<int>(resp.mss_bytes);
+      s->snd_buffer_ = SndBuffer(s->opts_.mss_bytes, opts.snd_buffer_bytes);
+    }
+    lk.unlock();
+    s->setup_mux_mode();
+    return s;
+  }
+  mux->detach(s.get());
+  return nullptr;
+}
+
 void Socket::start_threads() {
   channel_.set_recv_timeout(std::chrono::microseconds{
       static_cast<std::int64_t>(opts_.syn_s * 1e6 / 2)});
@@ -237,59 +346,185 @@ void Socket::start_threads() {
   last_ctrl_us_ = now_us();
   state_ = ConnState::kEstablished;
   running_ = true;
+  prepare_tx_scratch();
   snd_thread_ = std::thread([this] { sender_loop(); });
   rcv_thread_ = std::thread([this] { receiver_loop(); });
 }
 
-// ---------------------------------------------------------- sender loop ---
+void Socket::setup_mux_mode() {
+  prepare_tx_scratch();
+  // Keep the shared receive slab alive past detach: RcvBuffer may still
+  // hold payload references into it when this socket closes.
+  mux_slab_ = mux_->shared_slab();
+  std::lock_guard lk{state_mu_};
+  epoch_ = std::chrono::steady_clock::now();
+  last_ctrl_us_ = now_us();
+  state_ = ConnState::kEstablished;
+  running_ = true;
+}
 
-void Socket::sender_loop() {
+// ---------------------------------------------------------- sender path ---
+
+void Socket::prepare_tx_scratch() {
   // One slot per batch entry, plus one spare so an RBPP probe pair never
   // splits across two syscalls when the head lands on the batch edge.
-  const int max_batch = std::clamp(opts_.io_batch, 1, 64);
-  const std::size_t nslots = static_cast<std::size_t>(max_batch) + 1;
-  const bool zero_copy = opts_.zero_copy;
-  Profiler* prof = opts_.enable_profiler ? &profiler_ : nullptr;
-
-  // Legacy datapath (zero_copy off): stage header+payload into wire
-  // buffers, exactly the PR 2 behavior.
-  std::vector<std::vector<std::uint8_t>> wires;
-  std::vector<std::span<const std::uint8_t>> batch;
-  // Zero-copy datapath: serialize only the 16-byte header into a pooled
-  // slot and describe each datagram as (header, chunk) spans the kernel
-  // gathers — the payload is read from the SndBuffer chunk where it already
-  // lives, never staged.
-  std::vector<std::array<std::uint8_t, kHeaderBytes>> headers;
-  std::vector<UdpChannel::TxDatagram> gather;
-  if (zero_copy) {
-    headers.resize(nslots);
-    gather.reserve(nslots);
+  tx_max_batch_ = std::clamp(opts_.io_batch, 1, 64);
+  const std::size_t nslots = static_cast<std::size_t>(tx_max_batch_) + 1;
+  if (opts_.zero_copy) {
+    // Zero-copy datapath: serialize only the 16-byte header into a pooled
+    // slot and describe each datagram as (header, chunk) spans the kernel
+    // gathers — the payload is read from the SndBuffer chunk where it
+    // already lives, never staged.
+    tx_headers_.resize(nslots);
+    tx_gather_.reserve(nslots);
   } else {
-    wires.assign(nslots,
-                 std::vector<std::uint8_t>(
-                     static_cast<std::size_t>(opts_.mss_bytes) +
-                     kHeaderBytes));
-    batch.reserve(nslots);
+    // Legacy datapath: stage header+payload into wire buffers, exactly the
+    // PR 2 behavior.
+    tx_wires_.assign(nslots,
+                     std::vector<std::uint8_t>(
+                         static_cast<std::size_t>(opts_.mss_bytes) +
+                         kHeaderBytes));
+    tx_batch_.reserve(nslots);
   }
-  const auto filled = [&] { return zero_copy ? gather.size() : batch.size(); };
+}
 
-  const auto has_work = [this] {
-    if (!snd_loss_.empty()) return true;
-    const double wnd = cc_.window_packets();
-    return snd_next_ < snd_buffer_.end_index() &&
-           static_cast<double>(snd_next_ - snd_una_) < wnd;
+bool Socket::snd_has_work() const {
+  if (!snd_loss_.empty()) return true;
+  const double wnd = cc_.window_packets();
+  return snd_next_ < snd_buffer_.end_index() &&
+         static_cast<double>(snd_next_ - snd_una_) < wnd;
+}
+
+std::size_t Socket::fill_tx_batch(double& period_s) {
+  Profiler* prof = opts_.enable_profiler ? &profiler_ : nullptr;
+  const bool zero_copy = opts_.zero_copy;
+  const std::size_t nslots = static_cast<std::size_t>(tx_max_batch_) + 1;
+  tx_batch_.clear();
+  tx_gather_.clear();
+  std::int64_t pin_first = -1;
+  std::int64_t pin_end = -1;
+
+  period_s = cc_.pkt_send_period_s();
+  if (opts_.max_bandwidth_mbps > 0.0) {
+    const double min_period = (opts_.mss_bytes + kHeaderBytes) * 8.0 /
+                              (opts_.max_bandwidth_mbps * 1e6);
+    period_s = std::max(period_s, min_period);
+  }
+  // Accumulate up to one pacing-credit of packets for a single syscall:
+  // the credit never spans more than ~200 us of §4.5 schedule, so low
+  // rates degenerate to one packet per call (true inter-packet spacing)
+  // while GigE-class rates amortise the syscall 8-16x.  GSO run sizing
+  // downstream is bounded by this same credit — send_gather never sees
+  // more datagrams than the pacer granted.
+  const auto credit = static_cast<std::size_t>(batch_credit(
+      std::chrono::nanoseconds{static_cast<std::int64_t>(period_s * 1e9)},
+      tx_max_batch_));
+  const double wnd = cc_.window_packets();
+  const auto next_new = [&]() -> std::int64_t {
+    if (snd_next_ < snd_buffer_.end_index() &&
+        static_cast<double>(snd_next_ - snd_una_) < wnd) {
+      return snd_next_;
+    }
+    return -1;
+  };
+  const auto filled = [&] {
+    return zero_copy ? tx_gather_.size() : tx_batch_.size();
   };
 
+  // Loss-list retransmissions keep strict priority within the batch;
+  // after an RBPP pair head the successor is forced in back-to-back
+  // (even one slot past the credit), preserving the probe semantics.
+  bool force_successor = false;
+  while (filled() < nslots && (filled() < credit || force_successor)) {
+    std::int64_t index = -1;
+    bool retransmit = false;
+    if (force_successor) {
+      force_successor = false;
+      index = next_new();
+      if (index < 0) break;
+    } else if (auto lost = snd_loss_.pop_first()) {
+      index = index_of(*lost, snd_una_);
+      if (index < snd_una_ || index >= snd_next_) continue;  // stale
+      retransmit = true;
+    } else {
+      index = next_new();
+      if (index < 0) break;
+    }
+
+    const auto chunk = snd_buffer_.chunk(index);
+    if (!chunk) continue;  // already acknowledged (stale loss entry)
+    if (zero_copy) {
+      ScopedTimer t{prof, ProfUnit::kPacking};
+      auto& hdr = tx_headers_[tx_gather_.size()];
+      DataHeader h;
+      h.seq = seq_of(index);
+      h.timestamp_us = static_cast<std::uint32_t>(now_us());
+      h.dst_socket = peer_socket_id_;
+      write_data_header(hdr, h);
+      UdpChannel::TxDatagram d;
+      d.head = {hdr.data(), kHeaderBytes};
+      d.body = *chunk;
+      tx_gather_.push_back(d);
+      if (pin_first < 0 || index < pin_first) pin_first = index;
+      if (index + 1 > pin_end) pin_end = index + 1;
+    } else {
+      auto& wire = tx_wires_[tx_batch_.size()];
+      ScopedTimer t{prof, ProfUnit::kPacking};
+      DataHeader h;
+      h.seq = seq_of(index);
+      h.timestamp_us = static_cast<std::uint32_t>(now_us());
+      h.dst_socket = peer_socket_id_;
+      write_data_header(wire, h);
+      std::memcpy(wire.data() + kHeaderBytes, chunk->data(),
+                  chunk->size());
+      if (prof != nullptr) {
+        profiler_.add_bytes(ProfUnit::kPacking, chunk->size());
+      }
+      tx_batch_.emplace_back(wire.data(), kHeaderBytes + chunk->size());
+    }
+    if (!retransmit) {
+      snd_next_ = index + 1;
+      ++stats_.data_packets_sent;
+      force_successor = opts_.probe_interval > 0 &&
+                        index % opts_.probe_interval == 0;
+      // Mark a probe head so the channel never cuts a GSO run (a
+      // syscall boundary) between the pair.
+      if (zero_copy && force_successor) {
+        tx_gather_.back().keep_with_next = true;
+      }
+    } else {
+      ++stats_.retransmitted;
+    }
+  }
+  // Pin the covered index range before the caller drops the lock: an ACK
+  // that lands during the unlocked syscall would otherwise free chunk
+  // storage the gather iovecs still reference.
+  if (zero_copy && !tx_gather_.empty()) {
+    snd_buffer_.pin(pin_first, pin_end);
+  }
+  return filled();
+}
+
+void Socket::send_tx_batch(std::size_t count) {
+  Profiler* prof = opts_.enable_profiler ? &profiler_ : nullptr;
+  ScopedTimer t{prof, ProfUnit::kUdpIo};
+  if (opts_.zero_copy) {
+    net_->send_gather(peer_, {tx_gather_.data(), count}, opts_.gso);
+  } else {
+    net_->send_batch(peer_, {tx_batch_.data(), count});
+  }
+}
+
+void Socket::sender_loop() {
+  Profiler* prof = opts_.enable_profiler ? &profiler_ : nullptr;
+
   while (running_) {
-    batch.clear();
-    gather.clear();
     double period = 0.0;
-    std::int64_t pin_first = -1;
-    std::int64_t pin_end = -1;
+    std::size_t count = 0;
     {
       std::unique_lock lk{state_mu_};
       if (!snd_cv_.wait_for(lk, std::chrono::milliseconds{10},
-                            [&] { return !running_ || has_work(); })) {
+                            [&] { return !running_ || snd_has_work(); })) {
         continue;
       }
       if (!running_) break;
@@ -301,104 +536,8 @@ void Socket::sender_loop() {
         std::this_thread::sleep_for(std::chrono::milliseconds{1});
         continue;
       }
-
-      period = cc_.pkt_send_period_s();
-      if (opts_.max_bandwidth_mbps > 0.0) {
-        const double min_period = (opts_.mss_bytes + kHeaderBytes) * 8.0 /
-                                  (opts_.max_bandwidth_mbps * 1e6);
-        period = std::max(period, min_period);
-      }
-      // Accumulate up to one pacing-credit of packets for a single syscall:
-      // the credit never spans more than ~200 us of §4.5 schedule, so low
-      // rates degenerate to one packet per call (true inter-packet spacing)
-      // while GigE-class rates amortise the syscall 8-16x.  GSO run sizing
-      // downstream is bounded by this same credit — send_gather never sees
-      // more datagrams than the pacer granted.
-      const auto credit = static_cast<std::size_t>(batch_credit(
-          std::chrono::nanoseconds{static_cast<std::int64_t>(period * 1e9)},
-          max_batch));
-      const double wnd = cc_.window_packets();
-      const auto next_new = [&]() -> std::int64_t {
-        if (snd_next_ < snd_buffer_.end_index() &&
-            static_cast<double>(snd_next_ - snd_una_) < wnd) {
-          return snd_next_;
-        }
-        return -1;
-      };
-
-      // Loss-list retransmissions keep strict priority within the batch;
-      // after an RBPP pair head the successor is forced in back-to-back
-      // (even one slot past the credit), preserving the probe semantics.
-      bool force_successor = false;
-      while (filled() < nslots && (filled() < credit || force_successor)) {
-        std::int64_t index = -1;
-        bool retransmit = false;
-        if (force_successor) {
-          force_successor = false;
-          index = next_new();
-          if (index < 0) break;
-        } else if (auto lost = snd_loss_.pop_first()) {
-          index = index_of(*lost, snd_una_);
-          if (index < snd_una_ || index >= snd_next_) continue;  // stale
-          retransmit = true;
-        } else {
-          index = next_new();
-          if (index < 0) break;
-        }
-
-        const auto chunk = snd_buffer_.chunk(index);
-        if (!chunk) continue;  // already acknowledged (stale loss entry)
-        if (zero_copy) {
-          ScopedTimer t{prof, ProfUnit::kPacking};
-          auto& hdr = headers[gather.size()];
-          DataHeader h;
-          h.seq = seq_of(index);
-          h.timestamp_us = static_cast<std::uint32_t>(now_us());
-          h.dst_socket = peer_socket_id_;
-          write_data_header(hdr, h);
-          UdpChannel::TxDatagram d;
-          d.head = {hdr.data(), kHeaderBytes};
-          d.body = *chunk;
-          gather.push_back(d);
-          if (pin_first < 0 || index < pin_first) pin_first = index;
-          if (index + 1 > pin_end) pin_end = index + 1;
-        } else {
-          auto& wire = wires[batch.size()];
-          ScopedTimer t{prof, ProfUnit::kPacking};
-          DataHeader h;
-          h.seq = seq_of(index);
-          h.timestamp_us = static_cast<std::uint32_t>(now_us());
-          h.dst_socket = peer_socket_id_;
-          write_data_header(wire, h);
-          std::memcpy(wire.data() + kHeaderBytes, chunk->data(),
-                      chunk->size());
-          if (prof != nullptr) {
-            profiler_.add_bytes(ProfUnit::kPacking, chunk->size());
-          }
-          batch.emplace_back(wire.data(), kHeaderBytes + chunk->size());
-        }
-        if (!retransmit) {
-          snd_next_ = index + 1;
-          ++stats_.data_packets_sent;
-          force_successor = opts_.probe_interval > 0 &&
-                            index % opts_.probe_interval == 0;
-          // Mark a probe head so the channel never cuts a GSO run (a
-          // syscall boundary) between the pair.
-          if (zero_copy && force_successor) {
-            gather.back().keep_with_next = true;
-          }
-        } else {
-          ++stats_.retransmitted;
-        }
-      }
-      // Pin the covered index range before dropping the lock: an ACK that
-      // lands during the unlocked syscall below would otherwise free chunk
-      // storage the gather iovecs still reference.
-      if (zero_copy && !gather.empty()) {
-        snd_buffer_.pin(pin_first, pin_end);
-      }
+      count = fill_tx_batch(period);
     }
-    const std::size_t count = filled();
     if (count == 0) continue;
 
     // Pace outside the lock: one wait covers the whole batch and the
@@ -411,20 +550,93 @@ void Socket::sender_loop() {
                       static_cast<std::int64_t>(period * 1e9)},
                   static_cast<int>(count));
     }
-    {
-      ScopedTimer t{prof, ProfUnit::kUdpIo};
-      if (zero_copy) {
-        channel_.send_gather(peer_, gather, opts_.gso);
-      } else {
-        channel_.send_batch(peer_, batch);
-      }
-    }
-    if (zero_copy) {
+    send_tx_batch(count);
+    if (opts_.zero_copy) {
       // Syscall done: recycle any storage an ACK parked meanwhile and wake
       // overlapped senders waiting on pinned_below().
       std::lock_guard lk{state_mu_};
-      if (snd_buffer_.unpin()) app_snd_cv_.notify_all();
+      if (snd_buffer_.unpin()) {
+        app_snd_cv_.notify_all();
+        poke_watchers();
+      }
     }
+  }
+}
+
+Pacer::Clock::time_point Socket::tx_round() {
+  // One multiplexed sender round: the shared send thread has (nominally)
+  // waited until this socket's pacing deadline.  Fill a credit's worth,
+  // push it to the wire, advance the schedule, hand the next deadline back.
+  constexpr auto kFrozenRetry = std::chrono::milliseconds{1};
+  double period = 0.0;
+  std::size_t count = 0;
+  {
+    std::unique_lock lk{state_mu_};
+    if (!running_ || !snd_has_work()) return Pacer::Clock::time_point::max();
+    const double now = now_s();
+    cc_.set_now(now);
+    if (cc_.frozen_until(now)) return Pacer::Clock::now() + kFrozenRetry;
+    // A kick can land while a future deadline is already scheduled; sending
+    // now would outrun the §4.5 schedule (and any bandwidth cap), so just
+    // reschedule at the pacer's instant.
+    const auto next = pacer_.next_send();
+    if (next > Pacer::Clock::now()) return next;
+    count = fill_tx_batch(period);
+    if (count == 0) return Pacer::Clock::time_point::max();
+  }
+  send_tx_batch(count);
+  // schedule() is pace() minus the wait (the heap already waited): the
+  // late re-anchor rule is preserved, so a socket that fell behind resumes
+  // at its rate instead of bursting.
+  pacer_.schedule(std::chrono::nanoseconds{
+                      static_cast<std::int64_t>(period * 1e9)},
+                  static_cast<int>(count));
+  bool more;
+  {
+    std::lock_guard lk{state_mu_};
+    if (opts_.zero_copy && snd_buffer_.unpin()) {
+      app_snd_cv_.notify_all();
+      poke_watchers();
+    }
+    more = running_ && snd_has_work();
+  }
+  return more ? pacer_.next_send() : Pacer::Clock::time_point::max();
+}
+
+void Socket::mux_ingest(std::span<const std::uint8_t> pkt, RecvSlab* slab,
+                        int slab_slot) {
+  std::lock_guard lk{state_mu_};
+  if (state_ == ConnState::kConnecting) {
+    // Pre-establishment the only meaningful arrival is the handshake
+    // response; stash it for the connecting thread.
+    if (!is_control(pkt)) return;
+    const auto hdr = decode_ctrl_header(pkt);
+    if (!hdr || hdr->type != CtrlType::kHandshake) return;
+    const auto resp = decode_handshake_payload(pkt.subspan(kHeaderBytes));
+    if (!resp || resp->request_type != 0) return;
+    hs_resp_ = *resp;
+    app_rcv_cv_.notify_all();
+    return;
+  }
+  if (!running_) return;
+  if (is_control(pkt)) {
+    handle_ctrl(pkt);
+  } else {
+    handle_data(pkt, opts_.zero_copy ? slab : nullptr, slab_slot);
+  }
+}
+
+void Socket::sweep_timers() {
+  std::lock_guard lk{state_mu_};
+  if (!running_) return;
+  check_timers();
+}
+
+void Socket::wake_sender() {
+  if (mux_) {
+    mux_->kick(this);
+  } else {
+    snd_cv_.notify_one();
   }
 }
 
@@ -605,6 +817,7 @@ void Socket::handle_data(std::span<const std::uint8_t> pkt, RecvSlab* slab,
   }
   data_since_ack_ = true;
   app_rcv_cv_.notify_all();
+  poke_watchers();
 }
 
 void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
@@ -655,6 +868,7 @@ void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
           snd_loss_.remove_up_to(seq_of(ack_index - 1));
         }
         app_snd_cv_.notify_all();
+        poke_watchers();
       }
       cc::AckInfo info;
       info.ack_seq = ack.ack_seq;
@@ -664,7 +878,7 @@ void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
       info.avail_buffer_pkts =
           ack.avail_buffer_pkts > 0 ? ack.avail_buffer_pkts : 2.0;
       cc_.on_ack(info);
-      snd_cv_.notify_one();
+      wake_sender();
       break;
     }
     case CtrlType::kNak: {
@@ -701,7 +915,7 @@ void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
       // signal; garbage must not halve the sending rate either.
       if (any_valid) {
         cc_.on_nak(biggest, seq_of(std::max<std::int64_t>(snd_next_ - 1, 0)));
-        snd_cv_.notify_one();
+        wake_sender();
       }
       break;
     }
@@ -722,6 +936,7 @@ void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
       if (state_ == ConnState::kEstablished) state_ = ConnState::kClosing;
       app_rcv_cv_.notify_all();
       app_snd_cv_.notify_all();
+      poke_watchers();
       break;
     }
     case CtrlType::kHandshake: {
@@ -738,8 +953,8 @@ void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
         resp.initial_seq = req->initial_seq;
         resp.mss_bytes = static_cast<std::uint32_t>(opts_.mss_bytes);
         resp.socket_id = socket_id_;
-        resp.port = channel_.local_port();
-        send_handshake(channel_, peer_, peer_socket_id_, resp);
+        resp.port = net_->local_port();
+        send_handshake_packet(*net_, peer_, peer_socket_id_, resp);
       }
       break;
     }
@@ -808,7 +1023,7 @@ void Socket::check_timers() {
       if (snd_next_ > snd_una_) {
         snd_loss_.insert(seq_of(snd_una_), seq_of(snd_next_ - 1));
       }
-      snd_cv_.notify_one();
+      wake_sender();
     } else {
       // Idle (nothing unacknowledged): not a timeout at all.  Emit a
       // keepalive so the peer's EXP timer stays re-armed too.
@@ -825,6 +1040,7 @@ void Socket::declare_broken() {
   snd_cv_.notify_all();
   app_snd_cv_.notify_all();
   app_rcv_cv_.notify_all();
+  poke_watchers();
 }
 
 void Socket::send_ack() {
@@ -853,7 +1069,7 @@ void Socket::send_ack() {
   ack_times_[static_cast<std::size_t>(ack_id) % ack_times_.size()] = {
       ack_id, now_us()};
   ++stats_.acks_sent;
-  channel_.send_to(peer_, buf);
+  net_->send_to(peer_, buf);
   (void)mss_wire;
 }
 
@@ -868,7 +1084,7 @@ void Socket::send_nak(
   write_ctrl_header(buf, hdr);
   write_words(std::span{buf}.subspan(kHeaderBytes), words);
   ++stats_.naks_sent;
-  channel_.send_to(peer_, buf);
+  net_->send_to(peer_, buf);
 }
 
 void Socket::send_ctrl_simple(CtrlType type, std::uint32_t info) {
@@ -879,7 +1095,7 @@ void Socket::send_ctrl_simple(CtrlType type, std::uint32_t info) {
   hdr.timestamp_us = static_cast<std::uint32_t>(now_us());
   hdr.dst_socket = peer_socket_id_;
   write_ctrl_header(buf, hdr);
-  channel_.send_to(peer_, buf);
+  net_->send_to(peer_, buf);
 }
 
 // ---------------------------------------------------------------- API ---
@@ -898,7 +1114,7 @@ std::size_t Socket::send(std::span<const std::uint8_t> data) {
       }
     }
     total += n;
-    if (n > 0) snd_cv_.notify_one();
+    if (n > 0) wake_sender();
     if (total < data.size()) {
       app_snd_cv_.wait_for(lk, std::chrono::milliseconds{100});
     }
@@ -917,7 +1133,7 @@ std::size_t Socket::send_overlapped(std::span<const std::uint8_t> data,
     const std::size_t n = snd_buffer_.add_borrowed(data.subspan(total));
     total += n;
     last_index = snd_buffer_.end_index();
-    if (n > 0) snd_cv_.notify_one();
+    if (n > 0) wake_sender();
     if (total < data.size()) {
       if (app_snd_cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
           std::chrono::steady_clock::now() >= deadline) {
@@ -1065,6 +1281,10 @@ bool Socket::flush(std::chrono::milliseconds timeout) {
 }
 
 void Socket::close() {
+  // Serialized end to end: close() racing itself (two app threads, or an
+  // explicit close racing the destructor) must not reach the thread joins
+  // or the multiplexer detach twice.
+  std::lock_guard close_lk{close_mu_};
   // Linger: give in-flight data a bounded chance to be acknowledged while
   // the service threads are still alive; a close right after send() must
   // not silently discard the tail of the stream.
@@ -1089,10 +1309,19 @@ void Socket::close() {
   snd_cv_.notify_all();
   app_snd_cv_.notify_all();
   app_rcv_cv_.notify_all();
-  if (snd_thread_.joinable()) snd_thread_.join();
-  if (rcv_thread_.joinable()) rcv_thread_.join();
-  channel_.close();
+  if (mux_) {
+    // Shared-port mode has no per-socket threads; detach() returns only
+    // when no multiplexer service thread still references this socket.
+    // mux_ itself is kept (not reset): it pins the port, the channel and
+    // the shared receive slab for late diagnostics and slab-ref releases.
+    mux_->detach(this);
+  } else {
+    if (snd_thread_.joinable()) snd_thread_.join();
+    if (rcv_thread_.joinable()) rcv_thread_.join();
+    channel_.close();
+  }
   if (state_ != ConnState::kBroken) state_ = ConnState::kClosed;
+  poke_watchers();
 }
 
 int Socket::consecutive_exp_timeouts() const {

@@ -1,21 +1,30 @@
 // The UDT socket: the library's public API (paper §4.7, §4.8).
 //
-// Each connected socket is a duplex UDT entity with two service threads:
-//   * the sender thread paces data packets out according to the congestion
+// Each connected socket is a duplex UDT entity serviced by two loops:
+//   * the sender paces data packets out according to the congestion
 //     controller (cc::UdtCc — the same object that drives the simulator),
 //     always giving loss-list retransmissions priority and emitting a
 //     back-to-back packet pair every 16 packets (RBPP); at high rates it
 //     accumulates a pacing-credit's worth of packets and moves them with
 //     one sendmmsg (SocketOptions::io_batch), since per-packet syscalls
 //     dominate CPU (Table 3);
-//   * the receiver thread performs time-bounded UDP receives, draining a
-//     batch of queued datagrams per wakeup, and checks the ACK / NAK / EXP
-//     timers once after each wakeup (§4.8), processing both data and
-//     control packets.
+//   * the receiver performs time-bounded UDP receives, draining a batch of
+//     queued datagrams per wakeup, and checks the ACK / NAK / EXP timers
+//     once after each wakeup (§4.8), processing both data and control
+//     packets.
+//
+// By default those loops run on a *shared* pair of threads owned by a
+// Multiplexer (multiplexer.hpp): every socket bound to the same UDP port
+// shares one channel, one receive thread and one send thread, so a process
+// scales to thousands of connections (§4, Fig. 3).  With
+// SocketOptions::exclusive_port the socket instead owns a dedicated channel
+// and its own two service threads — the pre-multiplexer behavior,
+// byte-for-byte.
 //
 // The API follows socket semantics with the paper's additions: send/recv,
 // sendfile/recvfile, and overlapped receive through user-buffer insertion.
-// Connections run over IPv4 loopback/UDP; one UDT connection per UDP socket.
+// Readiness-driven (non-blocking) use goes through udt::Poller (poller.hpp).
+// Connections run over IPv4 loopback/UDP.
 #pragma once
 
 #include <array>
@@ -31,6 +40,7 @@
 #include <span>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "cc/udt_cc.hpp"
 #include "common/median_filter.hpp"
@@ -43,6 +53,9 @@
 #include "udt/profiler.hpp"
 
 namespace udtr::udt {
+
+class Multiplexer;
+class Poller;
 
 // Connection lifecycle (§3.5 recovery semantics).  kConnecting covers the
 // handshake; kEstablished is normal duplex operation; kClosing means a
@@ -108,6 +121,13 @@ struct SocketOptions {
   // Initial sequence number (< 0 = default).  Exposed so tests can start
   // near the 31-bit wrap boundary.
   std::int64_t initial_seq = -1;
+  // false (default): the socket shares a Multiplexer — one UDP port, one
+  // receive thread and one send thread for every socket with compatible
+  // options, and accepted connections stay on the listener's port.  true:
+  // the socket owns a dedicated UDP channel and two service threads, and
+  // each accepted connection opens its own child channel — the legacy
+  // per-socket datapath, byte-for-byte.
+  bool exclusive_port = false;
 };
 
 struct PerfStats {
@@ -153,7 +173,7 @@ class Socket {
                                          SocketOptions opts = {});
 
   [[nodiscard]] std::uint16_t local_port() const {
-    return channel_.local_port();
+    return net_->local_port();
   }
 
   // --- data transfer ----------------------------------------------------
@@ -203,7 +223,23 @@ class Socket {
   [[nodiscard]] Profiler& profiler() { return profiler_; }
   [[nodiscard]] const cc::UdtCc& congestion() const { return cc_; }
 
+  // The multiplexer this socket is attached to; nullptr in exclusive-port
+  // mode.  Exposed for diagnostics (unroutable-datagram counters, thread
+  // accounting in tests and benches).
+  [[nodiscard]] std::shared_ptr<Multiplexer> multiplexer() const {
+    return mux_;
+  }
+
+  // Current readiness against `mask` (kPollIn / kPollOut / kPollErr,
+  // poller.hpp), computed from the protocol buffers under the socket lock.
+  // Poller::wait is built on this; it is also directly usable for one-off
+  // non-blocking checks.
+  [[nodiscard]] std::uint32_t poll_ready(std::uint32_t mask) const;
+
  private:
+  friend class Multiplexer;
+  friend class Poller;
+
   explicit Socket(SocketOptions opts);
 
   enum class Mode { kListener, kConnected };
@@ -211,6 +247,45 @@ class Socket {
   void start_threads();
   void sender_loop();
   void receiver_loop();
+
+  // --- multiplexed mode ---------------------------------------------------
+  std::unique_ptr<Socket> accept_mux(std::chrono::milliseconds timeout);
+  // Shared-port half of connect(): attach to a compatible client
+  // multiplexer, run the handshake through its receive thread, enter
+  // steady state.
+  static std::unique_ptr<Socket> connect_mux(std::unique_ptr<Socket> s,
+                                             const Endpoint& server,
+                                             const SocketOptions& opts);
+  // Transition into steady state on a multiplexer: size the tx scratch,
+  // adopt the shared receive slab and mark the connection established.
+  void setup_mux_mode();
+  // True while the sender has something it may transmit now (state_mu_
+  // held): pending retransmissions, or new data inside the window.
+  [[nodiscard]] bool snd_has_work() const;
+  void prepare_tx_scratch();
+  // Fills the tx scratch with up to one pacing-credit of packets and pins
+  // the covered range (zero-copy).  state_mu_ held.  Returns the number of
+  // datagrams staged and the pacing period via `period_s`.
+  std::size_t fill_tx_batch(double& period_s);
+  // Pushes `count` staged datagrams to the wire (lock dropped).
+  void send_tx_batch(std::size_t count);
+  // One multiplexed sender service round: fill, send, advance the pacer.
+  // Returns the socket's next deadline — time_point::max() parks the socket
+  // until a state change kicks it again.
+  [[nodiscard]] Pacer::Clock::time_point tx_round();
+  // Receive-thread entry for one demultiplexed datagram (>= kHeaderBytes,
+  // already routed by destination id).  Takes state_mu_.
+  void mux_ingest(std::span<const std::uint8_t> pkt, RecvSlab* slab,
+                  int slab_slot);
+  // Multiplexer timer sweep: check_timers() under state_mu_.
+  void sweep_timers();
+  // Wakes whichever sender services this socket: the dedicated sender
+  // thread (exclusive mode) or the multiplexer's send heap.
+  void wake_sender();
+
+  // --- poller plumbing (definitions in poller.cpp) ------------------------
+  void poke_watchers();
+  void drop_watchers();
 
   // Receiver-thread handlers (state_mu_ held).
   // First line of defence: every datagram must carry our socket id (or be
@@ -247,6 +322,12 @@ class Socket {
   SocketOptions opts_;
   Mode mode_ = Mode::kConnected;
   UdpChannel channel_;
+  // Shared-port mode: the multiplexer owning the channel this socket
+  // actually uses.  Held for the socket's whole lifetime (not reset on
+  // close) so diagnostics stay valid; `net_` points at the active channel —
+  // the multiplexer's, or `channel_` in exclusive mode.
+  std::shared_ptr<Multiplexer> mux_;
+  UdpChannel* net_ = &channel_;
   Endpoint peer_{};
   std::uint32_t socket_id_ = 0;
   std::uint32_t peer_socket_id_ = 0;
@@ -259,6 +340,9 @@ class Socket {
   std::atomic<SocketError> last_error_{SocketError::kNone};
   std::thread snd_thread_;
   std::thread rcv_thread_;
+  // Serializes close(): two threads closing concurrently (or close racing
+  // the destructor) must not both reach the thread joins.
+  std::mutex close_mu_;
 
   mutable std::mutex state_mu_;
   std::condition_variable snd_cv_;      // wakes the sender thread
@@ -273,10 +357,28 @@ class Socket {
   std::int64_t snd_una_ = 0;    // first unacknowledged index
   Pacer pacer_;
 
+  // Staged-transmit scratch, reused every round so the steady state never
+  // allocates.  Owned by whichever thread runs the send path (the dedicated
+  // sender thread, or the multiplexer's send thread) — never both.
+  std::vector<std::vector<std::uint8_t>> tx_wires_;           // legacy staging
+  std::vector<std::span<const std::uint8_t>> tx_batch_;
+  std::vector<std::array<std::uint8_t, kHeaderBytes>> tx_headers_;
+  std::vector<UdpChannel::TxDatagram> tx_gather_;
+  int tx_max_batch_ = 1;
+  // Multiplexed mode: true while a send-heap entry for this socket exists
+  // (at most one).  See Multiplexer::kick / serve for the protocol.
+  std::atomic<bool> tx_scheduled_{false};
+  // Multiplexed connect(): handshake response stashed by the receive thread
+  // for the connecting thread (guarded by state_mu_, signalled via
+  // app_rcv_cv_).
+  std::optional<HandshakePayload> hs_resp_;
+
   // --- receiver state (guarded by state_mu_) -----------------------------
   // Declared before rcv_buffer_: the buffer's destructor releases slab
-  // references, so the slab must be destroyed after it.
+  // references, so the slab must be destroyed after it.  mux_slab_ keeps
+  // the multiplexer's shared slab alive for exactly the same reason.
   std::unique_ptr<RecvSlab> rcv_slab_;
+  std::shared_ptr<RecvSlab> mux_slab_;
   RcvBuffer rcv_buffer_;
   LossList rcv_loss_;
   std::int64_t lrsn_ = -1;      // largest received index
@@ -310,6 +412,10 @@ class Socket {
   std::map<std::pair<std::uint32_t, std::uint32_t>, HandshakePayload>
       handled_;
   std::deque<std::pair<std::uint32_t, std::uint32_t>> handled_order_;
+
+  // --- poller wiring (guarded by the poller registry mutex) ---------------
+  std::atomic<bool> watched_{false};
+  std::vector<Poller*> watchers_;
 };
 
 }  // namespace udtr::udt

@@ -1,0 +1,547 @@
+// Connection multiplexing: many UDT sockets sharing one UDP port and one
+// pair of service threads, the send heap's fairness under mixed pacing
+// rates, the Poller readiness surface, and the exclusive-port legacy mode.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <random>
+#include <span>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "udt/channel.hpp"
+#include "udt/multiplexer.hpp"
+#include "udt/packet.hpp"
+#include "udt/poller.hpp"
+#include "udt/socket.hpp"
+
+namespace udtr::udt {
+namespace {
+
+std::vector<std::uint8_t> make_payload(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint8_t> v(n);
+  std::mt19937_64 rng{seed};
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng());
+  return v;
+}
+
+// Socket counts are scaled down under sanitizers via the environment (the
+// CI TSan job sets UDTR_MUX_TEST_SOCKETS); the default exercises the full
+// acceptance numbers.
+int env_sockets(int def) {
+  if (const char* s = std::getenv("UDTR_MUX_TEST_SOCKETS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return def;
+}
+
+// OS threads in this process, from /proc/self/status.  Used to prove the
+// multiplexed datapath serves N sockets with a constant thread count.
+int thread_count() {
+  std::ifstream f("/proc/self/status");
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return std::atoi(line.c_str() + 8);
+    }
+  }
+  return -1;
+}
+
+// Small protocol buffers so hundreds of sockets stay cheap: the receive
+// slot directory is allocated eagerly per socket.
+SocketOptions small_opts() {
+  SocketOptions o;
+  o.snd_buffer_bytes = 64 << 10;
+  o.rcv_buffer_pkts = 128;
+  return o;
+}
+
+struct MuxPair {
+  std::unique_ptr<Socket> listener;
+  std::unique_ptr<Socket> client;
+  std::unique_ptr<Socket> server;
+};
+
+MuxPair make_pair_opts(SocketOptions server_opts, SocketOptions client_opts) {
+  MuxPair p;
+  p.listener = Socket::listen(0, server_opts);
+  EXPECT_NE(p.listener, nullptr);
+  auto accepted = std::async(std::launch::async, [&] {
+    return p.listener->accept(std::chrono::seconds{10});
+  });
+  p.client =
+      Socket::connect("127.0.0.1", p.listener->local_port(), client_opts);
+  p.server = accepted.get();
+  EXPECT_NE(p.client, nullptr);
+  EXPECT_NE(p.server, nullptr);
+  return p;
+}
+
+std::vector<std::uint8_t> pump(Socket& from, Socket& to,
+                               const std::vector<std::uint8_t>& payload) {
+  auto send_done = std::async(std::launch::async, [&] {
+    const std::size_t sent = from.send(payload);
+    from.flush(std::chrono::seconds{60});
+    return sent;
+  });
+  std::vector<std::uint8_t> received;
+  std::vector<std::uint8_t> buf(1 << 16);
+  while (received.size() < payload.size()) {
+    const std::size_t n = to.recv(buf, std::chrono::seconds{15});
+    if (n == 0) break;
+    received.insert(received.end(), buf.begin(), buf.begin() + n);
+  }
+  EXPECT_EQ(send_done.get(), payload.size());
+  return received;
+}
+
+// --- the acceptance scenario: a crowd on one port under faults -------------
+
+TEST(Multiplexer, ManySocketsOnePortByteExactUnderFaults) {
+  const int n = env_sockets(200);
+  constexpr std::size_t kBytesPer = 16 << 10;
+
+  FaultConfig cfg;
+  cfg.send.drop_p = 0.02;
+  cfg.recv.drop_p = 0.02;
+  cfg.send.reorder_p = 0.01;
+  cfg.send.reorder_hold = 3;
+  cfg.seed = 20260807;
+
+  SocketOptions server_opts = small_opts();
+  server_opts.faults = std::make_shared<FaultInjector>(cfg);
+  SocketOptions client_opts = small_opts();
+  client_opts.faults = std::make_shared<FaultInjector>(cfg);
+
+  auto listener = Socket::listen(0, server_opts);
+  ASSERT_NE(listener, nullptr);
+  const std::uint16_t port = listener->local_port();
+
+  // All clients share one injector pointer, so for_client() folds them onto
+  // a single client-side multiplexer; the server side shares the
+  // listener's.  Every logical datagram of every connection passes through
+  // an injector.
+  std::vector<std::unique_ptr<Socket>> clients(static_cast<std::size_t>(n));
+  auto connector = std::async(std::launch::async, [&] {
+    for (auto& c : clients) {
+      c = Socket::connect("127.0.0.1", port, client_opts);
+      if (c == nullptr) return false;
+    }
+    return true;
+  });
+  std::vector<std::unique_ptr<Socket>> servers;
+  servers.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto s = listener->accept(std::chrono::seconds{20});
+    ASSERT_NE(s, nullptr) << "accept " << i;
+    servers.push_back(std::move(s));
+  }
+  ASSERT_TRUE(connector.get());
+
+  // One shared port on each side.
+  for (auto& s : servers) {
+    ASSERT_NE(s->multiplexer(), nullptr);
+    EXPECT_EQ(s->multiplexer().get(), listener->multiplexer().get());
+    EXPECT_EQ(s->local_port(), port);
+  }
+  for (auto& c : clients) {
+    ASSERT_NE(c->multiplexer(), nullptr);
+    EXPECT_EQ(c->multiplexer().get(), clients[0]->multiplexer().get());
+  }
+  EXPECT_EQ(listener->multiplexer()->attached_sockets(),
+            static_cast<std::size_t>(n));
+
+  // Every client sends a distinct payload whose first 4 bytes carry its
+  // index; the server drains all flows from one thread via the Poller and
+  // verifies byte-exact delivery per socket.
+  std::atomic<bool> send_failed{false};
+  std::vector<std::thread> senders;
+  senders.reserve(clients.size());
+  for (int i = 0; i < n; ++i) {
+    senders.emplace_back([&, i] {
+      auto payload = make_payload(kBytesPer, 1000 + i);
+      payload[0] = static_cast<std::uint8_t>(i);
+      payload[1] = static_cast<std::uint8_t>(i >> 8);
+      if (clients[static_cast<std::size_t>(i)]->send(payload) !=
+          payload.size()) {
+        send_failed = true;
+      }
+    });
+  }
+
+  Poller poller;
+  for (auto& s : servers) poller.add(s.get(), kPollIn);
+  std::vector<std::vector<std::uint8_t>> got(servers.size());
+  std::vector<PollEvent> events(servers.size());
+  std::vector<std::uint8_t> buf(1 << 16);
+  std::size_t done = 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds{120};
+  while (done < servers.size() &&
+         std::chrono::steady_clock::now() < deadline) {
+    const std::size_t nev =
+        poller.wait(events, std::chrono::milliseconds{500});
+    for (std::size_t e = 0; e < nev; ++e) {
+      Socket* s = events[e].sock;
+      const std::size_t idx = static_cast<std::size_t>(
+          std::find_if(servers.begin(), servers.end(),
+                       [&](const auto& p) { return p.get() == s; }) -
+          servers.begin());
+      ASSERT_LT(idx, servers.size());
+      const std::size_t r = s->recv(buf, std::chrono::milliseconds{0});
+      if (r == 0) continue;
+      got[idx].insert(got[idx].end(), buf.begin(), buf.begin() + r);
+      if (got[idx].size() == kBytesPer) {
+        ++done;
+        poller.remove(s);
+      }
+    }
+  }
+  for (auto& t : senders) t.join();
+  EXPECT_FALSE(send_failed.load());
+  ASSERT_EQ(done, servers.size());
+
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].size(), kBytesPer) << "server socket " << i;
+    const int idx = got[i][0] | (got[i][1] << 8);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, n);
+    auto expected = make_payload(kBytesPer, 1000 + idx);
+    expected[0] = static_cast<std::uint8_t>(idx);
+    expected[1] = static_cast<std::uint8_t>(idx >> 8);
+    EXPECT_EQ(got[i], expected) << "flow " << idx << " not byte-exact";
+  }
+
+  EXPECT_GT(server_opts.faults->stats(FaultDir::kSend).dropped +
+                server_opts.faults->stats(FaultDir::kRecv).dropped +
+                client_opts.faults->stats(FaultDir::kSend).dropped +
+                client_opts.faults->stats(FaultDir::kRecv).dropped,
+            0u);
+}
+
+// --- thread accounting: N sockets, 4 service threads -----------------------
+
+TEST(Multiplexer, EchoFleetUsesFourServiceThreads) {
+  const int n = env_sockets(512);
+  constexpr std::size_t kMsgBytes = 1 << 10;
+
+  // syn_s differs from the default so for_client() cannot reuse a
+  // multiplexer created by another test in this process: both multiplexers
+  // are created inside this test and their threads land in the delta.
+  SocketOptions opts = small_opts();
+  opts.syn_s = 0.011;
+
+  const int threads_before = thread_count();
+  ASSERT_GT(threads_before, 0);
+
+  auto listener = Socket::listen(0, opts);
+  ASSERT_NE(listener, nullptr);
+  const std::uint16_t port = listener->local_port();
+
+  std::vector<std::unique_ptr<Socket>> clients(static_cast<std::size_t>(n));
+  auto connector = std::async(std::launch::async, [&] {
+    for (auto& c : clients) {
+      c = Socket::connect("127.0.0.1", port, opts);
+      if (c == nullptr) return false;
+    }
+    return true;
+  });
+  std::vector<std::unique_ptr<Socket>> servers;
+  servers.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto s = listener->accept(std::chrono::seconds{20});
+    ASSERT_NE(s, nullptr) << "accept " << i;
+    servers.push_back(std::move(s));
+  }
+  ASSERT_TRUE(connector.get());
+
+  // Both endpoints of all N connections live in this process and are
+  // served by exactly two multiplexers: two threads each.
+  EXPECT_EQ(thread_count() - threads_before, 4);
+
+  // Echo server: a single app thread drives all N server sockets off one
+  // Poller.
+  std::atomic<bool> stop{false};
+  std::thread echo([&] {
+    Poller poller;
+    for (auto& s : servers) poller.add(s.get(), kPollIn);
+    std::vector<PollEvent> events(servers.size());
+    std::vector<std::uint8_t> buf(1 << 16);
+    while (!stop.load()) {
+      const std::size_t nev =
+          poller.wait(events, std::chrono::milliseconds{200});
+      for (std::size_t e = 0; e < nev && !stop.load(); ++e) {
+        Socket* s = events[e].sock;
+        const std::size_t r = s->recv(buf, std::chrono::milliseconds{0});
+        if (r > 0) s->send({buf.data(), r});
+      }
+    }
+  });
+
+  for (int i = 0; i < n; ++i) {
+    const auto msg = make_payload(kMsgBytes, 7000 + i);
+    ASSERT_EQ(clients[static_cast<std::size_t>(i)]->send(msg), msg.size());
+  }
+
+  // Drain the echoes from the main thread with a second poller.
+  Poller rx;
+  for (auto& c : clients) rx.add(c.get(), kPollIn);
+  std::vector<std::vector<std::uint8_t>> got(clients.size());
+  std::vector<PollEvent> events(clients.size());
+  std::vector<std::uint8_t> buf(1 << 16);
+  std::size_t done = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds{60};
+  while (done < clients.size() &&
+         std::chrono::steady_clock::now() < deadline) {
+    const std::size_t nev = rx.wait(events, std::chrono::milliseconds{500});
+    for (std::size_t e = 0; e < nev; ++e) {
+      Socket* c = events[e].sock;
+      const std::size_t idx = static_cast<std::size_t>(
+          std::find_if(clients.begin(), clients.end(),
+                       [&](const auto& p) { return p.get() == c; }) -
+          clients.begin());
+      ASSERT_LT(idx, clients.size());
+      const std::size_t r = c->recv(buf, std::chrono::milliseconds{0});
+      if (r == 0) continue;
+      got[idx].insert(got[idx].end(), buf.begin(), buf.begin() + r);
+      if (got[idx].size() == kMsgBytes) {
+        ++done;
+        rx.remove(c);
+      }
+    }
+  }
+  stop = true;
+  echo.join();
+  ASSERT_EQ(done, clients.size());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)],
+              make_payload(kMsgBytes, 7000 + i))
+        << "echo " << i;
+  }
+}
+
+// --- send-heap fairness under mixed pacing rates ---------------------------
+
+TEST(Multiplexer, SendHeapHonoursMixedRateCaps) {
+  const double caps_mbps[] = {10.0, 20.0, 40.0};
+  constexpr int kFlows = 3;
+
+  auto listener = Socket::listen(0, SocketOptions{});
+  ASSERT_NE(listener, nullptr);
+  const std::uint16_t port = listener->local_port();
+
+  std::vector<std::unique_ptr<Socket>> clients;
+  std::vector<std::unique_ptr<Socket>> servers;
+  for (int i = 0; i < kFlows; ++i) {
+    SocketOptions co;
+    co.max_bandwidth_mbps = caps_mbps[i];
+    auto accepted = std::async(std::launch::async, [&] {
+      return listener->accept(std::chrono::seconds{10});
+    });
+    auto c = Socket::connect("127.0.0.1", port, co);
+    auto s = accepted.get();
+    ASSERT_NE(c, nullptr);
+    ASSERT_NE(s, nullptr);
+    clients.push_back(std::move(c));
+    servers.push_back(std::move(s));
+  }
+  // Rate caps are per-socket state, not channel state: all three flows
+  // share the client multiplexer (and its single send thread).
+  EXPECT_EQ(clients[1]->multiplexer().get(), clients[0]->multiplexer().get());
+  EXPECT_EQ(clients[2]->multiplexer().get(), clients[0]->multiplexer().get());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kFlows; ++i) {
+    workers.emplace_back([&, i] {
+      const auto block = make_payload(256 << 10, 31 + i);
+      while (!stop.load()) {
+        clients[static_cast<std::size_t>(i)]->send(block);
+      }
+    });
+    workers.emplace_back([&, i] {
+      std::vector<std::uint8_t> buf(1 << 16);
+      while (!stop.load()) {
+        servers[static_cast<std::size_t>(i)]->recv(
+            buf, std::chrono::milliseconds{100});
+      }
+    });
+  }
+
+  const auto window = std::chrono::seconds{2};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(window);
+  std::vector<std::uint64_t> delivered;
+  for (auto& s : servers) delivered.push_back(s->perf().bytes_delivered);
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  stop = true;
+  for (auto& c : clients) c->close();
+  for (auto& t : workers) t.join();
+
+  for (int i = 0; i < kFlows; ++i) {
+    const double mbps =
+        static_cast<double>(delivered[static_cast<std::size_t>(i)]) * 8.0 /
+        elapsed_s / 1e6;
+    // Neither starved by the shared send thread nor running past its cap.
+    EXPECT_GT(mbps, caps_mbps[i] * 0.4) << "flow " << i << " starved";
+    EXPECT_LT(mbps, caps_mbps[i] * 1.3) << "flow " << i << " over cap";
+  }
+}
+
+// --- poller ERR on a broken peer -------------------------------------------
+
+TEST(Multiplexer, PollerReportsErrWhenPeerGoesDark) {
+  FaultConfig cfg;
+  cfg.seed = 7;
+  auto faults = std::make_shared<FaultInjector>(cfg);
+
+  SocketOptions client_opts = small_opts();
+  client_opts.faults = faults;
+  client_opts.min_exp_timeout_s = 0.05;
+  client_opts.max_exp_timeouts = 2;
+  MuxPair p = make_pair_opts(small_opts(), client_opts);
+  ASSERT_NE(p.client, nullptr);
+  ASSERT_NE(p.server, nullptr);
+
+  Poller poller;
+  ASSERT_TRUE(poller.add(p.client.get(), kPollIn | kPollOut));
+
+  // A healthy established client is immediately writable.
+  std::vector<PollEvent> events(4);
+  ASSERT_EQ(poller.wait(events, std::chrono::milliseconds{500}), 1u);
+  EXPECT_EQ(events[0].sock, p.client.get());
+  EXPECT_NE(events[0].events & kPollOut, 0u);
+
+  // The path goes dark with data outstanding: EXP escalates and the poller
+  // surfaces ERR without the app ever calling recv/send again.
+  faults->set_black_hole(true);
+  const auto payload = make_payload(8 << 10, 99);
+  ASSERT_EQ(p.client->send(payload), payload.size());
+
+  bool saw_err = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds{10};
+  while (!saw_err && std::chrono::steady_clock::now() < deadline) {
+    const std::size_t n = poller.wait(events, std::chrono::milliseconds{500});
+    for (std::size_t e = 0; e < n; ++e) {
+      if (events[e].sock == p.client.get() &&
+          (events[e].events & kPollErr) != 0) {
+        saw_err = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_err);
+  EXPECT_TRUE(p.client->broken());
+  EXPECT_EQ(p.client->last_error(), SocketError::kConnectionBroken);
+}
+
+// --- exclusive-port legacy mode --------------------------------------------
+
+TEST(Multiplexer, ExclusivePortReproducesLegacyDatapath) {
+  SocketOptions opts;
+  opts.exclusive_port = true;
+  MuxPair p = make_pair_opts(opts, opts);
+  ASSERT_NE(p.client, nullptr);
+  ASSERT_NE(p.server, nullptr);
+
+  // No multiplexer anywhere, and the accepted child owns its own port.
+  EXPECT_EQ(p.listener->multiplexer(), nullptr);
+  EXPECT_EQ(p.client->multiplexer(), nullptr);
+  EXPECT_EQ(p.server->multiplexer(), nullptr);
+  EXPECT_NE(p.server->local_port(), p.listener->local_port());
+
+  const auto payload = make_payload(512 << 10, 5);
+  EXPECT_EQ(pump(*p.client, *p.server, payload), payload);
+  const auto back = make_payload(128 << 10, 6);
+  EXPECT_EQ(pump(*p.server, *p.client, back), back);
+}
+
+TEST(Multiplexer, MixedModesInteroperate) {
+  SocketOptions exclusive;
+  exclusive.exclusive_port = true;
+
+  {
+    // Legacy server, multiplexed client.
+    MuxPair p = make_pair_opts(exclusive, SocketOptions{});
+    ASSERT_NE(p.client, nullptr);
+    ASSERT_NE(p.server, nullptr);
+    EXPECT_EQ(p.server->multiplexer(), nullptr);
+    EXPECT_NE(p.client->multiplexer(), nullptr);
+    const auto payload = make_payload(256 << 10, 11);
+    EXPECT_EQ(pump(*p.client, *p.server, payload), payload);
+  }
+  {
+    // Multiplexed server, legacy client.
+    MuxPair p = make_pair_opts(SocketOptions{}, exclusive);
+    ASSERT_NE(p.client, nullptr);
+    ASSERT_NE(p.server, nullptr);
+    EXPECT_NE(p.server->multiplexer(), nullptr);
+    EXPECT_EQ(p.client->multiplexer(), nullptr);
+    EXPECT_EQ(p.server->local_port(), p.listener->local_port());
+    const auto payload = make_payload(256 << 10, 12);
+    EXPECT_EQ(pump(*p.client, *p.server, payload), payload);
+  }
+}
+
+// --- duplicate-handshake memory --------------------------------------------
+
+TEST(Multiplexer, SlowSynRetransmitDoesNotSpawnGhostSocket) {
+  MuxPair p = make_pair_opts(small_opts(), small_opts());
+  ASSERT_NE(p.client, nullptr);
+  ASSERT_NE(p.server, nullptr);
+  auto server_mux = p.listener->multiplexer();
+  ASSERT_NE(server_mux, nullptr);
+  ASSERT_EQ(server_mux->attached_sockets(), 1u);
+
+  // Replay the client's original connect request — same source endpoint,
+  // same peer socket id — as a slow retransmit would.  The live-children
+  // index must answer it with the original response instead of queueing a
+  // second pending handshake.
+  auto client_mux = p.client->multiplexer();
+  ASSERT_NE(client_mux, nullptr);
+  HandshakePayload replay;
+  replay.request_type = 1;
+  replay.initial_seq = 0;
+  replay.mss_bytes = static_cast<std::uint32_t>(small_opts().mss_bytes);
+  replay.socket_id = p.client->id();
+  const auto server =
+      Endpoint::resolve("127.0.0.1", p.listener->local_port());
+  ASSERT_TRUE(server.has_value());
+  for (int i = 0; i < 3; ++i) {
+    send_handshake_packet(client_mux->channel(), *server, 0, replay);
+  }
+
+  // No second connection appears...
+  EXPECT_EQ(p.listener->accept(std::chrono::milliseconds{300}), nullptr);
+  EXPECT_EQ(server_mux->attached_sockets(), 1u);
+
+  // ... and the established flow is untouched by the replayed response the
+  // re-reply sends to the (already connected) client.
+  const auto payload = make_payload(64 << 10, 77);
+  EXPECT_EQ(pump(*p.client, *p.server, payload), payload);
+
+  // After the child dies its handshake memory demotes to the bounded
+  // answered map, still suppressing late retransmits.
+  p.server->close();
+  p.server.reset();
+  EXPECT_GE(server_mux->remembered_handshakes(), 1u);
+  for (int i = 0; i < 3; ++i) {
+    send_handshake_packet(client_mux->channel(), *server, 0, replay);
+  }
+  EXPECT_EQ(p.listener->accept(std::chrono::milliseconds{300}), nullptr);
+}
+
+}  // namespace
+}  // namespace udtr::udt
