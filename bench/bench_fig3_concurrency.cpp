@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <future>
 #include <memory>
@@ -25,6 +26,7 @@
 #include "common/metrics.hpp"
 #include "netsim/stats.hpp"
 #include "netsim/topology.hpp"
+#include "udt/multiplexer.hpp"
 #include "udt/poller.hpp"
 #include "udt/socket.hpp"
 
@@ -60,7 +62,8 @@ struct RealRun {
 // `flows` loopback connections, every client buffering one payload and the
 // server side drained from a single Poller loop; both endpoints live in
 // this process, so `threads` counts the service cost of BOTH sides.
-RealRun run_real(int flows, bool exclusive, std::size_t total_bytes) {
+RealRun run_real(int flows, bool exclusive, std::size_t total_bytes,
+                 int mux_shards = 0) {
   using namespace udtr::udt;
   RealRun out;
   const std::size_t per_flow = std::clamp<std::size_t>(
@@ -68,6 +71,7 @@ RealRun run_real(int flows, bool exclusive, std::size_t total_bytes) {
 
   SocketOptions opts;
   opts.exclusive_port = exclusive;
+  opts.mux_shards = mux_shards;
   opts.snd_buffer_bytes = per_flow;  // send() returns once buffered
   opts.rcv_buffer_pkts = 256;
 
@@ -124,6 +128,68 @@ RealRun run_real(int flows, bool exclusive, std::size_t total_bytes) {
   out.goodput_mbps = static_cast<double>(drained) * 8.0 / wall / 1e6;
   out.cpu_percent = 100.0 * cpu / wall;
   out.ok = true;
+  return out;
+}
+
+// Idle-fleet timer cost: `flows` established-but-silent connections, and
+// the number of per-socket timer sweeps the server-side multiplexer runs
+// over a one-second window.  The legacy full walk (UDTR_FULL_SWEEP=1)
+// sweeps every socket every millisecond; the timer wheel only fires the
+// entries actually due, so idle sockets park at EXP cadence.
+struct IdleSweepRun {
+  double sweeps_per_sock_per_s = 0.0;
+  bool ok = false;
+};
+
+IdleSweepRun run_idle_sweep(int flows, bool full_walk) {
+  using namespace udtr::udt;
+  IdleSweepRun out;
+  // The sweep mode is read when the multiplexer opens, and a distinct syn_s
+  // per mode keeps for_client() from reusing a multiplexer opened under the
+  // other mode.
+  if (full_walk) {
+    ::setenv("UDTR_FULL_SWEEP", "1", 1);
+  } else {
+    ::unsetenv("UDTR_FULL_SWEEP");
+  }
+  SocketOptions opts;
+  opts.snd_buffer_bytes = 64 << 10;
+  opts.rcv_buffer_pkts = 128;
+  opts.syn_s = full_walk ? 0.0101 : 0.0102;
+  {
+    auto listener = Socket::listen(0, opts);
+    if (!listener) return out;
+    auto connector = std::async(std::launch::async, [&] {
+      std::vector<std::unique_ptr<Socket>> clients;
+      for (int i = 0; i < flows; ++i) {
+        auto c = Socket::connect("127.0.0.1", listener->local_port(), opts);
+        if (!c) break;
+        clients.push_back(std::move(c));
+      }
+      return clients;
+    });
+    std::vector<std::unique_ptr<Socket>> servers;
+    for (int i = 0; i < flows; ++i) {
+      auto s = listener->accept(std::chrono::seconds{30});
+      if (!s) return out;
+      servers.push_back(std::move(s));
+    }
+    auto clients = connector.get();
+    if (static_cast<int>(clients.size()) != flows) return out;
+    auto mux = servers.front()->multiplexer();
+    if (!mux) return out;
+    const std::uint64_t before = mux->timer_socket_sweeps();
+    const auto t0 = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(std::chrono::seconds{1});
+    const double window = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+    const std::uint64_t swept = mux->timer_socket_sweeps() - before;
+    out.sweeps_per_sock_per_s =
+        static_cast<double>(swept) / flows / window;
+    out.ok = true;
+  }
+  ::unsetenv("UDTR_FULL_SWEEP");
   return out;
 }
 
@@ -220,6 +286,56 @@ int main(int argc, char** argv) {
   }
   std::printf("multiplexed flows share 4 service threads total (2 per "
               "endpoint); exclusive-port spends 4 per connection.\n");
+
+  // --- shard sweep: the same fleet over 1 / 2 / 4 datapath shards --------
+  // Each shard adds an rx/tx thread pair, its own reuseport fd and timer
+  // wheel; on a multi-core host the 4-shard aggregate goodput at high flow
+  // counts is the headline number (single-core hosts serialize the shards
+  // and should show parity, not gains).
+  const std::vector<int> shard_counts = {1, 2, 4};
+  const std::vector<int> shard_flows = {64, 512};
+  std::printf("\nsharded multiplexer (%zu MB aggregate per run, "
+              "hw_concurrency=%u):\n",
+              total_bytes >> 20, std::thread::hardware_concurrency());
+  std::printf("%8s %10s %9s %7s %4s\n", "#flows", "#shards", "Mb/s", "cpu%",
+              "thr");
+  for (const int n : shard_flows) {
+    for (const int s : shard_counts) {
+      const RealRun r = run_real(n, /*exclusive=*/false, total_bytes, s);
+      std::printf("%8d %10d", n, s);
+      if (r.ok) {
+        std::printf(" %9.0f %6.0f%% %4d\n", r.goodput_mbps, r.cpu_percent,
+                    r.threads);
+        const std::string tag =
+            "_s" + std::to_string(s) + "_f" + std::to_string(n);
+        json.emplace_back("fig3_shard_goodput_mbps" + tag, r.goodput_mbps);
+        json.emplace_back("fig3_shard_cpu_pct" + tag, r.cpu_percent);
+        json.emplace_back("fig3_shard_threads" + tag, r.threads);
+      } else {
+        std::printf(" %9s %7s %4s\n", "FAIL", "-", "-");
+      }
+    }
+  }
+
+  // --- idle timer cost: timing wheel vs the legacy every-socket walk -----
+  const int idle_flows = scale.full ? 256 : 64;
+  const IdleSweepRun wheel = run_idle_sweep(idle_flows, /*full_walk=*/false);
+  const IdleSweepRun walk = run_idle_sweep(idle_flows, /*full_walk=*/true);
+  std::printf("\nidle timer sweeps (%d silent flows, per socket per "
+              "second):\n", idle_flows);
+  if (wheel.ok && walk.ok) {
+    std::printf("%16s %10.1f\n%16s %10.1f   (%.0fx fewer)\n", "timer wheel",
+                wheel.sweeps_per_sock_per_s, "full walk",
+                walk.sweeps_per_sock_per_s,
+                walk.sweeps_per_sock_per_s /
+                    std::max(wheel.sweeps_per_sock_per_s, 1e-9));
+    json.emplace_back("fig3_idle_sweeps_per_sock_wheel",
+                      wheel.sweeps_per_sock_per_s);
+    json.emplace_back("fig3_idle_sweeps_per_sock_fullwalk",
+                      walk.sweeps_per_sock_per_s);
+  } else {
+    std::printf("  FAIL\n");
+  }
   udtr::bench::write_json(scale.json_path, json);
   return 0;
 }

@@ -40,6 +40,9 @@ struct ProfiledRun {
   double rcv_copies_per_byte = 0.0;
   std::vector<Profiler::Share> snd_report;
   std::vector<Profiler::Share> rcv_report;
+  // Multiplexer shards behind the server side — the thread layout the
+  // shares were measured under (see Profiler::set_shards).
+  int shards = 1;
   bool ok = false;
 };
 
@@ -94,6 +97,7 @@ ProfiledRun run_profiled(double seconds, int io_batch, bool zero_copy) {
   out.rcv_copies_per_byte = rcv_bytes > 0 ? rcv_copied / rcv_bytes : 0.0;
   out.snd_report = sp.report();
   out.rcv_report = rp.report();
+  out.shards = rp.shards();
   out.ok = true;
   stop = true;
   client->close();
@@ -135,8 +139,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("transfer rate: %.0f Mb/s (batch=16), %.0f Mb/s (batch=1)\n",
-              batched.rate_mbps, single.rate_mbps);
+  std::printf("transfer rate: %.0f Mb/s (batch=16), %.0f Mb/s (batch=1), "
+              "%d mux shard(s)\n",
+              batched.rate_mbps, single.rate_mbps, batched.shards);
   print_side("sending (client, batch=16)", batched.snd_report);
   print_side("receiving (server, batch=16)", batched.rcv_report);
 
@@ -187,6 +192,7 @@ int main(int argc, char** argv) {
       {"payload_copies_per_byte_snd_legacy", legacy.snd_copies_per_byte},
       {"payload_copies_per_byte_rcv_legacy", legacy.rcv_copies_per_byte},
       {"rate_mbps_legacy", legacy.rate_mbps},
+      {"shards", static_cast<double>(batched.shards)},
   });
   return 0;
 }

@@ -6,6 +6,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#if defined(__linux__)
+#include <linux/filter.h>
+#endif
+
 #include <array>
 #include <cerrno>
 #include <cstdlib>
@@ -124,10 +128,17 @@ UdpChannel& UdpChannel::operator=(UdpChannel&& other) noexcept {
   return *this;
 }
 
-bool UdpChannel::open(std::uint16_t port) {
+bool UdpChannel::open(std::uint16_t port, bool reuse_port) {
   close();
   fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd_ < 0) return false;
+  if (reuse_port) {
+    const int one = 1;
+    if (::setsockopt(fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) != 0) {
+      close();
+      return false;
+    }
+  }
   sockaddr_in sa{};
   sa.sin_family = AF_INET;
   sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -148,6 +159,27 @@ bool UdpChannel::open(std::uint16_t port) {
                 std::memory_order_relaxed);
   gro_enabled_ = false;
   return true;
+}
+
+bool UdpChannel::attach_reuseport_steering(unsigned shards) {
+  if (fd_ < 0 || shards < 2) return false;
+#if defined(__linux__) && defined(SO_ATTACH_REUSEPORT_CBPF)
+  // ld A <- payload[12..15] (big-endian — the UDT destination socket id);
+  // A %= shards; ret A.  Loading past the end of a short datagram makes the
+  // program return 0, so sub-header noise and raw probes land on shard 0.
+  sock_filter code[] = {
+      {BPF_LD | BPF_W | BPF_ABS, 0, 0, 12},
+      {BPF_ALU | BPF_MOD | BPF_K, 0, 0, shards},
+      {BPF_RET | BPF_A, 0, 0, 0},
+  };
+  sock_fprog prog{};
+  prog.len = sizeof code / sizeof code[0];
+  prog.filter = code;
+  return ::setsockopt(fd_, SOL_SOCKET, SO_ATTACH_REUSEPORT_CBPF, &prog,
+                      sizeof prog) == 0;
+#else
+  return false;
+#endif
 }
 
 void UdpChannel::close() {
@@ -396,6 +428,7 @@ std::size_t UdpChannel::send_gather(const Endpoint& dst,
     // (pre-GSO), so the header/payload pair is linearized into reused
     // scratch — the one staging copy the fault path keeps, paid only when
     // faults are configured.
+    std::lock_guard lk{gather_mu_};
     for (const auto& d : dgrams) {
       gather_scratch_.assign(d.head.begin(), d.head.end());
       gather_scratch_.insert(gather_scratch_.end(), d.body.begin(),

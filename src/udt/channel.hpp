@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -57,7 +58,18 @@ class UdpChannel {
   UdpChannel& operator=(UdpChannel&& other) noexcept;
 
   // Binds to 127.0.0.1:`port` (0 = ephemeral).  Returns false on error.
-  bool open(std::uint16_t port = 0);
+  // With `reuse_port`, SO_REUSEPORT is set before the bind so several
+  // channels (the multiplexer's shards) can share one port; the kernel
+  // load-balances between them unless a steering program is attached.
+  bool open(std::uint16_t port = 0, bool reuse_port = false);
+  // Attaches a classic-BPF reuseport steering program to this fd (the
+  // group leader): each datagram goes to group member
+  // (payload word at byte 12, i.e. the UDT destination socket id) % shards,
+  // in bind order.  Datagrams too short to carry the word land on member 0,
+  // which is where the multiplexer parks handshake handling.  False when
+  // the kernel lacks SO_ATTACH_REUSEPORT_CBPF (the caller falls back to
+  // software demux on a single fd).
+  bool attach_reuseport_steering(unsigned shards);
   void close();
   [[nodiscard]] bool is_open() const { return fd_ >= 0; }
   [[nodiscard]] std::uint16_t local_port() const { return local_port_; }
@@ -177,8 +189,11 @@ class UdpChannel {
   // cross-thread read; all writes come from the sending thread.
   std::atomic<bool> gso_ok_{true};
   // Reused linearization scratch for routing gathered datagrams through the
-  // per-datagram fault injector.  send_gather is only ever called by the
-  // one sender thread, so a single buffer suffices.
+  // per-datagram fault injector.  One buffer, guarded by gather_mu_: in the
+  // multiplexer's single-fd fallback mode several shard tx threads share
+  // this channel, and the injector path is the only send state they could
+  // collide on (taken only when faults are configured).
+  std::mutex gather_mu_;
   std::vector<std::uint8_t> gather_scratch_;
   // Atomic: the sender thread moves data while the receiver thread sends
   // control packets through the same channel.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdlib>
 #include <cstring>
 
 namespace udtr::udt {
@@ -16,6 +17,22 @@ constexpr std::size_t kGroSlotBytes = 65535;
 [[nodiscard]] std::size_t plain_slot_bytes(int mss_bytes) {
   return static_cast<std::size_t>(mss_bytes) + kHeaderBytes + 64;
 }
+
+[[nodiscard]] bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+[[nodiscard]] std::int64_t to_ns(Multiplexer::Clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+// Identifies the shard whose rx thread is the caller: the one producer the
+// shard's SPSC wakeup ring is allowed to have.  Every other thread kicking
+// a socket on that shard must take the mutex-protected pending list.
+thread_local const void* t_rx_shard = nullptr;
 
 // Process-wide registry of live multiplexers.  Weak pointers: a multiplexer
 // lives exactly as long as some socket holds it, and expired entries are
@@ -42,29 +59,99 @@ void send_handshake_packet(UdpChannel& ch, const Endpoint& to,
   ch.send_to(to, buf);
 }
 
+std::size_t resolve_mux_shards(const SocketOptions& opts) {
+  long n = 0;
+  if (opts.mux_shards > 0) {
+    n = opts.mux_shards;
+  } else if (const char* e = std::getenv("UDTR_MUX_SHARDS");
+             e != nullptr && *e != '\0') {
+    n = std::atol(e);
+  } else {
+    const auto hw = static_cast<long>(std::thread::hardware_concurrency());
+    n = std::min<long>(4, std::max<long>(1, hw / 2));
+  }
+  return static_cast<std::size_t>(
+      std::clamp<long>(n, 1, static_cast<long>(Multiplexer::kMaxMuxShards)));
+}
+
 Multiplexer::Multiplexer(Private, const SocketOptions& opts) : cfg_(opts) {
   io_batch_ = std::clamp(opts.io_batch, 1, 64);
 }
 
 Multiplexer::~Multiplexer() {
   running_ = false;
-  {
-    std::lock_guard lk{send_mu_};
+  for (auto& sh : shards_) {
+    {
+      std::lock_guard lk{sh->pending_mu};
+    }
+    sh->tx_cv.notify_all();
   }
-  send_cv_.notify_all();
   {
     std::lock_guard lk{hs_mu_};
   }
   hs_cv_.notify_all();
-  if (rcv_thread_.joinable()) rcv_thread_.join();
-  if (snd_thread_.joinable()) snd_thread_.join();
-  channel_.close();
+  for (auto& sh : shards_) {
+    if (sh->rx_thread.joinable()) sh->rx_thread.join();
+    if (sh->tx_thread.joinable()) sh->tx_thread.join();
+  }
+  for (auto& sh : shards_) {
+    if (sh->channel) sh->channel->close();
+  }
 }
 
 std::shared_ptr<Multiplexer> Multiplexer::open(std::uint16_t port,
                                                const SocketOptions& opts) {
+  // Multi-shard mode binds with SO_REUSEPORT, which would happily share a
+  // port another multiplexer in this process already owns; an in-use port
+  // must stay a bind failure (single-shard semantics), so consult the
+  // registry before touching the kernel.
+  if (port != 0 && find(port) != nullptr) return nullptr;
   auto m = std::make_shared<Multiplexer>(Private{}, opts);
-  if (!m->channel_.open(port)) return nullptr;
+  const std::size_t want = resolve_mux_shards(opts);
+  const bool try_reuseport = want > 1 && !env_flag("UDTR_NO_REUSEPORT");
+
+  auto s0 = std::make_unique<Shard>();
+  s0->index = 0;
+  s0->channel = std::make_unique<UdpChannel>();
+  if (!s0->channel->open(port, try_reuseport)) return nullptr;
+  const std::uint16_t bound = s0->channel->local_port();
+  m->shards_.push_back(std::move(s0));
+
+  if (try_reuseport) {
+    bool ok = true;
+    for (std::size_t i = 1; i < want; ++i) {
+      auto sh = std::make_unique<Shard>();
+      sh->index = i;
+      sh->channel = std::make_unique<UdpChannel>();
+      if (!sh->channel->open(bound, true)) {
+        ok = false;
+        break;
+      }
+      m->shards_.push_back(std::move(sh));
+    }
+    // The steering program divides by the *intended* group size, so it must
+    // only go live once every member is bound: a program selecting an index
+    // beyond the group makes the kernel drop the datagram outright.
+    if (ok) {
+      ok = m->shards_[0]->channel->attach_reuseport_steering(
+          static_cast<unsigned>(want));
+    }
+    if (!ok) m->shards_.resize(1);  // closes the extra fds
+    m->steered_ = ok;
+  }
+  if (!m->steered_ && want > 1) {
+    // Software-demux fallback: one shared fd, every shard's rx thread
+    // drains it, and dispatch() routes each datagram to the owning shard's
+    // index — the same hash the BPF program would have computed.
+    while (m->shards_.size() < want) {
+      auto sh = std::make_unique<Shard>();
+      sh->index = m->shards_.size();
+      m->shards_.push_back(std::move(sh));
+    }
+  }
+  for (auto& sh : m->shards_) {
+    sh->io = sh->channel ? sh->channel.get() : m->shards_[0]->channel.get();
+  }
   m->start();
   registry_add(m);
   return m;
@@ -94,26 +181,47 @@ std::shared_ptr<Multiplexer> Multiplexer::find(std::uint16_t port) {
 }
 
 void Multiplexer::start() {
+  std::shared_ptr<FaultInjector> inj;
   if (cfg_.faults) {
-    channel_.set_fault_injector(cfg_.faults);
+    inj = cfg_.faults;
   } else if (cfg_.loss_injection > 0.0) {
-    channel_.set_fault_injector(make_loss_injector(
-        cfg_.loss_injection, cfg_.loss_seed, kHeaderBytes + 16));
+    inj = make_loss_injector(cfg_.loss_injection, cfg_.loss_seed,
+                             kHeaderBytes + 16);
   }
-  channel_.set_recv_timeout(std::chrono::microseconds{
-      static_cast<std::int64_t>(cfg_.syn_s * 1e6 / 2)});
-  channel_.set_buffer_sizes(4 << 20, 8 << 20);
-  gro_ = cfg_.gso && channel_.enable_gro();
+  const auto rcv_timeout = std::chrono::microseconds{
+      static_cast<std::int64_t>(cfg_.syn_s * 1e6 / 2)};
+  bool any_gro = false;
+  for (auto& sh : shards_) {
+    if (!sh->channel) continue;
+    // One injector instance across the shard fds: faults stay per logical
+    // datagram and the drop/duplicate accounting stays coherent no matter
+    // which shard's fd carried the packet.
+    if (inj) sh->channel->set_fault_injector(inj);
+    sh->channel->set_recv_timeout(rcv_timeout);
+    sh->channel->set_buffer_sizes(4 << 20, 8 << 20);
+    if (cfg_.gso && sh->channel->enable_gro()) any_gro = true;
+  }
+  gro_ = any_gro;
+  // Slot sizing keys off whether *any* fd may deliver coalesced buffers —
+  // a short slot would make the kernel truncate a GRO burst.
   slot_bytes_ = gro_ ? kGroSlotBytes : plain_slot_bytes(cfg_.mss_bytes);
   const auto max_batch = static_cast<std::size_t>(io_batch_);
   const std::size_t slot_count =
       gro_ ? max_batch * 4 : std::max<std::size_t>(512, max_batch * 4);
-  slab_ = std::make_shared<RecvSlab>(slot_bytes_, slot_count);
-  heap_.reserve(256);
-  due_scratch_.reserve(256);
+  legacy_sweep_ = env_flag("UDTR_FULL_SWEEP");
+  syn_us_ = std::chrono::microseconds{
+      static_cast<std::int64_t>(cfg_.syn_s * 1e6)};
+  for (auto& sh : shards_) {
+    sh->slab = std::make_shared<RecvSlab>(slot_bytes_, slot_count);
+    sh->heap.reserve(256);
+    sh->due_scratch.reserve(256);
+  }
   running_ = true;
-  rcv_thread_ = std::thread([this] { recv_loop(); });
-  snd_thread_ = std::thread([this] { send_loop(); });
+  for (auto& sh : shards_) {
+    Shard* p = sh.get();
+    p->rx_thread = std::thread([this, p] { rx_loop(*p); });
+    p->tx_thread = std::thread([this, p] { tx_loop(*p); });
+  }
 }
 
 bool Multiplexer::compatible(const SocketOptions& opts) const {
@@ -122,22 +230,25 @@ bool Multiplexer::compatible(const SocketOptions& opts) const {
          (opts.loss_injection == 0.0 || opts.loss_seed == cfg_.loss_seed) &&
          std::clamp(opts.io_batch, 1, 64) == io_batch_ &&
          opts.gso == cfg_.gso && opts.syn_s == cfg_.syn_s &&
-         plain_slot_bytes(opts.mss_bytes) <= slot_bytes_;
+         plain_slot_bytes(opts.mss_bytes) <= slot_bytes_ &&
+         resolve_mux_shards(opts) == shards_.size();
 }
 
 // ----------------------------------------------------------- attachment ---
 
 void Multiplexer::attach(Socket* s) {
-  std::unique_lock al{attach_mu_};
-  socks_[s->socket_id_] = s;
+  Shard& sh = shard_for(s->socket_id_);
+  s->mux_shard_ = static_cast<std::uint32_t>(sh.index);
+  {
+    std::unique_lock al{sh.attach_mu};
+    sh.socks[s->socket_id_] = s;
+  }
+  arm_timer(s);
 }
 
 void Multiplexer::attach_child(Socket* s, const HandshakePayload& resp) {
   const HsKey key{s->peer_.ip_host_order, s->peer_.port, s->peer_socket_id_};
-  {
-    std::unique_lock al{attach_mu_};
-    socks_[s->socket_id_] = s;
-  }
+  attach(s);
   std::lock_guard lk{hs_mu_};
   child_resp_[key] = resp;
   // The request is no longer pending — and any duplicate already sitting in
@@ -151,10 +262,14 @@ void Multiplexer::attach_child(Socket* s, const HandshakePayload& resp) {
 }
 
 void Multiplexer::detach(Socket* s) {
+  Shard& sh = shard_for(s->socket_id_);
   {
-    std::unique_lock al{attach_mu_};
-    socks_.erase(s->socket_id_);
+    std::unique_lock al{sh.attach_mu};
+    sh.socks.erase(s->socket_id_);
   }
+  // After the erase no expiry can re-arm the socket (fire_timer's lookup
+  // fails), so cancelling here leaves no stale wheel entry behind.
+  sh.wheel.cancel(s->socket_id_);
   std::lock_guard lk{hs_mu_};
   if (listener_ == s) {
     listener_ = nullptr;
@@ -169,6 +284,14 @@ void Multiplexer::detach(Socket* s) {
     remember_answered(key, it->second);
     child_resp_.erase(it);
   }
+}
+
+void Multiplexer::arm_timer(Socket* s) {
+  if (legacy_sweep_) return;  // the full walk covers every socket already
+  Shard& sh = shard_for(s->socket_id_);
+  const auto now = Clock::now();
+  s->wheel_deadline_ns_.store(to_ns(now), std::memory_order_relaxed);
+  sh.wheel.schedule(s->socket_id_, now);
 }
 
 bool Multiplexer::attach_listener(Socket* s) {
@@ -200,13 +323,42 @@ void Multiplexer::reject_handshake(const Endpoint& src,
 }
 
 std::size_t Multiplexer::attached_sockets() const {
-  std::shared_lock al{attach_mu_};
-  return socks_.size();
+  std::size_t n = 0;
+  for (const auto& sh : shards_) {
+    std::shared_lock al{sh->attach_mu};
+    n += sh->socks.size();
+  }
+  return n;
 }
 
 std::size_t Multiplexer::remembered_handshakes() const {
   std::lock_guard lk{hs_mu_};
   return answered_.size() + child_resp_.size();
+}
+
+std::uint64_t Multiplexer::timer_sweep_calls() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) {
+    n += sh->sweep_calls.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+std::uint64_t Multiplexer::timer_socket_sweeps() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) {
+    n += sh->socket_sweeps.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+UdpChannel& Multiplexer::channel_for(std::uint32_t socket_id) {
+  return *shard_for(socket_id).io;
+}
+
+const std::shared_ptr<RecvSlab>& Multiplexer::slab_for(
+    std::uint32_t socket_id) const {
+  return shards_[socket_id % shards_.size()]->slab;
 }
 
 // ------------------------------------------------------------ handshake ---
@@ -255,13 +407,13 @@ void Multiplexer::handle_handshake(std::span<const std::uint8_t> pkt,
   if (const auto it = child_resp_.find(key); it != child_resp_.end()) {
     const HandshakePayload resp = it->second;
     lk.unlock();
-    send_handshake_packet(channel_, src, req->socket_id, resp);
+    send_handshake_packet(channel(), src, req->socket_id, resp);
     return;
   }
   if (const auto it = answered_.find(key); it != answered_.end()) {
     const HandshakePayload resp = it->second.resp;
     lk.unlock();
-    send_handshake_packet(channel_, src, req->socket_id, resp);
+    send_handshake_packet(channel(), src, req->socket_id, resp);
     return;
   }
   if (listener_ == nullptr) return;  // nobody accepting on this port
@@ -292,20 +444,31 @@ void Multiplexer::dispatch(std::span<const std::uint8_t> pkt,
     }
     return;
   }
-  std::shared_lock al{attach_mu_};
-  const auto it = socks_.find(dst);
-  if (it == socks_.end()) {
+  // Route through the owner's index regardless of which rx thread is
+  // running: in steered mode this is almost always the calling thread's own
+  // shard, but a GRO super-datagram can hide foreign-flow segments behind
+  // its first destination id, and fallback mode makes every delivery a
+  // potential cross-shard one.
+  Shard& owner = shard_for(dst);
+  std::shared_lock al{owner.attach_mu};
+  const auto it = owner.socks.find(dst);
+  if (it == owner.socks.end()) {
     unroutable_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  it->second->mux_ingest(pkt, slab, slab_slot);
+  Socket* s = it->second;
+  s->mux_ingest(pkt, slab, slab_slot);
+  // An arrival usually means timer work soon (§4.8: ACK cadence resumes,
+  // EXP pushes out) — pull a parked wheel entry in to one SYN from now.
+  if (!legacy_sweep_) tighten_timer(owner, s);
 }
 
-void Multiplexer::recv_loop() {
-  // Same structure as the per-socket receiver loop: slab-backed recv slots,
-  // one recvmmsg drain per wakeup, in-place GRO segment walking — but every
-  // decoded datagram is routed by its destination socket id instead of
-  // being handled by one owner.
+void Multiplexer::rx_loop(Shard& sh) {
+  t_rx_shard = &sh;
+  // Same structure as the PR 4 receiver loop: slab-backed recv slots, one
+  // recvmmsg drain per wakeup, in-place GRO segment walking — but per
+  // shard, and the post-receive timer check drains this shard's wheel in
+  // O(expired) instead of walking every socket.
   const auto max_batch = static_cast<std::size_t>(io_batch_);
   const std::size_t dgram_cap = slot_bytes_;
   std::vector<std::uint8_t> arena(max_batch * dgram_cap);
@@ -315,53 +478,112 @@ void Multiplexer::recv_loop() {
     slots[i].buf = std::span{arena.data() + i * dgram_cap, dgram_cap};
   }
   constexpr auto kSweepGap = std::chrono::milliseconds{1};
+  constexpr auto kEvictGap = std::chrono::milliseconds{10};
   auto last_sweep = Clock::now();
+  auto last_evict = last_sweep;
 
   while (running_) {
     for (std::size_t i = 0; i < slots.size(); ++i) {
       if (slab_ids[i] >= 0) continue;
-      const int id = slab_->acquire();
+      const int id = sh.slab->acquire();
       if (id >= 0) {
         slab_ids[i] = id;
-        slots[i].buf = std::span{slab_->data(id), slab_->slot_bytes()};
+        slots[i].buf = std::span{sh.slab->data(id), sh.slab->slot_bytes()};
       } else {
         slots[i].buf = std::span{arena.data() + i * dgram_cap, dgram_cap};
       }
     }
-    const UdpChannel::RecvBatchResult r = channel_.recv_batch(slots);
+    const UdpChannel::RecvBatchResult r = sh.io->recv_batch(slots);
     for (std::size_t i = 0; i < r.count; ++i) {
       const UdpChannel::RecvSlot& s = slots[i];
-      RecvSlab* pkt_slab = slab_ids[i] >= 0 ? slab_.get() : nullptr;
+      RecvSlab* pkt_slab = slab_ids[i] >= 0 ? sh.slab.get() : nullptr;
       for_each_datagram({s.buf.data(), s.bytes}, s.gro_size,
                         [&](std::span<const std::uint8_t> pkt) {
                           dispatch(pkt, s.src, pkt_slab, slab_ids[i]);
                         });
       if (slab_ids[i] >= 0) {
-        slab_->release(slab_ids[i]);
+        sh.slab->release(slab_ids[i]);
         slab_ids[i] = -1;
       }
     }
-    // §4.8 timer check, shared-thread form: every attached socket's timers
-    // are swept after a bounded receive, rate-limited so a busy port does
-    // not pay the sweep per wakeup.
+    // §4.8 timer check: only sockets whose wheel entry expired are swept —
+    // an idle fleet parks at EXP cadence and costs nothing per tick.  The
+    // legacy env override keeps the PR 4 every-socket walk measurable.
     const auto now = Clock::now();
     if (now - last_sweep >= kSweepGap) {
       last_sweep = now;
-      sweep_timers();
+      sh.sweep_calls.fetch_add(1, std::memory_order_relaxed);
+      if (legacy_sweep_) {
+        full_sweep(sh);
+      } else {
+        sh.wheel.drain(now, [this, &sh](std::uint64_t key) {
+          fire_timer(sh, key);
+        });
+      }
+    }
+    if (sh.index == 0 && now - last_evict >= kEvictGap) {
+      last_evict = now;
+      std::lock_guard lk{hs_mu_};
+      evict_answered();
     }
   }
   for (std::size_t i = 0; i < slots.size(); ++i) {
-    if (slab_ids[i] >= 0) slab_->release(slab_ids[i]);
+    if (slab_ids[i] >= 0) sh.slab->release(slab_ids[i]);
+  }
+  t_rx_shard = nullptr;
+}
+
+void Multiplexer::fire_timer(Shard& sh, std::uint64_t key) {
+  const auto id = static_cast<std::uint32_t>(key);
+  std::shared_lock al{sh.attach_mu};
+  const auto it = sh.socks.find(id);
+  if (it == sh.socks.end()) return;  // detached after its entry expired
+  Socket* s = it->second;
+  sh.socket_sweeps.fetch_add(1, std::memory_order_relaxed);
+  const auto next = s->sweep_timers_next();
+  // A tighten_timer racing between this store and the schedule below can be
+  // overwritten, leaving one arrival unaccelerated; the next arrival (or
+  // this re-armed entry) picks the socket back up, so the worst case is a
+  // single delayed ACK round, not a stall.
+  s->wheel_deadline_ns_.store(to_ns(next), std::memory_order_relaxed);
+  sh.wheel.schedule(key, next);
+}
+
+void Multiplexer::tighten_timer(Shard& owner, Socket* s) {
+  const auto want = Clock::now() + syn_us_;
+  const std::int64_t want_ns = to_ns(want);
+  std::int64_t cur = s->wheel_deadline_ns_.load(std::memory_order_relaxed);
+  // CAS-min keeps this O(1) and idempotent: a socket already due within one
+  // SYN (every flowing socket, after its first sweep) takes the early-out
+  // and never touches the wheel.
+  while (want_ns < cur) {
+    if (s->wheel_deadline_ns_.compare_exchange_weak(
+            cur, want_ns, std::memory_order_relaxed)) {
+      owner.wheel.schedule(s->socket_id_, want);
+      return;
+    }
   }
 }
 
-void Multiplexer::sweep_timers() {
+void Multiplexer::full_sweep(Shard& sh) {
+  // Legacy O(all-sockets) walk.  The socket list is snapshotted first and
+  // each sweep re-takes the shard lock, so attach/detach are never starved
+  // behind a long walk (the old code held the registry lock across every
+  // socket's sweep).
+  thread_local std::vector<std::uint32_t> ids;
+  ids.clear();
   {
-    std::shared_lock al{attach_mu_};
-    for (const auto& [id, s] : socks_) s->sweep_timers();
+    std::shared_lock al{sh.attach_mu};
+    ids.reserve(sh.socks.size());
+    for (const auto& [id, s] : sh.socks) ids.push_back(id);
   }
-  std::lock_guard lk{hs_mu_};
-  evict_answered();
+  for (const std::uint32_t id : ids) {
+    std::shared_lock al{sh.attach_mu};
+    const auto it = sh.socks.find(id);
+    if (it == sh.socks.end()) continue;
+    sh.socket_sweeps.fetch_add(1, std::memory_order_relaxed);
+    it->second->sweep_timers();
+  }
 }
 
 // ----------------------------------------------------------------- send ---
@@ -369,23 +591,41 @@ void Multiplexer::sweep_timers() {
 void Multiplexer::kick(Socket* s) {
   if (!running_) return;
   if (s->tx_scheduled_.exchange(true)) return;  // already queued
-  {
-    std::lock_guard lk{send_mu_};
-    heap_.push_back(TxEntry{Clock::now(), order_++, s->socket_id_});
-    std::push_heap(heap_.begin(), heap_.end(), TxLater{});
+  Shard& sh = *shards_[s->mux_shard_];
+  if (t_rx_shard == &sh) {
+    // This shard's own rx thread: the ring's one sanctioned producer.  The
+    // seq_cst fence pairs with the one in tx_park(): either we observe the
+    // tx thread going idle (and notify under its mutex, which cannot be
+    // lost), or it observes our push before committing to sleep.
+    if (sh.ring.push(s->socket_id_)) {
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (sh.tx_idle.load(std::memory_order_relaxed)) {
+        std::lock_guard lk{sh.pending_mu};
+        sh.tx_cv.notify_one();
+      }
+      return;
+    }
+    // Ring full (tx thread far behind): fall through to the mutex path.
   }
-  send_cv_.notify_one();
+  {
+    std::lock_guard lk{sh.pending_mu};
+    sh.pending_kicks.push_back(s->socket_id_);
+    sh.pending_n.store(
+        static_cast<std::uint32_t>(sh.pending_kicks.size()),
+        std::memory_order_relaxed);
+  }
+  sh.tx_cv.notify_one();
 }
 
-void Multiplexer::kick_all() {
-  std::shared_lock al{attach_mu_};
-  for (const auto& [id, s] : socks_) kick(s);
+void Multiplexer::kick_all(Shard& sh) {
+  std::shared_lock al{sh.attach_mu};
+  for (const auto& [id, s] : sh.socks) kick(s);
 }
 
-void Multiplexer::serve(std::uint32_t id) {
-  std::shared_lock al{attach_mu_};
-  const auto it = socks_.find(id);
-  if (it == socks_.end()) return;  // detached after its entry was queued
+void Multiplexer::serve(Shard& sh, std::uint32_t id) {
+  std::shared_lock al{sh.attach_mu};
+  const auto it = sh.socks.find(id);
+  if (it == sh.socks.end()) return;  // detached after its entry was queued
   Socket* s = it->second;
   // Clear-then-recheck: the flag drops before tx_round reads the socket
   // state, so a kick landing mid-round either sees the flag down and queues
@@ -394,57 +634,83 @@ void Multiplexer::serve(std::uint32_t id) {
   const auto next = s->tx_round();
   if (next == Clock::time_point::max()) return;  // parked until kicked
   if (s->tx_scheduled_.exchange(true)) return;   // a kick re-queued it first
-  std::lock_guard lk{send_mu_};
-  heap_.push_back(TxEntry{next, order_++, id});
-  std::push_heap(heap_.begin(), heap_.end(), TxLater{});
+  // The heap is this tx thread's private state — requeue without any lock.
+  sh.heap.push_back(TxEntry{next, sh.order++, id});
+  std::push_heap(sh.heap.begin(), sh.heap.end(), TxLater{});
 }
 
-void Multiplexer::send_loop() {
+void Multiplexer::tx_park(Shard& sh, Clock::time_point deadline) {
+  std::unique_lock lk{sh.pending_mu};
+  sh.tx_idle.store(true, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  // Re-check the ring after publishing tx_idle (the fence orders the two):
+  // a producer that missed the flag must have pushed before our check, and
+  // one that pushed after it sees the flag and notifies under the mutex we
+  // hold — a push can never be slept through.
+  if (sh.ring.empty() && sh.pending_kicks.empty() && running_) {
+    sh.tx_cv.wait_until(lk, deadline);
+  }
+  sh.tx_idle.store(false, std::memory_order_relaxed);
+}
+
+void Multiplexer::tx_loop(Shard& sh) {
   // Safety net: losing a kick would strand a socket with queued data, so
-  // every attached socket is re-kicked on a slow heartbeat; a parked socket
-  // with no work simply parks again.
+  // every socket this shard owns is re-kicked on a slow heartbeat; a parked
+  // socket with no work simply parks again.
   constexpr auto kKickSweepGap = std::chrono::milliseconds{100};
-  std::unique_lock lk{send_mu_};
+  std::vector<std::uint32_t> kicks;  // mutex-path drain scratch
   auto next_kick_sweep = Clock::now() + kKickSweepGap;
   while (running_) {
-    const auto now = Clock::now();
+    auto now = Clock::now();
     if (now >= next_kick_sweep) {
       next_kick_sweep = now + kKickSweepGap;
-      lk.unlock();
-      kick_all();
-      lk.lock();
+      kick_all(sh);
+      now = Clock::now();
+    }
+    // Drain wakeups into the private heap: the SPSC ring first (the rx
+    // sibling's lock-free path), then the mutex-protected pending list
+    // (application threads, foreign shards, ring overflow).
+    std::uint32_t id = 0;
+    while (sh.ring.pop(id)) {
+      sh.heap.push_back(TxEntry{now, sh.order++, id});
+      std::push_heap(sh.heap.begin(), sh.heap.end(), TxLater{});
+    }
+    if (sh.pending_n.load(std::memory_order_relaxed) > 0) {
+      {
+        std::lock_guard lk{sh.pending_mu};
+        kicks.swap(sh.pending_kicks);
+        sh.pending_n.store(0, std::memory_order_relaxed);
+      }
+      for (const std::uint32_t k : kicks) {
+        sh.heap.push_back(TxEntry{now, sh.order++, k});
+        std::push_heap(sh.heap.begin(), sh.heap.end(), TxLater{});
+      }
+      kicks.clear();
+    }
+    if (sh.heap.empty()) {
+      tx_park(sh, next_kick_sweep);
       continue;
     }
-    if (heap_.empty()) {
-      send_cv_.wait_until(lk, next_kick_sweep);
-      continue;
-    }
-    const auto due = heap_.front().due;
+    const auto due = sh.heap.front().due;
     if (due > now) {
       if (due - now > Pacer::kSpinThreshold) {
-        send_cv_.wait_until(lk,
-                            std::min(due - Pacer::kSpinThreshold,
-                                     next_kick_sweep));
+        tx_park(sh, std::min(due - Pacer::kSpinThreshold, next_kick_sweep));
       } else {
         // Sub-threshold remainder: spin for §4.5 precision, exactly as the
         // per-socket Pacer would.
-        lk.unlock();
         Pacer::wait_until(due);
-        lk.lock();
       }
       continue;
     }
-    // Serve every socket due this instant outside the heap lock; FIFO order
-    // among equal deadlines keeps service round-robin fair.
-    due_scratch_.clear();
-    while (!heap_.empty() && heap_.front().due <= now) {
-      std::pop_heap(heap_.begin(), heap_.end(), TxLater{});
-      due_scratch_.push_back(heap_.back().id);
-      heap_.pop_back();
+    // Serve every socket due this instant; FIFO order among equal deadlines
+    // keeps service round-robin fair.
+    sh.due_scratch.clear();
+    while (!sh.heap.empty() && sh.heap.front().due <= now) {
+      std::pop_heap(sh.heap.begin(), sh.heap.end(), TxLater{});
+      sh.due_scratch.push_back(sh.heap.back().id);
+      sh.heap.pop_back();
     }
-    lk.unlock();
-    for (const std::uint32_t id : due_scratch_) serve(id);
-    lk.lock();
+    for (const std::uint32_t d : sh.due_scratch) serve(sh, d);
   }
 }
 

@@ -1,31 +1,48 @@
-// UDP multiplexer: one UDP port and one pair of service threads shared by
-// every UDT socket bound to it (paper §4, Fig. 3 — concurrency must cost
-// per-flow state, not per-flow threads).
+// UDP multiplexer: one UDP port shared by every UDT socket bound to it
+// (paper §4, Fig. 3 — concurrency must cost per-flow state, not per-flow
+// threads), with the datapath sharded N ways across cores (§4.1–4.2: "even
+// distribution of processing" is what lets the endpoint keep up with the
+// wire).
 //
-// The legacy (PR 3) layout gives each socket its own UdpChannel plus a
-// dedicated sender and receiver thread, which caps a process at hundreds of
-// connections.  The multiplexer inverts the ownership: the channel, the
-// receive slab and the two threads belong to the *port*, and sockets attach
-// to it.
+// The PR 4 layout gave the port ONE rx/tx thread pair, one registry lock
+// and one O(all sockets) timer sweep — a hard ceiling at scale.  This
+// version splits the port into `SocketOptions::mux_shards` shards, each a
+// self-contained slice of the PR 4 design:
 //
-//   * The receive thread runs the same batched recv_batch / for_each_datagram
-//     drain as the per-socket receiver, then demultiplexes each wire datagram
-//     by the destination-socket-id field (validated in decode_*) and hands it
-//     to the owning socket under that socket's lock.  Handshake requests
-//     (dst id 0) rendezvous here too: they are answered from the duplicate-
-//     handshake memory or queued for the listener's accept().
-//   * The send thread services all attached sockets from a timestamp-ordered
-//     min-heap of pacing deadlines.  Each socket keeps its own Pacer and
-//     congestion state; a heap pop runs one tx_round (fill a batch-credit's
-//     worth of packets, one gather/GSO syscall, advance the pacer) and pushes
-//     the socket's next deadline back.  Ties are FIFO-ordered, which is what
-//     makes service round-robin fair when many sockets are due at once.
+//   * its own UdpChannel bound to the port via SO_REUSEPORT, with a
+//     classic-BPF steering program on the group leader routing each
+//     datagram by (UDT destination socket id) % N — so a flow's traffic
+//     always lands on the shard that owns it, kernel-side.  Where
+//     SO_REUSEPORT or the BPF attach is unavailable, all shards fall back
+//     to one shared fd and the rx threads software-demux by the same hash.
+//   * its own rx thread: batched recv_batch / for_each_datagram drain into
+//     a shard-private RecvSlab, routing each datagram through the shard's
+//     own socket index (a shared_mutex nobody else's hot path touches).
+//   * its own tx thread and tx min-heap (thread-private — no heap lock at
+//     all): sockets are rescheduled through a bounded lock-free SPSC
+//     wakeup ring from the sibling rx thread, so an ACK arriving on shard
+//     k re-arms the sender without a mutex.  Kicks from application
+//     threads (send(), close()) or a foreign shard take a small
+//     mutex-protected pending list instead — the SPSC invariant is
+//     structural, not hopeful.
+//   * its own hierarchical TimerWheel replacing the O(all-sockets)
+//     sweep_timers() walk: each socket keeps one entry at its earliest
+//     §4.8 deadline and the rx loop drains expirations in O(expired).
 //
-// Accepted connections stay on the listener's port — no child channel — and
-// connect()/listen() route through a small process-wide registry so client
-// sockets with compatible options share one multiplexer.  The fault injector
-// attaches per-multiplexer (it wraps the shared channel) and still sees every
-// logical datagram, exactly as it did per-socket.
+// Sockets are assigned shard = socket_id % N for their whole lifetime (the
+// same function the BPF program computes), so the hot path never crosses
+// shards.  Cross-shard deliveries still happen in two benign cases — a GRO
+// super-datagram can coalesce segments of several flows behind the first
+// segment's id, and fallback mode has every rx thread pulling from one fd —
+// and then the receiving thread simply routes through the owning shard's
+// index under its shared lock.
+//
+// Handshake rendezvous (dst id 0) stays port-global under hs_mu_: the BPF
+// program steers id-0 (and short) datagrams to shard 0, but any shard may
+// legally handle one in fallback mode.  Accepted connections stay on the
+// listener's port, and connect()/listen() route through the process-wide
+// registry exactly as before.  mux_shards = 1 reproduces the PR 4
+// single-pair datapath byte-for-byte.
 #pragma once
 
 #include <atomic>
@@ -49,6 +66,8 @@
 #include "udt/packet.hpp"
 #include "udt/pacing.hpp"
 #include "udt/socket.hpp"
+#include "udt/timer_wheel.hpp"
+#include "udt/wakeup_ring.hpp"
 
 namespace udtr::udt {
 
@@ -58,9 +77,16 @@ namespace udtr::udt {
 void send_handshake_packet(UdpChannel& ch, const Endpoint& to,
                            std::uint32_t dst_id, const HandshakePayload& h);
 
+// Effective shard count for `opts`: opts.mux_shards when positive, else the
+// UDTR_MUX_SHARDS environment override, else min(4, hw_concurrency / 2).
+// Clamped to [1, kMaxMuxShards].
+[[nodiscard]] std::size_t resolve_mux_shards(const SocketOptions& opts);
+
 class Multiplexer : public std::enable_shared_from_this<Multiplexer> {
  public:
   using Clock = Pacer::Clock;
+
+  static constexpr std::size_t kMaxMuxShards = 16;
 
   // One handshake request parked for the listener's accept().
   struct PendingHandshake {
@@ -84,8 +110,9 @@ class Multiplexer : public std::enable_shared_from_this<Multiplexer> {
   Multiplexer(const Multiplexer&) = delete;
   Multiplexer& operator=(const Multiplexer&) = delete;
 
-  // Opens a multiplexer on 127.0.0.1:`port` (0 = ephemeral) and starts its
-  // two service threads.  nullptr when the bind fails (port in use).
+  // Opens a multiplexer on 127.0.0.1:`port` (0 = ephemeral) and starts one
+  // rx/tx thread pair per shard.  nullptr when the bind fails (port in
+  // use).
   [[nodiscard]] static std::shared_ptr<Multiplexer> open(
       std::uint16_t port, const SocketOptions& opts);
   // Process-wide client registry: returns a live shared client-side
@@ -97,28 +124,47 @@ class Multiplexer : public std::enable_shared_from_this<Multiplexer> {
   // it).  Exposed for tests and diagnostics.
   [[nodiscard]] static std::shared_ptr<Multiplexer> find(std::uint16_t port);
 
-  [[nodiscard]] UdpChannel& channel() { return channel_; }
+  // Shard 0's channel: the reuseport group leader (or the single shared fd
+  // in fallback mode).  Handshake traffic leaves through it.
+  [[nodiscard]] UdpChannel& channel() { return *shards_[0]->channel; }
+  // The channel the socket with this id sends on: its owning shard's fd in
+  // steered mode, the shared fd in fallback mode.
+  [[nodiscard]] UdpChannel& channel_for(std::uint32_t socket_id);
   [[nodiscard]] std::uint16_t local_port() const {
-    return channel_.local_port();
+    return shards_[0]->channel->local_port();
   }
-  [[nodiscard]] const std::shared_ptr<RecvSlab>& shared_slab() const {
-    return slab_;
+  // The receive slab backing the shard that owns `socket_id`.
+  [[nodiscard]] const std::shared_ptr<RecvSlab>& slab_for(
+      std::uint32_t socket_id) const;
+
+  // --- shard topology -----------------------------------------------------
+  [[nodiscard]] std::size_t shards() const { return shards_.size(); }
+  [[nodiscard]] std::size_t shard_of(std::uint32_t socket_id) const {
+    return socket_id % shards_.size();
   }
+  // True when the kernel steers datagrams to shard fds by socket id
+  // (SO_REUSEPORT + cBPF); false in the software-demux fallback.
+  [[nodiscard]] bool kernel_steered() const { return steered_; }
 
   // True when a socket with these options can share this multiplexer: same
-  // fault/loss configuration (the injector is per-channel), same batching
-  // and offload setup, and an MSS that fits the receive slots.
+  // fault/loss configuration (the injector is per-channel), same batching,
+  // offload and shard setup, and an MSS that fits the receive slots.
   [[nodiscard]] bool compatible(const SocketOptions& opts) const;
 
   // --- socket attachment --------------------------------------------------
-  // Routes datagrams addressed to s->id() to `s`.  detach() blocks until no
-  // service thread still holds a reference to `s`, so after it returns the
-  // socket may be destroyed.
+  // Routes datagrams addressed to s->id() to `s` (on shard id % N) and arms
+  // its timer-wheel entry.  detach() blocks until no service thread still
+  // holds a reference to `s`, so after it returns the socket may be
+  // destroyed.
   void attach(Socket* s);
   // Accepted child: additionally remembers (peer ip, port, peer socket id)
   // -> `resp` in the live-children index for duplicate-request re-replies.
   void attach_child(Socket* s, const HandshakePayload& resp);
   void detach(Socket* s);
+  // (Re)arms the socket's wheel entry to fire immediately — used when a
+  // socket enters steady state after attaching (the first sweep computes
+  // its real deadline).
+  void arm_timer(Socket* s);
 
   // At most one listener per port; false when one is already attached.
   bool attach_listener(Socket* s);
@@ -132,7 +178,9 @@ class Multiplexer : public std::enable_shared_from_this<Multiplexer> {
   // --- send scheduling ----------------------------------------------------
   // Schedules `s` for a tx_round as soon as possible.  Idempotent while an
   // entry for the socket is already pending (at most one heap entry per
-  // socket).  Safe to call with the socket's state_mu_ held.
+  // socket).  Safe to call with the socket's state_mu_ held.  Lock-free
+  // when called from the owning shard's rx thread (the common ACK-arrival
+  // case); other callers go through the shard's pending list.
   void kick(Socket* s);
 
   // --- diagnostics --------------------------------------------------------
@@ -145,6 +193,12 @@ class Multiplexer : public std::enable_shared_from_this<Multiplexer> {
   }
   [[nodiscard]] std::size_t attached_sockets() const;
   [[nodiscard]] std::size_t remembered_handshakes() const;
+  // Timer-wheel work counters summed over shards: drain() calls made by the
+  // rx loops, and entries fired (each fire = one socket sweep).  With the
+  // legacy full-walk env override these count the walk instead, so the
+  // bench comparing O(active) vs O(all) reads the same counters both ways.
+  [[nodiscard]] std::uint64_t timer_sweep_calls() const;
+  [[nodiscard]] std::uint64_t timer_socket_sweeps() const;
 
   // make_shared needs a public constructor; Private keeps it unusable
   // outside the factory functions.
@@ -154,16 +208,85 @@ class Multiplexer : public std::enable_shared_from_this<Multiplexer> {
  private:
   using HsKey = std::tuple<std::uint32_t, std::uint16_t, std::uint32_t>;
 
+  // Send heap entry: min-heap over (deadline, FIFO order) kept in a plain
+  // vector via push_heap/pop_heap so steady-state scheduling never
+  // allocates.
+  struct TxEntry {
+    Clock::time_point due;
+    std::uint64_t order = 0;
+    std::uint32_t id = 0;
+  };
+  struct TxLater {
+    bool operator()(const TxEntry& a, const TxEntry& b) const {
+      if (a.due != b.due) return a.due > b.due;
+      return a.order > b.order;
+    }
+  };
+
+  // One shard: a vertical slice of the datapath.  Everything here belongs
+  // to the shard's two threads except `socks` (shared_mutex: rx threads of
+  // any shard may read on cross-shard delivery; attach/detach write), the
+  // wheel (internal mutex) and the wakeup plumbing (see kick()).
+  struct Shard {
+    std::size_t index = 0;
+    // The shard's own reuseport fd; null on shards > 0 in fallback mode.
+    std::unique_ptr<UdpChannel> channel;
+    UdpChannel* io = nullptr;  // channel.get(), or shard 0's in fallback
+    std::shared_ptr<RecvSlab> slab;
+    TimerWheel wheel;
+
+    mutable std::shared_mutex attach_mu;
+    std::map<std::uint32_t, Socket*> socks;
+
+    // rx -> tx wakeups.  Ring: pushed only by this shard's rx thread,
+    // popped only by its tx thread.  pending/tx_cv: every other producer,
+    // plus the tx thread's sleep.  tx_idle participates in a store-fence-
+    // load handshake with ring pushes so a push can never be slept through
+    // (see kick() / tx_park()).
+    WakeupRing<1024> ring;
+    std::mutex pending_mu;
+    std::condition_variable tx_cv;
+    std::vector<std::uint32_t> pending_kicks;
+    std::atomic<std::uint32_t> pending_n{0};
+    std::atomic<bool> tx_idle{false};
+
+    // tx-thread private (no lock): the shard's deadline heap.
+    std::vector<TxEntry> heap;
+    std::uint64_t order = 0;
+    std::vector<std::uint32_t> due_scratch;
+
+    // Timer accounting for the O(expired)-vs-O(all) acceptance bench.
+    std::atomic<std::uint64_t> sweep_calls{0};
+    std::atomic<std::uint64_t> socket_sweeps{0};
+
+    std::thread rx_thread;
+    std::thread tx_thread;
+  };
+
   void start();
-  void recv_loop();
-  void send_loop();
+  void rx_loop(Shard& sh);
+  void tx_loop(Shard& sh);
+  // Parks the tx thread until `deadline` or a wakeup; the idle handshake
+  // with kick()'s lock-free path lives here.
+  void tx_park(Shard& sh, Clock::time_point deadline);
   void dispatch(std::span<const std::uint8_t> pkt, const Endpoint& src,
                 RecvSlab* slab, int slab_slot);
   void handle_handshake(std::span<const std::uint8_t> pkt,
                         const Endpoint& src);
-  void serve(std::uint32_t id);
-  void sweep_timers();
-  void kick_all();
+  void serve(Shard& sh, std::uint32_t id);
+  // Heartbeat re-kick of every socket the shard owns (see tx_loop).
+  void kick_all(Shard& sh);
+  // Wheel expiry: sweep one socket's §4.8 timers and re-arm its entry.
+  void fire_timer(Shard& sh, std::uint64_t key);
+  // Pulls the socket's wheel deadline in to now + SYN after a delivery so a
+  // parked (EXP-horizon) socket resumes ACK cadence promptly.
+  void tighten_timer(Shard& owner, Socket* s);
+  // Legacy O(all-sockets) walk (UDTR_FULL_SWEEP=1): kept as a safety valve
+  // and as the measurable "PR 4 baseline" for the timer-cost bench.
+  void full_sweep(Shard& sh);
+  [[nodiscard]] Shard& shard_for(std::uint32_t socket_id) {
+    return *shards_[socket_id % shards_.size()];
+  }
   // Moves a detached child's response into the answered (age+count bounded)
   // memory; hs_mu_ held.
   void remember_answered(const HsKey& key, const HandshakePayload& resp);
@@ -176,20 +299,18 @@ class Multiplexer : public std::enable_shared_from_this<Multiplexer> {
   std::size_t slot_bytes_ = 0;
   bool gro_ = false;
   bool client_shared_ = false;  // eligible for for_client() reuse
+  bool steered_ = false;
+  bool legacy_sweep_ = false;  // UDTR_FULL_SWEEP=1
+  std::chrono::microseconds syn_us_{10000};
 
-  UdpChannel channel_;
-  std::shared_ptr<RecvSlab> slab_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> unroutable_{0};
 
-  // Routing table.  The service threads hold it shared for the duration of
-  // any call into a socket; attach/detach take it exclusively, so detach()
-  // returning guarantees no service thread still references the socket.
-  mutable std::shared_mutex attach_mu_;
-  std::map<std::uint32_t, Socket*> socks_;
-
-  // Handshake rendezvous between the receive thread and accept() callers,
-  // plus the duplicate-handshake memory (see the constants above).
+  // Handshake rendezvous between the rx threads and accept() callers, plus
+  // the duplicate-handshake memory (see the constants above).  Port-global:
+  // steering sends id-0 datagrams to shard 0, but fallback mode may handle
+  // them from any rx thread.
   mutable std::mutex hs_mu_;
   std::condition_variable hs_cv_;
   std::deque<PendingHandshake> pending_;
@@ -202,28 +323,6 @@ class Multiplexer : public std::enable_shared_from_this<Multiplexer> {
   std::deque<HsKey> answered_order_;
   std::map<HsKey, HandshakePayload> child_resp_;  // live accepted children
   Socket* listener_ = nullptr;
-
-  // Send heap: min-heap over (deadline, FIFO order) kept in a plain vector
-  // via push_heap/pop_heap so steady-state scheduling never allocates.
-  struct TxEntry {
-    Clock::time_point due;
-    std::uint64_t order = 0;
-    std::uint32_t id = 0;
-  };
-  struct TxLater {
-    bool operator()(const TxEntry& a, const TxEntry& b) const {
-      if (a.due != b.due) return a.due > b.due;
-      return a.order > b.order;
-    }
-  };
-  std::mutex send_mu_;
-  std::condition_variable send_cv_;
-  std::vector<TxEntry> heap_;
-  std::uint64_t order_ = 0;
-  std::vector<std::uint32_t> due_scratch_;
-
-  std::thread rcv_thread_;
-  std::thread snd_thread_;
 };
 
 }  // namespace udtr::udt

@@ -66,10 +66,15 @@ std::size_t Poller::size() const {
 }
 
 void Poller::poke() {
-  {
-    std::lock_guard lk{wake_mu_};
-    ++version_;
-  }
+  version_.fetch_add(1, std::memory_order_seq_cst);
+  // Nobody parked: the bump alone is enough (a waiter about to park
+  // re-reads version_ under wake_mu_ and sees it).  This keeps the hot
+  // notification path — every arrival and ACK of a watched socket, from
+  // every shard — down to two uncontended atomic operations.
+  if (waiters_.load(std::memory_order_seq_cst) == 0) return;
+  // The empty critical section serializes against a waiter between its
+  // predicate check and its sleep; notifying after it cannot be lost.
+  { std::lock_guard lk{wake_mu_}; }
   wake_cv_.notify_all();
 }
 
@@ -81,11 +86,7 @@ std::size_t Poller::wait(std::span<PollEvent> out,
     // Order matters: capture the wakeup version BEFORE scanning, so an edge
     // that fires between the scan and the wait is seen as a version change
     // and re-scanned rather than slept through.
-    std::uint64_t seen;
-    {
-      std::lock_guard lk{wake_mu_};
-      seen = version_;
-    }
+    const std::uint64_t seen = version_.load(std::memory_order_seq_cst);
     {
       std::lock_guard lk{g_poll_mu};
       wait_scratch_ = entries_;
@@ -102,7 +103,11 @@ std::size_t Poller::wait(std::span<PollEvent> out,
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) return 0;
     std::unique_lock lk{wake_mu_};
-    wake_cv_.wait_until(lk, deadline, [&] { return version_ != seen; });
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    wake_cv_.wait_until(lk, deadline, [&] {
+      return version_.load(std::memory_order_seq_cst) != seen;
+    });
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
   }
 }
 

@@ -27,6 +27,7 @@
 // itself from the other.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -85,7 +86,13 @@ class Poller {
 
   mutable std::mutex wake_mu_;
   std::condition_variable wake_cv_;
-  std::uint64_t version_ = 0;  // bumped by poke(); guarded by wake_mu_
+  // poke() is on the datapath (every arrival/ACK of a watched socket, from
+  // any multiplexer shard), so it must not take wake_mu_ unless someone is
+  // actually asleep: it bumps version_ and looks at waiters_, both seq_cst
+  // so a waiter registering concurrently either is seen (and notified under
+  // the mutex) or itself sees the new version before sleeping.
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<int> waiters_{0};  // wait() calls parked in wake_cv_
 };
 
 }  // namespace udtr::udt

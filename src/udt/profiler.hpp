@@ -22,6 +22,7 @@ enum class ProfUnit : std::size_t {
   kLossProcessing,  // loss-list insert/remove
   kRateMeasure,     // bandwidth / RTT / arrival-speed bookkeeping
   kAppInteraction,  // send()/recv() copies and wakeups
+  kTimerSweep,      // §4.8 timer checks (calls = sweep iterations)
   kCount,
 };
 
@@ -35,6 +36,7 @@ enum class ProfUnit : std::size_t {
     case ProfUnit::kLossProcessing: return "loss-processing";
     case ProfUnit::kRateMeasure: return "rate-measurement";
     case ProfUnit::kAppInteraction: return "app-interaction";
+    case ProfUnit::kTimerSweep: return "timer-sweep";
     case ProfUnit::kCount: break;
   }
   return "?";
@@ -47,39 +49,49 @@ class Profiler {
   // one recvmmsg may deliver 16 packets, and the calls-per-packet ratio is
   // the direct measure of what batching buys.
   void add(ProfUnit unit, std::uint64_t ns, std::uint64_t calls = 1) {
-    cells_[static_cast<std::size_t>(unit)].fetch_add(
-        ns, std::memory_order_relaxed);
-    calls_[static_cast<std::size_t>(unit)].fetch_add(
-        calls, std::memory_order_relaxed);
+    Cell& c = cells_[static_cast<std::size_t>(unit)];
+    c.ns.fetch_add(ns, std::memory_order_relaxed);
+    c.calls.fetch_add(calls, std::memory_order_relaxed);
   }
 
   // Payload bytes memcpy'd inside this unit (Table 3's packing/unpacking
   // rows are copy costs; the zero-copy datapath is measured by this counter
   // going to zero while the unit's call count stays up).
   void add_bytes(ProfUnit unit, std::uint64_t bytes) {
-    bytes_[static_cast<std::size_t>(unit)].fetch_add(
+    cells_[static_cast<std::size_t>(unit)].bytes.fetch_add(
         bytes, std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::uint64_t nanos(ProfUnit unit) const {
-    return cells_[static_cast<std::size_t>(unit)].load(
+    return cells_[static_cast<std::size_t>(unit)].ns.load(
         std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::uint64_t calls(ProfUnit unit) const {
-    return calls_[static_cast<std::size_t>(unit)].load(
+    return cells_[static_cast<std::size_t>(unit)].calls.load(
         std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::uint64_t bytes(ProfUnit unit) const {
-    return bytes_[static_cast<std::size_t>(unit)].load(
+    return cells_[static_cast<std::size_t>(unit)].bytes.load(
         std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::uint64_t total_nanos() const {
     std::uint64_t t = 0;
-    for (const auto& c : cells_) t += c.load(std::memory_order_relaxed);
+    for (const auto& c : cells_) t += c.ns.load(std::memory_order_relaxed);
     return t;
+  }
+
+  // How many multiplexer shards fed this profiler (1 in exclusive-port
+  // mode).  Pure annotation for reports: sharded runs split one socket's
+  // units across several service threads, and a reader comparing Table 3
+  // shares run-over-run needs to know the thread layout behind them.
+  void set_shards(int shards) {
+    shards_.store(shards, std::memory_order_relaxed);
+  }
+  [[nodiscard]] int shards() const {
+    return shards_.load(std::memory_order_relaxed);
   }
 
   struct Share {
@@ -94,31 +106,35 @@ class Profiler {
     const double total = static_cast<double>(total_nanos());
     std::vector<Share> out;
     for (std::size_t i = 0; i < cells_.size(); ++i) {
-      const std::uint64_t ns = cells_[i].load(std::memory_order_relaxed);
+      const std::uint64_t ns = cells_[i].ns.load(std::memory_order_relaxed);
       out.push_back({static_cast<ProfUnit>(i), ns,
                      total > 0 ? 100.0 * ns / total : 0.0,
-                     calls_[i].load(std::memory_order_relaxed),
-                     bytes_[i].load(std::memory_order_relaxed)});
+                     cells_[i].calls.load(std::memory_order_relaxed),
+                     cells_[i].bytes.load(std::memory_order_relaxed)});
     }
     return out;
   }
 
   void reset() {
-    for (auto& c : cells_) c.store(0, std::memory_order_relaxed);
-    for (auto& c : calls_) c.store(0, std::memory_order_relaxed);
-    for (auto& c : bytes_) c.store(0, std::memory_order_relaxed);
+    for (auto& c : cells_) {
+      c.ns.store(0, std::memory_order_relaxed);
+      c.calls.store(0, std::memory_order_relaxed);
+      c.bytes.store(0, std::memory_order_relaxed);
+    }
   }
 
  private:
-  std::array<std::atomic<std::uint64_t>,
-             static_cast<std::size_t>(ProfUnit::kCount)>
-      cells_{};
-  std::array<std::atomic<std::uint64_t>,
-             static_cast<std::size_t>(ProfUnit::kCount)>
-      calls_{};
-  std::array<std::atomic<std::uint64_t>,
-             static_cast<std::size_t>(ProfUnit::kCount)>
-      bytes_{};
+  // One cache line per unit: a shard's rx thread (unpacking, ctrl, timer
+  // units) and its tx thread (packing, udp-io, timing) hammer different
+  // units of the *same* socket's profiler concurrently, and sharing a line
+  // between their counters would put a coherence miss on every sample.
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> ns{0};
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> bytes{0};
+  };
+  std::array<Cell, static_cast<std::size_t>(ProfUnit::kCount)> cells_{};
+  std::atomic<int> shards_{1};
 };
 
 // RAII span around one instrumented section.  Disabled profilers (nullptr)

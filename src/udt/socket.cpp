@@ -195,7 +195,10 @@ std::unique_ptr<Socket> Socket::accept_mux(std::chrono::milliseconds timeout) {
     // The child stays on the listener's port — no dedicated channel, no
     // service threads; the multiplexer routes by the child's socket id.
     child->mux_ = mux_;
-    child->net_ = &mux_->channel();
+    // The child sends through its owning shard's fd (same port — the
+    // reuseport group shares it), so its tx traffic never contends with
+    // other shards' sockets on one socket buffer.
+    child->net_ = &mux_->channel_for(child->socket_id_);
     child->peer_ = pending->src;
     child->peer_socket_id_ = req.socket_id;
 
@@ -275,7 +278,7 @@ std::unique_ptr<Socket> Socket::connect_mux(std::unique_ptr<Socket> s,
   auto mux = Multiplexer::for_client(opts);
   if (!mux) return nullptr;
   s->mux_ = mux;
-  s->net_ = &mux->channel();
+  s->net_ = &mux->channel_for(s->socket_id_);
   // Attach before the first request leaves: the response carries our socket
   // id as its destination, so it arrives through the normal routing path
   // and mux_ingest stashes it for us (state_ is still kConnecting).
@@ -355,7 +358,8 @@ void Socket::setup_mux_mode() {
   prepare_tx_scratch();
   // Keep the shared receive slab alive past detach: RcvBuffer may still
   // hold payload references into it when this socket closes.
-  mux_slab_ = mux_->shared_slab();
+  mux_slab_ = mux_->slab_for(socket_id_);
+  profiler_.set_shards(static_cast<int>(mux_->shards()));
   std::lock_guard lk{state_mu_};
   epoch_ = std::chrono::steady_clock::now();
   last_ctrl_us_ = now_us();
@@ -629,7 +633,50 @@ void Socket::mux_ingest(std::span<const std::uint8_t> pkt, RecvSlab* slab,
 void Socket::sweep_timers() {
   std::lock_guard lk{state_mu_};
   if (!running_) return;
+  ScopedTimer t{opts_.enable_profiler ? &profiler_ : nullptr,
+                ProfUnit::kTimerSweep};
   check_timers();
+}
+
+Pacer::Clock::time_point Socket::sweep_timers_next() {
+  const auto now_tp = Pacer::Clock::now();
+  const auto syn = std::chrono::microseconds{
+      static_cast<std::int64_t>(opts_.syn_s * 1e6)};
+  std::lock_guard lk{state_mu_};
+  // Not (or no longer) in steady state: the handshake / close paths own
+  // their own retransmits, so the wheel entry just idles at SYN cadence
+  // until the socket either establishes or detaches.
+  if (!running_) return now_tp + syn;
+  {
+    ScopedTimer t{opts_.enable_profiler ? &profiler_ : nullptr,
+                  ProfUnit::kTimerSweep};
+    check_timers();
+  }
+  if (!running_) return now_tp + syn;  // went broken during the sweep
+  const std::uint64_t now = now_us();
+  const std::uint64_t due = next_timer_due_us(now);
+  return now_tp + std::chrono::microseconds{due - now};
+}
+
+std::uint64_t Socket::next_timer_due_us(std::uint64_t now) const {
+  const auto syn_us = static_cast<std::uint64_t>(opts_.syn_s * 1e6);
+  // EXP is the only timer that is always armed (§4.8); an idle socket parks
+  // at its horizon — this is what makes the wheel O(active), not O(open).
+  const double rtt = cc_.last_rtt_s();
+  const double base = std::max(opts_.min_exp_timeout_s, 4.0 * rtt);
+  const double factor = std::min(1 << std::min(consecutive_timeouts_, 4), 16);
+  std::uint64_t due =
+      last_ctrl_us_ + static_cast<std::uint64_t>(base * factor * 1e6);
+  // ACK cadence only matters while there is something new to acknowledge;
+  // a fresh arrival re-tightens the wheel entry (Multiplexer::
+  // tighten_timer), so skipping it here cannot strand the receiver.
+  if (any_arrival_ &&
+      (data_since_ack_ || rcv_buffer_.contiguous_end() != last_acked_index_)) {
+    due = std::min(due, last_ack_us_ + syn_us);
+  }
+  // NAK re-reports only while holes are outstanding.
+  if (!rcv_loss_.empty()) due = std::min(due, last_nak_check_us_ + syn_us);
+  return std::max(due, now + 1);
 }
 
 void Socket::wake_sender() {

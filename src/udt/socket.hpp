@@ -128,6 +128,15 @@ struct SocketOptions {
   // each accepted connection opens its own child channel — the legacy
   // per-socket datapath, byte-for-byte.
   bool exclusive_port = false;
+  // Multiplexer datapath shards per UDP port: each shard runs its own
+  // rx/tx thread pair, receive slab, send heap and timer wheel on its own
+  // SO_REUSEPORT fd (kernel-steered by destination socket id; falls back to
+  // software demux on one fd where unavailable).  Sockets are assigned
+  // shard = socket id % N for life, so a flow never migrates.  0 = auto
+  // (min(4, hw_concurrency/2), or the UDTR_MUX_SHARDS env override);
+  // 1 reproduces the single-pair datapath; clamped to [1, 16].  Ignored in
+  // exclusive-port mode.
+  int mux_shards = 0;
 };
 
 struct PerfStats {
@@ -279,6 +288,14 @@ class Socket {
                   int slab_slot);
   // Multiplexer timer sweep: check_timers() under state_mu_.
   void sweep_timers();
+  // Timer-wheel sweep: check_timers() under state_mu_, then return the
+  // earliest §4.8 deadline (ACK / NAK / EXP, as applicable) so the
+  // multiplexer can re-arm this socket's wheel entry — an idle socket parks
+  // at EXP cadence instead of being polled every millisecond.
+  [[nodiscard]] Pacer::Clock::time_point sweep_timers_next();
+  // Earliest next timer deadline in epoch-relative microseconds (state_mu_
+  // held).
+  [[nodiscard]] std::uint64_t next_timer_due_us(std::uint64_t now) const;
   // Wakes whichever sender services this socket: the dedicated sender
   // thread (exclusive mode) or the multiplexer's send heap.
   void wake_sender();
@@ -331,6 +348,13 @@ class Socket {
   Endpoint peer_{};
   std::uint32_t socket_id_ = 0;
   std::uint32_t peer_socket_id_ = 0;
+  // Multiplexed mode: the shard that owns this socket (socket_id_ % shards,
+  // set at attach) and the socket's current timer-wheel deadline in
+  // steady_clock nanoseconds — a CAS-min shared between the owning shard's
+  // expiry path and cross-thread deadline tightening (Multiplexer::
+  // tighten_timer).
+  std::uint32_t mux_shard_ = 0;
+  std::atomic<std::int64_t> wheel_deadline_ns_{0};
   std::int64_t isn_ = 0;
   std::chrono::steady_clock::time_point epoch_{};
 

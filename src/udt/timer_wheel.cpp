@@ -1,0 +1,183 @@
+#include "udt/timer_wheel.hpp"
+
+namespace udtr::udt {
+
+TimerWheel::TimerWheel(Clock::duration tick)
+    : tick_(tick > Clock::duration::zero() ? tick
+                                           : std::chrono::milliseconds{1}),
+      start_(Clock::now()) {
+  fired_scratch_.reserve(64);
+}
+
+TimerWheel::~TimerWheel() = default;
+
+std::uint64_t TimerWheel::tick_of(Clock::time_point t) const {
+  if (t <= start_) return 0;
+  const auto d = t - start_;
+  // Round up: an entry must never fire before its deadline, so a deadline
+  // inside tick k is due when the cursor has fully passed k.
+  return static_cast<std::uint64_t>((d + tick_ - Clock::duration{1}) / tick_);
+}
+
+TimerWheel::Node* TimerWheel::alloc_node() {
+  if (!free_.empty()) {
+    Node* n = free_.back();
+    free_.pop_back();
+    return n;
+  }
+  pool_.emplace_back();
+  return &pool_.back();
+}
+
+void TimerWheel::unlink(Node* n) {
+  if (n->head == nullptr) return;
+  if (n->prev != nullptr) {
+    n->prev->next = n->next;
+  } else {
+    *n->head = n->next;
+  }
+  if (n->next != nullptr) n->next->prev = n->prev;
+  n->prev = n->next = nullptr;
+  n->head = nullptr;
+}
+
+void TimerWheel::place(Node* n) {
+  Node** head;
+  if (n->due_tick <= current_tick_) {
+    head = &due_;
+  } else {
+    const std::uint64_t dt = n->due_tick - current_tick_;
+    std::uint64_t span = kSlots;   // ticks one slot of this level resolves /
+    std::uint64_t shift = 0;       // log2(ticks per slot at this level)
+    std::size_t level = 0;
+    while (level + 1 < kLevels && dt >= span) {
+      span *= kSlots;
+      shift += 6;  // kSlots == 64
+      ++level;
+    }
+    // Past the top level's horizon the entry parks in the slot covering the
+    // horizon's edge and re-cascades each lap until the distance resolves.
+    const std::uint64_t eff =
+        dt < span ? n->due_tick : current_tick_ + span - 1;
+    head = &slots_[level][(eff >> shift) & (kSlots - 1)];
+  }
+  n->head = head;
+  n->prev = nullptr;
+  n->next = *head;
+  if (*head != nullptr) (*head)->prev = n;
+  *head = n;
+}
+
+// Fired nodes stay in index_ (head == nullptr marks them disarmed) so the
+// per-sweep fire → re-schedule cycle recycles the same node and map entry
+// instead of allocating each round; only cancel() releases them.
+void TimerWheel::expire(Node* n) {
+  unlink(n);
+  fired_scratch_.push_back(n->key);
+  --count_;
+}
+
+void TimerWheel::cascade(std::size_t level) {
+  const std::uint64_t shift = 6 * level;
+  Node* n = slots_[level][(current_tick_ >> shift) & (kSlots - 1)];
+  slots_[level][(current_tick_ >> shift) & (kSlots - 1)] = nullptr;
+  while (n != nullptr) {
+    Node* next = n->next;
+    n->prev = n->next = nullptr;
+    n->head = nullptr;
+    if (n->due_tick <= current_tick_) {
+      fired_scratch_.push_back(n->key);
+      --count_;
+    } else {
+      place(n);
+    }
+    n = next;
+  }
+}
+
+void TimerWheel::schedule(std::uint64_t key, Clock::time_point deadline) {
+  std::lock_guard lk{mu_};
+  const std::uint64_t due = tick_of(deadline);
+  auto [it, inserted] = index_.try_emplace(key, nullptr);
+  Node* n;
+  if (inserted) {
+    n = alloc_node();
+    n->key = key;
+    it->second = n;
+    ++count_;
+  } else {
+    n = it->second;
+    if (n->head == nullptr) {
+      ++count_;  // re-arming a parked (fired-but-not-cancelled) node
+    } else {
+      unlink(n);
+    }
+  }
+  n->due_tick = due;
+  place(n);
+}
+
+void TimerWheel::cancel(std::uint64_t key) {
+  std::lock_guard lk{mu_};
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  Node* n = it->second;
+  if (n->head != nullptr) {
+    unlink(n);
+    --count_;
+  }
+  index_.erase(it);
+  free_.push_back(n);
+}
+
+std::size_t TimerWheel::drain(Clock::time_point now,
+                              const std::function<void(std::uint64_t)>& fn) {
+  std::unique_lock lk{mu_};
+  fired_scratch_.clear();
+  const std::uint64_t target = tick_of(now);
+  while (current_tick_ < target) {
+    if (count_ == 0) {
+      // Empty wheel: nothing can fire, so the cursor jumps instead of
+      // walking every elapsed tick after an idle stretch.
+      current_tick_ = target;
+      break;
+    }
+    ++current_tick_;
+    Node* n = slots_[0][current_tick_ & (kSlots - 1)];
+    slots_[0][current_tick_ & (kSlots - 1)] = nullptr;
+    while (n != nullptr) {
+      Node* next = n->next;
+      n->prev = n->next = nullptr;
+      n->head = nullptr;
+      fired_scratch_.push_back(n->key);
+      --count_;
+      n = next;
+    }
+    // Level boundaries: when the cursor wraps level k's frame, the matching
+    // level-k+1 slot cascades down (or fires, for entries now due).
+    for (std::size_t level = 1; level < kLevels; ++level) {
+      if ((current_tick_ & ((std::uint64_t{1} << (6 * level)) - 1)) != 0) {
+        break;
+      }
+      cascade(level);
+    }
+  }
+  // Entries scheduled at-or-before the cursor since the last drain.
+  while (due_ != nullptr) expire(due_);
+
+  // Fire with the mutex released so the callback can take socket locks and
+  // re-schedule; the fired keys are disarmed but their nodes stay parked in
+  // the index, so a re-schedule from the callback re-arms without
+  // allocating.
+  const std::size_t fired = fired_scratch_.size();
+  lk.unlock();
+  for (const std::uint64_t key : fired_scratch_) fn(key);
+  return fired;
+}
+
+std::size_t TimerWheel::size() const {
+  std::lock_guard lk{mu_};
+  return count_;
+}
+
+}  // namespace udtr::udt

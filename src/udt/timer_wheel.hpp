@@ -1,0 +1,102 @@
+// Hierarchical timing wheel (§4.8 timer scheduling, O(expired) form).
+//
+// PR 4's multiplexer polled every attached socket's ACK/NAK/EXP timers once
+// per millisecond — an O(all sockets) walk that charges idle connections for
+// merely existing.  The wheel inverts that: each socket keeps exactly one
+// entry at its *earliest* next deadline, and the rx loop's drain() touches
+// only the entries whose deadline actually passed.  512 idle sockets cost
+// one EXP-cadence fire each (~3/s) instead of 512,000 sweep iterations/s.
+//
+// Structure: kLevels levels of kSlots slots, each level covering kSlots×
+// the span of the one below (1 ms tick → 64 ms / 4.1 s / 4.4 min / 4.7 h).
+// An entry lands in the coarsest level that resolves its distance; when the
+// cursor crosses a level boundary the matching coarse slot cascades down.
+// Deadlines beyond the top level's horizon are parked in the outermost slot
+// that covers them and simply re-cascade each lap — they fire on time, the
+// wheel just revisits them once per ~4.7 h lap.
+//
+// Concurrency: one internal mutex.  The owning shard's rx thread drains;
+// schedule()/cancel() may come from any thread (socket attach, a foreign
+// shard's rx thread tightening a deadline after a cross-shard GRO delivery,
+// detach from an application thread).  The expiry callback runs with the
+// mutex *released*, so it may take socket locks and re-schedule freely.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace udtr::udt {
+
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  static constexpr std::size_t kLevels = 4;
+  static constexpr std::size_t kSlots = 64;  // per level; power of two
+
+  explicit TimerWheel(Clock::duration tick = std::chrono::milliseconds{1});
+  ~TimerWheel();
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  // Arms (or re-arms: at most one entry per key) `key` to fire at
+  // `deadline`.  A deadline at or before the cursor fires on the next
+  // drain() call regardless of how little time passes.
+  void schedule(std::uint64_t key, Clock::time_point deadline);
+  // Disarms `key`; a no-op when it is not armed.
+  void cancel(std::uint64_t key);
+
+  // Fires every entry whose deadline is <= `now`: removes it from the wheel
+  // and invokes `fn(key)` with the internal mutex released (the callback may
+  // schedule()/cancel(), including for the fired key).  Returns the number
+  // of entries fired — the drain itself costs O(elapsed ticks + fired), not
+  // O(armed).
+  std::size_t drain(Clock::time_point now,
+                    const std::function<void(std::uint64_t)>& fn);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] Clock::duration tick() const { return tick_; }
+  // Ticks the finest level resolves before cascading takes over; the full
+  // horizon is kSlots^kLevels ticks.
+  [[nodiscard]] static constexpr std::uint64_t horizon_ticks() {
+    std::uint64_t h = 1;
+    for (std::size_t i = 0; i < kLevels; ++i) h *= kSlots;
+    return h;
+  }
+
+ private:
+  struct Node {
+    std::uint64_t key = 0;
+    std::uint64_t due_tick = 0;
+    Node* prev = nullptr;
+    Node* next = nullptr;
+    Node** head = nullptr;  // slot list this node is linked into
+  };
+
+  [[nodiscard]] std::uint64_t tick_of(Clock::time_point t) const;
+  void place(Node* n);              // mu_ held
+  void unlink(Node* n);             // mu_ held
+  void expire(Node* n);             // mu_ held: unlink + queue for callback
+  void cascade(std::size_t level);  // mu_ held
+  Node* alloc_node();               // mu_ held
+
+  const Clock::duration tick_;
+  const Clock::time_point start_;
+
+  mutable std::mutex mu_;
+  std::uint64_t current_tick_ = 0;
+  std::size_t count_ = 0;
+  Node* slots_[kLevels][kSlots] = {};
+  Node* due_ = nullptr;  // already past the cursor at insert time
+  std::unordered_map<std::uint64_t, Node*> index_;
+  std::deque<Node> pool_;
+  std::vector<Node*> free_;
+  std::vector<std::uint64_t> fired_scratch_;
+};
+
+}  // namespace udtr::udt

@@ -1,0 +1,61 @@
+// Bounded lock-free single-producer / single-consumer wakeup ring.
+//
+// Carries socket ids from a shard's receive thread to its sibling send
+// thread (multiplexer.hpp): an ACK arriving on shard k reschedules the
+// sender with two relaxed-ish atomic ops and no mutex.  The SPSC restriction
+// is structural — the only producer is the shard's own rx thread (detected
+// via a thread-local in the multiplexer); every other thread (application
+// send(), a foreign shard's rx thread delivering a cross-shard GRO segment)
+// takes the shard's mutex-protected pending list instead.
+//
+// Classic Lamport queue: `tail_` is written only by the producer, `head_`
+// only by the consumer, each on its own cache line so the two threads never
+// write-share a line.  A full ring returns false and the caller falls back
+// to the mutex path, so a wakeup is never dropped.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace udtr::udt {
+
+template <std::size_t N>
+class WakeupRing {
+  static_assert((N & (N - 1)) == 0, "capacity must be a power of two");
+
+ public:
+  // Producer side.  False when the ring is full (consumer stalled); the
+  // caller must then deliver the wakeup through its fallback path.
+  bool push(std::uint32_t v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head >= N) return false;
+    buf_[tail & (N - 1)] = v;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side.  False when empty.
+  bool pop(std::uint32_t& v) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    v = buf_[head & (N - 1)];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer cursor
+  std::array<std::uint32_t, N> buf_{};
+};
+
+}  // namespace udtr::udt

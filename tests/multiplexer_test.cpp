@@ -228,7 +228,7 @@ TEST(Multiplexer, ManySocketsOnePortByteExactUnderFaults) {
             0u);
 }
 
-// --- thread accounting: N sockets, 4 service threads -----------------------
+// --- thread accounting: N sockets, 2 threads per multiplexer shard ---------
 
 TEST(Multiplexer, EchoFleetUsesFourServiceThreads) {
   const int n = env_sockets(512);
@@ -240,6 +240,9 @@ TEST(Multiplexer, EchoFleetUsesFourServiceThreads) {
   SocketOptions opts = small_opts();
   opts.syn_s = 0.011;
 
+  // Sanitizer runtimes spawn a persistent background thread on the first
+  // pthread_create; force it now so the baseline below includes it.
+  std::thread{[] {}}.join();
   const int threads_before = thread_count();
   ASSERT_GT(threads_before, 0);
 
@@ -265,8 +268,25 @@ TEST(Multiplexer, EchoFleetUsesFourServiceThreads) {
   ASSERT_TRUE(connector.get());
 
   // Both endpoints of all N connections live in this process and are
-  // served by exactly two multiplexers: two threads each.
-  EXPECT_EQ(thread_count() - threads_before, 4);
+  // served by exactly two multiplexers: one rx/tx thread pair per shard
+  // each, independent of N (with default options both resolve to the same
+  // shard count).
+  const auto server_mux = servers.front()->multiplexer();
+  const auto client_mux = clients.front()->multiplexer();
+  ASSERT_NE(server_mux, nullptr);
+  ASSERT_NE(client_mux, nullptr);
+  // The connector's std::async thread unwinds asynchronously after get(),
+  // so poll to the expected plateau instead of snapshotting once.
+  const int expected_threads =
+      2 * static_cast<int>(server_mux->shards() + client_mux->shards());
+  int thread_delta = -1;
+  for (int i = 0; i < 200 && thread_delta != expected_threads; ++i) {
+    thread_delta = thread_count() - threads_before;
+    if (thread_delta != expected_threads) {
+      std::this_thread::sleep_for(std::chrono::milliseconds{10});
+    }
+  }
+  EXPECT_EQ(thread_delta, expected_threads);
 
   // Echo server: a single app thread drives all N server sockets off one
   // Poller.
@@ -541,6 +561,127 @@ TEST(Multiplexer, SlowSynRetransmitDoesNotSpawnGhostSocket) {
     send_handshake_packet(client_mux->channel(), *server, 0, replay);
   }
   EXPECT_EQ(p.listener->accept(std::chrono::milliseconds{300}), nullptr);
+}
+
+// --- sharded datapath -------------------------------------------------------
+
+// One listener port, four shards, a fleet of flows whose socket ids land on
+// every shard: byte-exact both directions proves routing, steering (or the
+// software-demux fallback, wherever SO_REUSEPORT/BPF is unavailable) and the
+// per-shard timer wheels against real traffic.
+TEST(Multiplexer, ShardedFleetByteExactAcrossShards) {
+  const int n = env_sockets(32);
+  SocketOptions opts = small_opts();
+  opts.mux_shards = 4;
+  opts.syn_s = 0.012;  // keep for_client() from reusing another test's mux
+
+  auto listener = Socket::listen(0, opts);
+  ASSERT_NE(listener, nullptr);
+  const std::uint16_t port = listener->local_port();
+
+  std::vector<std::unique_ptr<Socket>> clients;
+  std::vector<std::unique_ptr<Socket>> servers;
+  for (int i = 0; i < n; ++i) {
+    auto accepted = std::async(std::launch::async, [&] {
+      return listener->accept(std::chrono::seconds{10});
+    });
+    auto c = Socket::connect("127.0.0.1", port, opts);
+    ASSERT_NE(c, nullptr) << "connect " << i;
+    auto s = accepted.get();
+    ASSERT_NE(s, nullptr) << "accept " << i;
+    clients.push_back(std::move(c));
+    servers.push_back(std::move(s));
+  }
+  auto mux = servers.front()->multiplexer();
+  ASSERT_NE(mux, nullptr);
+  EXPECT_EQ(mux->shards(), 4u);
+  EXPECT_EQ(mux->attached_sockets(), static_cast<std::size_t>(n));
+
+  for (int i = 0; i < n; ++i) {
+    const auto up = make_payload(24 << 10, 1000 + i);
+    const auto down = make_payload(24 << 10, 2000 + i);
+    EXPECT_EQ(pump(*clients[i], *servers[i], up), up) << "flow " << i << " up";
+    EXPECT_EQ(pump(*servers[i], *clients[i], down), down)
+        << "flow " << i << " down";
+  }
+  EXPECT_EQ(mux->unroutable_datagrams(), 0u);
+}
+
+// mux_shards = 1 must reproduce the single-pair datapath: one shard, the
+// port's one channel for every socket, byte-exact transfer.
+TEST(Multiplexer, SingleShardReproducesSinglePairDatapath) {
+  SocketOptions opts = small_opts();
+  opts.mux_shards = 1;
+  opts.syn_s = 0.014;
+  MuxPair p = make_pair_opts(opts, opts);
+  ASSERT_NE(p.client, nullptr);
+  ASSERT_NE(p.server, nullptr);
+  auto mux = p.server->multiplexer();
+  ASSERT_NE(mux, nullptr);
+  EXPECT_EQ(mux->shards(), 1u);
+  EXPECT_FALSE(mux->kernel_steered());
+  const auto payload = make_payload(256 << 10, 42);
+  EXPECT_EQ(pump(*p.client, *p.server, payload), payload);
+}
+
+// With SO_REUSEPORT disabled (UDTR_NO_REUSEPORT) the shards share one fd
+// and every rx thread software-demuxes to the owning shard's index — the
+// datapath must stay byte-exact with kernel steering off.
+TEST(Multiplexer, FallbackSoftwareDemuxStaysByteExact) {
+  ::setenv("UDTR_NO_REUSEPORT", "1", 1);
+  SocketOptions opts = small_opts();
+  opts.mux_shards = 4;
+  opts.syn_s = 0.013;
+  MuxPair p = make_pair_opts(opts, opts);
+  ::unsetenv("UDTR_NO_REUSEPORT");
+  ASSERT_NE(p.client, nullptr);
+  ASSERT_NE(p.server, nullptr);
+  auto mux = p.server->multiplexer();
+  ASSERT_NE(mux, nullptr);
+  EXPECT_EQ(mux->shards(), 4u);
+  EXPECT_FALSE(mux->kernel_steered());
+  const auto payload = make_payload(256 << 10, 43);
+  EXPECT_EQ(pump(*p.client, *p.server, payload), payload);
+  EXPECT_EQ(pump(*p.server, *p.client, payload), payload);
+}
+
+// The O(active) property itself: an idle fleet parks at EXP cadence on the
+// timer wheel, so the per-socket sweep count over a fixed window stays far
+// below the one-sweep-per-millisecond of the legacy full walk.
+TEST(Multiplexer, IdleFleetParksTimersOnTheWheel) {
+  if (std::getenv("UDTR_FULL_SWEEP") != nullptr) {
+    GTEST_SKIP() << "legacy full-sweep mode forced by environment";
+  }
+  const int n = env_sockets(64);
+  SocketOptions opts = small_opts();
+  opts.syn_s = 0.015;
+
+  auto listener = Socket::listen(0, opts);
+  ASSERT_NE(listener, nullptr);
+  std::vector<std::unique_ptr<Socket>> socks;
+  for (int i = 0; i < n; ++i) {
+    auto accepted = std::async(std::launch::async, [&] {
+      return listener->accept(std::chrono::seconds{10});
+    });
+    auto c = Socket::connect("127.0.0.1", listener->local_port(), opts);
+    ASSERT_NE(c, nullptr);
+    auto s = accepted.get();
+    ASSERT_NE(s, nullptr);
+    socks.push_back(std::move(c));
+    socks.push_back(std::move(s));
+  }
+  auto mux = socks.back()->multiplexer();  // the server-side multiplexer
+  ASSERT_NE(mux, nullptr);
+
+  const std::uint64_t before = mux->timer_socket_sweeps();
+  std::this_thread::sleep_for(std::chrono::milliseconds{600});
+  const std::uint64_t swept = mux->timer_socket_sweeps() - before;
+  // Full-walk cost over this window would be ~600 sweeps per socket; the
+  // wheel leaves idle sockets parked near EXP cadence (a handful of fires,
+  // plus keepalive-triggered tightenings).  50 per socket is an order of
+  // magnitude of slack on top of that.
+  EXPECT_LT(swept, static_cast<std::uint64_t>(n) * 50u)
+      << "idle sockets are being swept like a full walk";
 }
 
 }  // namespace
