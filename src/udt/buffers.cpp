@@ -18,8 +18,8 @@ SndBuffer::SndBuffer(int mss_bytes, std::size_t capacity_bytes)
       // the buffer is already sized to commit.
       free_store_cap_(capacity_bytes / static_cast<std::size_t>(mss_bytes) +
                       64) {
-  parked_.reserve(64);
-  free_store_.reserve(64);
+  // No up-front reservations: an idle socket's send buffer owns zero heap.
+  // parked_/free_store_ grow amortized on the first real traffic.
 }
 
 void SndBuffer::recycle(std::vector<std::uint8_t>&& storage) {
@@ -168,10 +168,10 @@ std::size_t RecvSlab::free_count() const {
 // ------------------------------------------------------------- RcvBuffer ---
 
 RcvBuffer::RcvBuffer(int mss_bytes, std::int32_t capacity_pkts)
-    : mss_(mss_bytes),
-      capacity_(capacity_pkts),
-      slots_(static_cast<std::size_t>(capacity_pkts)) {
-  spare_.reserve(64);
+    : mss_(mss_bytes), capacity_(capacity_pkts) {
+  // slots_ stays empty until the first store (ensure_slots): at the default
+  // 16384-packet window the ring is ~1 MB per socket, which a 100k-socket
+  // idle fleet cannot afford to hold for sockets that never receive data.
 }
 
 RcvBuffer::~RcvBuffer() {
@@ -215,6 +215,9 @@ std::int32_t RcvBuffer::avail_packets() const {
 }
 
 void RcvBuffer::advance_contig() {
+  // The ring may not exist yet when the overlapped fast path delivered the
+  // first packets straight to the user buffer.
+  if (slots_.empty()) return;
   while (contig_ < read_index_ + capacity_ &&
          slot(contig_).filled) {
     ++contig_;
@@ -276,6 +279,7 @@ bool RcvBuffer::store(std::int64_t index,
   bool accepted = false;
   if (store_common(index, payload, accepted)) return accepted;
 
+  ensure_slots();
   Slot& s = slot(index);
   if (s.filled) return false;
   if (s.data.capacity() == 0 && !spare_.empty()) {
@@ -299,6 +303,7 @@ bool RcvBuffer::store_ref(std::int64_t index,
   bool accepted = false;
   if (store_common(index, payload, accepted)) return accepted;
 
+  ensure_slots();
   Slot& s = slot(index);
   if (s.filled) return false;
   s.ext = payload.data();

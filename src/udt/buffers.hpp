@@ -232,6 +232,12 @@ class RcvBuffer {
   [[nodiscard]] Slot& slot(std::int64_t index) {
     return slots_[static_cast<std::size_t>(index % capacity_)];
   }
+  // Materializes the slot ring on the first stored packet.  An idle socket
+  // never allocates it: every read-side path early-outs while contig_ ==
+  // read_index_ == 0, so the ring is only touched after a store.
+  void ensure_slots() {
+    if (slots_.empty()) slots_.resize(static_cast<std::size_t>(capacity_));
+  }
   // Common admission + fast-path logic for store/store_ref; returns true if
   // the packet was fully consumed (rejected or delivered straight to the
   // user buffer), with `accepted` telling the two apart.

@@ -1,0 +1,121 @@
+// Stateless-handshake front door: SYN-style cookies and per-source-IP
+// admission control.
+//
+// The listener answers the first handshake packet of a connection with a
+// signed cookie and keeps *zero* state until the client echoes it back; a
+// spoofed source never completes the round trip, so a handshake flood costs
+// the listener one MAC computation and one reply datagram per packet and no
+// memory.  The cookie binds the client's address and its proposed handshake
+// parameters to a coarse timestamp under a per-listener random secret:
+//
+//   cookie = (t & 0xFF) << 56  |  SipHash-2-4(key, ip|port|isn|mss|id|t) >> 8
+//
+// where t is the listener's steady clock in whole seconds.  The verifier
+// reconstructs t from the embedded low byte (age = (now - t) mod 256), so a
+// cookie is self-describing: no per-cookie state, no clock agreement with
+// the peer.  Keys rotate every kRotateSeconds; the previous key stays valid
+// so rotation never strands an in-flight handshake.  Acceptance is bounded
+// both by the explicit age check (kTtlSeconds) and by key lifetime — a
+// cookie older than two rotations has no live key and cannot validate even
+// if its age byte is forged to look fresh.
+//
+// Thread safety: both classes are externally synchronized.  The multiplexer
+// owns one of each per port and drives them under its handshake mutex
+// (hs_mu_); see DESIGN.md §11 for the lock order.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "udt/packet.hpp"
+
+namespace udtr::udt {
+
+// SipHash-2-4 over an arbitrary byte string (Aumasson & Bernstein).  Exposed
+// for tests; everything else should go through CookieKeyring.
+[[nodiscard]] std::uint64_t siphash24(std::uint64_t k0, std::uint64_t k1,
+                                      const std::uint8_t* data,
+                                      std::size_t len);
+
+class CookieKeyring {
+ public:
+  enum class Verdict { kValid, kExpired, kInvalid };
+
+  static constexpr std::uint64_t kRotateSeconds = 60;
+  static constexpr std::uint64_t kTtlSeconds = 60;
+
+  // Keys are drawn from std::random_device at construction and at each
+  // rotation.
+  CookieKeyring();
+
+  // `now_s` is the caller's steady clock in whole seconds.  It is a
+  // parameter (not read internally) so tests can drive rotation and expiry
+  // deterministically.
+  [[nodiscard]] std::uint64_t make(std::uint64_t now_s, std::uint32_t src_ip,
+                                   std::uint16_t src_port,
+                                   const HandshakePayload& req);
+  [[nodiscard]] Verdict verify(std::uint64_t now_s, std::uint32_t src_ip,
+                               std::uint16_t src_port,
+                               const HandshakePayload& req,
+                               std::uint64_t cookie);
+
+ private:
+  void maybe_rotate(std::uint64_t now_s);
+  [[nodiscard]] std::uint64_t mac(std::uint64_t k0, std::uint64_t k1,
+                                  std::uint64_t t, std::uint32_t src_ip,
+                                  std::uint16_t src_port,
+                                  const HandshakePayload& req) const;
+
+  std::uint64_t k0_cur_ = 0, k1_cur_ = 0;
+  std::uint64_t k0_prev_ = 0, k1_prev_ = 0;
+  bool has_prev_ = false;
+  bool started_ = false;
+  std::uint64_t cur_since_s_ = 0;
+};
+
+// Per-source-IP admission control for the handshake path: a token bucket
+// bounds the packet rate per source, a pending cap bounds how many
+// half-open connections one source may hold, and the tracking table itself
+// is LRU-bounded so a flood of spoofed sources cannot balloon it — the
+// tracker's worst case is max_tracked_ips entries regardless of how many
+// addresses hit the port.
+struct AdmissionConfig {
+  double rate_per_ip = 256.0;   // handshake packets per second per source
+  double burst_per_ip = 32.0;   // token-bucket depth
+  int max_pending_per_ip = 16;  // concurrent half-open connections per source
+  std::size_t max_tracked_ips = 4096;
+};
+
+class AdmissionControl {
+ public:
+  explicit AdmissionControl(AdmissionConfig cfg);
+
+  // Token-bucket gate; `now_s` is a steady clock in (fractional) seconds.
+  [[nodiscard]] bool allow_handshake(std::uint32_t ip, double now_s);
+
+  // Pending-connection accounting: begin_pending() is called when a
+  // handshake is queued for accept(), end_pending() when it is consumed or
+  // rejected.  begin_pending() fails when the source is at its cap.
+  [[nodiscard]] bool begin_pending(std::uint32_t ip, double now_s);
+  void end_pending(std::uint32_t ip);
+
+  [[nodiscard]] std::size_t tracked_ips() const { return table_.size(); }
+
+ private:
+  struct Entry {
+    double tokens = 0;
+    double last_s = 0;
+    int pending = 0;
+    std::list<std::uint32_t>::iterator lru_it;
+  };
+
+  Entry& touch(std::uint32_t ip, double now_s);
+  void evict_one();
+
+  AdmissionConfig cfg_;
+  std::unordered_map<std::uint32_t, Entry> table_;
+  std::list<std::uint32_t> lru_;  // front = most recently touched
+};
+
+}  // namespace udtr::udt

@@ -8,8 +8,44 @@ namespace {
 using udtr::SeqNo;
 }  // namespace
 
-LossList::LossList(std::int32_t capacity)
-    : nodes_(static_cast<std::size_t>(capacity)), capacity_(capacity) {}
+std::vector<LossList::Node> LossList::NodePool::acquire(
+    std::size_t capacity) {
+  std::lock_guard lk{mu_};
+  for (auto it = store_.begin(); it != store_.end(); ++it) {
+    if (it->size() == capacity) {
+      std::vector<Node> out = std::move(*it);
+      store_.erase(it);
+      std::fill(out.begin(), out.end(), Node{});
+      return out;
+    }
+  }
+  return {};
+}
+
+void LossList::NodePool::release(std::vector<Node>&& nodes) {
+  if (nodes.empty()) return;
+  std::lock_guard lk{mu_};
+  if (store_.size() < kMaxPooled) store_.push_back(std::move(nodes));
+}
+
+std::size_t LossList::NodePool::pooled() const {
+  std::lock_guard lk{mu_};
+  return store_.size();
+}
+
+LossList::LossList(std::int32_t capacity) : capacity_(capacity) {}
+
+LossList::~LossList() {
+  if (pool_ && !nodes_.empty()) pool_->release(std::move(nodes_));
+}
+
+void LossList::ensure_nodes() {
+  if (!nodes_.empty()) return;
+  if (pool_) nodes_ = pool_->acquire(static_cast<std::size_t>(capacity_));
+  if (nodes_.size() != static_cast<std::size_t>(capacity_)) {
+    nodes_.assign(static_cast<std::size_t>(capacity_), Node{});
+  }
+}
 
 std::int32_t LossList::slot_of(SeqNo seq) const {
   const std::int32_t off = SeqNo::offset(SeqNo{nodes_[head_].start}, seq);
@@ -52,6 +88,7 @@ std::int32_t LossList::insert(SeqNo first, SeqNo last) {
   if (SeqNo::cmp(first, last) > 0) std::swap(first, last);
   const std::int32_t span = SeqNo::length(first, last);
   if (span > capacity_) return 0;  // cannot represent; caller sized the list
+  ensure_nodes();
   const std::int32_t before = count_;
 
   if (head_ < 0) {

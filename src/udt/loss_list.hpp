@@ -16,6 +16,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -24,10 +26,47 @@
 namespace udtr::udt {
 
 class LossList {
+ private:
+  struct Node {
+    std::int32_t start = -1;  // -1 marks a free slot
+    std::int32_t end = -1;
+    std::int32_t next = -1;   // slot index of the next node, -1 at tail
+    std::int32_t prior = -1;  // slot index of the previous node, -1 at head
+    std::uint64_t last_feedback_us = 0;
+    std::uint32_t feedback_count = 1;
+  };
+
  public:
+  // Recycles node arrays between loss lists so a fleet of sockets on one
+  // multiplexer shard shares slab storage instead of each holding a
+  // private, mostly-empty array.  Thread-safe; lists return their array on
+  // destruction and reacquire on the first loss after that.
+  class NodePool {
+   public:
+    // Returns a pooled array of exactly `capacity` nodes (reset to the free
+    // state), or an empty vector when none of that size is pooled.
+    [[nodiscard]] std::vector<Node> acquire(std::size_t capacity);
+    void release(std::vector<Node>&& nodes);
+    [[nodiscard]] std::size_t pooled() const;
+
+   private:
+    static constexpr std::size_t kMaxPooled = 64;
+    mutable std::mutex mu_;
+    std::vector<std::vector<Node>> store_;
+  };
+
   // `capacity` bounds the sequence span the list can represent; size it to
-  // the maximum flight window.  It is NOT a cap on loss events.
+  // the maximum flight window.  It is NOT a cap on loss events.  The node
+  // array itself is allocated lazily on the first insert, so an idle socket
+  // pays nothing for its loss lists.
   explicit LossList(std::int32_t capacity);
+  ~LossList();
+  LossList(const LossList&) = delete;
+  LossList& operator=(const LossList&) = delete;
+
+  // Attaches a shared node pool; takes effect at the next (lazy) array
+  // allocation and at destruction.  Call before the first loss.
+  void set_pool(std::shared_ptr<NodePool> pool) { pool_ = std::move(pool); }
 
   // Inserts the inclusive range [first, last]; overlapping and adjacent
   // ranges coalesce.  Returns the number of sequence numbers newly added.
@@ -73,20 +112,15 @@ class LossList {
   void set_now_us(std::uint64_t now_us) { now_us_ = now_us; }
 
  private:
-  struct Node {
-    std::int32_t start = -1;  // -1 marks a free slot
-    std::int32_t end = -1;
-    std::int32_t next = -1;   // slot index of the next node, -1 at tail
-    std::int32_t prior = -1;  // slot index of the previous node, -1 at head
-    std::uint64_t last_feedback_us = 0;
-    std::uint32_t feedback_count = 1;
-  };
-
   [[nodiscard]] std::int32_t slot_of(udtr::SeqNo seq) const;
   // Coalesces `at` with successors that overlap or touch it.
   void merge_forward(std::int32_t at);
   void free_node(std::int32_t slot);
+  // Materializes nodes_ (from the pool when possible); called on the insert
+  // path only — every other operation early-outs on the empty list.
+  void ensure_nodes();
 
+  std::shared_ptr<NodePool> pool_;
   std::vector<Node> nodes_;
   std::int32_t capacity_;
   std::int32_t head_ = -1;        // slot of the first (smallest) node

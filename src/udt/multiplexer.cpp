@@ -50,7 +50,9 @@ void registry_add(const std::shared_ptr<Multiplexer>& m) {
 
 void send_handshake_packet(UdpChannel& ch, const Endpoint& to,
                            std::uint32_t dst_id, const HandshakePayload& h) {
-  std::array<std::uint8_t, kHeaderBytes + 4 * HandshakePayload::kWords> buf{};
+  std::array<std::uint8_t,
+             kHeaderBytes + 4 * HandshakePayload::kWordsWithCookie>
+      buf{};
   CtrlHeader hdr;
   hdr.type = CtrlType::kHandshake;
   hdr.dst_socket = dst_id;
@@ -76,6 +78,13 @@ std::size_t resolve_mux_shards(const SocketOptions& opts) {
 
 Multiplexer::Multiplexer(Private, const SocketOptions& opts) : cfg_(opts) {
   io_batch_ = std::clamp(opts.io_batch, 1, 64);
+  AdmissionConfig ac;
+  ac.rate_per_ip = std::max(1.0, opts.handshake_rate_per_ip);
+  ac.burst_per_ip = std::max(1.0, opts.handshake_burst_per_ip);
+  ac.max_pending_per_ip = std::max(1, opts.max_pending_per_ip);
+  ac.max_tracked_ips =
+      static_cast<std::size_t>(std::max(16, opts.max_tracked_ips));
+  admission_ = std::make_unique<AdmissionControl>(ac);
 }
 
 Multiplexer::~Multiplexer() {
@@ -253,7 +262,9 @@ void Multiplexer::attach_child(Socket* s, const HandshakePayload& resp) {
   child_resp_[key] = resp;
   // The request is no longer pending — and any duplicate already sitting in
   // the queue must not spawn a second socket for the same connection.
-  pending_keys_.erase(key);
+  if (pending_keys_.erase(key) > 0) {
+    admission_->end_pending(std::get<0>(key));
+  }
   std::erase_if(pending_, [&](const PendingHandshake& p) {
     return p.src.ip_host_order == std::get<0>(key) &&
            p.src.port == std::get<1>(key) &&
@@ -273,6 +284,13 @@ void Multiplexer::detach(Socket* s) {
   std::lock_guard lk{hs_mu_};
   if (listener_ == s) {
     listener_ = nullptr;
+    // Release the per-source pending accounting for every half-open request
+    // the departed listener will never consume.
+    for (const HsKey& k : pending_keys_) {
+      admission_->end_pending(std::get<0>(k));
+    }
+    pending_keys_.clear();
+    pending_.clear();
     hs_cv_.notify_all();
     return;
   }
@@ -319,7 +337,10 @@ std::optional<Multiplexer::PendingHandshake> Multiplexer::wait_handshake(
 void Multiplexer::reject_handshake(const Endpoint& src,
                                    std::uint32_t peer_socket_id) {
   std::lock_guard lk{hs_mu_};
-  pending_keys_.erase(HsKey{src.ip_host_order, src.port, peer_socket_id});
+  if (pending_keys_.erase(
+          HsKey{src.ip_host_order, src.port, peer_socket_id}) > 0) {
+    admission_->end_pending(src.ip_host_order);
+  }
 }
 
 std::size_t Multiplexer::attached_sockets() const {
@@ -334,6 +355,21 @@ std::size_t Multiplexer::attached_sockets() const {
 std::size_t Multiplexer::remembered_handshakes() const {
   std::lock_guard lk{hs_mu_};
   return answered_.size() + child_resp_.size();
+}
+
+std::size_t Multiplexer::pending_handshakes() const {
+  std::lock_guard lk{hs_mu_};
+  return pending_.size();
+}
+
+std::size_t Multiplexer::admission_tracked_ips() const {
+  std::lock_guard lk{hs_mu_};
+  return admission_->tracked_ips();
+}
+
+std::shared_ptr<LossList::NodePool> Multiplexer::loss_pool(
+    std::uint32_t socket_id) const {
+  return shards_[socket_id % shards_.size()]->loss_pool;
 }
 
 std::uint64_t Multiplexer::timer_sweep_calls() const {
@@ -365,27 +401,10 @@ const std::shared_ptr<RecvSlab>& Multiplexer::slab_for(
 
 void Multiplexer::remember_answered(const HsKey& key,
                                     const HandshakePayload& resp) {
-  answered_[key] = Answered{resp, Clock::now()};
-  answered_order_.push_back(key);
-  evict_answered();
+  answered_.put(key, resp, Clock::now());
 }
 
-void Multiplexer::evict_answered() {
-  const auto now = Clock::now();
-  while (!answered_order_.empty()) {
-    const auto it = answered_.find(answered_order_.front());
-    if (it == answered_.end()) {  // stale order entry (re-remembered key)
-      answered_order_.pop_front();
-      continue;
-    }
-    if (answered_.size() > kMaxAnswered || now - it->second.at > kAnsweredTtl) {
-      answered_.erase(it);
-      answered_order_.pop_front();
-      continue;
-    }
-    break;
-  }
-}
+void Multiplexer::evict_answered() { answered_.sweep(Clock::now()); }
 
 void Multiplexer::handle_handshake(std::span<const std::uint8_t> pkt,
                                    const Endpoint& src) {
@@ -395,30 +414,88 @@ void Multiplexer::handle_handshake(std::span<const std::uint8_t> pkt,
     return;
   }
   const auto req = decode_handshake_payload(pkt.subspan(kHeaderBytes));
-  if (!req || req->request_type != 1) {
+  if (!req || req->request_type != kHsRequest) {
     unroutable_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   const HsKey key{src.ip_host_order, src.port, req->socket_id};
+  const auto now = Clock::now();
+  const double now_s =
+      std::chrono::duration<double>(now.time_since_epoch()).count();
+  const auto now_sec = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(now.time_since_epoch())
+          .count());
   std::unique_lock lk{hs_mu_};
   // A live child for this (address, socket id) answers authoritatively: the
   // earlier response was lost or is still in flight, and re-sending it is
   // what keeps a slow retransmit from ever spawning a ghost second socket.
+  // Re-replies bypass the admission gates below on purpose — they cost no
+  // state, and rate-limiting a legitimate retransmit would strand the peer.
   if (const auto it = child_resp_.find(key); it != child_resp_.end()) {
     const HandshakePayload resp = it->second;
     lk.unlock();
     send_handshake_packet(channel(), src, req->socket_id, resp);
     return;
   }
-  if (const auto it = answered_.find(key); it != answered_.end()) {
-    const HandshakePayload resp = it->second.resp;
+  if (const HandshakePayload* a = answered_.find(key); a != nullptr) {
+    const HandshakePayload resp = *a;
     lk.unlock();
     send_handshake_packet(channel(), src, req->socket_id, resp);
     return;
   }
   if (listener_ == nullptr) return;  // nobody accepting on this port
+  // Per-source token bucket: one source cannot monopolize the handshake
+  // path's CPU (every packet past here costs at least a MAC computation).
+  if (!admission_->allow_handshake(src.ip_host_order, now_s)) {
+    admission_drops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (cfg_.stateless_handshake) {
+    if (req->cookie == 0) {
+      // First contact: answer with a signed cookie and retain NOTHING.  A
+      // spoofed source never sees the challenge, so it never reaches the
+      // stateful path below.
+      HandshakePayload challenge = *req;
+      challenge.request_type = kHsChallenge;
+      challenge.cookie =
+          cookie_keys_.make(now_sec, src.ip_host_order, src.port, *req);
+      cookie_challenges_.fetch_add(1, std::memory_order_relaxed);
+      lk.unlock();
+      send_handshake_packet(channel(), src, req->socket_id, challenge);
+      return;
+    }
+    switch (cookie_keys_.verify(now_sec, src.ip_host_order, src.port, *req,
+                                req->cookie)) {
+      case CookieKeyring::Verdict::kValid:
+        break;
+      case CookieKeyring::Verdict::kExpired: {
+        // Stale but authentic: re-challenge so a slow client self-heals
+        // with a fresh cookie instead of retransmitting into a black hole.
+        cookie_expired_.fetch_add(1, std::memory_order_relaxed);
+        HandshakePayload challenge = *req;
+        challenge.request_type = kHsChallenge;
+        challenge.cookie =
+            cookie_keys_.make(now_sec, src.ip_host_order, src.port, *req);
+        lk.unlock();
+        send_handshake_packet(channel(), src, req->socket_id, challenge);
+        return;
+      }
+      case CookieKeyring::Verdict::kInvalid:
+        cookie_rejects_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+  }
   if (pending_keys_.contains(key)) return;
-  if (pending_.size() >= kMaxPendingHandshakes) return;
+  if (pending_.size() >= kMaxPendingHandshakes) {
+    accept_queue_drops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Half-open cap: even with valid cookies, one source holds at most
+  // max_pending_per_ip slots of the accept queue.
+  if (!admission_->begin_pending(src.ip_host_order, now_s)) {
+    admission_drops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   pending_keys_.insert(key);
   pending_.push_back(PendingHandshake{src, *req});
   hs_cv_.notify_one();
@@ -619,7 +696,13 @@ void Multiplexer::kick(Socket* s) {
 
 void Multiplexer::kick_all(Shard& sh) {
   std::shared_lock al{sh.attach_mu};
-  for (const auto& [id, s] : sh.socks) kick(s);
+  // Only dirty sockets (wake_sender since their last empty tx_round) are
+  // re-kicked: an idle 100k fleet must not cost 100k serve rounds per
+  // heartbeat.  The flag is conservative — tx_round only clears it when it
+  // finds no work — so a socket with queued data can never go unkicked.
+  for (const auto& [id, s] : sh.socks) {
+    if (s->tx_dirty_.load(std::memory_order_relaxed)) kick(s);
+  }
 }
 
 void Multiplexer::serve(Shard& sh, std::uint32_t id) {

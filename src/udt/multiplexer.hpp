@@ -63,10 +63,13 @@
 
 #include "udt/buffers.hpp"
 #include "udt/channel.hpp"
+#include "udt/handshake_cookie.hpp"
+#include "udt/loss_list.hpp"
 #include "udt/packet.hpp"
 #include "udt/pacing.hpp"
 #include "udt/socket.hpp"
 #include "udt/timer_wheel.hpp"
+#include "udt/ttl_map.hpp"
 #include "udt/wakeup_ring.hpp"
 
 namespace udtr::udt {
@@ -183,6 +186,13 @@ class Multiplexer : public std::enable_shared_from_this<Multiplexer> {
   // case); other callers go through the shard's pending list.
   void kick(Socket* s);
 
+  // The shard-shared loss-list node pool for the shard owning `socket_id`;
+  // sockets attach it before entering steady state so their (lazily
+  // allocated) loss-list arrays recycle through the shard instead of
+  // churning the heap.
+  [[nodiscard]] std::shared_ptr<LossList::NodePool> loss_pool(
+      std::uint32_t socket_id) const;
+
   // --- diagnostics --------------------------------------------------------
   // Datagrams that could not be delivered to any attached socket: too short
   // to carry a header, unknown destination socket id, or a malformed
@@ -193,6 +203,29 @@ class Multiplexer : public std::enable_shared_from_this<Multiplexer> {
   }
   [[nodiscard]] std::size_t attached_sockets() const;
   [[nodiscard]] std::size_t remembered_handshakes() const;
+  // Handshakes parked for accept() right now (zero while a stateless
+  // listener is being flooded with cookie-less requests — the flood test's
+  // core assertion).
+  [[nodiscard]] std::size_t pending_handshakes() const;
+  // Admission / cookie counters (port-global, hs_mu_-guarded writes).
+  [[nodiscard]] std::uint64_t accept_queue_drops() const {
+    return accept_queue_drops_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t handshake_admission_drops() const {
+    return admission_drops_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t cookie_challenges() const {
+    return cookie_challenges_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t cookie_rejects() const {
+    return cookie_rejects_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t cookie_expired() const {
+    return cookie_expired_.load(std::memory_order_relaxed);
+  }
+  // Sources currently tracked by the admission table (bounded by
+  // SocketOptions::max_tracked_ips no matter how many sources flood).
+  [[nodiscard]] std::size_t admission_tracked_ips() const;
   // Timer-wheel work counters summed over shards: drain() calls made by the
   // rx loops, and entries fired (each fire = one socket sweep).  With the
   // legacy full-walk env override these count the walk instead, so the
@@ -259,6 +292,10 @@ class Multiplexer : public std::enable_shared_from_this<Multiplexer> {
     std::atomic<std::uint64_t> sweep_calls{0};
     std::atomic<std::uint64_t> socket_sweeps{0};
 
+    // Loss-list node arrays recycled across the shard's sockets.
+    std::shared_ptr<LossList::NodePool> loss_pool =
+        std::make_shared<LossList::NodePool>();
+
     std::thread rx_thread;
     std::thread tx_thread;
   };
@@ -315,14 +352,22 @@ class Multiplexer : public std::enable_shared_from_this<Multiplexer> {
   std::condition_variable hs_cv_;
   std::deque<PendingHandshake> pending_;
   std::set<HsKey> pending_keys_;
-  struct Answered {
-    HandshakePayload resp;
-    Clock::time_point at;
-  };
-  std::map<HsKey, Answered> answered_;
-  std::deque<HsKey> answered_order_;
+  BoundedTtlMap<HsKey, HandshakePayload> answered_{kMaxAnswered,
+                                                   kAnsweredTtl};
   std::map<HsKey, HandshakePayload> child_resp_;  // live accepted children
   Socket* listener_ = nullptr;
+  // Stateless-handshake state (hs_mu_): the port's cookie keyring and the
+  // per-source-IP admission table.  Lock order: hs_mu_ is a leaf — it is
+  // never taken while holding a shard's attach_mu or any socket's
+  // state_mu_, and nothing is acquired under it (challenge replies are
+  // sent after it is dropped).
+  CookieKeyring cookie_keys_;
+  std::unique_ptr<AdmissionControl> admission_;
+  std::atomic<std::uint64_t> accept_queue_drops_{0};
+  std::atomic<std::uint64_t> admission_drops_{0};
+  std::atomic<std::uint64_t> cookie_challenges_{0};
+  std::atomic<std::uint64_t> cookie_rejects_{0};
+  std::atomic<std::uint64_t> cookie_expired_{0};
 };
 
 }  // namespace udtr::udt

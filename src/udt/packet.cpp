@@ -79,6 +79,10 @@ std::optional<HandshakePayload> decode_handshake_payload(
   h.request_type = load_be32(payload.data() + 16);
   h.socket_id = load_be32(payload.data() + 20);
   h.port = load_be32(payload.data() + 24);
+  if (payload.size() >= 4 * HandshakePayload::kWordsWithCookie) {
+    h.cookie = (std::uint64_t{load_be32(payload.data() + 28)} << 32) |
+               std::uint64_t{load_be32(payload.data() + 32)};
+  }
   return h;
 }
 
@@ -115,7 +119,9 @@ std::size_t encode_handshake_payload(std::span<std::uint8_t> out,
   store_be32(out.data() + 16, hs.request_type);
   store_be32(out.data() + 20, hs.socket_id);
   store_be32(out.data() + 24, hs.port);
-  return 4 * HandshakePayload::kWords;
+  store_be32(out.data() + 28, static_cast<std::uint32_t>(hs.cookie >> 32));
+  store_be32(out.data() + 32, static_cast<std::uint32_t>(hs.cookie));
+  return 4 * HandshakePayload::kWordsWithCookie;
 }
 
 }  // namespace udtr::udt

@@ -21,27 +21,40 @@ std::mutex g_poll_mu;
 
 Poller::~Poller() {
   std::lock_guard lk{g_poll_mu};
-  for (const Entry& e : entries_) {
-    auto& w = e.sock->watchers_;
+  for (const auto& [s, e] : entries_) {
+    auto& w = s->watchers_;
     std::erase(w, this);
-    e.sock->watched_.store(!w.empty(), std::memory_order_release);
+    s->watched_.store(!w.empty(), std::memory_order_release);
   }
   entries_.clear();
+  ready_.clear();
+}
+
+void Poller::mark_ready_locked(Socket* s) {
+  const auto it = entries_.find(s);
+  if (it != entries_.end() && !it->second.queued) {
+    it->second.queued = true;
+    ready_.push_back(s);
+  }
+}
+
+void Poller::purge_ready_locked(Socket* s) {
+  std::erase(ready_, s);
 }
 
 bool Poller::add(Socket* s, std::uint32_t mask) {
   if (s == nullptr || mask == 0) return false;
   {
     std::lock_guard lk{g_poll_mu};
-    auto it = std::find_if(entries_.begin(), entries_.end(),
-                           [&](const Entry& e) { return e.sock == s; });
-    if (it != entries_.end()) {
-      it->mask = mask;
-    } else {
-      entries_.push_back(Entry{s, mask});
+    auto [it, inserted] = entries_.try_emplace(s);
+    it->second.mask = mask;
+    if (inserted) {
       s->watchers_.push_back(this);
       s->watched_.store(true, std::memory_order_release);
     }
+    // Seed the ready queue: the socket may already be at level, and
+    // wait_many only ever looks at queued sockets.
+    mark_ready_locked(s);
   }
   // The socket may already be ready: bump the version so a concurrent
   // wait() re-snapshots instead of sleeping through the level.
@@ -51,9 +64,9 @@ bool Poller::add(Socket* s, std::uint32_t mask) {
 
 void Poller::remove(Socket* s) {
   std::lock_guard lk{g_poll_mu};
-  auto it = std::find_if(entries_.begin(), entries_.end(),
-                         [&](const Entry& e) { return e.sock == s; });
+  const auto it = entries_.find(s);
   if (it == entries_.end()) return;
+  if (it->second.queued) purge_ready_locked(s);
   entries_.erase(it);
   auto& w = s->watchers_;
   std::erase(w, this);
@@ -89,15 +102,65 @@ std::size_t Poller::wait(std::span<PollEvent> out,
     const std::uint64_t seen = version_.load(std::memory_order_seq_cst);
     {
       std::lock_guard lk{g_poll_mu};
-      wait_scratch_ = entries_;
+      wait_scratch_.clear();
+      for (const auto& [s, e] : entries_) wait_scratch_.emplace_back(s, e.mask);
     }
     std::size_t n = 0;
-    for (const Entry& e : wait_scratch_) {
+    for (const auto& [s, mask] : wait_scratch_) {
       // kPollErr is always reported, matching epoll.
-      const std::uint32_t ready = e.sock->poll_ready(e.mask | kPollErr);
+      const std::uint32_t ready = s->poll_ready(mask | kPollErr);
       if (ready != 0 && n < out.size()) {
-        out[n++] = PollEvent{e.sock, ready};
+        out[n++] = PollEvent{s, ready};
       }
+    }
+    if (n > 0) return n;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return 0;
+    std::unique_lock lk{wake_mu_};
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    wake_cv_.wait_until(lk, deadline, [&] {
+      return version_.load(std::memory_order_seq_cst) != seen;
+    });
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+}
+
+std::size_t Poller::wait_many(std::span<PollEvent> out,
+                              std::chrono::milliseconds timeout) {
+  if (out.empty()) return 0;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    // Capture the wakeup version BEFORE draining: an edge that lands after
+    // the drain (even for a socket we just found not-ready) changes the
+    // version and forces a re-drain instead of being slept through.
+    const std::uint64_t seen = version_.load(std::memory_order_seq_cst);
+    {
+      std::lock_guard lk{g_poll_mu};
+      wait_scratch_.clear();
+      for (Socket* s : ready_) {
+        const auto it = entries_.find(s);
+        if (it == entries_.end()) continue;
+        it->second.queued = false;
+        wait_scratch_.emplace_back(s, it->second.mask);
+      }
+      ready_.clear();
+    }
+    // Verify each candidate's level without the registry lock (poll_ready
+    // takes the socket's state_mu_, which must never nest inside
+    // g_poll_mu).
+    std::size_t n = 0;
+    requeue_scratch_.clear();
+    for (const auto& [s, mask] : wait_scratch_) {
+      const std::uint32_t ready = s->poll_ready(mask | kPollErr);
+      if (ready == 0) continue;  // its next edge will re-queue it
+      if (n < out.size()) out[n++] = PollEvent{s, ready};
+      // Still at level (or reported, or overflowed out): stay queued so the
+      // next call sees it again — that is what keeps this level-triggered.
+      requeue_scratch_.push_back(s);
+    }
+    if (!requeue_scratch_.empty()) {
+      std::lock_guard lk{g_poll_mu};
+      for (Socket* s : requeue_scratch_) mark_ready_locked(s);
     }
     if (n > 0) return n;
     const auto now = std::chrono::steady_clock::now();
@@ -115,19 +178,21 @@ std::size_t Poller::wait(std::span<PollEvent> out,
 
 void Socket::poke_watchers() {
   if (!watched_.load(std::memory_order_acquire)) return;
-  // Snapshot under the registry lock, poke outside it: poke() only touches
-  // the poller's own wake_mu_, but keeping lock scopes minimal keeps the
-  // ordering story simple (g_poll_mu is a leaf except for wake_mu_).
+  // Mark + poke under the registry lock: poke() only touches the poller's
+  // own wake_mu_, and g_poll_mu is a leaf except for wake_mu_.  The mark is
+  // the edge that feeds wait_many's ready queue.
   std::lock_guard lk{g_poll_mu};
-  for (Poller* p : watchers_) p->poke();
+  for (Poller* p : watchers_) {
+    p->mark_ready_locked(this);
+    p->poke();
+  }
 }
 
 void Socket::drop_watchers() {
   std::lock_guard lk{g_poll_mu};
   for (Poller* p : watchers_) {
-    std::erase_if(p->entries_, [&](const Poller::Entry& e) {
-      return e.sock == this;
-    });
+    p->purge_ready_locked(this);
+    p->entries_.erase(this);
     p->poke();
   }
   watchers_.clear();

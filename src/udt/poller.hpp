@@ -33,6 +33,8 @@
 #include <cstdint>
 #include <mutex>
 #include <span>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace udtr::udt {
@@ -65,8 +67,21 @@ class Poller {
 
   // Blocks until at least one registered socket is ready or `timeout`
   // elapses, fills `out` with ready sockets (up to out.size()) and returns
-  // the number filled; 0 on timeout or when nothing is registered.
+  // the number filled; 0 on timeout or when nothing is registered.  Scans
+  // every registered socket per wakeup — fine for hundreds of sockets,
+  // ruinous for a 100k fleet; prefer wait_many there.
   std::size_t wait(std::span<PollEvent> out, std::chrono::milliseconds timeout);
+
+  // Fleet-scale wait: instead of scanning all registered sockets, drains
+  // the edge-seeded ready queue (sockets whose state changed since they
+  // were last reported) and verifies each candidate's level before
+  // reporting it.  Cost per wakeup is O(candidates), independent of the
+  // number of registered sockets, so one application thread can drive a
+  // ~100k-socket fleet.  Semantics are still level-triggered: a reported
+  // socket is re-queued and reported again on the next call for as long as
+  // its condition holds.  Same return contract as wait().
+  std::size_t wait_many(std::span<PollEvent> out,
+                        std::chrono::milliseconds timeout);
 
   [[nodiscard]] std::size_t size() const;
 
@@ -74,15 +89,21 @@ class Poller {
   friend class Socket;
 
   struct Entry {
-    Socket* sock = nullptr;
     std::uint32_t mask = 0;
+    bool queued = false;  // sitting in ready_ awaiting a wait_many drain
   };
 
   // Edge notification from a watched socket (registry mutex held).
   void poke();
+  // Queues `s` for wait_many (registry mutex held by the caller).
+  void mark_ready_locked(Socket* s);
+  void purge_ready_locked(Socket* s);
 
-  std::vector<Entry> entries_;       // guarded by the poller registry mutex
-  std::vector<Entry> wait_scratch_;  // wait()-thread private snapshot
+  std::unordered_map<Socket*, Entry> entries_;  // guarded by registry mutex
+  std::vector<Socket*> ready_;                  // guarded by registry mutex
+  // wait()/wait_many()-thread private scratch.
+  std::vector<std::pair<Socket*, std::uint32_t>> wait_scratch_;
+  std::vector<Socket*> requeue_scratch_;
 
   mutable std::mutex wake_mu_;
   std::condition_variable wake_cv_;

@@ -21,8 +21,14 @@ constexpr int kShutdownRepeat = 3;
 constexpr auto kShutdownGap = std::chrono::milliseconds{1};
 
 std::uint32_t random_socket_id() {
+  // Knuth multiplicative hash, truncated to 31 bits.  The multiplier is odd,
+  // so x -> x * M mod 2^31 is a bijection: ids never collide until the
+  // counter itself wraps (2^31 sockets), where the old `% 0x7FFFFFFF + 1`
+  // folding produced birthday collisions within a ~100k-socket fleet.  Id 0
+  // (reserved for handshake rendezvous) only maps from counter 0, which the
+  // counter never revisits.
   static std::atomic<std::uint32_t> counter{1};
-  return counter.fetch_add(1) * 2654435761U % 0x7FFFFFFFU + 1;
+  return (counter.fetch_add(1) * 2654435761U) & 0x7FFFFFFFU;
 }
 
 // Loss-list node pool size.  With flow control on, in-flight data (and thus
@@ -94,6 +100,11 @@ std::unique_ptr<Socket> Socket::listen(std::uint16_t port,
   // installed here for handshake traffic to pass through it.
   if (opts.faults) s->channel_.set_fault_injector(opts.faults);
   s->channel_.set_recv_timeout(std::chrono::milliseconds{100});
+  // Exclusive-port stateless handshake: this listener owns its keyring (the
+  // multiplexed path uses the port-wide one inside the Multiplexer).
+  if (opts.stateless_handshake) {
+    s->listener_keys_ = std::make_unique<CookieKeyring>();
+  }
   return s;
 }
 
@@ -110,16 +121,59 @@ std::unique_ptr<Socket> Socket::accept(std::chrono::milliseconds timeout) {
     const auto hdr = decode_ctrl_header(pkt);
     if (!hdr || hdr->type != CtrlType::kHandshake) continue;
     const auto req_opt = decode_handshake_payload(pkt.subspan(kHeaderBytes));
-    if (!req_opt || req_opt->request_type != 1) continue;
+    if (!req_opt || req_opt->request_type != kHsRequest) continue;
     const HandshakePayload req = *req_opt;
 
+    const auto now_clock = std::chrono::steady_clock::now();
+    handled_.sweep(now_clock);
     // A retransmitted request (our earlier response was lost or is still in
     // flight) gets the recorded response again instead of a second socket.
+    // Re-replies come before the cookie gate: the recorded response proves
+    // the client already completed the round trip once.
     const auto key = std::pair{src.ip_host_order,
                                (std::uint32_t{src.port} << 16) | req.socket_id};
-    if (auto it = handled_.find(key); it != handled_.end()) {
-      send_handshake_packet(channel_, src, req.socket_id, it->second);
+    if (const HandshakePayload* prev = handled_.find(key); prev != nullptr) {
+      send_handshake_packet(channel_, src, req.socket_id, *prev);
       continue;
+    }
+
+    if (listener_keys_) {
+      const auto now_sec = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::seconds>(
+              now_clock.time_since_epoch())
+              .count());
+      if (req.cookie == 0) {
+        // First contact: challenge with a signed cookie, keep no state.
+        HandshakePayload challenge = req;
+        challenge.request_type = kHsChallenge;
+        challenge.cookie =
+            listener_keys_->make(now_sec, src.ip_host_order, src.port, req);
+        send_handshake_packet(channel_, src, req.socket_id, challenge);
+        continue;
+      }
+      switch (listener_keys_->verify(now_sec, src.ip_host_order, src.port,
+                                     req, req.cookie)) {
+        case CookieKeyring::Verdict::kValid:
+          break;
+        case CookieKeyring::Verdict::kExpired: {
+          // Authentic but stale: re-challenge so the client self-heals.
+          {
+            std::lock_guard lk{state_mu_};
+            ++stats_.handshake_cookie_rejects;
+          }
+          HandshakePayload challenge = req;
+          challenge.request_type = kHsChallenge;
+          challenge.cookie =
+              listener_keys_->make(now_sec, src.ip_host_order, src.port, req);
+          send_handshake_packet(channel_, src, req.socket_id, challenge);
+          continue;
+        }
+        case CookieKeyring::Verdict::kInvalid: {
+          std::lock_guard lk{state_mu_};
+          ++stats_.handshake_cookie_rejects;
+          continue;
+        }
+      }
     }
 
     SocketOptions child_opts = opts_;
@@ -147,7 +201,7 @@ std::unique_ptr<Socket> Socket::accept(std::chrono::milliseconds timeout) {
     child->peer_socket_id_ = req.socket_id;
 
     HandshakePayload resp;
-    resp.request_type = 0;
+    resp.request_type = kHsResponse;
     resp.initial_seq = req.initial_seq;
     resp.mss_bytes = static_cast<std::uint32_t>(child_opts.mss_bytes);
     resp.socket_id = child->socket_id_;
@@ -156,14 +210,7 @@ std::unique_ptr<Socket> Socket::accept(std::chrono::milliseconds timeout) {
     // dedicated endpoint from the datagram's source address (and from the
     // explicit port field, which duplicate-response handling relies on).
     send_handshake_packet(child->channel_, src, req.socket_id, resp);
-    handled_.emplace(key, resp);
-    handled_order_.push_back(key);
-    // FIFO-bound the duplicate-handshake map so a long-lived listener
-    // cannot grow it without limit.
-    while (handled_.size() > kMaxHandledHandshakes) {
-      handled_.erase(handled_order_.front());
-      handled_order_.pop_front();
-    }
+    handled_.put(key, resp, now_clock);
     child->start_threads();
     return child;
   }
@@ -203,7 +250,7 @@ std::unique_ptr<Socket> Socket::accept_mux(std::chrono::milliseconds timeout) {
     child->peer_socket_id_ = req.socket_id;
 
     HandshakePayload resp;
-    resp.request_type = 0;
+    resp.request_type = kHsResponse;
     resp.initial_seq = req.initial_seq;
     resp.mss_bytes = static_cast<std::uint32_t>(child_opts.mss_bytes);
     resp.socket_id = child->socket_id_;
@@ -230,7 +277,7 @@ std::unique_ptr<Socket> Socket::connect(const std::string& host,
   s->channel_.set_recv_timeout(kHandshakeRetryGap);
 
   HandshakePayload req;
-  req.request_type = 1;
+  req.request_type = kHsRequest;
   req.initial_seq = static_cast<std::uint32_t>(s->isn_);
   req.mss_bytes = static_cast<std::uint32_t>(opts.mss_bytes);
   req.socket_id = s->socket_id_;
@@ -245,7 +292,15 @@ std::unique_ptr<Socket> Socket::connect(const std::string& host,
     const auto hdr = decode_ctrl_header(pkt);
     if (!hdr || hdr->type != CtrlType::kHandshake) continue;
     const auto resp_opt = decode_handshake_payload(pkt.subspan(kHeaderBytes));
-    if (!resp_opt || resp_opt->request_type != 0) continue;
+    if (!resp_opt) continue;
+    if (resp_opt->request_type == kHsChallenge) {
+      // Stateless listener: echo its cookie with the same proposal.  The
+      // recv above returned as soon as the challenge landed, so the extra
+      // round trip costs one RTT, not a retry interval.
+      req.cookie = resp_opt->cookie;
+      continue;
+    }
+    if (resp_opt->request_type != kHsResponse) continue;
     const HandshakePayload resp = *resp_opt;
     // The negotiated MSS must land in (0, our proposal]: a corrupt or
     // hostile response advertising 0 (division in buffer math) or more than
@@ -285,7 +340,7 @@ std::unique_ptr<Socket> Socket::connect_mux(std::unique_ptr<Socket> s,
   mux->attach(s.get());
 
   HandshakePayload req;
-  req.request_type = 1;
+  req.request_type = kHsRequest;
   req.initial_seq = static_cast<std::uint32_t>(s->isn_);
   req.mss_bytes = static_cast<std::uint32_t>(opts.mss_bytes);
   req.socket_id = s->socket_id_;
@@ -298,6 +353,12 @@ std::unique_ptr<Socket> Socket::connect_mux(std::unique_ptr<Socket> s,
     if (!s->hs_resp_) continue;
     const HandshakePayload resp = *s->hs_resp_;
     s->hs_resp_.reset();
+    if (resp.request_type == kHsChallenge) {
+      // Stateless listener: echo its cookie and retry immediately (the wait
+      // above woke as soon as the challenge arrived).
+      req.cookie = resp.cookie;
+      continue;
+    }
     // Same trust boundary as the dedicated-channel path: the negotiated MSS
     // must land in (0, our proposal].
     if (resp.mss_bytes == 0 ||
@@ -349,13 +410,16 @@ void Socket::start_threads() {
   last_ctrl_us_ = now_us();
   state_ = ConnState::kEstablished;
   running_ = true;
-  prepare_tx_scratch();
   snd_thread_ = std::thread([this] { sender_loop(); });
   rcv_thread_ = std::thread([this] { receiver_loop(); });
 }
 
 void Socket::setup_mux_mode() {
-  prepare_tx_scratch();
+  // Loss-list node arrays recycle through the owning shard's pool instead
+  // of churning the heap (they are also lazily allocated — an idle socket
+  // never materializes them at all).
+  snd_loss_.set_pool(mux_->loss_pool(socket_id_));
+  rcv_loss_.set_pool(mux_->loss_pool(socket_id_));
   // Keep the shared receive slab alive past detach: RcvBuffer may still
   // hold payload references into it when this socket closes.
   mux_slab_ = mux_->slab_for(socket_id_);
@@ -400,6 +464,10 @@ bool Socket::snd_has_work() const {
 }
 
 std::size_t Socket::fill_tx_batch(double& period_s) {
+  // Lazy scratch: sized on the first batch this socket ever stages, so the
+  // ~100 KB of wire buffers (legacy path) or header slots never exist for
+  // sockets that never send.
+  if (tx_max_batch_ == 0) prepare_tx_scratch();
   Profiler* prof = opts_.enable_profiler ? &profiler_ : nullptr;
   const bool zero_copy = opts_.zero_copy;
   const std::size_t nslots = static_cast<std::size_t>(tx_max_batch_) + 1;
@@ -576,7 +644,13 @@ Pacer::Clock::time_point Socket::tx_round() {
   std::size_t count = 0;
   {
     std::unique_lock lk{state_mu_};
-    if (!running_ || !snd_has_work()) return Pacer::Clock::time_point::max();
+    if (!running_ || !snd_has_work()) {
+      // Nothing to do: clear the heartbeat dirty flag under the same lock
+      // that guards snd_has_work()'s inputs, so a concurrent wake_sender
+      // either saw work (flag stays meaningful) or re-sets it after us.
+      tx_dirty_.store(false, std::memory_order_relaxed);
+      return Pacer::Clock::time_point::max();
+    }
     const double now = now_s();
     cc_.set_now(now);
     if (cc_.frozen_until(now)) return Pacer::Clock::now() + kFrozenRetry;
@@ -586,7 +660,10 @@ Pacer::Clock::time_point Socket::tx_round() {
     const auto next = pacer_.next_send();
     if (next > Pacer::Clock::now()) return next;
     count = fill_tx_batch(period);
-    if (count == 0) return Pacer::Clock::time_point::max();
+    if (count == 0) {
+      tx_dirty_.store(false, std::memory_order_relaxed);
+      return Pacer::Clock::time_point::max();
+    }
   }
   send_tx_batch(count);
   // schedule() is pace() minus the wait (the heap already waited): the
@@ -603,6 +680,7 @@ Pacer::Clock::time_point Socket::tx_round() {
       poke_watchers();
     }
     more = running_ && snd_has_work();
+    if (!more) tx_dirty_.store(false, std::memory_order_relaxed);
   }
   return more ? pacer_.next_send() : Pacer::Clock::time_point::max();
 }
@@ -611,13 +689,17 @@ void Socket::mux_ingest(std::span<const std::uint8_t> pkt, RecvSlab* slab,
                         int slab_slot) {
   std::lock_guard lk{state_mu_};
   if (state_ == ConnState::kConnecting) {
-    // Pre-establishment the only meaningful arrival is the handshake
-    // response; stash it for the connecting thread.
+    // Pre-establishment the only meaningful arrivals are the handshake
+    // response and a stateless listener's cookie challenge; stash either
+    // for the connecting thread.
     if (!is_control(pkt)) return;
     const auto hdr = decode_ctrl_header(pkt);
     if (!hdr || hdr->type != CtrlType::kHandshake) return;
     const auto resp = decode_handshake_payload(pkt.subspan(kHeaderBytes));
-    if (!resp || resp->request_type != 0) return;
+    if (!resp || (resp->request_type != kHsResponse &&
+                  resp->request_type != kHsChallenge)) {
+      return;
+    }
     hs_resp_ = *resp;
     app_rcv_cv_.notify_all();
     return;
@@ -681,6 +763,9 @@ std::uint64_t Socket::next_timer_due_us(std::uint64_t now) const {
 
 void Socket::wake_sender() {
   if (mux_) {
+    // Dirty before kick: if the kick is lost (heap entry consumed by a
+    // racing serve), the heartbeat sweep still sees the flag and re-kicks.
+    tx_dirty_.store(true, std::memory_order_relaxed);
     mux_->kick(this);
   } else {
     snd_cv_.notify_one();
@@ -994,9 +1079,9 @@ void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
         ++stats_.invalid_packets;
         break;
       }
-      if (req->request_type == 1) {
+      if (req->request_type == kHsRequest) {
         HandshakePayload resp;
-        resp.request_type = 0;
+        resp.request_type = kHsResponse;
         resp.initial_seq = req->initial_seq;
         resp.mss_bytes = static_cast<std::uint32_t>(opts_.mss_bytes);
         resp.socket_id = socket_id_;
@@ -1379,6 +1464,14 @@ int Socket::consecutive_exp_timeouts() const {
 PerfStats Socket::perf() const {
   std::unique_lock lk{state_mu_};
   PerfStats p = stats_;
+  if (mode_ == Mode::kListener && mux_) {
+    // Multiplexed listener: the admission/cookie counters live in the
+    // port-global multiplexer state, not in this socket.
+    p.accept_queue_drops = mux_->accept_queue_drops();
+    p.handshake_admission_drops = mux_->handshake_admission_drops();
+    p.handshake_cookie_rejects =
+        mux_->cookie_rejects() + mux_->cookie_expired();
+  }
   p.rtt_ms = (rtt_s_ > 0.0 ? rtt_s_ : cc_.last_rtt_s()) * 1e3;
   const double wire_bits = (opts_.mss_bytes + kHeaderBytes) * 8.0;
   p.capacity_mbps = pair_.capacity_packets_per_second() * wire_bits / 1e6;

@@ -47,10 +47,12 @@
 #include "common/seqno.hpp"
 #include "udt/buffers.hpp"
 #include "udt/channel.hpp"
+#include "udt/handshake_cookie.hpp"
 #include "udt/loss_list.hpp"
 #include "udt/packet.hpp"
 #include "udt/pacing.hpp"
 #include "udt/profiler.hpp"
+#include "udt/ttl_map.hpp"
 
 namespace udtr::udt {
 
@@ -137,6 +139,27 @@ struct SocketOptions {
   // 1 reproduces the single-pair datapath; clamped to [1, 16].  Ignored in
   // exclusive-port mode.
   int mux_shards = 0;
+  // Stateless handshake (listener side): answer the first handshake packet
+  // of a connection with a signed SYN-style cookie and keep zero state
+  // until the client echoes it back (handshake_cookie.hpp).  Costs one
+  // extra round trip at connect; makes a spoofed-source handshake flood
+  // memory-free.  false restores the legacy two-way handshake for interop
+  // with cookie-unaware peers.  Clients handle challenges unconditionally,
+  // so this option only matters on the listener.
+  bool stateless_handshake = true;
+  // Per-source-IP admission control on the multiplexer handshake path
+  // (ignored in exclusive-port mode): token-bucket rate limit per source,
+  // cap on concurrent half-open connections per source, and the bound on
+  // the tracking table itself (LRU-evicted, so spoofed sources cannot
+  // balloon it).  Defaults are sized for many clients behind one address
+  // (NAT, loopback test fleets): the rate bounds a single-source packet
+  // storm's CPU cost without throttling a legitimate connect burst, while
+  // memory is defended by the cookie (nothing is retained pre-echo) and
+  // the pending cap, not by the rate.
+  double handshake_rate_per_ip = 20000.0;
+  double handshake_burst_per_ip = 4096.0;
+  int max_pending_per_ip = 64;
+  int max_tracked_ips = 4096;
 };
 
 struct PerfStats {
@@ -156,6 +179,11 @@ struct PerfStats {
   std::uint64_t invalid_packets = 0;
   // NAK ranges discarded as inverted or entirely outside the send window.
   std::uint64_t invalid_nak_ranges = 0;
+  // Listener-side admission counters (multiplexed listeners aggregate the
+  // port's counters; exclusive listeners count locally).
+  std::uint64_t accept_queue_drops = 0;        // pending queue overflowed
+  std::uint64_t handshake_admission_drops = 0; // per-IP rate/pending limits
+  std::uint64_t handshake_cookie_rejects = 0;  // invalid or expired cookies
   double rtt_ms = 0.0;
   double capacity_mbps = 0.0;       // RBPP estimate
   double recv_rate_mbps = 0.0;      // arrival-speed estimate
@@ -388,7 +416,14 @@ class Socket {
   std::vector<std::span<const std::uint8_t>> tx_batch_;
   std::vector<std::array<std::uint8_t, kHeaderBytes>> tx_headers_;
   std::vector<UdpChannel::TxDatagram> tx_gather_;
-  int tx_max_batch_ = 1;
+  // 0 until the first fill_tx_batch materializes the scratch (lazy: an
+  // idle socket never stages a batch, so it never pays for one).
+  int tx_max_batch_ = 0;
+  // True when the sender may have work (set with every wake_sender, cleared
+  // by a tx round that found nothing to do).  The multiplexer's heartbeat
+  // sweep only re-kicks dirty sockets, so a 100k-socket idle fleet costs
+  // one relaxed load per socket per sweep instead of a full service round.
+  std::atomic<bool> tx_dirty_{false};
   // Multiplexed mode: true while a send-heap entry for this socket exists
   // (at most one).  See Multiplexer::kick / serve for the protocol.
   std::atomic<bool> tx_scheduled_{false};
@@ -419,7 +454,12 @@ class Socket {
   std::uint64_t last_ctrl_us_ = 0;      // EXP timer basis
   int consecutive_timeouts_ = 0;
   std::int32_t next_ack_id_ = 1;
-  std::array<std::pair<std::int32_t, std::uint64_t>, 64> ack_times_{};
+  // In-flight ACK departure times for RTT measurement, keyed by ack id mod
+  // size.  16 is ample: ACKs leave at SYN cadence (10 ms), so 16 slots cover
+  // a 160 ms ACK->ACK2 turnaround — far beyond loopback RTTs — at a quarter
+  // of the old 64-slot footprint (this array is per socket, and a 100k
+  // fleet notices).
+  std::array<std::pair<std::int32_t, std::uint64_t>, 16> ack_times_{};
   std::int64_t last_acked_index_ = -1;
   bool data_since_ack_ = false;
 
@@ -428,14 +468,18 @@ class Socket {
 
   // Listener-only: responses already issued, keyed by (client ip, client
   // port | client socket id), so retransmitted requests are re-answered
-  // instead of spawning duplicate sockets.  Bounded FIFO: a long-lived
+  // instead of spawning duplicate sockets.  Bounded FIFO + TTL (the same
+  // BoundedTtlMap the multiplexer's answered_ index uses): a long-lived
   // listener evicts the oldest entries past kMaxHandledHandshakes rather
   // than growing without limit (an evicted client's retransmit simply
   // spawns a fresh socket, which its earlier one out-competes or times out).
   static constexpr std::size_t kMaxHandledHandshakes = 1024;
-  std::map<std::pair<std::uint32_t, std::uint32_t>, HandshakePayload>
-      handled_;
-  std::deque<std::pair<std::uint32_t, std::uint32_t>> handled_order_;
+  static constexpr std::chrono::seconds kHandledTtl{30};
+  BoundedTtlMap<std::pair<std::uint32_t, std::uint32_t>, HandshakePayload>
+      handled_{kMaxHandledHandshakes, kHandledTtl};
+  // Exclusive-port listener with stateless_handshake: the cookie keyring
+  // (multiplexed listeners use the port-wide keyring in the Multiplexer).
+  std::unique_ptr<CookieKeyring> listener_keys_;
 
   // --- poller wiring (guarded by the poller registry mutex) ---------------
   std::atomic<bool> watched_{false};

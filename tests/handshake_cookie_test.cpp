@@ -1,0 +1,247 @@
+// Unit tests for the stateless-handshake front door: SipHash vectors, the
+// cookie keyring's rotation/expiry state machine, the per-source admission
+// control, and the BoundedTtlMap both handshake paths share.
+#include "udt/handshake_cookie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "udt/ttl_map.hpp"
+
+namespace udtr::udt {
+namespace {
+
+HandshakePayload sample_req() {
+  HandshakePayload req;
+  req.request_type = kHsRequest;
+  req.initial_seq = 1234;
+  req.mss_bytes = 1456;
+  req.socket_id = 77;
+  return req;
+}
+
+constexpr std::uint32_t kIp = 0x7F000001U;
+constexpr std::uint16_t kPort = 40001;
+
+// Reference vector from the SipHash paper (Appendix A): key 0x0F0E...0100,
+// message 00 01 02 ... 0E (15 bytes) -> 0xA129CA6149BE45E5.
+TEST(SipHash, PaperTestVector) {
+  const std::uint64_t k0 = 0x0706050403020100ULL;
+  const std::uint64_t k1 = 0x0F0E0D0C0B0A0908ULL;
+  std::uint8_t msg[15];
+  for (int i = 0; i < 15; ++i) msg[i] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(siphash24(k0, k1, msg, sizeof(msg)), 0xA129CA6149BE45E5ULL);
+}
+
+TEST(SipHash, EmptyAndAlignedInputs) {
+  // No crash and distinct outputs across lengths spanning the 8-byte block
+  // boundary.
+  const std::uint8_t msg[17] = {};
+  std::uint64_t prev = 0;
+  for (std::size_t len = 0; len <= sizeof(msg); ++len) {
+    const std::uint64_t h = siphash24(1, 2, msg, len);
+    EXPECT_NE(h, prev);  // length is folded into the tail block
+    prev = h;
+  }
+}
+
+TEST(CookieKeyring, FreshCookieValidates) {
+  CookieKeyring keys;
+  const auto req = sample_req();
+  const std::uint64_t c = keys.make(1000, kIp, kPort, req);
+  EXPECT_NE(c, 0U);
+  EXPECT_EQ(keys.verify(1000, kIp, kPort, req, c),
+            CookieKeyring::Verdict::kValid);
+  EXPECT_EQ(keys.verify(1000 + CookieKeyring::kTtlSeconds, kIp, kPort, req, c),
+            CookieKeyring::Verdict::kValid);
+}
+
+TEST(CookieKeyring, WrongSourceOrTamperedFieldsInvalid) {
+  CookieKeyring keys;
+  const auto req = sample_req();
+  const std::uint64_t c = keys.make(1000, kIp, kPort, req);
+  EXPECT_EQ(keys.verify(1000, kIp + 1, kPort, req, c),
+            CookieKeyring::Verdict::kInvalid);
+  EXPECT_EQ(keys.verify(1000, kIp, kPort + 1, req, c),
+            CookieKeyring::Verdict::kInvalid);
+  auto tampered = req;
+  tampered.mss_bytes = 9000;
+  EXPECT_EQ(keys.verify(1000, kIp, kPort, tampered, c),
+            CookieKeyring::Verdict::kInvalid);
+  EXPECT_EQ(keys.verify(1000, kIp, kPort, req, c ^ 0x10ULL),
+            CookieKeyring::Verdict::kInvalid);
+}
+
+TEST(CookieKeyring, SurvivesOneRotationViaPreviousKey) {
+  CookieKeyring keys;
+  const auto req = sample_req();
+  (void)keys.make(0, kIp, kPort, req);  // starts the key epoch at t=0
+  const std::uint64_t c = keys.make(55, kIp, kPort, req);
+  // verify() itself triggers the rotation (65 - 0 >= kRotateSeconds); the
+  // cookie's key becomes the previous key and must still be accepted.
+  EXPECT_EQ(keys.verify(65, kIp, kPort, req, c),
+            CookieKeyring::Verdict::kValid);
+}
+
+TEST(CookieKeyring, ExpiredAfterTtl) {
+  CookieKeyring keys;
+  const auto req = sample_req();
+  const std::uint64_t c = keys.make(0, kIp, kPort, req);
+  EXPECT_EQ(keys.verify(CookieKeyring::kTtlSeconds + 1, kIp, kPort, req, c),
+            CookieKeyring::Verdict::kExpired);
+}
+
+TEST(CookieKeyring, DeadAfterTwoRotations) {
+  CookieKeyring keys;
+  const auto req = sample_req();
+  const std::uint64_t c = keys.make(0, kIp, kPort, req);
+  // First rotation: the issuing key survives as prev.
+  EXPECT_EQ(keys.verify(70, kIp, kPort, req, c),
+            CookieKeyring::Verdict::kExpired);
+  // Second rotation: the issuing key is gone entirely — even a forged age
+  // byte could not resurrect this cookie.
+  EXPECT_EQ(keys.verify(130, kIp, kPort, req, c),
+            CookieKeyring::Verdict::kInvalid);
+}
+
+TEST(AdmissionControl, TokenBucketLimitsRate) {
+  AdmissionConfig cfg;
+  cfg.rate_per_ip = 10.0;
+  cfg.burst_per_ip = 4.0;
+  AdmissionControl adm{cfg};
+  int allowed = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (adm.allow_handshake(kIp, 100.0)) ++allowed;
+  }
+  EXPECT_EQ(allowed, 4);  // burst depth, no time passing
+  // 0.2 s later: 2 tokens accrued (refill is capped at the burst depth).
+  allowed = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (adm.allow_handshake(kIp, 100.2)) ++allowed;
+  }
+  EXPECT_EQ(allowed, 2);
+  // A long idle period refills to the burst cap, never beyond.
+  allowed = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (adm.allow_handshake(kIp, 200.0)) ++allowed;
+  }
+  EXPECT_EQ(allowed, 4);
+  // An unrelated source has its own bucket.
+  EXPECT_TRUE(adm.allow_handshake(kIp + 1, 100.5));
+}
+
+TEST(AdmissionControl, PendingCapPerSource) {
+  AdmissionConfig cfg;
+  cfg.max_pending_per_ip = 3;
+  AdmissionControl adm{cfg};
+  EXPECT_TRUE(adm.begin_pending(kIp, 0.0));
+  EXPECT_TRUE(adm.begin_pending(kIp, 0.0));
+  EXPECT_TRUE(adm.begin_pending(kIp, 0.0));
+  EXPECT_FALSE(adm.begin_pending(kIp, 0.0));
+  adm.end_pending(kIp);
+  EXPECT_TRUE(adm.begin_pending(kIp, 0.0));
+  // Saturating: extra end_pending calls cannot drive the count negative.
+  adm.end_pending(kIp);
+  adm.end_pending(kIp);
+  adm.end_pending(kIp);
+  adm.end_pending(kIp);
+  adm.end_pending(kIp);
+  EXPECT_TRUE(adm.begin_pending(kIp, 0.0));
+}
+
+TEST(AdmissionControl, TrackingTableIsBoundedUnderSpoofedFlood) {
+  AdmissionConfig cfg;
+  cfg.max_tracked_ips = 512;
+  AdmissionControl adm{cfg};
+  for (std::uint32_t ip = 1; ip <= 150000; ++ip) {
+    (void)adm.allow_handshake(ip, static_cast<double>(ip) * 1e-6);
+  }
+  EXPECT_LE(adm.tracked_ips(), 512U);
+}
+
+TEST(AdmissionControl, EvictionSparesPendingHolders) {
+  AdmissionConfig cfg;
+  cfg.max_tracked_ips = 4;
+  AdmissionControl adm{cfg};
+  // Two sources with live pending state, tracked first (LRU-coldest).
+  ASSERT_TRUE(adm.begin_pending(1, 0.0));
+  ASSERT_TRUE(adm.begin_pending(2, 0.0));
+  // Flood of fresh sources forces evictions...
+  for (std::uint32_t ip = 100; ip < 200; ++ip) {
+    (void)adm.allow_handshake(ip, 1.0);
+  }
+  EXPECT_LE(adm.tracked_ips(), 4U);
+  // ...but the pending holders kept their accounting: one end_pending each
+  // re-opens exactly one slot (the entry was never reset by eviction).
+  adm.end_pending(1);
+  adm.end_pending(2);
+  for (int i = 0; i < cfg.max_pending_per_ip; ++i) {
+    EXPECT_TRUE(adm.begin_pending(1, 2.0));
+  }
+  EXPECT_FALSE(adm.begin_pending(1, 2.0));
+}
+
+TEST(BoundedTtlMap, CountBoundEvictsOldestFirst) {
+  using Map = BoundedTtlMap<int, std::string>;
+  const auto t0 = Map::Clock::now();
+  Map m{3, std::chrono::seconds{60}};
+  m.put(1, "a", t0);
+  m.put(2, "b", t0);
+  m.put(3, "c", t0);
+  m.put(4, "d", t0);
+  EXPECT_EQ(m.size(), 3U);
+  EXPECT_EQ(m.find(1), nullptr);
+  ASSERT_NE(m.find(4), nullptr);
+  EXPECT_EQ(*m.find(4), "d");
+}
+
+TEST(BoundedTtlMap, SweepDropsExpiredOnly) {
+  using Map = BoundedTtlMap<int, int>;
+  const auto t0 = Map::Clock::now();
+  Map m{16, std::chrono::seconds{10}};
+  m.put(1, 10, t0);
+  m.put(2, 20, t0 + std::chrono::seconds{8});
+  m.sweep(t0 + std::chrono::seconds{11});
+  EXPECT_EQ(m.find(1), nullptr);
+  ASSERT_NE(m.find(2), nullptr);
+  EXPECT_EQ(m.size(), 1U);
+}
+
+TEST(BoundedTtlMap, EraseThenReputDoesNotLoseNewEntry) {
+  // The FIFO slot of the erased incarnation must not evict or expire the
+  // re-inserted one (per-entry sequence stamps).
+  using Map = BoundedTtlMap<int, int>;
+  const auto t0 = Map::Clock::now();
+  Map m{2, std::chrono::seconds{10}};
+  m.put(1, 10, t0);
+  m.erase(1);
+  m.put(1, 11, t0 + std::chrono::seconds{5});
+  m.sweep(t0 + std::chrono::seconds{12});  // old slot expired, new one live
+  ASSERT_NE(m.find(1), nullptr);
+  EXPECT_EQ(*m.find(1), 11);
+}
+
+TEST(BoundedTtlMap, ReinsertedKeyOutlivesOlderEntriesUnderCountPressure) {
+  // Key 1's first incarnation leaves a stale slot at the FIFO front; the
+  // evictor must skip it (sequence mismatch) and evict the genuinely
+  // oldest live entry (key 2) — not the re-inserted key 1.
+  using Map = BoundedTtlMap<int, int>;
+  const auto t0 = Map::Clock::now();
+  Map m{2, std::chrono::seconds{60}};
+  m.put(1, 10, t0);
+  m.put(2, 20, t0);
+  m.erase(1);
+  m.put(1, 11, t0);
+  m.put(3, 30, t0);
+  EXPECT_EQ(m.size(), 2U);
+  EXPECT_EQ(m.find(2), nullptr);
+  ASSERT_NE(m.find(1), nullptr);
+  EXPECT_EQ(*m.find(1), 11);
+  ASSERT_NE(m.find(3), nullptr);
+}
+
+}  // namespace
+}  // namespace udtr::udt

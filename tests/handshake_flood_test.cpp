@@ -1,0 +1,341 @@
+// Hostile-front-door acceptance: a spoofed-source handshake flood against a
+// stateless listener must leave ZERO per-connection state (no pending
+// queue entries, no duplicate-answer memory, bounded admission tracker,
+// bounded RSS), while a legitimate client still connects and transfers
+// through the noise.  Sources are real distinct loopback addresses
+// (127.1.x.y) — Linux accepts binds across all of 127/8 — so the per-IP
+// machinery is exercised end to end, not simulated.
+//
+// Source counts scale via UDTR_FLOOD_SOURCES (CI sanitizer jobs shrink
+// them); the default exercises the 100k-source acceptance number.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "udt/multiplexer.hpp"
+#include "udt/packet.hpp"
+#include "udt/socket.hpp"
+
+namespace udtr::udt {
+namespace {
+
+int env_int(const char* name, int def) {
+  if (const char* s = std::getenv(name)) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return def;
+}
+
+int flood_sources(int def) { return env_int("UDTR_FLOOD_SOURCES", def); }
+
+long rss_kb() {
+  std::ifstream f("/proc/self/status");
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) return std::atol(line.c_str() + 6);
+  }
+  return -1;
+}
+
+// A UDP socket bound to an arbitrary loopback address, used to originate
+// handshake packets from a chosen source IP.
+int bind_spoof(std::uint32_t ip_host_order) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = 0;
+  sa.sin_addr.s_addr = htonl(ip_host_order);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void send_hs(int fd, std::uint16_t dst_port, const HandshakePayload& hs) {
+  std::array<std::uint8_t,
+             kHeaderBytes + 4 * HandshakePayload::kWordsWithCookie>
+      buf{};
+  CtrlHeader h;
+  h.type = CtrlType::kHandshake;
+  h.dst_socket = 0;
+  write_ctrl_header(buf, h);
+  encode_handshake_payload(std::span{buf}.subspan(kHeaderBytes), hs);
+  sockaddr_in to{};
+  to.sin_family = AF_INET;
+  to.sin_port = htons(dst_port);
+  to.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  (void)::sendto(fd, buf.data(), buf.size(), 0,
+                 reinterpret_cast<sockaddr*>(&to), sizeof to);
+}
+
+std::optional<HandshakePayload> recv_hs(int fd, int timeout_ms) {
+  pollfd p{fd, POLLIN, 0};
+  if (::poll(&p, 1, timeout_ms) <= 0) return std::nullopt;
+  std::array<std::uint8_t, 256> buf{};
+  const auto n = ::recv(fd, buf.data(), buf.size(), 0);
+  if (n < static_cast<ssize_t>(kHeaderBytes)) return std::nullopt;
+  const std::span<const std::uint8_t> pkt{buf.data(),
+                                          static_cast<std::size_t>(n)};
+  const auto hdr = decode_ctrl_header(pkt);
+  if (!hdr || hdr->type != CtrlType::kHandshake) return std::nullopt;
+  return decode_handshake_payload(pkt.subspan(kHeaderBytes));
+}
+
+// Completes the cookie round trip from `fd` for a synthetic request and
+// leaves the resulting handshake parked in the listener's accept queue.
+// Returns false when no challenge (or no admission) was granted.
+bool park_pending(int fd, std::uint16_t port, std::uint32_t socket_id) {
+  HandshakePayload req;
+  req.request_type = kHsRequest;
+  req.initial_seq = 100 + socket_id;
+  req.socket_id = socket_id;
+  send_hs(fd, port, req);
+  const auto challenge = recv_hs(fd, 2000);
+  if (!challenge || challenge->request_type != kHsChallenge) return false;
+  req.cookie = challenge->cookie;
+  send_hs(fd, port, req);
+  return true;
+}
+
+SocketOptions small_opts() {
+  SocketOptions o;
+  o.snd_buffer_bytes = 64 << 10;
+  o.rcv_buffer_pkts = 128;
+  return o;
+}
+
+// --- the acceptance scenario ----------------------------------------------
+
+TEST(HandshakeFlood, SpoofedFloodLeavesZeroStateAndLegitClientConnects) {
+  const int n_sources = flood_sources(100000);
+
+  auto listener = Socket::listen(0, small_opts());
+  ASSERT_NE(listener, nullptr);
+  const std::uint16_t port = listener->local_port();
+  auto mux = Multiplexer::find(port);
+  ASSERT_NE(mux, nullptr);
+
+  const long rss_before = rss_kb();
+
+  // Phase 1: half the sources flood cookie-less requests, one distinct
+  // 127.1.x.y address each.  No cookie echo ever comes back, so the
+  // listener must keep nothing.
+  auto flood_range = [port](int lo, int hi) {
+    int sent = 0;
+    for (int i = lo; i < hi; ++i) {
+      const std::uint32_t ip = 0x7F010000U + static_cast<std::uint32_t>(i);
+      const int fd = bind_spoof(ip);
+      if (fd < 0) continue;  // exotic loopback bind refused: skip, keep going
+      HandshakePayload req;
+      req.request_type = kHsRequest;
+      req.socket_id = 7000000U + static_cast<std::uint32_t>(i);
+      send_hs(fd, port, req);
+      ::close(fd);
+      ++sent;
+    }
+    return sent;
+  };
+  const int sent1 = flood_range(0, n_sources / 2);
+  ASSERT_GT(sent1, 0);
+
+  // Let the rx thread drain what the socket buffer kept, then check: zero
+  // handshakes queued, zero remembered, tracker bounded.
+  std::this_thread::sleep_for(std::chrono::milliseconds{200});
+  EXPECT_EQ(mux->pending_handshakes(), 0U);
+  EXPECT_EQ(mux->remembered_handshakes(), 0U);
+  EXPECT_LE(mux->admission_tracked_ips(),
+            static_cast<std::size_t>(small_opts().max_tracked_ips));
+  EXPECT_GT(mux->cookie_challenges(), 0U);
+
+  // Phase 2: keep flooding from the other half of the address space while
+  // a legitimate client connects and moves data through the same port.
+  auto flood_done = std::async(std::launch::async, [&] {
+    return flood_range(n_sources / 2, n_sources);
+  });
+  auto accepted = std::async(std::launch::async, [&] {
+    return listener->accept(std::chrono::seconds{30});
+  });
+  auto client = Socket::connect("127.0.0.1", port, small_opts());
+  ASSERT_NE(client, nullptr);
+  auto server = accepted.get();
+  ASSERT_NE(server, nullptr);
+
+  const std::vector<std::uint8_t> payload(32 << 10, 0x5A);
+  auto send_done = std::async(std::launch::async, [&] {
+    const std::size_t sent = client->send(payload);
+    client->flush(std::chrono::seconds{30});
+    return sent;
+  });
+  std::vector<std::uint8_t> got;
+  std::vector<std::uint8_t> buf(1 << 14);
+  while (got.size() < payload.size()) {
+    const std::size_t n = server->recv(buf, std::chrono::seconds{15});
+    if (n == 0) break;
+    got.insert(got.end(), buf.begin(), buf.begin() + n);
+  }
+  EXPECT_EQ(send_done.get(), payload.size());
+  EXPECT_EQ(got, payload);
+  EXPECT_GT(flood_done.get(), 0);
+
+  // Post-flood: the tracker is still bounded and memory did not balloon.
+  // The budget is deliberately loose — it catches per-source state leaks
+  // (100k sources x even 1 KB would trip it), not allocator noise.
+  EXPECT_LE(mux->admission_tracked_ips(),
+            static_cast<std::size_t>(small_opts().max_tracked_ips));
+  const long rss_after = rss_kb();
+  if (rss_before > 0 && rss_after > 0) {
+    EXPECT_LT(rss_after - rss_before, 64 * 1024) << "RSS grew by "
+        << (rss_after - rss_before) << " KiB under flood";
+  }
+}
+
+TEST(HandshakeFlood, InvalidCookieIsCountedAndDropped) {
+  auto listener = Socket::listen(0, small_opts());
+  ASSERT_NE(listener, nullptr);
+  auto mux = Multiplexer::find(listener->local_port());
+  ASSERT_NE(mux, nullptr);
+
+  const int fd = bind_spoof(0x7F010101U);
+  ASSERT_GE(fd, 0);
+  HandshakePayload req;
+  req.request_type = kHsRequest;
+  req.socket_id = 424242;
+  req.cookie = 0xDEADBEEFCAFEF00DULL;  // never issued by this keyring
+  for (int i = 0; i < 20; ++i) send_hs(fd, listener->local_port(), req);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds{5};
+  while (mux->cookie_rejects() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{10});
+  }
+  EXPECT_GT(mux->cookie_rejects(), 0U);
+  EXPECT_EQ(mux->pending_handshakes(), 0U);
+  // A forged cookie earns silence, not a challenge reply.
+  EXPECT_FALSE(recv_hs(fd, 200).has_value());
+  ::close(fd);
+}
+
+TEST(HandshakeFlood, PerSourcePendingCapBoundsHalfOpenConnections) {
+  auto opts = small_opts();
+  opts.max_pending_per_ip = 8;
+  auto listener = Socket::listen(0, opts);
+  ASSERT_NE(listener, nullptr);
+  const std::uint16_t port = listener->local_port();
+  auto mux = Multiplexer::find(port);
+  ASSERT_NE(mux, nullptr);
+
+  // One source completes 20 full cookie round trips with distinct peer
+  // socket ids and nobody calls accept(): only the per-IP cap's worth may
+  // park.
+  const int fd = bind_spoof(0x7F010201U);
+  ASSERT_GE(fd, 0);
+  int challenged = 0;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    if (park_pending(fd, port, 900000U + i)) ++challenged;
+  }
+  EXPECT_EQ(challenged, 20);
+  std::this_thread::sleep_for(std::chrono::milliseconds{200});
+  EXPECT_LE(mux->pending_handshakes(), 8U);
+  EXPECT_GT(mux->handshake_admission_drops(), 0U);
+  ::close(fd);
+}
+
+TEST(HandshakeFlood, AcceptQueueOverflowIsCounted) {
+  auto opts = small_opts();
+  opts.max_pending_per_ip = 4096;  // out of the way: test the global bound
+  auto listener = Socket::listen(0, opts);
+  ASSERT_NE(listener, nullptr);
+  const std::uint16_t port = listener->local_port();
+  auto mux = Multiplexer::find(port);
+  ASSERT_NE(mux, nullptr);
+
+  const int fd = bind_spoof(0x7F010301U);
+  ASSERT_GE(fd, 0);
+  const int attempts = static_cast<int>(Multiplexer::kMaxPendingHandshakes) + 40;
+  for (int i = 0; i < attempts; ++i) {
+    (void)park_pending(fd, port, 800000U + static_cast<std::uint32_t>(i));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds{200});
+  EXPECT_LE(mux->pending_handshakes(), Multiplexer::kMaxPendingHandshakes);
+  EXPECT_GT(mux->accept_queue_drops(), 0U);
+  // The listener's perf() surfaces the same counter for operators.
+  EXPECT_GT(listener->perf().accept_queue_drops, 0U);
+  ::close(fd);
+}
+
+TEST(HandshakeFlood, StatelessOffUsesLegacyTwoWayHandshake) {
+  auto opts = small_opts();
+  opts.stateless_handshake = false;
+  auto listener = Socket::listen(0, opts);
+  ASSERT_NE(listener, nullptr);
+  auto mux = Multiplexer::find(listener->local_port());
+  ASSERT_NE(mux, nullptr);
+
+  auto accepted = std::async(std::launch::async, [&] {
+    return listener->accept(std::chrono::seconds{10});
+  });
+  auto client =
+      Socket::connect("127.0.0.1", listener->local_port(), small_opts());
+  ASSERT_NE(client, nullptr);
+  auto server = accepted.get();
+  ASSERT_NE(server, nullptr);
+  // No challenge leg was ever taken.
+  EXPECT_EQ(mux->cookie_challenges(), 0U);
+  EXPECT_EQ(mux->cookie_rejects(), 0U);
+}
+
+TEST(HandshakeFlood, CookieExpiryStillRecoversViaFreshChallenge) {
+  // An authentic-but-stale cookie cannot be forced end to end without
+  // waiting out the TTL, but the recovery contract — expired cookie gets a
+  // fresh challenge, not silence — is the piece a stuck client depends on.
+  // Drive the mux-visible half: a client that echoes a *valid* cookie
+  // twice.  The second echo re-parks nothing new (duplicate key) and must
+  // not be counted as a reject.
+  auto listener = Socket::listen(0, small_opts());
+  ASSERT_NE(listener, nullptr);
+  const std::uint16_t port = listener->local_port();
+  auto mux = Multiplexer::find(port);
+  ASSERT_NE(mux, nullptr);
+
+  const int fd = bind_spoof(0x7F010401U);
+  ASSERT_GE(fd, 0);
+  HandshakePayload req;
+  req.request_type = kHsRequest;
+  req.socket_id = 31337;
+  send_hs(fd, port, req);
+  const auto challenge = recv_hs(fd, 2000);
+  ASSERT_TRUE(challenge.has_value());
+  ASSERT_EQ(challenge->request_type, kHsChallenge);
+  ASSERT_NE(challenge->cookie, 0U);
+  req.cookie = challenge->cookie;
+  send_hs(fd, port, req);
+  send_hs(fd, port, req);  // retransmit of the same valid echo
+  std::this_thread::sleep_for(std::chrono::milliseconds{200});
+  EXPECT_EQ(mux->pending_handshakes(), 1U);
+  EXPECT_EQ(mux->cookie_rejects(), 0U);
+  EXPECT_EQ(mux->cookie_expired(), 0U);
+  ::close(fd);
+}
+
+}  // namespace
+}  // namespace udtr::udt

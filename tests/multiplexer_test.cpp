@@ -684,5 +684,129 @@ TEST(Multiplexer, IdleFleetParksTimersOnTheWheel) {
       << "idle sockets are being swept like a full walk";
 }
 
+// --- wait_many at fleet scale ----------------------------------------------
+
+// One application thread drives thousands of server sockets off
+// Poller::wait_many (the O(candidates) path — wait()'s full scan would be
+// quadratic here), with the whole fleet parked on one sharded port.  The
+// 100k-socket acceptance number lives in bench_fleet_scale (teardown of a
+// six-figure fleet is minutes of shutdown gaps, which a bench can _Exit
+// past but a test cannot); this test keeps the same shape at a size whose
+// orderly close fits the suite budget.
+TEST(Multiplexer, WaitManyDrivesFleetEchoOnShardedPort) {
+  const int n = env_sockets(4096);
+  constexpr std::size_t kMsgBytes = 256;
+
+  SocketOptions opts = small_opts();
+  opts.mux_shards = 2;   // a sharded port regardless of host core count
+  opts.syn_s = 0.012;    // private multiplexer pair for this test
+  // The whole fleet shares 127.0.0.1: lift the per-source handshake rate
+  // out of the way (memory stays defended by the cookie + pending cap).
+  opts.handshake_rate_per_ip = 1e6;
+  opts.max_pending_per_ip = 4096;
+
+  auto listener = Socket::listen(0, opts);
+  ASSERT_NE(listener, nullptr);
+  const std::uint16_t port = listener->local_port();
+
+  std::vector<std::unique_ptr<Socket>> clients(static_cast<std::size_t>(n));
+  auto connector = std::async(std::launch::async, [&] {
+    for (auto& c : clients) {
+      c = Socket::connect("127.0.0.1", port, opts);
+      if (c == nullptr) return false;
+    }
+    return true;
+  });
+  std::vector<std::unique_ptr<Socket>> servers;
+  servers.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto s = listener->accept(std::chrono::seconds{60});
+    ASSERT_NE(s, nullptr) << "accept " << i;
+    servers.push_back(std::move(s));
+  }
+  ASSERT_TRUE(connector.get());
+  ASSERT_EQ(servers.front()->multiplexer()->attached_sockets(),
+            static_cast<std::size_t>(n));  // the whole fleet, one port
+
+  // Echo server: one thread, one wait_many poller, n sockets.
+  std::atomic<bool> stop{false};
+  std::thread echo([&] {
+    Poller poller;
+    for (auto& s : servers) poller.add(s.get(), kPollIn);
+    std::vector<PollEvent> events(256);
+    std::vector<std::uint8_t> buf(1 << 16);
+    while (!stop.load()) {
+      const std::size_t nev =
+          poller.wait_many(events, std::chrono::milliseconds{200});
+      for (std::size_t e = 0; e < nev && !stop.load(); ++e) {
+        Socket* s = events[e].sock;
+        const std::size_t r = s->recv(buf, std::chrono::milliseconds{0});
+        if (r > 0) s->send({buf.data(), r});
+      }
+    }
+  });
+
+  std::unordered_map<Socket*, std::size_t> client_idx;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    client_idx.emplace(clients[i].get(), i);
+  }
+  for (int i = 0; i < n; ++i) {
+    const auto msg = make_payload(kMsgBytes, 9000 + i);
+    ASSERT_EQ(clients[static_cast<std::size_t>(i)]->send(msg), msg.size());
+  }
+
+  // Drain the echoes, also via wait_many.
+  Poller rx;
+  for (auto& c : clients) rx.add(c.get(), kPollIn);
+  std::vector<std::vector<std::uint8_t>> got(clients.size());
+  std::vector<PollEvent> events(256);
+  std::vector<std::uint8_t> buf(1 << 16);
+  std::size_t done = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds{120};
+  while (done < clients.size() &&
+         std::chrono::steady_clock::now() < deadline) {
+    const std::size_t nev = rx.wait_many(events, std::chrono::milliseconds{500});
+    for (std::size_t e = 0; e < nev; ++e) {
+      Socket* c = events[e].sock;
+      const std::size_t idx = client_idx.at(c);
+      const std::size_t r = c->recv(buf, std::chrono::milliseconds{0});
+      if (r == 0) continue;
+      got[idx].insert(got[idx].end(), buf.begin(), buf.begin() + r);
+      if (got[idx].size() == kMsgBytes) {
+        ++done;
+        rx.remove(c);
+      }
+    }
+  }
+  stop = true;
+  echo.join();
+  ASSERT_EQ(done, clients.size());
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(got[static_cast<std::size_t>(i)],
+              make_payload(kMsgBytes, 9000 + i))
+        << "echo " << i;
+  }
+
+  // Orderly close of 2n sockets costs ~2 ms of shutdown gaps each; fan the
+  // closes across a small pool so teardown stays in the suite budget.
+  auto close_all = [](std::vector<std::unique_ptr<Socket>>& socks) {
+    constexpr std::size_t kClosers = 16;
+    std::vector<std::thread> pool;
+    std::atomic<std::size_t> next{0};
+    for (std::size_t t = 0; t < kClosers; ++t) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < socks.size();
+             i = next.fetch_add(1)) {
+          socks[i]->close();
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  };
+  close_all(clients);
+  close_all(servers);
+}
+
 }  // namespace
 }  // namespace udtr::udt

@@ -13,6 +13,8 @@
 #include <random>
 #include <vector>
 
+#include "udt/handshake_cookie.hpp"
+
 namespace udtr::udt {
 namespace {
 
@@ -120,14 +122,15 @@ TEST(PacketFuzz, MutatedValidPacketsNeverCrashDecoders) {
         write_words(std::span{pkt}.subspan(kHeaderBytes), words);
         break;
       }
-      default: {  // handshake
-        pkt.resize(kHeaderBytes + 4 * HandshakePayload::kWords);
+      default: {  // handshake (cookie-bearing 9-word form)
+        pkt.resize(kHeaderBytes + 4 * HandshakePayload::kWordsWithCookie);
         CtrlHeader h;
         h.type = CtrlType::kHandshake;
         write_ctrl_header(pkt, h);
         HandshakePayload hs;
         hs.initial_seq = static_cast<std::uint32_t>(rng());
         hs.socket_id = static_cast<std::uint32_t>(rng());
+        hs.cookie = rng();
         encode_handshake_payload(std::span{pkt}.subspan(kHeaderBytes), hs);
         break;
       }
@@ -180,6 +183,80 @@ TEST(PacketFuzz, TruncatedAckPayloadIsRejected) {
     const std::vector<std::uint8_t> payload(len, 0xFF);
     EXPECT_FALSE(decode_handshake_payload(payload).has_value());
   }
+}
+
+TEST(PacketFuzz, HandshakeCookieDecodeEdges) {
+  // The 9-word form round-trips the cookie; any length between the legacy
+  // 7-word minimum and the full 9 words (a truncated cookie) falls back to
+  // the legacy interpretation (cookie 0) instead of reading past the end.
+  HandshakePayload hs;
+  hs.request_type = kHsRequest;
+  hs.initial_seq = 77;
+  hs.mss_bytes = 1456;
+  hs.socket_id = 42;
+  hs.cookie = 0x0123456789ABCDEFULL;
+  std::vector<std::uint8_t> full(4 * HandshakePayload::kWordsWithCookie);
+  EXPECT_EQ(encode_handshake_payload(full, hs), full.size());
+  const auto round = decode_handshake_payload(full);
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(round->cookie, hs.cookie);
+  EXPECT_EQ(round->socket_id, hs.socket_id);
+
+  for (std::size_t len = 4 * HandshakePayload::kWords;
+       len < 4 * HandshakePayload::kWordsWithCookie; ++len) {
+    const auto trunc =
+        decode_handshake_payload(std::span{full.data(), len});
+    ASSERT_TRUE(trunc.has_value());
+    EXPECT_EQ(trunc->cookie, 0U);
+    EXPECT_EQ(trunc->socket_id, hs.socket_id);
+    EXPECT_EQ(trunc->initial_seq, hs.initial_seq);
+  }
+}
+
+TEST(PacketFuzz, CookieNeverValidatesUnderRandomMutation) {
+  CookieKeyring keys;
+  HandshakePayload req;
+  req.request_type = kHsRequest;
+  req.initial_seq = 5;
+  req.mss_bytes = 1456;
+  req.socket_id = 99;
+  const std::uint32_t ip0 = 0x7F000001U;
+  const std::uint16_t port0 = 40000;
+  const std::uint64_t cookie = keys.make(1000, ip0, port0, req);
+  ASSERT_EQ(keys.verify(1000, ip0, port0, req, cookie),
+            CookieKeyring::Verdict::kValid);
+
+  std::mt19937_64 rng{123};
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t c = cookie;
+    HandshakePayload r = req;
+    std::uint32_t ip = ip0;
+    std::uint16_t port = port0;
+    switch (rng() % 5) {
+      case 0:  // flipped cookie bit (MAC or age byte — both must fail)
+        c ^= 1ULL << (rng() % 64);
+        break;
+      case 1:  // wrong source address
+        ip ^= 1U << (rng() % 32);
+        break;
+      case 2:  // wrong source port
+        port = static_cast<std::uint16_t>(port ^ (1U << (rng() % 16)));
+        break;
+      case 3:  // tampered proposal: ISN
+        r.initial_seq ^= 1U << (rng() % 32);
+        break;
+      default:  // tampered proposal: socket id
+        r.socket_id ^= 1U << (rng() % 32);
+        break;
+    }
+    EXPECT_NE(keys.verify(1000, ip, port, r, c),
+              CookieKeyring::Verdict::kValid);
+  }
+
+  // Replay long past the TTL: authentic but stale must not validate.
+  EXPECT_NE(keys.verify(1000 + CookieKeyring::kTtlSeconds + 2, ip0, port0,
+                        req, cookie),
+            CookieKeyring::Verdict::kValid);
 }
 
 }  // namespace
