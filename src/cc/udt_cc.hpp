@@ -78,6 +78,9 @@ class UdtCc {
   [[nodiscard]] bool frozen_until(double now_s) const {
     return now_s < freeze_until_s_;
   }
+  // Absolute instant (host clock) the current freeze ends; <= now when not
+  // frozen.  Lets the host schedule the resume precisely instead of polling.
+  [[nodiscard]] double freeze_deadline_s() const { return freeze_until_s_; }
   [[nodiscard]] bool in_slow_start() const { return slow_start_; }
   [[nodiscard]] double last_rtt_s() const { return rtt_s_; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <random>
 #include <thread>
 
@@ -42,25 +43,42 @@ std::int32_t loss_list_capacity(const SocketOptions& o) {
   return std::max<std::int32_t>(2 * o.rcv_buffer_pkts, floor_nodes);
 }
 
+// listen()/connect() reject unknown algorithm names up front (nullptr),
+// mirroring how every other invalid option surfaces.
+bool congestion_name_ok(const SocketOptions& o) {
+  if (o.congestion_factory || o.congestion.empty()) return true;
+  const auto& names = congestion_names();
+  return std::find(names.begin(), names.end(), o.congestion) != names.end();
+}
+
+// Sender-side zero-window persist probing: backoff cap (TCP's persist timer
+// analogue, scaled to our SYN clock).
+constexpr std::uint64_t kZwProbeCapUs = 500'000;
+
 }  // namespace
 
 Socket::Socket(SocketOptions opts)
     : opts_(opts),
       snd_buffer_(opts.mss_bytes, opts.snd_buffer_bytes),
       snd_loss_(loss_list_capacity(opts)),
-      cc_([&] {
-        cc::UdtCcConfig c;
-        c.mss_bytes = opts.mss_bytes + static_cast<int>(kHeaderBytes);
-        c.syn_s = opts.syn_s;
-        c.window_control = opts.window_control;
-        c.max_window = opts.window_control
-                           ? static_cast<double>(opts.rcv_buffer_pkts)
-                           : 1e8;
-        c.seed = random_socket_id();  // per-connection decrease spacing
-        return c;
-      }()),
       rcv_buffer_(opts.mss_bytes, opts.rcv_buffer_pkts),
       rcv_loss_(loss_list_capacity(opts)) {
+  CcConfig c;
+  c.mss_bytes = opts.mss_bytes + static_cast<int>(kHeaderBytes);
+  c.syn_s = opts.syn_s;
+  c.window_control = opts.window_control;
+  c.max_window = opts.window_control
+                     ? static_cast<double>(opts.rcv_buffer_pkts)
+                     : 1e8;
+  c.seed = random_socket_id();  // per-connection decrease spacing
+  if (opts.congestion_factory) {
+    cc_ = opts.congestion_factory(c);
+  } else {
+    cc_ = make_congestion(opts.congestion, c);
+  }
+  // Unknown names are rejected in listen()/connect(); a null factory result
+  // still must not leave the socket without a controller.
+  if (!cc_) cc_ = make_congestion("", c);
   isn_ = opts.initial_seq >= 0 ? opts.initial_seq : kDefaultIsn;
   socket_id_ = random_socket_id();
   epoch_ = std::chrono::steady_clock::now();
@@ -82,6 +100,7 @@ std::uint64_t Socket::now_us() const {
 
 std::unique_ptr<Socket> Socket::listen(std::uint16_t port,
                                        SocketOptions opts) {
+  if (!congestion_name_ok(opts)) return nullptr;
   auto s = std::unique_ptr<Socket>(new Socket(opts));
   s->mode_ = Mode::kListener;
   if (!opts.exclusive_port) {
@@ -271,6 +290,7 @@ std::unique_ptr<Socket> Socket::connect(const std::string& host,
                                         SocketOptions opts) {
   const auto server = Endpoint::resolve(host, port);
   if (!server) return nullptr;
+  if (!congestion_name_ok(opts)) return nullptr;
   auto s = std::unique_ptr<Socket>(new Socket(opts));
   if (!opts.exclusive_port) return connect_mux(std::move(s), *server, opts);
   if (!s->channel_.open(0)) return nullptr;
@@ -456,9 +476,22 @@ void Socket::prepare_tx_scratch() {
   }
 }
 
+double Socket::effective_snd_window() const {
+  double wnd = cc_->window_packets();
+  // The receiver's advertised free buffer is authoritative flow control —
+  // including zero, which the controller never sees (its input floors at 2
+  // so control laws keep their historic shape): a closed window is the
+  // socket's business, reopened by the persist probe path, not a rate
+  // signal.
+  if (opts_.window_control && peer_ack_seen_) {
+    wnd = std::min(wnd, peer_avail_pkts_);
+  }
+  return wnd;
+}
+
 bool Socket::snd_has_work() const {
   if (!snd_loss_.empty()) return true;
-  const double wnd = cc_.window_packets();
+  const double wnd = effective_snd_window();
   return snd_next_ < snd_buffer_.end_index() &&
          static_cast<double>(snd_next_ - snd_una_) < wnd;
 }
@@ -476,7 +509,7 @@ std::size_t Socket::fill_tx_batch(double& period_s) {
   std::int64_t pin_first = -1;
   std::int64_t pin_end = -1;
 
-  period_s = cc_.pkt_send_period_s();
+  period_s = cc_->pkt_send_period_s();
   if (opts_.max_bandwidth_mbps > 0.0) {
     const double min_period = (opts_.mss_bytes + kHeaderBytes) * 8.0 /
                               (opts_.max_bandwidth_mbps * 1e6);
@@ -491,7 +524,7 @@ std::size_t Socket::fill_tx_batch(double& period_s) {
   const auto credit = static_cast<std::size_t>(batch_credit(
       std::chrono::nanoseconds{static_cast<std::int64_t>(period_s * 1e9)},
       tx_max_batch_));
-  const double wnd = cc_.window_packets();
+  const double wnd = effective_snd_window();
   const auto next_new = [&]() -> std::int64_t {
     if (snd_next_ < snd_buffer_.end_index() &&
         static_cast<double>(snd_next_ - snd_una_) < wnd) {
@@ -602,10 +635,17 @@ void Socket::sender_loop() {
       if (!running_) break;
 
       const double now = now_s();
-      cc_.set_now(now);
-      if (cc_.frozen_until(now)) {
+      cc_->set_now(now);
+      if (cc_->frozen_at(now)) {
+        // Sleep until the actual freeze deadline (one SYN for the default
+        // controller), capped so close() never waits long on the join.
+        const auto remain = std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(cc_->freeze_deadline_s() - now));
         lk.unlock();
-        std::this_thread::sleep_for(std::chrono::milliseconds{1});
+        std::this_thread::sleep_for(std::min<
+            std::chrono::steady_clock::duration>(
+            remain, std::chrono::milliseconds{50}));
         continue;
       }
       count = fill_tx_batch(period);
@@ -639,7 +679,6 @@ Pacer::Clock::time_point Socket::tx_round() {
   // One multiplexed sender round: the shared send thread has (nominally)
   // waited until this socket's pacing deadline.  Fill a credit's worth,
   // push it to the wire, advance the schedule, hand the next deadline back.
-  constexpr auto kFrozenRetry = std::chrono::milliseconds{1};
   double period = 0.0;
   std::size_t count = 0;
   {
@@ -652,8 +691,15 @@ Pacer::Clock::time_point Socket::tx_round() {
       return Pacer::Clock::time_point::max();
     }
     const double now = now_s();
-    cc_.set_now(now);
-    if (cc_.frozen_until(now)) return Pacer::Clock::now() + kFrozenRetry;
+    cc_->set_now(now);
+    if (cc_->frozen_at(now)) {
+      // Reschedule this socket's heap entry at exactly the freeze deadline:
+      // the one-SYN freeze used to cost a 1 ms poll loop on the shared tx
+      // heap (10 wasted wakeups per freeze) and resumed up to 1 ms late.
+      return epoch_ + std::chrono::duration_cast<Pacer::Clock::duration>(
+                          std::chrono::duration<double>(
+                              cc_->freeze_deadline_s()));
+    }
     // A kick can land while a future deadline is already scheduled; sending
     // now would outrun the §4.5 schedule (and any bandwidth cap), so just
     // reschedule at the pacer's instant.
@@ -744,7 +790,7 @@ std::uint64_t Socket::next_timer_due_us(std::uint64_t now) const {
   const auto syn_us = static_cast<std::uint64_t>(opts_.syn_s * 1e6);
   // EXP is the only timer that is always armed (§4.8); an idle socket parks
   // at its horizon — this is what makes the wheel O(active), not O(open).
-  const double rtt = cc_.last_rtt_s();
+  const double rtt = cc_->last_rtt_s();
   const double base = std::max(opts_.min_exp_timeout_s, 4.0 * rtt);
   const double factor = std::min(1 << std::min(consecutive_timeouts_, 4), 16);
   std::uint64_t due =
@@ -758,6 +804,11 @@ std::uint64_t Socket::next_timer_due_us(std::uint64_t now) const {
   }
   // NAK re-reports only while holes are outstanding.
   if (!rcv_loss_.empty()) due = std::min(due, last_nak_check_us_ + syn_us);
+  // Zero-window persist probe while armed: the wheel must wake this socket
+  // at the probe instant, or a parked idle sender would never probe.
+  if (zw_probe_backoff_us_ > 0 && peer_avail_pkts_ <= 0.0) {
+    due = std::min(due, next_zw_probe_us_);
+  }
   return std::max(due, now + 1);
 }
 
@@ -964,7 +1015,7 @@ void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
   const CtrlHeader hdr = *hdr_opt;
   const std::uint64_t now = now_us();
   const double now_sec = static_cast<double>(now) * 1e-6;
-  cc_.set_now(now_sec);
+  cc_->set_now(now_sec);
 
   // Any well-formed control packet is proof of peer liveness: it re-arms
   // the EXP timer and unwinds the escalation (§3.5).  Malformed payloads
@@ -991,8 +1042,37 @@ void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
       // Echo ACK2 so the receiver can measure RTT.
       send_ctrl_simple(CtrlType::kAck2, hdr.info);
 
+      // Flow control first: the FRESHEST ack (by ack-id monotonicity, not
+      // cumulative-seq advancement — a pure window update repeats its
+      // ack_seq) carries the receiver's current free-buffer count,
+      // including a genuine zero.  A reordered stale ack must not clobber
+      // a newer advertisement in either direction.
+      const auto ack_id = static_cast<std::int32_t>(hdr.info);
+      const std::int32_t id_delta = ack_id - last_peer_ack_id_;
+      const bool fresh =
+          !peer_ack_seen_ || id_delta > 0 ||
+          id_delta < -(std::numeric_limits<std::int32_t>::max() / 2);
+      if (fresh) {
+        last_peer_ack_id_ = ack_id;
+        peer_ack_seen_ = true;
+        const double prev_avail = peer_avail_pkts_;
+        peer_avail_pkts_ = static_cast<double>(ack.avail_buffer_pkts);
+        if (opts_.window_control && peer_avail_pkts_ <= 0.0 &&
+            prev_avail > 0.0) {
+          // Window just closed: arm the persist probe so the reopening
+          // window update (which carries no data and may itself be lost)
+          // is always re-elicited.
+          zw_probe_backoff_us_ = static_cast<std::uint64_t>(
+              std::max(opts_.syn_s * 1e6, 1.0));
+          next_zw_probe_us_ = now + zw_probe_backoff_us_;
+        } else if (peer_avail_pkts_ > 0.0) {
+          zw_probe_backoff_us_ = 0;
+        }
+      }
+
       const std::int64_t ack_index = index_of(ack.ack_seq, snd_una_);
-      if (ack_index > snd_una_ && ack_index <= snd_next_) {
+      const bool advanced = ack_index > snd_una_ && ack_index <= snd_next_;
+      if (advanced) {
         snd_una_ = ack_index;
         snd_buffer_.ack_up_to(ack_index);
         {
@@ -1001,15 +1081,21 @@ void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
         }
         app_snd_cv_.notify_all();
         poke_watchers();
+        cc::AckInfo info;
+        info.ack_seq = ack.ack_seq;
+        info.rtt_s = static_cast<double>(ack.rtt_us) * 1e-6;
+        info.recv_rate_pps = static_cast<double>(ack.recv_rate_pps);
+        info.capacity_pps = static_cast<double>(ack.capacity_pps);
+        info.avail_buffer_pkts =
+            ack.avail_buffer_pkts > 0 ? ack.avail_buffer_pkts : 2.0;
+        cc_->on_ack(info);
+      } else {
+        // Light-ACK semantics: a duplicate or reordered-stale ack (nothing
+        // newly acknowledged) must not feed its receiver statistics to the
+        // controller — an old ack's stale recv_rate/capacity once drove
+        // spurious rate increases here.
+        ++stats_.stale_acks_dropped;
       }
-      cc::AckInfo info;
-      info.ack_seq = ack.ack_seq;
-      info.rtt_s = static_cast<double>(ack.rtt_us) * 1e-6;
-      info.recv_rate_pps = static_cast<double>(ack.recv_rate_pps);
-      info.capacity_pps = static_cast<double>(ack.capacity_pps);
-      info.avail_buffer_pkts =
-          ack.avail_buffer_pkts > 0 ? ack.avail_buffer_pkts : 2.0;
-      cc_.on_ack(info);
       wake_sender();
       break;
     }
@@ -1046,7 +1132,7 @@ void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
       // Only a NAK that actually named in-flight packets is a congestion
       // signal; garbage must not halve the sending rate either.
       if (any_valid) {
-        cc_.on_nak(biggest, seq_of(std::max<std::int64_t>(snd_next_ - 1, 0)));
+        cc_->on_nak(biggest, seq_of(std::max<std::int64_t>(snd_next_ - 1, 0)));
         wake_sender();
       }
       break;
@@ -1091,6 +1177,11 @@ void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
       break;
     }
     case CtrlType::kKeepAlive:
+      // While our receive window is closed the peer's keepalives are
+      // zero-window probes: answer each with a fresh ACK so the sender
+      // always learns the current window, even when the unprompted
+      // window-update ACK got lost.
+      if (advertised_zero_) send_ack();
       break;
   }
 }
@@ -1131,10 +1222,26 @@ void Socket::check_timers() {
     }
   }
 
+  // Zero-window persist probe (TCP persist-timer analogue): while the peer
+  // advertises no buffer space and we hold undelivered data, poke it with
+  // keepalives on an exponential backoff — the reopening window update
+  // carries no data, so if it is lost nothing else would ever re-elicit it
+  // and sender and receiver would deadlock staring at each other.
+  if (zw_probe_backoff_us_ > 0 && peer_avail_pkts_ <= 0.0 &&
+      now >= next_zw_probe_us_) {
+    if (snd_buffer_.end_index() > snd_next_) {
+      send_ctrl_simple(CtrlType::kKeepAlive);
+      ++stats_.zero_window_probes;
+    }
+    zw_probe_backoff_us_ =
+        std::min<std::uint64_t>(zw_probe_backoff_us_ * 2, kZwProbeCapUs);
+    next_zw_probe_us_ = now + zw_probe_backoff_us_;
+  }
+
   // EXP timer: nothing heard from the peer for a growing expiration period.
   // The backoff factor doubles per consecutive timeout and caps at 16
   // (§3.5, congestion-collapse avoidance).
-  const double rtt = cc_.last_rtt_s();
+  const double rtt = cc_->last_rtt_s();
   const double base = std::max(opts_.min_exp_timeout_s, 4.0 * rtt);
   const double factor = std::min(1 << std::min(consecutive_timeouts_, 4), 16);
   const auto exp_us = static_cast<std::uint64_t>(base * factor * 1e6);
@@ -1150,8 +1257,8 @@ void Socket::check_timers() {
         declare_broken();
         return;
       }
-      cc_.set_now(static_cast<double>(now) * 1e-6);
-      cc_.on_timeout();
+      cc_->set_now(static_cast<double>(now) * 1e-6);
+      cc_->on_timeout();
       if (snd_next_ > snd_una_) {
         snd_loss_.insert(seq_of(snd_una_), seq_of(snd_next_ - 1));
       }
@@ -1192,8 +1299,14 @@ void Socket::send_ack() {
   words[0] = static_cast<std::uint32_t>(seq_of(ack_index).value());
   words[1] = static_cast<std::uint32_t>(rtt_s_ * 1e6);
   words[2] = static_cast<std::uint32_t>(rtt_s_ * 0.5e6);
-  words[3] = static_cast<std::uint32_t>(
-      std::max(rcv_buffer_.avail_packets(), 2));
+  // The advertised window is the truth, zero included: the old max(avail,2)
+  // floor meant flow control could never fully close, and a full receiver
+  // got overrun (arrivals past window_end are silently dropped).  The
+  // sender-side persist probe + our drain-triggered window update make the
+  // zero advertisement safe against deadlock.
+  const std::int32_t avail = std::max(rcv_buffer_.avail_packets(), 0);
+  words[3] = static_cast<std::uint32_t>(avail);
+  advertised_zero_ = avail == 0;
   words[4] = static_cast<std::uint32_t>(speed_.packets_per_second());
   words[5] = static_cast<std::uint32_t>(pair_.capacity_packets_per_second());
   write_words(std::span{buf}.subspan(kHeaderBytes), words);
@@ -1306,6 +1419,16 @@ std::size_t Socket::recv(std::span<std::uint8_t> out,
   Profiler* prof = opts_.enable_profiler ? &profiler_ : nullptr;
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::unique_lock lk{state_mu_};
+  // After advertising a closed window, the drain that reopens it must
+  // announce itself at once: the ACK timer only fires on new data or ack
+  // movement, neither of which happens while the sender is halted.
+  const auto window_update = [&] {
+    if (advertised_zero_ && rcv_buffer_.avail_packets() > 0) {
+      send_ack();
+      last_acked_index_ = rcv_buffer_.contiguous_end();
+      data_since_ack_ = false;
+    }
+  };
   while (running_) {
     std::size_t n;
     {
@@ -1316,6 +1439,7 @@ std::size_t Socket::recv(std::span<std::uint8_t> out,
       }
     }
     if (n > 0) {
+      window_update();
       stats_.bytes_delivered += n;
       return n;
     }
@@ -1334,6 +1458,7 @@ std::size_t Socket::recv(std::span<std::uint8_t> out,
       });
       const std::size_t filled = rcv_buffer_.release_user_buffer();
       if (filled > 0) {
+        window_update();
         stats_.bytes_delivered += filled;
         return filled;
       }
@@ -1472,12 +1597,14 @@ PerfStats Socket::perf() const {
     p.handshake_cookie_rejects =
         mux_->cookie_rejects() + mux_->cookie_expired();
   }
-  p.rtt_ms = (rtt_s_ > 0.0 ? rtt_s_ : cc_.last_rtt_s()) * 1e3;
+  p.rtt_ms = (rtt_s_ > 0.0 ? rtt_s_ : cc_->last_rtt_s()) * 1e3;
   const double wire_bits = (opts_.mss_bytes + kHeaderBytes) * 8.0;
   p.capacity_mbps = pair_.capacity_packets_per_second() * wire_bits / 1e6;
   p.recv_rate_mbps = speed_.packets_per_second() * wire_bits / 1e6;
-  p.send_period_us = cc_.pkt_send_period_s() * 1e6;
-  p.window_pkts = cc_.window_packets();
+  p.send_period_us = cc_->pkt_send_period_s() * 1e6;
+  p.window_pkts = cc_->window_packets();
+  p.peer_window_pkts = peer_ack_seen_ ? peer_avail_pkts_ : 0.0;
+  p.cc_name = cc_->name();
   return p;
 }
 

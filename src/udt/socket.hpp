@@ -44,6 +44,7 @@
 
 #include "cc/udt_cc.hpp"
 #include "common/median_filter.hpp"
+#include "udt/congestion.hpp"
 #include "common/seqno.hpp"
 #include "udt/buffers.hpp"
 #include "udt/channel.hpp"
@@ -160,6 +161,16 @@ struct SocketOptions {
   double handshake_burst_per_ip = 4096.0;
   int max_pending_per_ip = 64;
   int max_tracked_ips = 4096;
+  // Congestion-control algorithm (congestion.hpp): "" or "udt" is the
+  // paper's native AIMD/RBPP controller (byte-for-byte the historic
+  // behavior); "reno-sack", "scalable", "highspeed", "bic", "vegas" and
+  // "fast" select the ported TCP laws.  Sender-side only — nothing is
+  // negotiated, so the two ends of a connection may run different
+  // controllers.  listen()/connect() return nullptr on an unknown name.
+  std::string congestion;
+  // Escape hatch for custom controllers: when set, overrides `congestion`
+  // and is called once per socket with the host parameters.
+  CcFactory congestion_factory;
 };
 
 struct PerfStats {
@@ -184,11 +195,20 @@ struct PerfStats {
   std::uint64_t accept_queue_drops = 0;        // pending queue overflowed
   std::uint64_t handshake_admission_drops = 0; // per-IP rate/pending limits
   std::uint64_t handshake_cookie_rejects = 0;  // invalid or expired cookies
+  // ACKs that did not advance snd_una (duplicates, reordered-stale): their
+  // receiver statistics are withheld from the congestion controller.
+  std::uint64_t stale_acks_dropped = 0;
+  // Keepalive probes sent while the peer advertised a zero receive window.
+  std::uint64_t zero_window_probes = 0;
   double rtt_ms = 0.0;
   double capacity_mbps = 0.0;       // RBPP estimate
   double recv_rate_mbps = 0.0;      // arrival-speed estimate
   double send_period_us = 0.0;      // current pacing interval
   double window_pkts = 0.0;
+  // Receiver-advertised free buffer from the freshest ACK (flow control);
+  // 0 while the peer's window is closed.
+  double peer_window_pkts = 0.0;
+  std::string cc_name;              // active congestion-control algorithm
 };
 
 class Socket {
@@ -258,7 +278,7 @@ class Socket {
 
   [[nodiscard]] PerfStats perf() const;
   [[nodiscard]] Profiler& profiler() { return profiler_; }
-  [[nodiscard]] const cc::UdtCc& congestion() const { return cc_; }
+  [[nodiscard]] const CongestionControl& congestion() const { return *cc_; }
 
   // The multiplexer this socket is attached to; nullptr in exclusive-port
   // mode.  Exposed for diagnostics (unroutable-datagram counters, thread
@@ -299,6 +319,11 @@ class Socket {
   // True while the sender has something it may transmit now (state_mu_
   // held): pending retransmissions, or new data inside the window.
   [[nodiscard]] bool snd_has_work() const;
+  // Window bounding NEW data in flight (state_mu_ held): the congestion
+  // controller's window, capped by the receiver's advertised free buffer —
+  // including a genuine zero, which halts new data entirely (flow control
+  // belongs to the socket, not the controller).
+  [[nodiscard]] double effective_snd_window() const;
   void prepare_tx_scratch();
   // Fills the tx scratch with up to one pacing-credit of packets and pins
   // the covered range (zero-copy).  state_mu_ held.  Returns the number of
@@ -404,10 +429,19 @@ class Socket {
   // --- sender state (guarded by state_mu_) -------------------------------
   SndBuffer snd_buffer_;
   LossList snd_loss_;
-  cc::UdtCc cc_;
+  std::unique_ptr<CongestionControl> cc_;
   std::int64_t snd_next_ = 0;   // next new packet index
   std::int64_t snd_una_ = 0;    // first unacknowledged index
   Pacer pacer_;
+  // Flow control (sender side): free receiver buffer advertised by the
+  // freshest ACK seen (ack-id monotonicity, not cumulative-seq advancement —
+  // a pure window update repeats its ack_seq).  Zero closes the window for
+  // new data; the persist-style probe below reopens it without deadlock.
+  double peer_avail_pkts_ = 1e9;
+  std::int32_t last_peer_ack_id_ = 0;
+  bool peer_ack_seen_ = false;
+  std::uint64_t next_zw_probe_us_ = 0;
+  std::uint64_t zw_probe_backoff_us_ = 0;  // 0 = probe timer disarmed
 
   // Staged-transmit scratch, reused every round so the steady state never
   // allocates.  Owned by whichever thread runs the send path (the dedicated
@@ -462,6 +496,10 @@ class Socket {
   std::array<std::pair<std::int32_t, std::uint64_t>, 16> ack_times_{};
   std::int64_t last_acked_index_ = -1;
   bool data_since_ack_ = false;
+  // True after an ACK advertised zero free buffer: arms the receiver-side
+  // reopen paths (immediate window-update ACK on drain, ACK response to the
+  // sender's zero-window probes).
+  bool advertised_zero_ = false;
 
   PerfStats stats_;
   Profiler profiler_;

@@ -1,0 +1,325 @@
+// Pluggable congestion control (udt/congestion.hpp): factory name handling,
+// byte-for-byte parity of the UdtCc adapter against the raw controller, and
+// unit coverage for the TCP-law adapters on the real-socket event stream.
+#include "udt/congestion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cc/udt_cc.hpp"
+
+namespace udtr::udt {
+namespace {
+
+cc::AckInfo ack(std::int32_t seq, double rtt_s, double recv_rate_pps,
+                double capacity_pps, double avail = 1e9) {
+  cc::AckInfo a;
+  a.ack_seq = udtr::SeqNo{seq};
+  a.rtt_s = rtt_s;
+  a.recv_rate_pps = recv_rate_pps;
+  a.capacity_pps = capacity_pps;
+  a.avail_buffer_pkts = avail;
+  return a;
+}
+
+// ------------------------------------------------------------- factory ---
+
+TEST(Congestion, FactoryBuildsEveryAdvertisedName) {
+  for (const std::string& name : congestion_names()) {
+    const auto cc = make_congestion(name, {});
+    ASSERT_NE(cc, nullptr) << name;
+    EXPECT_EQ(cc->name(), name);
+    EXPECT_GT(cc->window_packets(), 0.0) << name;
+    EXPECT_GE(cc->pkt_send_period_s(), 0.0) << name;
+  }
+}
+
+TEST(Congestion, EmptyNameAliasesUdtAndUnknownIsRejected) {
+  const auto def = make_congestion("", {});
+  ASSERT_NE(def, nullptr);
+  EXPECT_STREQ(def->name(), "udt");
+  EXPECT_EQ(make_congestion("bbr9", {}), nullptr);
+  EXPECT_EQ(make_congestion("RENO-SACK", {}), nullptr);  // case-sensitive
+}
+
+// ----------------------------------------------- UdtCc adapter parity ---
+//
+// The default controller reached through the interface must be the seed
+// controller exactly: same config mapping, same outputs after every event
+// of a trace covering slow start, epoch-opening NAKs, in-epoch NAKs,
+// timeout and the delay warning.
+
+struct TraceStep {
+  enum Kind { kAck, kNak, kTimeout, kDelayWarn } kind;
+  double now_s;
+  cc::AckInfo info{};       // kAck
+  std::int32_t biggest = 0;  // kNak
+  std::int32_t largest = 0;  // kNak
+};
+
+std::vector<TraceStep> parity_trace() {
+  std::vector<TraceStep> t;
+  double now = 0.0;
+  std::int32_t seq = 0;
+  // Slow start: a SYN-clocked ramp with growing cumulative ACKs.
+  for (int i = 0; i < 12; ++i) {
+    now += 0.01;
+    seq += 8 + i;
+    t.push_back({TraceStep::kAck, now, ack(seq, 0.02, 5000.0, 80000.0), 0, 0});
+  }
+  // Epoch-opening NAK (freeze), then in-epoch NAKs during repair.
+  now += 0.005;
+  t.push_back({TraceStep::kNak, now, {}, seq - 30, seq + 5});
+  for (int i = 0; i < 4; ++i) {
+    now += 0.002;
+    t.push_back({TraceStep::kNak, now, {}, seq - 28 + i, seq + 5});
+  }
+  // Recovery ACKs, including one advertising a small receiver buffer.
+  for (int i = 0; i < 6; ++i) {
+    now += 0.01;
+    seq += 5;
+    t.push_back({TraceStep::kAck, now,
+                 ack(seq, 0.021, 4000.0, 80000.0, i == 2 ? 7.0 : 1e9), 0, 0});
+  }
+  // Timeout, delay warning, then a fresh epoch NAK.
+  now += 0.3;
+  t.push_back({TraceStep::kTimeout, now, {}, 0, 0});
+  now += 0.01;
+  t.push_back({TraceStep::kDelayWarn, now, {}, 0, 0});
+  now += 0.01;
+  t.push_back({TraceStep::kNak, now, {}, seq + 2, seq + 10});
+  for (int i = 0; i < 5; ++i) {
+    now += 0.01;
+    seq += 3;
+    t.push_back({TraceStep::kAck, now, ack(seq, 0.02, 3000.0, 60000.0), 0, 0});
+  }
+  return t;
+}
+
+TEST(Congestion, UdtAdapterMatchesRawControllerOnFullTrace) {
+  CcConfig host;
+  host.mss_bytes = 1456 + 16;
+  host.syn_s = 0.01;
+  host.window_control = true;
+  host.max_window = 16384.0;
+  host.seed = 20040807;
+  const auto iface = make_congestion("udt", host);
+  ASSERT_NE(iface, nullptr);
+
+  // The raw controller configured exactly as the Socket historically did.
+  cc::UdtCcConfig raw_cfg;
+  raw_cfg.mss_bytes = host.mss_bytes;
+  raw_cfg.syn_s = host.syn_s;
+  raw_cfg.window_control = host.window_control;
+  raw_cfg.max_window = host.max_window;
+  raw_cfg.seed = host.seed;
+  cc::UdtCc raw{raw_cfg};
+
+  for (const TraceStep& step : parity_trace()) {
+    iface->set_now(step.now_s);
+    raw.set_now(step.now_s);
+    switch (step.kind) {
+      case TraceStep::kAck:
+        iface->on_ack(step.info);
+        raw.on_ack(step.info);
+        break;
+      case TraceStep::kNak:
+        iface->on_nak(udtr::SeqNo{step.biggest}, udtr::SeqNo{step.largest});
+        raw.on_nak(udtr::SeqNo{step.biggest}, udtr::SeqNo{step.largest});
+        break;
+      case TraceStep::kTimeout:
+        iface->on_timeout();
+        raw.on_timeout();
+        break;
+      case TraceStep::kDelayWarn:
+        iface->on_delay_warning();
+        raw.on_delay_warning();
+        break;
+    }
+    ASSERT_DOUBLE_EQ(iface->pkt_send_period_s(), raw.pkt_send_period_s());
+    ASSERT_DOUBLE_EQ(iface->window_packets(), raw.window_packets());
+    ASSERT_DOUBLE_EQ(iface->last_rtt_s(), raw.last_rtt_s());
+    ASSERT_DOUBLE_EQ(iface->freeze_deadline_s(), raw.freeze_deadline_s());
+    ASSERT_EQ(iface->frozen_at(step.now_s), raw.frozen_until(step.now_s));
+  }
+}
+
+TEST(Congestion, UdtFreezeDeadlineIsPreciseAfterEpochNak) {
+  const auto cc = make_congestion("udt", {});
+  cc->set_now(1.0);
+  cc->on_ack(ack(100, 0.05, 2000.0, 50000.0));
+  cc->set_now(1.5);
+  cc->on_nak(udtr::SeqNo{80}, udtr::SeqNo{120});
+  // An epoch-opening NAK freezes the sender for one SYN (paper §3.3); the
+  // deadline is an exact instant the host can schedule at, not a poll flag.
+  const double deadline = cc->freeze_deadline_s();
+  EXPECT_GT(deadline, 1.5);
+  EXPECT_TRUE(cc->frozen_at(1.5));
+  EXPECT_TRUE(cc->frozen_at(deadline - 1e-9));
+  EXPECT_FALSE(cc->frozen_at(deadline));
+}
+
+TEST(Congestion, TcpLawsNeverFreeze) {
+  for (const std::string& name : congestion_names()) {
+    if (name == "udt") continue;
+    const auto cc = make_congestion(name, {});
+    cc->set_now(1.0);
+    cc->on_nak(udtr::SeqNo{50}, udtr::SeqNo{100});
+    EXPECT_FALSE(cc->frozen_at(1.0)) << name;
+    EXPECT_LE(cc->freeze_deadline_s(), 1.0) << name;
+  }
+}
+
+// ------------------------------------------------- TCP-law adapters ---
+
+TEST(Congestion, TcpSlowStartGrowsByAckedPackets) {
+  const auto cc = make_congestion("reno-sack", {});
+  cc->set_now(0.0);
+  const double w0 = cc->window_packets();
+  cc->on_ack(ack(10, 0.05, 1000.0, 10000.0));  // first ACK counts as one
+  EXPECT_DOUBLE_EQ(cc->window_packets(), w0 + 1.0);
+  cc->set_now(0.01);
+  cc->on_ack(ack(30, 0.05, 1000.0, 10000.0));  // 20 newly covered packets
+  EXPECT_DOUBLE_EQ(cc->window_packets(), w0 + 21.0);
+}
+
+TEST(Congestion, TcpLossDecreasesOncePerCongestionEvent) {
+  const auto cc = make_congestion("reno-sack", {});
+  cc->set_now(0.0);
+  cc->on_ack(ack(10, 0.05, 1000.0, 10000.0));  // window 17
+  const double before = cc->window_packets();
+  cc->set_now(0.01);
+  cc->on_nak(udtr::SeqNo{5}, udtr::SeqNo{20});  // new event: halve
+  const double after_first = cc->window_packets();
+  EXPECT_DOUBLE_EQ(after_first, std::max(before / 2.0, 2.0));
+  // NAKs naming only packets sent before the decrease are the same burst.
+  cc->set_now(0.02);
+  cc->on_nak(udtr::SeqNo{8}, udtr::SeqNo{20});
+  cc->on_nak(udtr::SeqNo{15}, udtr::SeqNo{20});
+  EXPECT_DOUBLE_EQ(cc->window_packets(), after_first);
+  // Loss past the decrease point is a fresh signal.
+  cc->set_now(0.03);
+  cc->on_nak(udtr::SeqNo{25}, udtr::SeqNo{40});
+  EXPECT_LT(cc->window_packets(), after_first);
+}
+
+TEST(Congestion, TcpTimeoutCollapsesAndReentersSlowStart) {
+  const auto cc = make_congestion("scalable", {});
+  cc->set_now(0.0);
+  cc->on_ack(ack(40, 0.05, 1000.0, 10000.0));
+  const double grown = cc->window_packets();
+  ASSERT_GT(grown, 16.0);
+  cc->set_now(0.5);
+  cc->on_timeout();
+  EXPECT_DOUBLE_EQ(cc->window_packets(), 2.0);
+  // Slow start again: exponential per-acked growth up to ssthresh
+  // (half the pre-timeout window).
+  cc->set_now(0.51);
+  cc->on_ack(ack(50, 0.05, 1000.0, 10000.0));
+  EXPECT_DOUBLE_EQ(cc->window_packets(), 12.0);  // 2 + 10 newly acked
+}
+
+TEST(Congestion, TcpWindowIsCappedByAdvertisedBufferUnderWindowControl) {
+  CcConfig flow_on;
+  flow_on.window_control = true;
+  const auto cc = make_congestion("reno-sack", flow_on);
+  cc->set_now(0.0);
+  cc->on_ack(ack(10, 0.05, 1000.0, 10000.0, 5.0));
+  EXPECT_DOUBLE_EQ(cc->window_packets(), 5.0);
+
+  CcConfig flow_off = flow_on;
+  flow_off.window_control = false;
+  const auto cc2 = make_congestion("reno-sack", flow_off);
+  cc2->set_now(0.0);
+  cc2->on_ack(ack(10, 0.05, 1000.0, 10000.0, 5.0));
+  EXPECT_GT(cc2->window_packets(), 5.0);
+}
+
+TEST(Congestion, TcpPacingSpreadsWindowOverSmoothedRtt) {
+  const auto cc = make_congestion("reno-sack", {});
+  cc->set_now(0.0);
+  // Window-limited until an RTT exists.
+  EXPECT_LE(cc->pkt_send_period_s(), 1e-6);
+  for (int i = 1; i <= 20; ++i) {
+    cc->set_now(0.01 * i);
+    cc->on_ack(ack(10 * i, 0.1, 1000.0, 10000.0));
+  }
+  const double srtt = cc->last_rtt_s();
+  EXPECT_NEAR(srtt, 0.1, 1e-6);
+  EXPECT_NEAR(cc->pkt_send_period_s(), srtt / cc->window_packets(), 1e-9);
+}
+
+TEST(Congestion, VegasBacksOffWhenQueueingDelayGrows) {
+  const auto cc = make_congestion("vegas", {});
+  cc->set_now(0.0);
+  // Leave slow start so the delay law governs.
+  cc->on_nak(udtr::SeqNo{5}, udtr::SeqNo{10});
+  std::int32_t seq = 10;
+  // Base RTT 50 ms, no queueing: Vegas probes upward.
+  for (int i = 1; i <= 30; ++i) {
+    cc->set_now(0.01 * i);
+    seq += 2;
+    cc->on_ack(ack(seq, 0.05, 1000.0, 10000.0));
+  }
+  const double uncongested = cc->window_packets();
+  EXPECT_GT(uncongested, 2.0);
+  // RTT inflates 4x (bufferbloat): the backlog estimate exceeds beta and
+  // the window comes back down without any loss.
+  for (int i = 31; i <= 120; ++i) {
+    cc->set_now(0.01 * i);
+    seq += 2;
+    cc->on_ack(ack(seq, 0.2, 1000.0, 10000.0));
+  }
+  EXPECT_LT(cc->window_packets(), uncongested);
+}
+
+TEST(Congestion, FastGrowsTowardAlphaBacklogAtBaseRtt) {
+  const auto cc = make_congestion("fast", {});
+  cc->set_now(0.0);
+  cc->on_nak(udtr::SeqNo{5}, udtr::SeqNo{10});
+  const double start = cc->window_packets();
+  std::int32_t seq = 10;
+  for (int i = 1; i <= 40; ++i) {
+    cc->set_now(0.01 * i);
+    seq += 4;
+    cc->on_ack(ack(seq, 0.05, 1000.0, 10000.0));
+  }
+  // rtt == base: the FAST map's target is cwnd + alpha, so the window rises.
+  EXPECT_GT(cc->window_packets(), start);
+}
+
+TEST(Congestion, TcpDelayWarningShrinksAtMostOncePerRtt) {
+  const auto cc = make_congestion("highspeed", {});
+  cc->set_now(0.0);
+  cc->on_ack(ack(20, 0.1, 1000.0, 10000.0));
+  const double before = cc->window_packets();
+  cc->set_now(0.2);
+  cc->on_delay_warning();
+  const double once = cc->window_packets();
+  EXPECT_LT(once, before);
+  cc->set_now(0.21);  // within one RTT of the last warning: ignored
+  cc->on_delay_warning();
+  EXPECT_DOUBLE_EQ(cc->window_packets(), once);
+  cc->set_now(0.35);  // a full RTT later: honoured again
+  cc->on_delay_warning();
+  EXPECT_LT(cc->window_packets(), once);
+}
+
+TEST(Congestion, StaleAckNeverShrinksCoverageAccounting) {
+  // The host gates non-advancing ACKs out, but the adapter's own belt must
+  // hold too: a reordered older cumulative ACK is a no-op.
+  const auto cc = make_congestion("reno-sack", {});
+  cc->set_now(0.0);
+  cc->on_ack(ack(50, 0.05, 1000.0, 10000.0));
+  const double w = cc->window_packets();
+  cc->set_now(0.01);
+  cc->on_ack(ack(30, 0.05, 9999999.0, 9999999.0));  // stale, hot stats
+  EXPECT_DOUBLE_EQ(cc->window_packets(), w);
+}
+
+}  // namespace
+}  // namespace udtr::udt

@@ -1,0 +1,281 @@
+// CC/flow-control regression sweep on real loopback sockets: zero-window
+// halt + persist-probe reopen, stale/duplicate-ACK gating of the congestion
+// controller, and every pluggable algorithm moving bytes exactly.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <random>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "udt/congestion.hpp"
+#include "udt/packet.hpp"
+#include "udt/socket.hpp"
+
+namespace udtr::udt {
+namespace {
+
+std::vector<std::uint8_t> make_payload(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint8_t> v(n);
+  std::mt19937_64 rng{seed};
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng());
+  return v;
+}
+
+struct Pair {
+  std::unique_ptr<Socket> listener;
+  std::unique_ptr<Socket> client;
+  std::unique_ptr<Socket> server;
+};
+
+Pair make_pair_opts(SocketOptions server_opts, SocketOptions client_opts) {
+  Pair p;
+  p.listener = Socket::listen(0, server_opts);
+  EXPECT_NE(p.listener, nullptr);
+  auto accepted = std::async(std::launch::async, [&] {
+    return p.listener->accept(std::chrono::seconds{10});
+  });
+  p.client =
+      Socket::connect("127.0.0.1", p.listener->local_port(), client_opts);
+  p.server = accepted.get();
+  EXPECT_NE(p.client, nullptr);
+  EXPECT_NE(p.server, nullptr);
+  return p;
+}
+
+std::vector<std::uint8_t> pump(Socket& from, Socket& to,
+                               const std::vector<std::uint8_t>& payload) {
+  auto send_done = std::async(std::launch::async, [&] {
+    const std::size_t sent = from.send(payload);
+    from.flush(std::chrono::seconds{60});
+    return sent;
+  });
+  std::vector<std::uint8_t> received;
+  std::vector<std::uint8_t> buf(1 << 16);
+  while (received.size() < payload.size()) {
+    const std::size_t n = to.recv(buf, std::chrono::seconds{15});
+    if (n == 0) break;
+    received.insert(received.end(), buf.begin(), buf.begin() + n);
+  }
+  EXPECT_EQ(send_done.get(), payload.size());
+  return received;
+}
+
+template <typename Pred>
+bool wait_until(Pred pred, std::chrono::milliseconds deadline) {
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - t0 < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  }
+  return pred();
+}
+
+void send_raw_ctrl(UdpChannel& raw, std::uint16_t dst_port, CtrlType type,
+                   std::uint32_t dst_socket,
+                   std::span<const std::uint32_t> payload_words) {
+  std::vector<std::uint8_t> pkt(kHeaderBytes + 4 * payload_words.size());
+  CtrlHeader hdr;
+  hdr.type = type;
+  hdr.dst_socket = dst_socket;
+  write_ctrl_header(pkt, hdr);
+  write_words(std::span{pkt}.subspan(kHeaderBytes), payload_words);
+  raw.send_to(Endpoint{0x7F000001u, dst_port}, pkt);
+}
+
+// --- zero receive window: halt, probe, reopen ------------------------------
+//
+// The receiver advertises its true free buffer, down to zero (historically a
+// zero was rewritten to 2, so the sender forever trickled into a full
+// buffer).  The sender must halt NEW data on a zero window, keep the
+// connection alive with persist probes (TCP persist-timer analogue), and
+// resume promptly once the application drains.
+void run_zero_window_scenario(bool exclusive_port) {
+  SocketOptions server;
+  server.rcv_buffer_pkts = 64;  // tiny receive buffer: fills in one burst
+  server.exclusive_port = exclusive_port;
+  SocketOptions client;
+  client.exclusive_port = exclusive_port;
+  Pair p = make_pair_opts(server, client);
+  ASSERT_NE(p.client, nullptr);
+  ASSERT_NE(p.server, nullptr);
+
+  // ~720 packets against a 64-packet receive buffer nobody is draining.
+  const auto payload = make_payload(1 << 20, 77);
+  ASSERT_EQ(p.client->send(payload), payload.size());  // buffered sender-side
+
+  // The advertised window must close (reach the sender as avail == 0).
+  ASSERT_TRUE(wait_until(
+      [&] {
+        const PerfStats s = p.client->perf();
+        return s.acks_recv > 0 && s.peer_window_pkts <= 0.0;
+      },
+      std::chrono::milliseconds{5000}))
+      << "peer window never closed; peer_window_pkts="
+      << p.client->perf().peer_window_pkts;
+
+  // Sender halts: no new data and no retransmit storm while closed.
+  std::this_thread::sleep_for(std::chrono::milliseconds{200});  // quiesce
+  const PerfStats before = p.client->perf();
+  std::this_thread::sleep_for(std::chrono::milliseconds{500});
+  const PerfStats during = p.client->perf();
+  EXPECT_LE((during.data_packets_sent + during.retransmitted) -
+                (before.data_packets_sent + before.retransmitted),
+            2u)
+      << "sender kept transmitting into a zero window";
+  EXPECT_EQ(p.client->state(), ConnState::kEstablished);
+
+  // ... but it is not silent: persist probes keep the window state fresh.
+  EXPECT_TRUE(wait_until(
+      [&] { return p.client->perf().zero_window_probes > 0; },
+      std::chrono::milliseconds{2000}))
+      << "no zero-window probes while halted with data pending";
+
+  // The application drains: the window-update ACK reopens the flow and the
+  // whole payload arrives byte-exact.
+  std::vector<std::uint8_t> received;
+  std::vector<std::uint8_t> buf(1 << 16);
+  auto flushed = std::async(std::launch::async, [&] {
+    return p.client->flush(std::chrono::seconds{60});
+  });
+  while (received.size() < payload.size()) {
+    const std::size_t n = p.server->recv(buf, std::chrono::seconds{15});
+    ASSERT_GT(n, 0u) << "transfer stalled after drain at " << received.size()
+                     << "/" << payload.size() << " bytes";
+    received.insert(received.end(), buf.begin(), buf.begin() + n);
+  }
+  EXPECT_TRUE(flushed.get());
+  EXPECT_EQ(received, payload);
+  EXPECT_GT(p.client->perf().peer_window_pkts, 0.0);
+  p.client->close();
+  p.server->close();
+}
+
+TEST(SocketZeroWindow, SenderHaltsAndResumesAfterDrain) {
+  run_zero_window_scenario(/*exclusive_port=*/false);
+}
+
+TEST(SocketZeroWindow, SenderHaltsAndResumesAfterDrainExclusivePort) {
+  run_zero_window_scenario(/*exclusive_port=*/true);
+}
+
+// --- stale / duplicate ACK gating ------------------------------------------
+
+TEST(SocketStaleAck, ReorderedAcksAreGatedAndTransferStaysExact) {
+  // Heavy reordering on the client's receive direction scrambles the
+  // SYN-clocked ACK stream: late ACKs arrive with older cumulative points
+  // and stale receiver statistics.  They must be counted and withheld from
+  // the congestion controller while the transfer still lands byte-exact.
+  FaultConfig cfg;
+  cfg.recv.reorder_p = 0.25;
+  cfg.recv.reorder_hold = 4;
+  cfg.seed = 20040807;
+  SocketOptions client;
+  client.faults = std::make_shared<FaultInjector>(cfg);
+  client.max_bandwidth_mbps = 60.0;  // keep the ACK stream long enough
+  Pair p = make_pair_opts({}, client);
+  ASSERT_NE(p.client, nullptr);
+
+  const auto payload = make_payload(2 << 20, 21);
+  EXPECT_EQ(pump(*p.client, *p.server, payload), payload);
+  EXPECT_GT(p.client->perf().stale_acks_dropped, 0u);
+  EXPECT_EQ(p.client->state(), ConnState::kEstablished);
+  p.client->close();
+  p.server->close();
+}
+
+TEST(SocketStaleAck, ForgedStaleAckDoesNotMoveTheController) {
+  Pair p = make_pair_opts({}, {});
+  ASSERT_NE(p.client, nullptr);
+
+  // A clean transfer, fully acknowledged, leaves the controller at rest.
+  const auto payload = make_payload(100 << 10, 22);
+  ASSERT_EQ(pump(*p.client, *p.server, payload), payload);
+  std::this_thread::sleep_for(std::chrono::milliseconds{100});
+  const PerfStats rest = p.client->perf();
+
+  // Forge a duplicate ACK carrying absurd receiver statistics (line-rate
+  // arrival speed, huge capacity, tiny RTT).  Its ack id (hdr.info == 0) is
+  // stale and its cumulative point does not advance snd_una, so the
+  // controller must never see it.
+  UdpChannel raw;
+  ASSERT_TRUE(raw.open(0));
+  std::array<std::uint32_t, AckPayload::kWords> words{};
+  words[0] = 1;          // ancient cumulative point
+  words[1] = 1;          // 1 us RTT
+  words[2] = 1;
+  words[3] = 1000000;    // vast buffer
+  words[4] = 99999999;   // absurd arrival speed
+  words[5] = 99999999;   // absurd capacity
+  send_raw_ctrl(raw, p.client->local_port(), CtrlType::kAck, p.client->id(),
+                words);
+
+  ASSERT_TRUE(wait_until(
+      [&] { return p.client->perf().stale_acks_dropped >
+                   rest.stale_acks_dropped; },
+      std::chrono::milliseconds{2000}));
+  const PerfStats after = p.client->perf();
+  EXPECT_DOUBLE_EQ(after.send_period_us, rest.send_period_us);
+  EXPECT_DOUBLE_EQ(after.window_pkts, rest.window_pkts);
+  EXPECT_EQ(p.client->state(), ConnState::kEstablished);
+
+  // The connection still works.
+  const auto payload2 = make_payload(64 << 10, 23);
+  EXPECT_EQ(pump(*p.client, *p.server, payload2), payload2);
+  p.client->close();
+  p.server->close();
+}
+
+// --- pluggable algorithms on real sockets ----------------------------------
+
+TEST(SocketCcAlgo, EveryBuiltinAlgorithmTransfersExactly) {
+  for (const std::string& name : congestion_names()) {
+    SocketOptions client;
+    client.congestion = name;
+    client.loss_injection = 0.02;  // exercise the on_nak path too
+    client.loss_seed = 7;
+    Pair p = make_pair_opts({}, client);
+    ASSERT_NE(p.client, nullptr) << name;
+    ASSERT_NE(p.server, nullptr) << name;
+    EXPECT_EQ(p.client->perf().cc_name, name) << name;
+    EXPECT_STREQ(p.client->congestion().name(), name.c_str());
+
+    const auto payload = make_payload(512 << 10, 30);
+    EXPECT_EQ(pump(*p.client, *p.server, payload), payload) << name;
+    EXPECT_EQ(p.client->state(), ConnState::kEstablished) << name;
+    p.client->close();
+    p.server->close();
+  }
+}
+
+TEST(SocketCcAlgo, UnknownAlgorithmNameIsRejected) {
+  SocketOptions bad;
+  bad.congestion = "cubic9";
+  EXPECT_EQ(Socket::listen(0, bad), nullptr);
+  EXPECT_EQ(Socket::connect("127.0.0.1", 9, bad), nullptr);
+}
+
+TEST(SocketCcAlgo, CustomFactoryOverridesNamedAlgorithm) {
+  SocketOptions client;
+  client.congestion = "udt";  // the factory must win over the name
+  client.congestion_factory = [](const CcConfig& cfg) {
+    return make_congestion("reno-sack", cfg);
+  };
+  Pair p = make_pair_opts({}, client);
+  ASSERT_NE(p.client, nullptr);
+  EXPECT_EQ(p.client->perf().cc_name, "reno-sack");
+
+  const auto payload = make_payload(256 << 10, 31);
+  EXPECT_EQ(pump(*p.client, *p.server, payload), payload);
+  p.client->close();
+  p.server->close();
+}
+
+}  // namespace
+}  // namespace udtr::udt
