@@ -57,7 +57,11 @@ class CongestionControl {
   virtual void on_ack(const cc::AckInfo& info) = 0;
   virtual void on_nak(udtr::SeqNo biggest_loss, udtr::SeqNo largest_sent) = 0;
   virtual void on_timeout() = 0;
-  // Receiver-side delay trend warning (PCT/PDT, §6).  Optional: loss-driven
+  // Receiver-side delay trend warning (PCT/PDT, §6).  Real sockets deliver
+  // it when the data-RECEIVING peer runs with SocketOptions::delay_warnings
+  // (its receive path feeds a DelayTrendDetector and sends kDelayWarn); with
+  // that option off — the default — the event never fires on real sockets.
+  // The netsim host delivers it in delay_trend_mode.  Optional: loss-driven
   // controllers ignore it.
   virtual void on_delay_warning() {}
 

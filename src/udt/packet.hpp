@@ -39,6 +39,10 @@ enum class CtrlType : std::uint16_t {
   kKeepAlive = 1,
   kAck = 2,
   kNak = 3,
+  // Receiver-side PCT/PDT delay-trend congestion warning (§6): sent by a
+  // receiver running with SocketOptions::delay_warnings, delivered to the
+  // data sender's congestion controller as on_delay_warning().  No payload.
+  kDelayWarn = 4,
   kShutdown = 5,
   kAck2 = 6,
 };
@@ -135,6 +139,7 @@ inline void for_each_datagram(std::span<const std::uint8_t> buf,
     case CtrlType::kKeepAlive:
     case CtrlType::kAck:
     case CtrlType::kNak:
+    case CtrlType::kDelayWarn:
     case CtrlType::kShutdown:
     case CtrlType::kAck2:
       return true;

@@ -961,6 +961,18 @@ void Socket::handle_data(std::span<const std::uint8_t> pkt, RecvSlab* slab,
     }
   }
 
+  if (opts_.delay_warnings) {
+    // One-way delay on the 32-bit wire timestamp, wrap-safe; the constant
+    // clock offset between the two endpoints' epochs cancels out of the
+    // trend, which is all PCT/PDT look at.
+    const std::uint32_t owd_us =
+        static_cast<std::uint32_t>(now) - h.timestamp_us;
+    if (delay_trend_.add_delay(static_cast<double>(owd_us) * 1e-6)) {
+      send_ctrl_simple(CtrlType::kDelayWarn);
+      ++stats_.delay_warnings_sent;
+    }
+  }
+
   if (index > lrsn_) {
     if (index > lrsn_ + 1) {
       // Gap detected: record and NAK immediately (§3.1).
@@ -1042,17 +1054,36 @@ void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
       // Echo ACK2 so the receiver can measure RTT.
       send_ctrl_simple(CtrlType::kAck2, hdr.info);
 
-      // Flow control first: the FRESHEST ack (by ack-id monotonicity, not
+      const std::int64_t ack_index = index_of(ack.ack_seq, snd_una_);
+      const bool advanced = ack_index > snd_una_ && ack_index <= snd_next_;
+      // Plausible cumulative point — the same bar the NAK ranges must
+      // clear.  snd_una_ itself is included: a pure window update repeats
+      // the current point.
+      const bool in_window = ack_index >= snd_una_ && ack_index <= snd_next_;
+
+      // Flow control: the FRESHEST ack (by ack-id monotonicity, not
       // cumulative-seq advancement — a pure window update repeats its
       // ack_seq) carries the receiver's current free-buffer count,
-      // including a genuine zero.  A reordered stale ack must not clobber
-      // a newer advertisement in either direction.
+      // including a genuine zero.  Three gates guard the advertisement:
+      //   * in_window — a forged or corrupted ack whose cumulative point
+      //     lies outside [snd_una_, snd_next_] must not touch the window
+      //     at all (one wild ack with avail == 0 used to close it, and its
+      //     far-future ack id made every later genuine ACK compare as
+      //     stale: a single-packet permanent stall);
+      //   * id freshness — a reordered stale ack must not clobber a newer
+      //     advertisement in either direction;
+      //   * recovery overrides — an ack that genuinely advances snd_una_
+      //     is authoritative regardless of its id and resynchronizes the
+      //     id baseline, and while we believe the window is closed any
+      //     in-window ack may update it: the probe-elicited reopen must
+      //     not be rejectable by id poisoning, and a sender that is
+      //     stalled anyway has nothing to lose by trusting it.
       const auto ack_id = static_cast<std::int32_t>(hdr.info);
       const std::int32_t id_delta = ack_id - last_peer_ack_id_;
-      const bool fresh =
+      const bool id_fresh =
           !peer_ack_seen_ || id_delta > 0 ||
           id_delta < -(std::numeric_limits<std::int32_t>::max() / 2);
-      if (fresh) {
+      if (in_window && (id_fresh || advanced || peer_avail_pkts_ <= 0.0)) {
         last_peer_ack_id_ = ack_id;
         peer_ack_seen_ = true;
         const double prev_avail = peer_avail_pkts_;
@@ -1070,8 +1101,6 @@ void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
         }
       }
 
-      const std::int64_t ack_index = index_of(ack.ack_seq, snd_una_);
-      const bool advanced = ack_index > snd_una_ && ack_index <= snd_next_;
       if (advanced) {
         snd_una_ = ack_index;
         snd_buffer_.ack_up_to(ack_index);
@@ -1176,12 +1205,25 @@ void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
       }
       break;
     }
+    case CtrlType::kDelayWarn:
+      // The peer's receiver (running with delay_warnings) saw a rising
+      // one-way-delay trend on our data: an early congestion signal,
+      // before any loss (§6).  Delay-aware controllers react; the others
+      // treat it as a no-op.
+      ++stats_.delay_warnings_recv;
+      cc_->on_delay_warning();
+      break;
     case CtrlType::kKeepAlive:
-      // While our receive window is closed the peer's keepalives are
-      // zero-window probes: answer each with a fresh ACK so the sender
-      // always learns the current window, even when the unprompted
-      // window-update ACK got lost.
-      if (advertised_zero_) send_ack();
+      // A peer keepalive doubles as a zero-window persist probe.  Answer
+      // every one with a current-window ACK — not only while our own
+      // advertisement is zero: the drain-triggered window update clears
+      // advertised_zero_ the moment it is SENT, so if that single ACK is
+      // lost the probing sender still believes the window is closed while
+      // a gated answer would ignore it forever — the exact lost-window-
+      // update deadlock the probe mechanism exists to prevent.  ACKs are
+      // idempotent and keepalives are rare, so the unconditional answer
+      // costs nothing.
+      if (mode_ == Mode::kConnected) send_ack();
       break;
   }
 }
@@ -1232,9 +1274,13 @@ void Socket::check_timers() {
     if (snd_buffer_.end_index() > snd_next_) {
       send_ctrl_simple(CtrlType::kKeepAlive);
       ++stats_.zero_window_probes;
+      // The backoff advances only when a probe is actually sent: a quiet
+      // closed window (nothing queued yet) must not pre-age the interval,
+      // or data queued later could wait the full cap for its first probe
+      // instead of one SYN.
+      zw_probe_backoff_us_ =
+          std::min<std::uint64_t>(zw_probe_backoff_us_ * 2, kZwProbeCapUs);
     }
-    zw_probe_backoff_us_ =
-        std::min<std::uint64_t>(zw_probe_backoff_us_ * 2, kZwProbeCapUs);
     next_zw_probe_us_ = now + zw_probe_backoff_us_;
   }
 

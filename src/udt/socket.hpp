@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "cc/udt_cc.hpp"
+#include "common/delay_trend.hpp"
 #include "common/median_filter.hpp"
 #include "udt/congestion.hpp"
 #include "common/seqno.hpp"
@@ -171,6 +172,15 @@ struct SocketOptions {
   // Escape hatch for custom controllers: when set, overrides `congestion`
   // and is called once per socket with the host parameters.
   CcFactory congestion_factory;
+  // Receiver-side delay-trend warnings (§6): feed every data arrival's
+  // one-way delay to a PCT/PDT detector (common/delay_trend.hpp) and send a
+  // kDelayWarn control packet to the data sender when a rising trend is
+  // found; the sender delivers it to its controller as on_delay_warning().
+  // Off by default — the wire stays byte-for-byte the historic protocol.
+  // Enable on the RECEIVING peer to give a delay-aware sender (vegas, fast,
+  // or udt with delay_trend_mode) its early-congestion signal; loss-driven
+  // senders ignore the warning, so the option is interop-safe either way.
+  bool delay_warnings = false;
 };
 
 struct PerfStats {
@@ -200,6 +210,10 @@ struct PerfStats {
   std::uint64_t stale_acks_dropped = 0;
   // Keepalive probes sent while the peer advertised a zero receive window.
   std::uint64_t zero_window_probes = 0;
+  // Delay-trend warnings (kDelayWarn): emitted by our receiver (with
+  // delay_warnings on) / delivered to our congestion controller.
+  std::uint64_t delay_warnings_sent = 0;
+  std::uint64_t delay_warnings_recv = 0;
   double rtt_ms = 0.0;
   double capacity_mbps = 0.0;       // RBPP estimate
   double recv_rate_mbps = 0.0;      // arrival-speed estimate
@@ -477,6 +491,8 @@ class Socket {
   std::int64_t lrsn_ = -1;      // largest received index
   udtr::ArrivalSpeedEstimator speed_{16};
   udtr::PacketPairEstimator pair_{16};
+  // PCT/PDT detector over data-arrival one-way delays (delay_warnings only).
+  udtr::DelayTrendDetector delay_trend_{16};
   std::uint64_t last_arrival_us_ = 0;
   bool any_arrival_ = false;
   std::uint64_t probe_head_us_ = 0;
