@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "udt/multiplexer.hpp"
 #include "udt/socket.hpp"
 
 namespace {
@@ -38,6 +39,12 @@ struct ProfiledRun {
   // Same, normalized by payload bytes: copies each payload byte suffers.
   double snd_copies_per_byte = 0.0;
   double rcv_copies_per_byte = 0.0;
+  // Real UDP I/O system calls per data packet (UdpChannel counters summed
+  // over the multiplexer's shards) — unlike the profiler rows these count
+  // actual kernel entries, so the io_uring column (many datagrams per
+  // io_uring_enter) is directly comparable with mmsg.
+  double snd_syscalls_per_packet = 0.0;
+  double rcv_syscalls_per_packet = 0.0;
   std::vector<Profiler::Share> snd_report;
   std::vector<Profiler::Share> rcv_report;
   // Multiplexer shards behind the server side — the thread layout the
@@ -46,7 +53,8 @@ struct ProfiledRun {
   bool ok = false;
 };
 
-ProfiledRun run_profiled(double seconds, int io_batch, bool zero_copy) {
+ProfiledRun run_profiled(double seconds, int io_batch, bool zero_copy,
+                         IoBackend backend = IoBackend::kMmsg) {
   SocketOptions opts;
   opts.enable_profiler = true;
   // Match the paper's conditions: a ~GigE-rate transfer, where pacing waits
@@ -54,6 +62,7 @@ ProfiledRun run_profiled(double seconds, int io_batch, bool zero_copy) {
   opts.max_bandwidth_mbps = 950.0;
   opts.io_batch = io_batch;
   opts.zero_copy = zero_copy;
+  opts.io_backend = backend;
   auto listener = Socket::listen(0, opts);
   auto accepted = std::async(std::launch::async, [&] {
     return listener->accept(std::chrono::seconds{5});
@@ -95,6 +104,16 @@ ProfiledRun run_profiled(double seconds, int io_batch, bool zero_copy) {
   const auto rcv_bytes = server->perf().bytes_delivered;
   out.snd_copies_per_byte = snd_bytes > 0 ? snd_copied / snd_bytes : 0.0;
   out.rcv_copies_per_byte = rcv_bytes > 0 ? rcv_copied / rcv_bytes : 0.0;
+  if (client->multiplexer() && server->multiplexer()) {
+    out.snd_syscalls_per_packet =
+        snd_pkts > 0 ? static_cast<double>(
+                           client->multiplexer()->send_syscalls()) / snd_pkts
+                     : 0.0;
+    out.rcv_syscalls_per_packet =
+        rcv_pkts > 0 ? static_cast<double>(
+                           server->multiplexer()->recv_syscalls()) / rcv_pkts
+                     : 0.0;
+  }
   out.snd_report = sp.report();
   out.rcv_report = rp.report();
   out.shards = rp.shards();
@@ -128,13 +147,20 @@ int main(int argc, char** argv) {
                       "(instrumented transfer)", scale);
   const double seconds = scale.seconds(4, 15);
 
+  const bool uring = UdpChannel::uring_supported();
   const ProfiledRun batched =
       run_profiled(seconds, /*io_batch=*/16, /*zero_copy=*/true);
   const ProfiledRun single =
       run_profiled(seconds, /*io_batch=*/1, /*zero_copy=*/true);
   const ProfiledRun legacy =
       run_profiled(seconds, /*io_batch=*/16, /*zero_copy=*/false);
-  if (!batched.ok || !single.ok || !legacy.ok) {
+  // Third datapath column: same zero-copy transfer on the io_uring backend,
+  // where one io_uring_enter submits/reaps many datagrams.
+  const ProfiledRun uring_run =
+      uring ? run_profiled(seconds, /*io_batch=*/16, /*zero_copy=*/true,
+                           IoBackend::kUring)
+            : ProfiledRun{};
+  if (!batched.ok || !single.ok || !legacy.ok || (uring && !uring_run.ok)) {
     std::fprintf(stderr, "connection failed\n");
     return 1;
   }
@@ -158,6 +184,24 @@ int main(int argc, char** argv) {
       ? single.rcv_calls_per_packet / batched.rcv_calls_per_packet : 0.0;
   std::printf("  amortization: %.1fx fewer sends, %.1fx fewer receives per "
               "packet\n", snd_x, rcv_x);
+
+  std::printf("\nreal UDP syscalls per data packet (channel counters — "
+              "mmsg vs io_uring):\n");
+  std::printf("  %-10s %14s %14s\n", "side", "mmsg b=16", "io_uring");
+  if (uring) {
+    std::printf("  %-10s %14.3f %14.3f\n", "sending",
+                batched.snd_syscalls_per_packet,
+                uring_run.snd_syscalls_per_packet);
+    std::printf("  %-10s %14.3f %14.3f\n", "receiving",
+                batched.rcv_syscalls_per_packet,
+                uring_run.rcv_syscalls_per_packet);
+    std::printf("  io_uring rate: %.0f Mb/s\n", uring_run.rate_mbps);
+  } else {
+    std::printf("  %-10s %14.3f %14s\n", "sending",
+                batched.snd_syscalls_per_packet, "SKIPPED");
+    std::printf("  %-10s %14.3f %14s\n", "receiving",
+                batched.rcv_syscalls_per_packet, "SKIPPED (no io_uring)");
+  }
 
   std::printf("\npayload bytes memcpy'd per data packet (zero-copy "
               "datapath):\n");
@@ -193,6 +237,12 @@ int main(int argc, char** argv) {
       {"payload_copies_per_byte_rcv_legacy", legacy.rcv_copies_per_byte},
       {"rate_mbps_legacy", legacy.rate_mbps},
       {"shards", static_cast<double>(batched.shards)},
+      {"uring_supported", uring ? 1.0 : 0.0},
+      {"syscalls_per_packet_snd_mmsg", batched.snd_syscalls_per_packet},
+      {"syscalls_per_packet_rcv_mmsg", batched.rcv_syscalls_per_packet},
+      {"syscalls_per_packet_snd_uring", uring_run.snd_syscalls_per_packet},
+      {"syscalls_per_packet_rcv_uring", uring_run.rcv_syscalls_per_packet},
+      {"rate_mbps_uring", uring_run.rate_mbps},
   });
   return 0;
 }

@@ -89,11 +89,13 @@ void SndBuffer::ack_up_to(std::int64_t index) {
     Chunk& c = ring_[head_];
     bytes_ -= c.bytes().size();
     if (!c.owned.empty()) {
-      if (pin_active_ && base_index_ >= pin_first_ && base_index_ < pin_end_) {
-        // A sender syscall may hold iovecs into this storage: park it until
-        // unpin().  (Borrowed views need no parking — the overlapped caller
-        // is itself blocked on pinned_below() and keeps the memory alive.)
-        parked_.push_back(std::move(c.owned));
+      if (pin_covers(base_index_)) {
+        // An in-flight send may hold iovecs into this storage: park it until
+        // every pin that could reference it is released.  Only pins already
+        // issued (token < next_pin_token_) can cover it, hence the barrier.
+        // (Borrowed views need no parking — the overlapped caller is itself
+        // blocked on pinned_below() and keeps the memory alive.)
+        parked_.push_back(Parked{next_pin_token_, std::move(c.owned)});
       } else {
         recycle(std::move(c.owned));
       }
@@ -106,22 +108,45 @@ void SndBuffer::ack_up_to(std::int64_t index) {
   }
 }
 
-void SndBuffer::pin(std::int64_t first, std::int64_t end) {
-  pin_active_ = true;
-  pin_first_ = first;
-  pin_end_ = end;
+bool SndBuffer::pin_covers(std::int64_t index) const {
+  for (const PinRange& p : pins_) {
+    if (index >= p.first && index < p.end) return true;
+  }
+  return false;
 }
 
-bool SndBuffer::unpin() {
-  const bool had = pin_active_;
-  pin_active_ = false;
-  for (auto& v : parked_) recycle(std::move(v));
-  parked_.clear();
-  return had;
+std::uint64_t SndBuffer::pin(std::int64_t first, std::int64_t end) {
+  pins_.push_back(PinRange{next_pin_token_, first, end});
+  return next_pin_token_++;
+}
+
+bool SndBuffer::unpin(std::uint64_t token) {
+  bool had = false;
+  for (std::size_t i = 0; i < pins_.size(); ++i) {
+    if (pins_[i].token == token) {
+      pins_.erase(pins_.begin() + static_cast<std::ptrdiff_t>(i));
+      had = true;
+      break;
+    }
+  }
+  if (!had) return false;
+  // Recycle every parked chunk no surviving pin can reference: a chunk
+  // parked at barrier B is only reachable by pins with token < B.
+  std::uint64_t min_active = next_pin_token_;
+  for (const PinRange& p : pins_) min_active = std::min(min_active, p.token);
+  std::erase_if(parked_, [&](Parked& pk) {
+    if (pk.barrier > min_active) return false;
+    recycle(std::move(pk.storage));
+    return true;
+  });
+  return true;
 }
 
 bool SndBuffer::pinned_below(std::int64_t end) const {
-  return pin_active_ && pin_first_ < end;
+  for (const PinRange& p : pins_) {
+    if (p.first < end) return true;
+  }
+  return false;
 }
 
 // -------------------------------------------------------------- RecvSlab ---

@@ -1,5 +1,7 @@
 #include "udt/channel.hpp"
 
+#include "udt/channel_uring.hpp"
+
 #include <arpa/inet.h>
 #include <netdb.h>
 #include <netinet/udp.h>
@@ -40,6 +42,7 @@ namespace {
 // Kernel bounds on one GSO send: 64 segments, one 16-bit UDP payload.
 constexpr std::size_t kGsoMaxSegments = 64;
 constexpr std::size_t kGsoMaxBytes = 65507;
+}  // namespace
 
 // Longest GSO run starting at `i`: consecutive datagrams of identical wire
 // size (one trailing smaller one may close the run — the kernel emits the
@@ -67,7 +70,6 @@ std::size_t gso_run_length(std::span<const UdpChannel::TxDatagram> d,
   if (j < d.size() && j > i + 1 && d[j - 1].keep_with_next) --j;
   return j - i;
 }
-}  // namespace
 
 sockaddr_in Endpoint::to_sockaddr() const {
   sockaddr_in sa{};
@@ -97,19 +99,27 @@ std::optional<Endpoint> Endpoint::resolve(const std::string& host,
   return ep;
 }
 
+UdpChannel::UdpChannel() = default;
+
 UdpChannel::~UdpChannel() { close(); }
 
 UdpChannel::UdpChannel(UdpChannel&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       local_port_(other.local_port_),
       faults_(std::move(other.faults_)),
-      gro_enabled_(other.gro_enabled_),
+      gro_enabled_(other.gro_enabled_.load()),
+      recv_timeout_us_(other.recv_timeout_us_),
       gso_ok_(other.gso_ok_.load()),
       gather_scratch_(std::move(other.gather_scratch_)),
       sent_(other.sent_.load()),
       send_calls_(other.send_calls_.load()),
       recv_calls_(other.recv_calls_.load()),
-      gso_sends_(other.gso_sends_.load()) {}
+      gso_sends_(other.gso_sends_.load()) {
+  // The engine holds a back-pointer to its channel, so it cannot be moved;
+  // backends are selected after channels reach their final address (the
+  // multiplexer does this in start()), so dropping it here is safe.
+  other.uring_.reset();
+}
 
 UdpChannel& UdpChannel::operator=(UdpChannel&& other) noexcept {
   if (this != &other) {
@@ -117,13 +127,15 @@ UdpChannel& UdpChannel::operator=(UdpChannel&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     local_port_ = other.local_port_;
     faults_ = std::move(other.faults_);
-    gro_enabled_ = other.gro_enabled_;
+    gro_enabled_ = other.gro_enabled_.load();
+    recv_timeout_us_ = other.recv_timeout_us_;
     gso_ok_ = other.gso_ok_.load();
     gather_scratch_ = std::move(other.gather_scratch_);
     sent_ = other.sent_.load();
     send_calls_ = other.send_calls_.load();
     recv_calls_ = other.recv_calls_.load();
     gso_sends_ = other.gso_sends_.load();
+    other.uring_.reset();
   }
   return *this;
 }
@@ -157,7 +169,7 @@ bool UdpChannel::open(std::uint16_t port, bool reuse_port) {
   // with it set every send takes the plain sendmmsg path from the start.
   gso_ok_.store(std::getenv("UDTR_NO_GSO") == nullptr,
                 std::memory_order_relaxed);
-  gro_enabled_ = false;
+  gro_enabled_.store(false, std::memory_order_relaxed);
   return true;
 }
 
@@ -183,11 +195,14 @@ bool UdpChannel::attach_reuseport_steering(unsigned shards) {
 }
 
 void UdpChannel::close() {
+  // The ring (with its in-flight recvmsg SQEs into slab slots) must die
+  // before the socket fd it targets.
+  uring_.reset();
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
     local_port_ = 0;
-    gro_enabled_ = false;
+    gro_enabled_.store(false, std::memory_order_relaxed);
   }
 }
 
@@ -205,7 +220,7 @@ bool UdpChannel::enable_gro() {
   if (::setsockopt(fd_, SOL_UDP, UDP_GRO, &one, sizeof one) != 0) {
     return false;
   }
-  gro_enabled_ = true;
+  gro_enabled_.store(true, std::memory_order_relaxed);
   return true;
 #else
   return false;
@@ -213,6 +228,7 @@ bool UdpChannel::enable_gro() {
 }
 
 bool UdpChannel::set_recv_timeout(std::chrono::microseconds timeout) {
+  recv_timeout_us_ = timeout;  // mirrored for the uring timed CQ wait
   timeval tv{};
   tv.tv_sec = static_cast<time_t>(timeout.count() / 1000000);
   tv.tv_usec = static_cast<suseconds_t>(timeout.count() % 1000000);
@@ -658,6 +674,99 @@ RecvResult UdpChannel::recv_from(Endpoint& src, std::span<std::uint8_t> buf) {
     return {RecvStatus::kDatagram, std::min(buf.size(), *delivered)};
   }
   return {RecvStatus::kDatagram, static_cast<std::size_t>(n)};
+}
+
+UdpChannel::RxState::~RxState() {
+  if (slab) {
+    for (int id : slab_ids) {
+      if (id >= 0) slab->release(id);
+    }
+  }
+}
+
+UdpChannel::RecvBatchResult UdpChannel::rx_round(RxState& st, RxSinkFn sink,
+                                                 void* ctx) {
+  if (uring_) return uring_->rx_round(st, sink, ctx);
+  return rx_round_mmsg(st, sink, ctx);
+}
+
+UdpChannel::RecvBatchResult UdpChannel::rx_round_mmsg(RxState& st,
+                                                      RxSinkFn sink,
+                                                      void* ctx) {
+  const std::size_t batch = std::max<std::size_t>(st.batch, 1);
+  if (st.slots.size() != batch) {
+    st.slots.resize(batch);
+    st.slab_ids.assign(batch, -1);
+  }
+  // Arm every slot: a refcounted slab slot when one is free (zero-copy
+  // hand-off to the dispatch layer), the private arena otherwise.  Slots
+  // stay armed across rounds; only delivered ones are released and re-armed.
+  for (std::size_t i = 0; i < batch; ++i) {
+    if (st.slab_ids[i] < 0 && st.slab) st.slab_ids[i] = st.slab->acquire();
+    if (st.slab_ids[i] >= 0) {
+      st.slots[i].buf = {st.slab->data(st.slab_ids[i]),
+                         st.slab->slot_bytes()};
+    } else {
+      if (st.arena.size() < batch * st.slot_bytes) {
+        st.arena.resize(batch * st.slot_bytes);
+      }
+      st.slots[i].buf = {st.arena.data() + i * st.slot_bytes, st.slot_bytes};
+    }
+    st.slots[i].bytes = 0;
+    st.slots[i].gro_size = 0;
+  }
+  const RecvBatchResult res = recv_batch({st.slots.data(), batch});
+  for (std::size_t i = 0; i < res.count; ++i) {
+    const RecvSlot& s = st.slots[i];
+    RxDelivery d;
+    d.data = {s.buf.data(), s.bytes};
+    d.src = s.src;
+    d.gro_size = s.gro_size;
+    d.slab = st.slab_ids[i] >= 0 ? st.slab.get() : nullptr;
+    d.slab_slot = st.slab_ids[i];
+    sink(ctx, d);
+    if (st.slab_ids[i] >= 0) {
+      st.slab->release(st.slab_ids[i]);  // sink add_ref'd if it kept the slot
+      st.slab_ids[i] = -1;
+    }
+  }
+  return res;
+}
+
+bool UdpChannel::send_gather_async(const Endpoint& dst,
+                                   std::span<const TxDatagram> dgrams,
+                                   bool allow_gso, TxDoneFn done, void* ctx,
+                                   std::uint64_t token) {
+  // Faults take the synchronous per-datagram injector path in send_gather.
+  if (!uring_ || faults_ != nullptr || dgrams.empty()) return false;
+  return uring_->send_gather_async(dst, dgrams, allow_gso, done, ctx, token);
+}
+
+void UdpChannel::drain_tx(void* ctx) {
+  if (uring_) uring_->drain_tx(ctx);
+}
+
+bool UdpChannel::uring_supported() { return UringEngine::probe(); }
+
+std::uint64_t UdpChannel::uring_rx_backpressure() const {
+  return uring_ != nullptr ? uring_->rx_backpressure() : 0;
+}
+
+bool UdpChannel::set_io_backend(IoBackend b) {
+  if (b == IoBackend::kMmsg) {
+    uring_.reset();
+    return true;
+  }
+  if (fd_ < 0) return false;
+  if (!uring_supported()) {
+    uring_.reset();
+    return b == IoBackend::kAuto;  // auto falls back quietly; kUring refuses
+  }
+  if (uring_) return true;
+  auto eng = std::make_unique<UringEngine>(this);
+  if (!eng->init()) return b == IoBackend::kAuto;
+  uring_ = std::move(eng);
+  return true;
 }
 
 }  // namespace udtr::udt

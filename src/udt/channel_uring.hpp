@@ -1,0 +1,70 @@
+// io_uring datapath engine behind UdpChannel (IoBackend::kUring).
+//
+// One ring per channel, built on the raw io_uring syscalls (setup / enter /
+// register — no liburing):
+//
+//   rx: one multishot recvmsg SQE fed by a registered provided-buffer ring
+//       whose buffers are refcounted RecvSlab slots (arena storage when the
+//       caller has no slab).  Each CQE resolves to the buffer id the kernel
+//       picked, is fault-filtered per datagram and handed to the caller's
+//       sink; the id is then recycled onto the ring with a fresh slab slot
+//       (consumers may still hold the delivered one).  When the ring runs
+//       dry the kernel reports ENOBUFS and datagrams wait in the socket
+//       buffer — backpressure, not drops.  A busy socket reaps many
+//       datagrams per io_uring_enter, and reaping posted CQEs is
+//       syscall-free.
+//   tx: send_gather_async turns one pacing batch into sendmsg SQEs (GSO
+//       runs coalesced exactly like the mmsg path) whose iovecs point into
+//       pinned SndBuffer chunks; the batch's done-callback fires when the
+//       last CQE is reaped, which is when the caller may unpin.
+//
+// Locking: sq_mu guards SQE allocation and tail publication; cq_mu guards
+// CQ reaping plus tx-record and rx-slot bookkeeping.  cq_mu is taken before
+// sq_mu (reap → re-arm) and before any socket's state_mu_ (tx done
+// callbacks); no code path takes them in the other order.
+//
+// On kernels without the required io_uring features (EXT_ARG, NODROP,
+// SINGLE_MMAP) — or with UDTR_NO_URING set — probe() reports false and the
+// channel stays on the mmsg backend.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "udt/channel.hpp"
+
+namespace udtr::udt {
+
+class UringEngine {
+ public:
+  explicit UringEngine(UdpChannel* ch);
+  ~UringEngine();
+  UringEngine(const UringEngine&) = delete;
+  UringEngine& operator=(const UringEngine&) = delete;
+
+  // Process-wide cached probe: can a ring with the features we rely on be
+  // created here (and is UDTR_NO_URING unset)?
+  [[nodiscard]] static bool probe();
+
+  // Builds the ring for ch's fd.  False on failure (caller stays on mmsg).
+  [[nodiscard]] bool init();
+
+  UdpChannel::RecvBatchResult rx_round(UdpChannel::RxState& st,
+                                       UdpChannel::RxSinkFn sink, void* ctx);
+  bool send_gather_async(const Endpoint& dst,
+                         std::span<const UdpChannel::TxDatagram> dgrams,
+                         bool allow_gso, UdpChannel::TxDoneFn done, void* ctx,
+                         std::uint64_t token);
+  void drain_tx(void* ctx);
+
+  // ENOBUFS completions observed: each one is a stretch where the provided
+  // ring ran dry and arrivals backed up in the socket buffer.
+  [[nodiscard]] std::uint64_t rx_backpressure() const;
+
+ private:
+  struct Impl;       // all ring state; opaque so <linux/io_uring.h> stays
+  Impl* impl_ = nullptr;  // out of every other translation unit
+  UdpChannel* ch_;
+};
+
+}  // namespace udtr::udt

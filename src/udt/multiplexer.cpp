@@ -211,6 +211,25 @@ void Multiplexer::start() {
     if (cfg_.gso && sh->channel->enable_gro()) any_gro = true;
   }
   gro_ = any_gro;
+  // Datapath backend.  The uring slot ring assumes one rx-thread owner per
+  // channel, so it is enabled only when every shard owns its fd (kernel
+  // steering, or a single shard); the single-fd fallback — several shard
+  // threads sharing shard 0's channel — stays on mmsg.  All-or-nothing
+  // across shards so the two backends never mix on one port.
+  if (cfg_.io_backend != IoBackend::kMmsg &&
+      (steered_ || shards_.size() == 1)) {
+    bool all = true;
+    for (auto& sh : shards_) {
+      if (sh->channel && !sh->channel->set_io_backend(cfg_.io_backend)) {
+        all = false;
+      }
+    }
+    if (!all) {
+      for (auto& sh : shards_) {
+        if (sh->channel) sh->channel->set_io_backend(IoBackend::kMmsg);
+      }
+    }
+  }
   // Slot sizing keys off whether *any* fd may deliver coalesced buffers —
   // a short slot would make the kernel truncate a GRO burst.
   slot_bytes_ = gro_ ? kGroSlotBytes : plain_slot_bytes(cfg_.mss_bytes);
@@ -221,7 +240,11 @@ void Multiplexer::start() {
   syn_us_ = std::chrono::microseconds{
       static_cast<std::int64_t>(cfg_.syn_s * 1e6)};
   for (auto& sh : shards_) {
-    sh->slab = std::make_shared<RecvSlab>(slot_bytes_, slot_count);
+    // Slots carry kUringRxHeadroom beyond the payload capacity: the uring
+    // backend's multishot recvmsg writes its per-datagram header at the
+    // front of the slot, and a max-size GRO burst must still fit behind it.
+    sh->slab = std::make_shared<RecvSlab>(
+        slot_bytes_ + UdpChannel::kUringRxHeadroom, slot_count);
     sh->heap.reserve(256);
     sh->due_scratch.reserve(256);
   }
@@ -233,11 +256,19 @@ void Multiplexer::start() {
   }
 }
 
+bool Multiplexer::uring_active() const {
+  for (const auto& sh : shards_) {
+    if (sh->io == nullptr || !sh->io->uring_active()) return false;
+  }
+  return !shards_.empty();
+}
+
 bool Multiplexer::compatible(const SocketOptions& opts) const {
   return opts.faults == cfg_.faults &&
          opts.loss_injection == cfg_.loss_injection &&
          (opts.loss_injection == 0.0 || opts.loss_seed == cfg_.loss_seed) &&
          std::clamp(opts.io_batch, 1, 64) == io_batch_ &&
+         opts.io_backend == cfg_.io_backend &&
          opts.gso == cfg_.gso && opts.syn_s == cfg_.syn_s &&
          plain_slot_bytes(opts.mss_bytes) <= slot_bytes_ &&
          resolve_mux_shards(opts) == shards_.size();
@@ -384,6 +415,22 @@ std::uint64_t Multiplexer::timer_socket_sweeps() const {
   std::uint64_t n = 0;
   for (const auto& sh : shards_) {
     n += sh->socket_sweeps.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+std::uint64_t Multiplexer::send_syscalls() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) {
+    if (sh->channel) n += sh->channel->send_syscalls();
+  }
+  return n;
+}
+
+std::uint64_t Multiplexer::recv_syscalls() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) {
+    if (sh->channel) n += sh->channel->recv_syscalls();
   }
   return n;
 }
@@ -542,47 +589,37 @@ void Multiplexer::dispatch(std::span<const std::uint8_t> pkt,
 
 void Multiplexer::rx_loop(Shard& sh) {
   t_rx_shard = &sh;
-  // Same structure as the PR 4 receiver loop: slab-backed recv slots, one
-  // recvmmsg drain per wakeup, in-place GRO segment walking — but per
-  // shard, and the post-receive timer check drains this shard's wheel in
-  // O(expired) instead of walking every socket.
-  const auto max_batch = static_cast<std::size_t>(io_batch_);
-  const std::size_t dgram_cap = slot_bytes_;
-  std::vector<std::uint8_t> arena(max_batch * dgram_cap);
-  std::vector<UdpChannel::RecvSlot> slots(max_batch);
-  std::vector<int> slab_ids(max_batch, -1);  // -1 = arena-backed
-  for (std::size_t i = 0; i < slots.size(); ++i) {
-    slots[i].buf = std::span{arena.data() + i * dgram_cap, dgram_cap};
-  }
+  // Same structure as the PR 4 receiver loop — slab-backed slots, one
+  // bounded drain per wakeup, in-place GRO segment walking — but routed
+  // through the channel's backend-neutral rx_round: the mmsg backend arms
+  // slots and calls recvmmsg exactly as this loop used to inline, the uring
+  // backend reaps CQEs off its re-armed recvmsg slot ring.  Either way each
+  // delivery lands in the sink below, and the post-receive timer check
+  // drains this shard's wheel in O(expired) instead of walking every
+  // socket.
+  UdpChannel::RxState rxs;
+  rxs.slab = sh.slab;
+  rxs.batch = static_cast<std::size_t>(io_batch_);
+  rxs.slot_bytes = slot_bytes_;
+  struct SinkCtx {
+    Multiplexer* mux;
+    Shard* sh;
+  } sctx{this, &sh};
+  const UdpChannel::RxSinkFn sink = [](void* c,
+                                       const UdpChannel::RxDelivery& d) {
+    auto* sc = static_cast<SinkCtx*>(c);
+    for_each_datagram(d.data, d.gro_size,
+                      [&](std::span<const std::uint8_t> pkt) {
+                        sc->mux->dispatch(pkt, d.src, d.slab, d.slab_slot);
+                      });
+  };
   constexpr auto kSweepGap = std::chrono::milliseconds{1};
   constexpr auto kEvictGap = std::chrono::milliseconds{10};
   auto last_sweep = Clock::now();
   auto last_evict = last_sweep;
 
   while (running_) {
-    for (std::size_t i = 0; i < slots.size(); ++i) {
-      if (slab_ids[i] >= 0) continue;
-      const int id = sh.slab->acquire();
-      if (id >= 0) {
-        slab_ids[i] = id;
-        slots[i].buf = std::span{sh.slab->data(id), sh.slab->slot_bytes()};
-      } else {
-        slots[i].buf = std::span{arena.data() + i * dgram_cap, dgram_cap};
-      }
-    }
-    const UdpChannel::RecvBatchResult r = sh.io->recv_batch(slots);
-    for (std::size_t i = 0; i < r.count; ++i) {
-      const UdpChannel::RecvSlot& s = slots[i];
-      RecvSlab* pkt_slab = slab_ids[i] >= 0 ? sh.slab.get() : nullptr;
-      for_each_datagram({s.buf.data(), s.bytes}, s.gro_size,
-                        [&](std::span<const std::uint8_t> pkt) {
-                          dispatch(pkt, s.src, pkt_slab, slab_ids[i]);
-                        });
-      if (slab_ids[i] >= 0) {
-        sh.slab->release(slab_ids[i]);
-        slab_ids[i] = -1;
-      }
-    }
+    (void)sh.io->rx_round(rxs, sink, &sctx);
     // §4.8 timer check: only sockets whose wheel entry expired are swept —
     // an idle fleet parks at EXP cadence and costs nothing per tick.  The
     // legacy env override keeps the PR 4 every-socket walk measurable.
@@ -604,9 +641,7 @@ void Multiplexer::rx_loop(Shard& sh) {
       evict_answered();
     }
   }
-  for (std::size_t i = 0; i < slots.size(); ++i) {
-    if (slab_ids[i] >= 0) sh.slab->release(slab_ids[i]);
-  }
+  // RxState's destructor releases any still-armed slab slots.
   t_rx_shard = nullptr;
 }
 

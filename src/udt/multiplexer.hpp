@@ -148,6 +148,9 @@ class Multiplexer : public std::enable_shared_from_this<Multiplexer> {
   // True when the kernel steers datagrams to shard fds by socket id
   // (SO_REUSEPORT + cBPF); false in the software-demux fallback.
   [[nodiscard]] bool kernel_steered() const { return steered_; }
+  // True when every shard channel runs the io_uring backend (selection is
+  // all-or-nothing at start()); false on mmsg, or after probe fallback.
+  [[nodiscard]] bool uring_active() const;
 
   // True when a socket with these options can share this multiplexer: same
   // fault/loss configuration (the injector is per-channel), same batching,
@@ -232,6 +235,11 @@ class Multiplexer : public std::enable_shared_from_this<Multiplexer> {
   // bench comparing O(active) vs O(all) reads the same counters both ways.
   [[nodiscard]] std::uint64_t timer_sweep_calls() const;
   [[nodiscard]] std::uint64_t timer_socket_sweeps() const;
+  // UDP I/O system calls summed over the port's channels (each owning shard
+  // counted once, whichever backend is active) — the Table 3 "syscalls per
+  // packet" numerator.
+  [[nodiscard]] std::uint64_t send_syscalls() const;
+  [[nodiscard]] std::uint64_t recv_syscalls() const;
 
   // make_shared needs a public constructor; Private keeps it unusable
   // outside the factory functions.

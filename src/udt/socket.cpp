@@ -605,18 +605,35 @@ std::size_t Socket::fill_tx_batch(double& period_s) {
   // that lands during the unlocked syscall would otherwise free chunk
   // storage the gather iovecs still reference.
   if (zero_copy && !tx_gather_.empty()) {
-    snd_buffer_.pin(pin_first, pin_end);
+    tx_pin_token_ = snd_buffer_.pin(pin_first, pin_end);
   }
   return filled();
 }
 
-void Socket::send_tx_batch(std::size_t count) {
+bool Socket::send_tx_batch(std::size_t count) {
   Profiler* prof = opts_.enable_profiler ? &profiler_ : nullptr;
   ScopedTimer t{prof, ProfUnit::kUdpIo};
   if (opts_.zero_copy) {
+    // uring backend first: the batch leaves as sendmsg SQEs gathered from
+    // the pinned chunks and on_tx_reaped unpins when the last CQE lands.
+    // Refused (mmsg backend, faults, ring momentarily full) -> sync path.
+    if (net_->send_gather_async(peer_, {tx_gather_.data(), count}, opts_.gso,
+                                &Socket::on_tx_reaped, this, tx_pin_token_)) {
+      return true;
+    }
     net_->send_gather(peer_, {tx_gather_.data(), count}, opts_.gso);
   } else {
     net_->send_batch(peer_, {tx_batch_.data(), count});
+  }
+  return false;
+}
+
+void Socket::on_tx_reaped(void* ctx, std::uint64_t token) {
+  auto* self = static_cast<Socket*>(ctx);
+  std::lock_guard lk{self->state_mu_};
+  if (self->snd_buffer_.unpin(token)) {
+    self->app_snd_cv_.notify_all();
+    self->poke_watchers();
   }
 }
 
@@ -662,12 +679,13 @@ void Socket::sender_loop() {
                       static_cast<std::int64_t>(period * 1e9)},
                   static_cast<int>(count));
     }
-    send_tx_batch(count);
-    if (opts_.zero_copy) {
+    const bool deferred = send_tx_batch(count);
+    if (opts_.zero_copy && !deferred) {
       // Syscall done: recycle any storage an ACK parked meanwhile and wake
-      // overlapped senders waiting on pinned_below().
+      // overlapped senders waiting on pinned_below().  A deferred batch
+      // unpins in on_tx_reaped instead.
       std::lock_guard lk{state_mu_};
-      if (snd_buffer_.unpin()) {
+      if (snd_buffer_.unpin(tx_pin_token_)) {
         app_snd_cv_.notify_all();
         poke_watchers();
       }
@@ -711,7 +729,7 @@ Pacer::Clock::time_point Socket::tx_round() {
       return Pacer::Clock::time_point::max();
     }
   }
-  send_tx_batch(count);
+  const bool deferred = send_tx_batch(count);
   // schedule() is pace() minus the wait (the heap already waited): the
   // late re-anchor rule is preserved, so a socket that fell behind resumes
   // at its rate instead of bursting.
@@ -721,7 +739,7 @@ Pacer::Clock::time_point Socket::tx_round() {
   bool more;
   {
     std::lock_guard lk{state_mu_};
-    if (opts_.zero_copy && snd_buffer_.unpin()) {
+    if (opts_.zero_copy && !deferred && snd_buffer_.unpin(tx_pin_token_)) {
       app_snd_cv_.notify_all();
       poke_watchers();
     }
@@ -1618,6 +1636,11 @@ void Socket::close() {
     // mux_ itself is kept (not reset): it pins the port, the channel and
     // the shared receive slab for late diagnostics and slab-ref releases.
     mux_->detach(this);
+    // uring backend: no service thread references us any more, but an async
+    // batch with our done-callback may still be in flight — wait for its
+    // CQEs so on_tx_reaped never fires into a destroyed socket.  state_mu_
+    // is not held here (on_tx_reaped takes it).
+    if (net_ != nullptr) net_->drain_tx(this);
   } else {
     if (snd_thread_.joinable()) snd_thread_.join();
     if (rcv_thread_.joinable()) rcv_thread_.join();

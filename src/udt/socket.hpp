@@ -141,6 +141,15 @@ struct SocketOptions {
   // 1 reproduces the single-pair datapath; clamped to [1, 16].  Ignored in
   // exclusive-port mode.
   int mux_shards = 0;
+  // Datapath backend for the multiplexer's shard channels (channel.hpp).
+  // kAuto probes io_uring support at first bind and quietly falls back to
+  // the mmsg path (also forced by UDTR_NO_URING); kUring demands it; kMmsg
+  // is today's sendmmsg/recvmmsg path byte-for-byte.  With the uring
+  // backend the shard rx thread drains CQEs instead of recvmmsg and data
+  // batches go out as sendmsg SQEs whose SndBuffer pins are released when
+  // the completion is reaped, not at syscall return.  Exclusive-port
+  // sockets always use mmsg.
+  IoBackend io_backend = IoBackend::kAuto;
   // Stateless handshake (listener side): answer the first handshake packet
   // of a connection with a signed SYN-style cookie and keep zero state
   // until the client echoes it back (handshake_cookie.hpp).  Costs one
@@ -343,8 +352,16 @@ class Socket {
   // the covered range (zero-copy).  state_mu_ held.  Returns the number of
   // datagrams staged and the pacing period via `period_s`.
   std::size_t fill_tx_batch(double& period_s);
-  // Pushes `count` staged datagrams to the wire (lock dropped).
-  void send_tx_batch(std::size_t count);
+  // Pushes `count` staged datagrams to the wire (lock dropped).  Returns
+  // true when the batch went out asynchronously (uring backend): the pin is
+  // then released by on_tx_reaped when the completion lands, and the caller
+  // must NOT unpin inline.
+  bool send_tx_batch(std::size_t count);
+  // Completion callback for send_gather_async: runs on whichever thread
+  // reaps the batch's last CQE (lock order: the engine's cq_mu, then our
+  // state_mu_).  Unpins the batch's chunk range and wakes overlapped
+  // senders.
+  static void on_tx_reaped(void* ctx, std::uint64_t token);
   // One multiplexed sender service round: fill, send, advance the pacer.
   // Returns the socket's next deadline — time_point::max() parks the socket
   // until a state change kicks it again.
@@ -467,6 +484,10 @@ class Socket {
   // 0 until the first fill_tx_batch materializes the scratch (lazy: an
   // idle socket never stages a batch, so it never pays for one).
   int tx_max_batch_ = 0;
+  // Pin token of the batch currently staged in tx_gather_ (zero-copy).
+  // Written by fill_tx_batch under state_mu_, consumed by the same service
+  // thread: either inline (sync send) or via on_tx_reaped (async).
+  std::uint64_t tx_pin_token_ = 0;
   // True when the sender may have work (set with every wake_sender, cleared
   // by a tx round that found nothing to do).  The multiplexer's heartbeat
   // sweep only re-kicks dirty sockets, so a 100k-socket idle fleet costs

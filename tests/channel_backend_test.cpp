@@ -1,0 +1,459 @@
+// Backend parity and io_uring-specific behaviour for UdpChannel.
+//
+// The datapath is backend-selectable (IoBackend::kMmsg vs kUring); the
+// contract is that a consumer cannot tell them apart: the same seeded byte
+// stream with the same seeded fault schedule yields byte-identical delivery
+// and identical injector accounting on both.  The uring-only suites cover
+// the asynchronous pin-until-CQE send path and the provided-buffer-ring
+// backpressure semantics, and skip visibly where the kernel lacks io_uring.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "udt/buffers.hpp"
+#include "udt/channel.hpp"
+#include "udt/fault.hpp"
+#include "udt/multiplexer.hpp"
+#include "udt/socket.hpp"
+
+namespace udtr::udt {
+namespace {
+
+#define SKIP_WITHOUT_URING()                            \
+  do {                                                  \
+    if (!UdpChannel::uring_supported()) {               \
+      GTEST_SKIP() << "SKIPPED (no io_uring)";          \
+    }                                                   \
+  } while (0)
+
+// Deterministic payload for datagram i of a run: length and bytes are pure
+// functions of (seed, i) so both backend runs send the identical stream.
+std::vector<std::uint8_t> make_payload(std::uint64_t seed, std::size_t i) {
+  std::uint64_t x = seed * 0x9E3779B97F4A7C15ull + i * 0xBF58476D1CE4E5B9ull;
+  const auto next = [&x] {
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return x;
+  };
+  const std::size_t len = 24 + static_cast<std::size_t>(next() % 480);
+  std::vector<std::uint8_t> p(len);
+  for (auto& b : p) b = static_cast<std::uint8_t>(next());
+  return p;
+}
+
+struct Collected {
+  std::vector<std::vector<std::uint8_t>> dgrams;
+  FaultStats recv_stats;
+};
+
+struct CollectCtx {
+  std::vector<std::vector<std::uint8_t>>* out;
+};
+
+void collect_sink(void* ctx, const UdpChannel::RxDelivery& d) {
+  auto* cc = static_cast<CollectCtx*>(ctx);
+  cc->out->emplace_back(d.data.begin(), d.data.end());
+}
+
+// Streams `count` seeded datagrams through a receiver on the requested
+// backend with the given recv-side fault profile, draining between small
+// send batches so the loopback socket buffer never overflows (kernel drops
+// would break determinism).
+Collected run_faulted_transfer(IoBackend backend, const FaultProfile& prof,
+                               std::uint64_t seed, std::size_t count) {
+  Collected got;
+  UdpChannel tx;
+  UdpChannel rx;
+  EXPECT_TRUE(tx.open(0));
+  EXPECT_TRUE(rx.open(0));
+  rx.set_recv_timeout(std::chrono::milliseconds{10});
+  if (backend == IoBackend::kUring) {
+    EXPECT_TRUE(rx.set_io_backend(IoBackend::kUring));
+    EXPECT_TRUE(rx.uring_active());
+  } else {
+    EXPECT_TRUE(rx.set_io_backend(IoBackend::kMmsg));
+    EXPECT_FALSE(rx.uring_active());
+  }
+  FaultConfig fc;
+  fc.recv = prof;
+  fc.seed = seed;
+  auto inj = std::make_shared<FaultInjector>(fc);
+  rx.set_fault_injector(inj);
+
+  UdpChannel::RxState st;
+  st.slab = std::make_shared<RecvSlab>(2048, 64);
+  st.batch = 8;
+  st.slot_bytes = 1024;
+  CollectCtx cc{&got.dgrams};
+
+  const Endpoint dst{0x7F000001u, rx.local_port()};
+  const std::size_t kBatch = 8;
+  for (std::size_t base = 0; base < count; base += kBatch) {
+    std::vector<std::vector<std::uint8_t>> payloads;
+    payloads.reserve(kBatch);  // spans below point into these vectors
+    std::vector<UdpChannel::TxDatagram> dgrams;
+    for (std::size_t i = base; i < std::min(base + kBatch, count); ++i) {
+      payloads.push_back(make_payload(seed, i));
+      dgrams.push_back(
+          UdpChannel::TxDatagram{{payloads.back().data(), payloads.back().size()},
+                                 {},
+                                 false});
+    }
+    EXPECT_EQ(tx.send_gather(dst, dgrams), dgrams.size());
+    // Drain what arrived; in-flight stays bounded by one batch.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds{2};
+    std::size_t sunk = got.dgrams.size();
+    while (std::chrono::steady_clock::now() < deadline) {
+      (void)rx.rx_round(st, &collect_sink, &cc);
+      if (got.dgrams.size() == sunk) break;  // one quiet round: batch drained
+      sunk = got.dgrams.size();
+    }
+  }
+  // Flush stragglers the injector still owes (reorder releases).
+  for (int quiet = 0; quiet < 3;) {
+    const auto r = rx.rx_round(st, &collect_sink, &cc);
+    quiet = r.status == RecvStatus::kTimeout ? quiet + 1 : 0;
+  }
+  got.recv_stats = inj->stats(FaultDir::kRecv);
+  return got;
+}
+
+bool stats_equal(const FaultStats& a, const FaultStats& b) {
+  return a.seen == b.seen && a.dropped == b.dropped &&
+         a.duplicated == b.duplicated && a.reordered == b.reordered &&
+         a.corrupted == b.corrupted && a.truncated == b.truncated &&
+         a.outage_dropped == b.outage_dropped;
+}
+
+// Order-preserving faults (drop / corrupt / truncate mutate or swallow in
+// place): the two backends must deliver the exact same sequence of bytes
+// and the injector must have made the exact same per-datagram decisions.
+TEST(ChannelBackend, FaultedStreamParityIsByteExact) {
+  SKIP_WITHOUT_URING();
+  FaultProfile prof;
+  prof.drop_p = 0.2;
+  prof.corrupt_p = 0.1;
+  prof.truncate_p = 0.1;
+  const auto mmsg = run_faulted_transfer(IoBackend::kMmsg, prof, 42, 240);
+  const auto uring = run_faulted_transfer(IoBackend::kUring, prof, 42, 240);
+  ASSERT_GT(mmsg.dgrams.size(), 100u);  // most of 240 survive a 20% drop
+  EXPECT_TRUE(stats_equal(mmsg.recv_stats, uring.recv_stats))
+      << "mmsg seen/drop/corrupt/trunc " << mmsg.recv_stats.seen << "/"
+      << mmsg.recv_stats.dropped << "/" << mmsg.recv_stats.corrupted << "/"
+      << mmsg.recv_stats.truncated << " vs uring " << uring.recv_stats.seen
+      << "/" << uring.recv_stats.dropped << "/" << uring.recv_stats.corrupted
+      << "/" << uring.recv_stats.truncated;
+  EXPECT_EQ(mmsg.dgrams, uring.dgrams);
+}
+
+// Reordering and duplication shift datagrams across batch boundaries, so
+// sequence order may differ between backends — but the delivered multiset
+// and the injector's decision sequence must not.
+TEST(ChannelBackend, ReorderingFaultsDeliverIdenticalMultisets) {
+  SKIP_WITHOUT_URING();
+  FaultProfile prof;
+  prof.drop_p = 0.1;
+  prof.dup_p = 0.15;
+  prof.reorder_p = 0.1;
+  auto mmsg = run_faulted_transfer(IoBackend::kMmsg, prof, 7, 240);
+  auto uring = run_faulted_transfer(IoBackend::kUring, prof, 7, 240);
+  ASSERT_GT(mmsg.dgrams.size(), 100u);
+  EXPECT_TRUE(stats_equal(mmsg.recv_stats, uring.recv_stats));
+  std::sort(mmsg.dgrams.begin(), mmsg.dgrams.end());
+  std::sort(uring.dgrams.begin(), uring.dgrams.end());
+  EXPECT_EQ(mmsg.dgrams, uring.dgrams);
+}
+
+// A clean (fault-free) stream through both backends: identical bytes in
+// identical order, and the uring receiver spends fewer recv syscalls per
+// delivered datagram than the mmsg receiver would at worst (one per round).
+TEST(ChannelBackend, CleanStreamParityOnBothBackends) {
+  SKIP_WITHOUT_URING();
+  const FaultProfile none;
+  const auto mmsg = run_faulted_transfer(IoBackend::kMmsg, none, 3, 200);
+  const auto uring = run_faulted_transfer(IoBackend::kUring, none, 3, 200);
+  ASSERT_EQ(mmsg.dgrams.size(), 200u);
+  ASSERT_EQ(uring.dgrams.size(), 200u);
+  EXPECT_EQ(mmsg.dgrams, uring.dgrams);
+}
+
+struct TxDoneRecord {
+  std::atomic<int> calls{0};
+  std::atomic<std::uint64_t> token{0};
+};
+
+void tx_done(void* ctx, std::uint64_t token) {
+  auto* r = static_cast<TxDoneRecord*>(ctx);
+  r->token.store(token);
+  r->calls.fetch_add(1);
+}
+
+// The async gather send keeps the caller's spans alive until the CQEs are
+// reaped, then fires the done callback exactly once with the caller's
+// token — the moment SndBuffer pins may drop.
+TEST(ChannelBackend, AsyncGatherSendCompletesWithToken) {
+  SKIP_WITHOUT_URING();
+  UdpChannel tx;
+  UdpChannel rx;
+  ASSERT_TRUE(tx.open(0));
+  ASSERT_TRUE(rx.open(0));
+  ASSERT_TRUE(tx.set_io_backend(IoBackend::kUring));
+  rx.set_recv_timeout(std::chrono::milliseconds{200});
+
+  std::vector<std::vector<std::uint8_t>> payloads;
+  payloads.reserve(4);  // spans below point into these vectors
+  std::vector<UdpChannel::TxDatagram> dgrams;
+  for (std::size_t i = 0; i < 4; ++i) {
+    payloads.push_back(make_payload(11, i));
+    dgrams.push_back(UdpChannel::TxDatagram{
+        {payloads.back().data(), payloads.back().size()}, {}, false});
+  }
+  TxDoneRecord rec;
+  const Endpoint dst{0x7F000001u, rx.local_port()};
+  ASSERT_TRUE(tx.send_gather_async(dst, dgrams, true, &tx_done, &rec, 0xFEEDu));
+  tx.drain_tx(&rec);
+  EXPECT_EQ(rec.calls.load(), 1);
+  EXPECT_EQ(rec.token.load(), 0xFEEDu);
+
+  std::vector<std::uint8_t> buf(2048);
+  Endpoint src;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const RecvResult r = rx.recv_from(src, buf);
+    ASSERT_EQ(r.status, RecvStatus::kDatagram) << "datagram " << i;
+    ASSERT_EQ(r.bytes, payloads[i].size());
+    EXPECT_TRUE(std::equal(payloads[i].begin(), payloads[i].end(), buf.begin()));
+  }
+}
+
+// On the mmsg backend the async entry point refuses and the caller falls
+// back to the synchronous path — the mmsg datapath is byte-for-byte the
+// pre-backend code and never defers pin release.
+TEST(ChannelBackend, AsyncGatherSendRefusesOnMmsg) {
+  UdpChannel tx;
+  ASSERT_TRUE(tx.open(0));
+  ASSERT_TRUE(tx.set_io_backend(IoBackend::kMmsg));
+  std::vector<std::uint8_t> payload{1, 2, 3};
+  const UdpChannel::TxDatagram d{{payload.data(), payload.size()}, {}, false};
+  TxDoneRecord rec;
+  EXPECT_FALSE(tx.send_gather_async(Endpoint{0x7F000001u, 9}, {&d, 1}, true,
+                                    &tx_done, &rec, 1));
+  EXPECT_EQ(rec.calls.load(), 0);
+}
+
+struct HoldCtx {
+  RecvSlab* slab = nullptr;
+  std::vector<int> held;
+  std::vector<std::vector<std::uint8_t>> dgrams;
+  std::size_t copy_mode = 0;  // deliveries with slab == nullptr
+};
+
+void holding_sink(void* ctx, const UdpChannel::RxDelivery& d) {
+  auto* h = static_cast<HoldCtx*>(ctx);
+  h->dgrams.emplace_back(d.data.begin(), d.data.end());
+  if (d.slab != nullptr && d.slab_slot >= 0) {
+    d.slab->add_ref(d.slab_slot);  // park the slot like RcvBuffer would
+    h->held.push_back(d.slab_slot);
+  } else {
+    ++h->copy_mode;
+  }
+}
+
+// A consumer that parks a reference on every slab slot it is handed (as
+// RcvBuffer does for every packet behind a loss gap) must not wedge the
+// receive path: once the slab is exhausted the engine recycles ring
+// entries onto its copy arena (slab == nullptr deliveries), counts the
+// starvation as backpressure, and every datagram still arrives in order.
+// A stall here would be a protocol deadlock — the retransmission that
+// frees the parked slots could never be received.
+TEST(ChannelBackend, BufferRingExhaustionBackpressuresWithoutDrops) {
+  SKIP_WITHOUT_URING();
+  UdpChannel tx;
+  UdpChannel rx;
+  ASSERT_TRUE(tx.open(0));
+  ASSERT_TRUE(rx.open(0));
+  rx.set_recv_timeout(std::chrono::milliseconds{5});
+  ASSERT_TRUE(rx.set_io_backend(IoBackend::kUring));
+
+  UdpChannel::RxState st;
+  st.slab = std::make_shared<RecvSlab>(2048, 8);  // tiny: starves quickly
+  st.batch = 4;
+  st.slot_bytes = 1024;
+  HoldCtx hc;
+  hc.slab = st.slab.get();
+
+  const Endpoint dst{0x7F000001u, rx.local_port()};
+  constexpr std::size_t kCount = 48;
+  std::vector<std::vector<std::uint8_t>> sent;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    sent.push_back(make_payload(99, i));
+    ASSERT_EQ(tx.send_to(dst, sent.back()),
+              static_cast<std::int64_t>(sent.back().size()));
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds{5};
+  while (hc.dgrams.size() < kCount &&
+         std::chrono::steady_clock::now() < deadline) {
+    (void)rx.rx_round(st, &holding_sink, &hc);
+  }
+  ASSERT_EQ(hc.dgrams.size(), kCount);  // no drops, no stall
+  EXPECT_EQ(hc.dgrams, sent);           // in order, byte-exact
+  // The slab has 8 slots and the sink kept every one of them, so the tail
+  // of the stream must have starved onto the copy arena.
+  EXPECT_GT(rx.uring_rx_backpressure(), 0u);
+  EXPECT_GT(hc.copy_mode, 0u);
+  EXPECT_EQ(st.slab->free_count(), 0u);
+  for (int slot : hc.held) st.slab->release(slot);
+}
+
+// TSan target: the offload latches (gso_ok_, gro_enabled_) are written by
+// a first send probing UDP_SEGMENT and read/written by a first receive
+// enabling GRO, concurrently, on both backends.  The assertion is the
+// absence of a data-race report.
+TEST(ChannelBackend, OffloadLatchesRaceFreeAcrossFirstSendAndFirstRecv) {
+  for (const IoBackend backend : {IoBackend::kMmsg, IoBackend::kAuto}) {
+    UdpChannel a;
+    UdpChannel b;
+    ASSERT_TRUE(a.open(0));
+    ASSERT_TRUE(b.open(0));
+    a.set_recv_timeout(std::chrono::milliseconds{5});
+    b.set_recv_timeout(std::chrono::milliseconds{5});
+    ASSERT_TRUE(a.set_io_backend(backend));
+    const Endpoint to_b{0x7F000001u, b.local_port()};
+
+    std::thread sender([&] {
+      std::vector<std::uint8_t> payload(256, 0xAB);
+      std::vector<UdpChannel::TxDatagram> run(
+          4, UdpChannel::TxDatagram{{payload.data(), payload.size()}, {},
+                                    false});
+      for (int i = 0; i < 50; ++i) {
+        (void)a.send_gather(to_b, run, true);  // first call probes GSO
+        (void)a.gso_active();
+      }
+    });
+    std::thread receiver([&] {
+      (void)b.enable_gro();  // flips gro_enabled_ while sends are in flight
+      std::vector<std::uint8_t> buf(4096);
+      Endpoint src;
+      for (int i = 0; i < 50; ++i) {
+        (void)b.recv_from(src, buf);
+        (void)b.gro_enabled();
+      }
+    });
+    sender.join();
+    receiver.join();
+  }
+}
+
+// Backend selection contract: kMmsg always sticks, kUring reports honestly,
+// kAuto never fails (it quietly stays on mmsg when the probe refuses).
+TEST(ChannelBackend, SelectionContract) {
+  UdpChannel ch;
+  ASSERT_TRUE(ch.open(0));
+  EXPECT_TRUE(ch.set_io_backend(IoBackend::kMmsg));
+  EXPECT_FALSE(ch.uring_active());
+  EXPECT_TRUE(ch.set_io_backend(IoBackend::kAuto));
+  EXPECT_EQ(ch.uring_active(), UdpChannel::uring_supported());
+  EXPECT_EQ(ch.set_io_backend(IoBackend::kUring),
+            UdpChannel::uring_supported());
+  EXPECT_TRUE(ch.set_io_backend(IoBackend::kMmsg));
+  EXPECT_FALSE(ch.uring_active());
+}
+
+// End-to-end: a socket pair on an explicitly-uring multiplexer moves a
+// seeded megabyte intact, and the multiplexer really is on the uring
+// backend (selection is all-or-nothing across shards).
+TEST(ChannelBackend, SocketTransferOverUringMultiplexer) {
+  SKIP_WITHOUT_URING();
+  SocketOptions opts;
+  opts.io_backend = IoBackend::kUring;
+  auto listener = Socket::listen(0, opts);
+  ASSERT_NE(listener, nullptr);
+  auto accepted = std::async(std::launch::async, [&] {
+    return listener->accept(std::chrono::seconds{5});
+  });
+  auto client = Socket::connect("127.0.0.1", listener->local_port(), opts);
+  auto server = accepted.get();
+  ASSERT_NE(client, nullptr);
+  ASSERT_NE(server, nullptr);
+  ASSERT_NE(client->multiplexer(), nullptr);
+  EXPECT_TRUE(client->multiplexer()->uring_active());
+  EXPECT_TRUE(server->multiplexer()->uring_active());
+
+  constexpr std::size_t kTotal = 1u << 20;
+  std::vector<std::uint8_t> block(64 << 10);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    block[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  }
+  auto txf = std::async(std::launch::async, [&] {
+    std::size_t sent = 0;
+    while (sent < kTotal) {
+      sent += client->send(
+          std::span{block.data(), std::min(block.size(), kTotal - sent)});
+    }
+    client->flush(std::chrono::seconds{20});
+    return sent;
+  });
+  std::vector<std::uint8_t> rbuf(64 << 10);
+  std::size_t received = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds{20};
+  std::size_t mismatches = 0;
+  while (received < kTotal && std::chrono::steady_clock::now() < deadline) {
+    const std::size_t n = server->recv(rbuf, std::chrono::milliseconds{200});
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto expect = static_cast<std::uint8_t>((received + i) % block.size() * 131 + 7);
+      if (rbuf[i] != expect) ++mismatches;
+    }
+    received += n;
+  }
+  EXPECT_EQ(txf.get(), kTotal);
+  ASSERT_EQ(received, kTotal);
+  EXPECT_EQ(mismatches, 0u);
+  client->close();
+  server->close();
+}
+
+// The explicit-mmsg multiplexer stays off uring even where it is supported:
+// the fallback column of the matrix is always reachable.
+TEST(ChannelBackend, SocketTransferOverMmsgMultiplexerStaysOffUring) {
+  SocketOptions opts;
+  opts.io_backend = IoBackend::kMmsg;
+  auto listener = Socket::listen(0, opts);
+  ASSERT_NE(listener, nullptr);
+  auto accepted = std::async(std::launch::async, [&] {
+    return listener->accept(std::chrono::seconds{5});
+  });
+  auto client = Socket::connect("127.0.0.1", listener->local_port(), opts);
+  auto server = accepted.get();
+  ASSERT_NE(client, nullptr);
+  ASSERT_NE(server, nullptr);
+  ASSERT_NE(client->multiplexer(), nullptr);
+  EXPECT_FALSE(client->multiplexer()->uring_active());
+  EXPECT_FALSE(server->multiplexer()->uring_active());
+
+  std::vector<std::uint8_t> msg(4096, 0x5C);
+  ASSERT_EQ(client->send(msg), msg.size());
+  std::vector<std::uint8_t> rbuf(8192);
+  std::size_t got = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds{5};
+  while (got < msg.size() && std::chrono::steady_clock::now() < deadline) {
+    got += server->recv(rbuf, std::chrono::milliseconds{100});
+  }
+  EXPECT_EQ(got, msg.size());
+  client->close();
+  server->close();
+}
+
+}  // namespace
+}  // namespace udtr::udt

