@@ -1,0 +1,106 @@
+// Synthetic video-frame source shared by the streaming benches
+// (bench_streaming_video, bench_streaming_join).  Models a fixed-fps
+// encoder emitting large keyframes and small delta frames; every frame
+// carries a self-describing header so a receiver can verify integrity and
+// compute motion-to-photon latency without any side channel:
+//
+//   [0:8)   frame id        (big-endian)
+//   [8:16)  frame size      (big-endian; must equal the delivered length)
+//   [16:24) send timestamp  (big-endian, steady-clock nanoseconds)
+//   [24:)   deterministic pattern derived from the frame id
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+
+namespace udtr::bench {
+
+struct FrameSpec {
+  double fps = 30.0;
+  int keyframe_interval = 30;       // frames per keyframe (GOP length)
+  std::size_t key_bytes = 160'000;  // keyframe payload
+  std::size_t delta_bytes = 16'000; // delta-frame payload
+};
+
+class FrameSource {
+ public:
+  explicit FrameSource(FrameSpec spec) : spec_{spec} {}
+
+  [[nodiscard]] std::size_t frame_bytes(std::uint64_t id) const {
+    const auto interval = static_cast<std::uint64_t>(spec_.keyframe_interval);
+    return id % interval == 0 ? spec_.key_bytes : spec_.delta_bytes;
+  }
+  [[nodiscard]] double avg_frame_bytes() const {
+    const double n = spec_.keyframe_interval;
+    return (static_cast<double>(spec_.key_bytes) +
+            (n - 1.0) * static_cast<double>(spec_.delta_bytes)) /
+           n;
+  }
+  [[nodiscard]] double nominal_mbps() const {
+    return avg_frame_bytes() * 8.0 * spec_.fps / 1e6;
+  }
+  [[nodiscard]] std::chrono::nanoseconds frame_period() const {
+    return std::chrono::nanoseconds{
+        static_cast<std::int64_t>(1e9 / spec_.fps)};
+  }
+  [[nodiscard]] const FrameSpec& spec() const { return spec_; }
+
+  // Writes frame `id` into `buf` (whose size must be frame_bytes(id)),
+  // stamping `send_ns` as the capture/send time.
+  static void fill(std::span<std::uint8_t> buf, std::uint64_t id,
+                   std::uint64_t send_ns) {
+    put_be64(buf, 0, id);
+    put_be64(buf, 8, buf.size());
+    put_be64(buf, 16, send_ns);
+    for (std::size_t i = 24; i < buf.size(); ++i) {
+      buf[i] = pattern_byte(id, i);
+    }
+  }
+
+  // Validates a delivered frame end to end; on success returns true and
+  // fills `id` / `send_ns`.  Any header mismatch, size mismatch, or
+  // corrupted pattern byte fails the frame.
+  static bool verify(std::span<const std::uint8_t> frame, std::uint64_t& id,
+                     std::uint64_t& send_ns) {
+    if (frame.size() < 24) return false;
+    id = get_be64(frame, 0);
+    if (get_be64(frame, 8) != frame.size()) return false;
+    send_ns = get_be64(frame, 16);
+    for (std::size_t i = 24; i < frame.size(); ++i) {
+      if (frame[i] != pattern_byte(id, i)) return false;
+    }
+    return true;
+  }
+
+  static std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+ private:
+  static std::uint8_t pattern_byte(std::uint64_t id, std::size_t i) {
+    return static_cast<std::uint8_t>(id * 131 + i * 29 + 7);
+  }
+  static void put_be64(std::span<std::uint8_t> b, std::size_t off,
+                       std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      b[off + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (56 - 8 * i));
+    }
+  }
+  static std::uint64_t get_be64(std::span<const std::uint8_t> b,
+                                std::size_t off) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v = (v << 8) | b[off + static_cast<std::size_t>(i)];
+    }
+    return v;
+  }
+
+  FrameSpec spec_;
+};
+
+}  // namespace udtr::bench

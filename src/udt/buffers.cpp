@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "udt/packet.hpp"
+
 namespace udtr::udt {
 
 // ------------------------------------------------------------- SndBuffer ---
@@ -78,6 +80,65 @@ std::size_t SndBuffer::add_borrowed(std::span<const std::uint8_t> data) {
   return accepted;
 }
 
+std::size_t SndBuffer::add_message(std::span<const std::uint8_t> data,
+                                   std::uint32_t msg_no, bool in_order) {
+  if (data.empty() || data.size() > capacity_bytes_ - bytes_) return 0;
+  const auto mss = static_cast<std::size_t>(mss_);
+  const std::size_t npkts = (data.size() + mss - 1) / mss;
+  std::size_t off = 0;
+  for (std::size_t k = 0; k < npkts; ++k) {
+    const std::size_t take = std::min(mss, data.size() - off);
+    Chunk c;
+    if (!free_store_.empty()) {
+      c.owned = std::move(free_store_.back());
+      free_store_.pop_back();
+    }
+    c.owned.assign(data.begin() + static_cast<std::ptrdiff_t>(off),
+                   data.begin() + static_cast<std::ptrdiff_t>(off + take));
+    const MsgBoundary b = npkts == 1      ? MsgBoundary::kSolo
+                          : k == 0        ? MsgBoundary::kFirst
+                          : k + 1 == npkts ? MsgBoundary::kLast
+                                           : MsgBoundary::kMiddle;
+    c.msg_word = make_msg_word(b, in_order, msg_no);
+    push_chunk(std::move(c));
+    bytes_ += take;
+    off += take;
+  }
+  return off;
+}
+
+std::uint32_t SndBuffer::msg_word(std::int64_t index) const {
+  if (index < base_index_ || index >= end_index()) return 0;
+  return ring_[ring_pos(index)].msg_word;
+}
+
+bool SndBuffer::is_dead(std::int64_t index) const {
+  if (index < base_index_ || index >= end_index()) return false;
+  return ring_[ring_pos(index)].dead;
+}
+
+void SndBuffer::mark_dead(std::int64_t first, std::int64_t end) {
+  first = std::max(first, base_index_);
+  end = std::min(end, end_index());
+  for (std::int64_t i = first; i < end; ++i) {
+    Chunk& c = ring_[ring_pos(i)];
+    if (c.dead) continue;
+    bytes_ -= c.bytes().size();
+    if (!c.owned.empty()) {
+      if (pin_covers(i)) {
+        // Same barrier rule as ack_up_to: an in-flight send may still hold
+        // iovecs into this storage.
+        parked_.push_back(Parked{next_pin_token_, std::move(c.owned)});
+      } else {
+        recycle(std::move(c.owned));
+      }
+      c.owned.clear();
+    }
+    c.view = {};
+    c.dead = true;
+  }
+}
+
 std::optional<std::span<const std::uint8_t>> SndBuffer::chunk(
     std::int64_t index) const {
   if (index < base_index_ || index >= end_index()) return std::nullopt;
@@ -102,6 +163,8 @@ void SndBuffer::ack_up_to(std::int64_t index) {
       c.owned.clear();
     }
     c.view = {};
+    c.msg_word = 0;
+    c.dead = false;
     head_ = (head_ + 1) % ring_.size();
     --count_;
     ++base_index_;
@@ -203,7 +266,7 @@ RcvBuffer::~RcvBuffer() {
   for (auto& s : slots_) release_slot(s);
 }
 
-void RcvBuffer::release_slot(Slot& s) {
+void RcvBuffer::release_payload(Slot& s) {
   if (s.slab != nullptr) {
     s.slab->release(s.slab_slot);
     s.slab = nullptr;
@@ -219,7 +282,13 @@ void RcvBuffer::release_slot(Slot& s) {
     spare_.push_back(std::move(s.data));
   }
   s.data = {};
+}
+
+void RcvBuffer::release_slot(Slot& s) {
+  release_payload(s);
   s.filled = false;
+  s.consumed = false;
+  s.msg_word = 0;
 }
 
 std::size_t RcvBuffer::readable_bytes() const {
@@ -227,6 +296,8 @@ std::size_t RcvBuffer::readable_bytes() const {
   std::size_t n = 0;
   for (std::int64_t i = read_index_; i < contig_; ++i) {
     const auto& s = slots_[static_cast<std::size_t>(i % capacity_)];
+    // Stream reads stop at message payloads and sealed holes.
+    if (s.msg_word != 0 || s.consumed) break;
     n += s.size();
   }
   return n - read_offset_;
@@ -253,6 +324,7 @@ void RcvBuffer::drain_into_user_buffer() {
   while (!user_buf_.empty() && user_filled_ < user_buf_.size() &&
          read_index_ < contig_) {
     Slot& s = slot(read_index_);
+    if (s.msg_word != 0 || s.consumed) break;  // not stream bytes
     const std::size_t avail = s.size() - read_offset_;
     const std::size_t want = user_buf_.size() - user_filled_;
     const std::size_t take = std::min(avail, want);
@@ -271,7 +343,7 @@ void RcvBuffer::drain_into_user_buffer() {
 
 bool RcvBuffer::store_common(std::int64_t index,
                              std::span<const std::uint8_t> payload,
-                             bool& accepted) {
+                             std::uint32_t msg_word, bool& accepted) {
   accepted = false;
   if (index < contig_) return true;                    // duplicate / stale
   if (index >= read_index_ + capacity_) return true;   // beyond the window
@@ -279,8 +351,10 @@ bool RcvBuffer::store_common(std::int64_t index,
   // Overlapped-IO fast path: the next expected packet with an armed user
   // buffer that can absorb it entirely goes straight to application memory
   // (Fig. 10 — the user buffer is the logical extension of the protocol
-  // buffer).
-  if (index == contig_ && contig_ == read_index_ && read_offset_ == 0 &&
+  // buffer).  Message payloads never take it: they must be reassembled (and
+  // possibly sealed away) in the ring, not spliced into a byte stream.
+  if (msg_word == 0 &&
+      index == contig_ && contig_ == read_index_ && read_offset_ == 0 &&
       !user_buf_.empty() &&
       user_buf_.size() - user_filled_ >= payload.size()) {
     std::memcpy(user_buf_.data() + user_filled_, payload.data(),
@@ -300,9 +374,10 @@ bool RcvBuffer::store_common(std::int64_t index,
 }
 
 bool RcvBuffer::store(std::int64_t index,
-                      std::span<const std::uint8_t> payload) {
+                      std::span<const std::uint8_t> payload,
+                      std::uint32_t msg_word) {
   bool accepted = false;
-  if (store_common(index, payload, accepted)) return accepted;
+  if (store_common(index, payload, msg_word, accepted)) return accepted;
 
   ensure_slots();
   Slot& s = slot(index);
@@ -314,19 +389,22 @@ bool RcvBuffer::store(std::int64_t index,
   s.data.assign(payload.begin(), payload.end());
   ring_copied_bytes_ += payload.size();
   s.filled = true;
+  s.msg_word = msg_word;
   max_index_ = std::max(max_index_, index + 1);
   if (index == contig_) {
     advance_contig();
     if (!user_buf_.empty()) drain_into_user_buffer();
   }
+  if (msg_word != 0) try_complete_msg(index);
   return true;
 }
 
 bool RcvBuffer::store_ref(std::int64_t index,
                           std::span<const std::uint8_t> payload,
-                          RecvSlab* slab, int slot_id) {
+                          RecvSlab* slab, int slot_id,
+                          std::uint32_t msg_word) {
   bool accepted = false;
-  if (store_common(index, payload, accepted)) return accepted;
+  if (store_common(index, payload, msg_word, accepted)) return accepted;
 
   ensure_slots();
   Slot& s = slot(index);
@@ -337,11 +415,13 @@ bool RcvBuffer::store_ref(std::int64_t index,
   s.slab_slot = slot_id;
   slab->add_ref(slot_id);
   s.filled = true;
+  s.msg_word = msg_word;
   max_index_ = std::max(max_index_, index + 1);
   if (index == contig_) {
     advance_contig();
     if (!user_buf_.empty()) drain_into_user_buffer();
   }
+  if (msg_word != 0) try_complete_msg(index);
   return true;
 }
 
@@ -349,6 +429,7 @@ std::size_t RcvBuffer::read(std::span<std::uint8_t> out) {
   std::size_t copied = 0;
   while (copied < out.size() && read_index_ < contig_) {
     Slot& s = slot(read_index_);
+    if (s.msg_word != 0 || s.consumed) break;  // not stream bytes
     const std::size_t avail = s.size() - read_offset_;
     const std::size_t take = std::min(avail, out.size() - copied);
     std::memcpy(out.data() + copied, s.bytes() + read_offset_, take);
@@ -362,6 +443,111 @@ std::size_t RcvBuffer::read(std::span<std::uint8_t> out) {
     }
   }
   return copied;
+}
+
+void RcvBuffer::try_complete_msg(std::int64_t index) {
+  const std::uint32_t no = msg_number(slot(index).msg_word);
+  // Walk back to the message's first packet.
+  std::int64_t f = index;
+  while (true) {
+    const MsgBoundary b = msg_boundary(slot(f).msg_word);
+    if (b == MsgBoundary::kFirst || b == MsgBoundary::kSolo) break;
+    if (f == read_index_ || index - f + 1 >= capacity_) return;
+    const Slot& p = slot(f - 1);
+    const MsgBoundary pb = msg_boundary(p.msg_word);
+    if (!p.filled || p.consumed || p.msg_word == 0 ||
+        msg_number(p.msg_word) != no || pb == MsgBoundary::kLast ||
+        pb == MsgBoundary::kSolo) {
+      return;  // predecessor missing or a different message: incomplete
+    }
+    --f;
+  }
+  // ... and forward to its last.
+  std::int64_t l = index;
+  while (true) {
+    const MsgBoundary b = msg_boundary(slot(l).msg_word);
+    if (b == MsgBoundary::kLast || b == MsgBoundary::kSolo) break;
+    if (l + 1 >= read_index_ + capacity_ || l - f + 1 >= capacity_) return;
+    const Slot& nx = slot(l + 1);
+    const MsgBoundary nb = msg_boundary(nx.msg_word);
+    if (!nx.filled || nx.consumed || nx.msg_word == 0 ||
+        msg_number(nx.msg_word) != no || nb == MsgBoundary::kFirst ||
+        nb == MsgBoundary::kSolo) {
+      return;
+    }
+    ++l;
+  }
+  if (msg_in_order(slot(f).msg_word) && f != read_index_) {
+    // Complete, but something before it is still undelivered and unsealed.
+    waiting_.push_back(ReadyMsg{f, l});
+  } else {
+    ready_.push_back(ReadyMsg{f, l});
+  }
+}
+
+void RcvBuffer::advance_frontier() {
+  if (slots_.empty()) return;
+  while (read_index_ < max_index_ && slot(read_index_).filled &&
+         slot(read_index_).consumed) {
+    release_slot(slot(read_index_));
+    ++read_index_;
+    read_offset_ = 0;
+  }
+  if (contig_ < read_index_) contig_ = read_index_;
+  advance_contig();
+  // At most one parked in-order message can start exactly at the frontier;
+  // the next one promotes when this one is delivered.
+  for (std::size_t i = 0; i < waiting_.size(); ++i) {
+    if (waiting_[i].first == read_index_) {
+      ready_.push_back(waiting_[i]);
+      waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+}
+
+std::size_t RcvBuffer::read_msg(std::span<std::uint8_t> out) {
+  if (ready_.empty()) return 0;
+  const ReadyMsg m = ready_.front();
+  ready_.pop_front();
+  std::size_t copied = 0;
+  for (std::int64_t i = m.first; i <= m.last; ++i) {
+    Slot& s = slot(i);
+    const std::size_t take = std::min(s.size(), out.size() - copied);
+    std::memcpy(out.data() + copied, s.bytes(), take);
+    user_copied_bytes_ += take;
+    copied += take;
+    release_payload(s);
+    s.consumed = true;
+  }
+  advance_frontier();
+  return copied;
+}
+
+void RcvBuffer::seal_range(std::int64_t first, std::int64_t last) {
+  ensure_slots();
+  first = std::max(first, read_index_);
+  last = std::min(last, read_index_ + capacity_ - 1);
+  if (last < first) return;
+  for (std::int64_t i = first; i <= last; ++i) {
+    Slot& s = slot(i);
+    // Partially-arrived payload of the expired message is discarded: an
+    // expired message is never delivered, not even its fragments.
+    release_payload(s);
+    s.filled = true;
+    s.consumed = true;
+    s.msg_word = 0;
+  }
+  max_index_ = std::max(max_index_, last + 1);
+  // Any complete-but-undelivered message inside the sealed range dies with
+  // it (the sender declared it expired before we handed it up).
+  const auto overlaps = [&](const ReadyMsg& m) {
+    return m.last >= first && m.first <= last;
+  };
+  std::erase_if(ready_, overlaps);
+  std::erase_if(waiting_, overlaps);
+  advance_contig();
+  advance_frontier();
 }
 
 std::size_t RcvBuffer::register_user_buffer(std::span<std::uint8_t> buf) {

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -47,6 +48,21 @@ class SndBuffer {
   // WITHOUT copying.  The caller must keep `data` alive until every chunk is
   // acknowledged (the socket's send_overlapped blocks until then).
   std::size_t add_borrowed(std::span<const std::uint8_t> data);
+
+  // --- message mode ----------------------------------------------------
+  // Appends one whole message, all-or-nothing: returns 0 without buffering
+  // anything unless every chunk fits.  Each chunk carries the wire word1
+  // (boundary flags + o bit + message number) the sender will stamp into
+  // its data header.
+  std::size_t add_message(std::span<const std::uint8_t> data,
+                          std::uint32_t msg_no, bool in_order);
+  // Wire word1 for the chunk at `index`; 0 for stream chunks / out of range.
+  [[nodiscard]] std::uint32_t msg_word(std::int64_t index) const;
+  // A dead chunk belongs to a TTL-expired message: its payload is gone and
+  // the sender must never (re)transmit it.  The slot itself stays in the
+  // ring so index arithmetic and cumulative ACKs are undisturbed.
+  [[nodiscard]] bool is_dead(std::int64_t index) const;
+  void mark_dead(std::int64_t first, std::int64_t end);
 
   // Chunk for the given absolute packet index; nullopt if out of range.
   [[nodiscard]] std::optional<std::span<const std::uint8_t>> chunk(
@@ -92,6 +108,8 @@ class SndBuffer {
   struct Chunk {
     std::vector<std::uint8_t> owned;
     std::span<const std::uint8_t> view;
+    std::uint32_t msg_word = 0;  // wire word1; 0 = stream chunk
+    bool dead = false;           // TTL-expired message chunk: never transmit
     [[nodiscard]] std::span<const std::uint8_t> bytes() const {
       return owned.empty() ? view
                            : std::span<const std::uint8_t>{owned.data(),
@@ -184,7 +202,8 @@ class RcvBuffer {
   // window (behind the read cursor or beyond the ring) or is a duplicate.
   // In-order data destined for a registered user buffer bypasses the ring
   // entirely.
-  bool store(std::int64_t index, std::span<const std::uint8_t> payload);
+  bool store(std::int64_t index, std::span<const std::uint8_t> payload,
+             std::uint32_t msg_word = 0);
 
   // Zero-copy variant: parks `payload` BY REFERENCE.  The bytes live in
   // `slab` slot `slot` and the buffer takes a slab reference (released when
@@ -193,10 +212,26 @@ class RcvBuffer {
   // the user buffer and takes no reference.  Same return contract as
   // store().
   bool store_ref(std::int64_t index, std::span<const std::uint8_t> payload,
-                 RecvSlab* slab, int slot);
+                 RecvSlab* slab, int slot, std::uint32_t msg_word = 0);
 
   // Copies contiguous received data into `out`; returns bytes copied.
   std::size_t read(std::span<std::uint8_t> out);
+
+  // --- message mode ----------------------------------------------------
+  // store/store_ref take the packet's wire word1 (`msg_word`, 0 = stream).
+  // A slot whose message completes joins the ready queue: immediately for
+  // in_order=false messages, once everything before it was delivered or
+  // sealed for in_order=true ones.  Delivery and sealing mark slots
+  // `consumed`; the frontier (read_index_) advances over consumed slots, so
+  // a sealed hole never blocks later messages.
+  [[nodiscard]] bool msg_ready() const { return !ready_.empty(); }
+  // Pops the next complete message into `out` (excess bytes are discarded);
+  // returns bytes copied, 0 when no message is ready.
+  std::size_t read_msg(std::span<std::uint8_t> out);
+  // Seals [first, last] (inclusive): the sender gave up on these packets
+  // (kMsgDrop), so mark them consumed — discarding any partially-arrived
+  // payload of the expired message — and advance past the hole.
+  void seal_range(std::int64_t first, std::int64_t last);
 
   // --- overlapped IO ---------------------------------------------------
   // Registers `buf` as the logical extension of the protocol buffer.  Any
@@ -242,6 +277,8 @@ class RcvBuffer {
     RecvSlab* slab = nullptr;
     int slab_slot = -1;
     bool filled = false;
+    bool consumed = false;        // delivered message slot / sealed hole
+    std::uint32_t msg_word = 0;   // wire word1; 0 = stream payload
     [[nodiscard]] const std::uint8_t* bytes() const {
       return ext != nullptr ? ext : data.data();
     }
@@ -262,13 +299,23 @@ class RcvBuffer {
   // the packet was fully consumed (rejected or delivered straight to the
   // user buffer), with `accepted` telling the two apart.
   bool store_common(std::int64_t index, std::span<const std::uint8_t> payload,
-                    bool& accepted);
+                    std::uint32_t msg_word, bool& accepted);
   // Returns the slot's storage to its owner (slab reference released,
   // vector capacity recycled into spare_) and marks it empty.
   void release_slot(Slot& s);
+  // Storage-only release: the slot keeps its filled/consumed/msg_word flags
+  // (a delivered or sealed message slot stays "occupied" until the frontier
+  // passes it, but its payload bytes are no longer needed).
+  void release_payload(Slot& s);
   void advance_contig();
   // Moves contiguous ring data into the user buffer while space remains.
   void drain_into_user_buffer();
+  // Checks whether the message containing newly-filled slot `index` is now
+  // complete and, if so, queues it for delivery.
+  void try_complete_msg(std::int64_t index);
+  // Advances read_index_ over consumed slots and promotes in-order messages
+  // that reached the frontier.
+  void advance_frontier();
 
   int mss_;
   std::int64_t capacity_;
@@ -291,6 +338,16 @@ class RcvBuffer {
 
   std::uint64_t ring_copied_bytes_ = 0;
   std::uint64_t user_copied_bytes_ = 0;
+
+  // Complete messages as inclusive slot-index ranges.  ready_ is delivery
+  // (FIFO) order; waiting_ holds complete in_order=true messages parked
+  // until the frontier reaches them.
+  struct ReadyMsg {
+    std::int64_t first;
+    std::int64_t last;
+  };
+  std::deque<ReadyMsg> ready_;
+  std::vector<ReadyMsg> waiting_;
 };
 
 }  // namespace udtr::udt

@@ -233,6 +233,65 @@ void LossList::remove_up_to(SeqNo seq) {
   }
 }
 
+void LossList::remove_range(SeqNo first, SeqNo last) {
+  if (head_ < 0 || SeqNo::cmp(first, last) > 0) return;
+  last_insert_ = -1;
+  std::int32_t i = head_;
+  while (i >= 0) {
+    Node& n = nodes_[i];
+    const SeqNo a{n.start};
+    const SeqNo b{n.end};
+    const std::int32_t nx = n.next;
+    if (SeqNo::cmp(b, first) < 0) {  // wholly before the range
+      i = nx;
+      continue;
+    }
+    if (SeqNo::cmp(a, last) > 0) break;  // wholly after: done
+    const bool cut_from_start = SeqNo::cmp(a, first) >= 0;
+    const bool cut_to_end = SeqNo::cmp(b, last) <= 0;
+    if (cut_from_start && cut_to_end) {
+      // Fully covered: unlink the node.
+      count_ -= SeqNo::length(a, b);
+      const std::int32_t pr = n.prior;
+      if (pr >= 0) nodes_[pr].next = nx;
+      if (nx >= 0) nodes_[nx].prior = pr;
+      if (head_ == i) head_ = nx;
+      free_node(i);
+      i = nx;
+      continue;
+    }
+    if (!cut_from_start && cut_to_end) {
+      // Trim the tail: keep [a, first-1].
+      count_ -= SeqNo::length(first, b);
+      n.end = first.prev().value();
+      i = nx;
+      continue;
+    }
+    if (cut_from_start) {
+      // Trim the front: keep [last+1, b], re-keyed on its new start.
+      count_ -= SeqNo::length(a, last);
+      const std::int32_t u = slot_of(last.next());
+      const Node old = n;
+      free_node(i);
+      nodes_[u] = Node{last.next().value(), old.end, old.next, old.prior,
+                       old.last_feedback_us, old.feedback_count};
+      if (old.prior >= 0) nodes_[old.prior].next = u;
+      if (old.next >= 0) nodes_[old.next].prior = u;
+      if (head_ == i) head_ = u;
+      break;  // nothing after can overlap
+    }
+    // Range strictly inside: [a, first-1] stays, [last+1, b] gets a slot.
+    count_ -= SeqNo::length(first, last);
+    const std::int32_t u = slot_of(last.next());
+    nodes_[u] = Node{last.next().value(), b.value(), nx, i,
+                     n.last_feedback_us, n.feedback_count};
+    n.end = first.prev().value();
+    if (nx >= 0) nodes_[nx].prior = u;
+    n.next = u;
+    break;
+  }
+}
+
 std::optional<SeqNo> LossList::pop_first() {
   if (head_ < 0) return std::nullopt;
   const SeqNo first{nodes_[head_].start};

@@ -80,6 +80,11 @@ class LossList {
   // Removes every sequence number up to and including `seq` (ACK advanced).
   void remove_up_to(udtr::SeqNo seq);
 
+  // Removes the inclusive range [first, last] (a TTL-expired message was
+  // dropped: its holes will never be recovered), trimming or splitting the
+  // nodes it cuts through.
+  void remove_range(udtr::SeqNo first, udtr::SeqNo last);
+
   // Removes and returns the smallest stored sequence number.
   std::optional<udtr::SeqNo> pop_first();
 

@@ -226,6 +226,39 @@ class Multiplexer : public std::enable_shared_from_this<Multiplexer> {
   [[nodiscard]] std::uint64_t cookie_expired() const {
     return cookie_expired_.load(std::memory_order_relaxed);
   }
+  // Message-mode counters aggregated over every socket on the port: one
+  // relaxed increment per event from the socket hot paths, so a fleet-wide
+  // dashboard needs one multiplexer read instead of walking the sockets.
+  [[nodiscard]] std::uint64_t msgs_sent() const {
+    return msgs_sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t msgs_delivered() const {
+    return msgs_delivered_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t msgs_dropped_ttl() const {
+    return msgs_dropped_ttl_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t msg_drop_ctrl_sent() const {
+    return msg_drop_sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t msg_drop_ctrl_recv() const {
+    return msg_drop_recv_.load(std::memory_order_relaxed);
+  }
+  void note_msgs_sent() {
+    msgs_sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_msgs_delivered() {
+    msgs_delivered_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_msgs_dropped_ttl() {
+    msgs_dropped_ttl_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_msg_drop_sent() {
+    msg_drop_sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_msg_drop_recv() {
+    msg_drop_recv_.fetch_add(1, std::memory_order_relaxed);
+  }
   // Sources currently tracked by the admission table (bounded by
   // SocketOptions::max_tracked_ips no matter how many sources flood).
   [[nodiscard]] std::size_t admission_tracked_ips() const;
@@ -376,6 +409,12 @@ class Multiplexer : public std::enable_shared_from_this<Multiplexer> {
   std::atomic<std::uint64_t> cookie_challenges_{0};
   std::atomic<std::uint64_t> cookie_rejects_{0};
   std::atomic<std::uint64_t> cookie_expired_{0};
+  // Message-mode port-global counters (relaxed; written from socket paths).
+  std::atomic<std::uint64_t> msgs_sent_{0};
+  std::atomic<std::uint64_t> msgs_delivered_{0};
+  std::atomic<std::uint64_t> msgs_dropped_ttl_{0};
+  std::atomic<std::uint64_t> msg_drop_sent_{0};
+  std::atomic<std::uint64_t> msg_drop_recv_{0};
 };
 
 }  // namespace udtr::udt

@@ -99,6 +99,27 @@ std::vector<std::pair<udtr::SeqNo, udtr::SeqNo>> decode_nak_payload(
   return decode_loss_ranges(words, kMaxNakRanges);
 }
 
+std::size_t encode_msg_drop_payload(std::span<std::uint8_t> out,
+                                    const MsgDropPayload& drop) {
+  store_be32(out.data(),
+             static_cast<std::uint32_t>(drop.first.value()) | 0x80000000U);
+  store_be32(out.data() + 4, static_cast<std::uint32_t>(drop.last.value()));
+  return 4 * MsgDropPayload::kWords;
+}
+
+std::optional<MsgDropPayload> decode_msg_drop_payload(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() < 4 * MsgDropPayload::kWords) return std::nullopt;
+  const std::uint32_t w0 = load_be32(payload.data());
+  if ((w0 & 0x80000000U) == 0) return std::nullopt;  // range-open bit missing
+  MsgDropPayload drop;
+  drop.first = udtr::SeqNo{static_cast<std::int32_t>(w0 & 0x7FFFFFFFU)};
+  drop.last = udtr::SeqNo{
+      static_cast<std::int32_t>(load_be32(payload.data() + 4) & 0x7FFFFFFFU)};
+  if (udtr::SeqNo::offset(drop.first, drop.last) < 0) return std::nullopt;
+  return drop;
+}
+
 std::size_t encode_ack_payload(std::span<std::uint8_t> out,
                                const AckPayload& ack) {
   store_be32(out.data(), static_cast<std::uint32_t>(ack.ack_seq.value()));

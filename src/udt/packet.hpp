@@ -45,7 +45,44 @@ enum class CtrlType : std::uint16_t {
   kDelayWarn = 4,
   kShutdown = 5,
   kAck2 = 6,
+  // Partial reliability (message mode): the sender gave up on a TTL-expired
+  // message; the payload carries the message's inclusive sequence range so
+  // the receiver can seal the hole instead of NAKing it forever.  The 29-bit
+  // message number rides in the header's info word.
+  kMsgDrop = 7,
 };
+
+// --- message-boundary word (data-header word1) ------------------------------
+//
+// Real UDT's m_nHeader[1]: bits 31..30 = ff boundary flags (11 solo,
+// 10 first, 01 last, 00 middle), bit 29 = o (deliver in order), bits 28..0 =
+// message number.  Stream-mode packets keep the whole word zero — message
+// number 0 is reserved as the stream sentinel, so the stream wire format is
+// byte-for-byte what it always was.
+inline constexpr std::uint32_t kMsgNoMask = 0x1FFFFFFFU;
+inline constexpr std::uint32_t kMsgInOrderBit = 0x20000000U;
+
+enum class MsgBoundary : std::uint32_t {
+  kMiddle = 0,
+  kLast = 1,
+  kFirst = 2,
+  kSolo = 3,
+};
+
+[[nodiscard]] inline std::uint32_t make_msg_word(MsgBoundary b, bool in_order,
+                                                 std::uint32_t msg_no) {
+  return (static_cast<std::uint32_t>(b) << 30) |
+         (in_order ? kMsgInOrderBit : 0U) | (msg_no & kMsgNoMask);
+}
+[[nodiscard]] inline MsgBoundary msg_boundary(std::uint32_t word) {
+  return static_cast<MsgBoundary>(word >> 30);
+}
+[[nodiscard]] inline bool msg_in_order(std::uint32_t word) {
+  return (word & kMsgInOrderBit) != 0;
+}
+[[nodiscard]] inline std::uint32_t msg_number(std::uint32_t word) {
+  return word & kMsgNoMask;
+}
 
 // Host/network conversion helpers (UDT is big-endian on the wire).
 [[nodiscard]] inline std::uint32_t load_be32(const std::uint8_t* p) {
@@ -61,6 +98,7 @@ inline void store_be32(std::uint8_t* p, std::uint32_t v) {
 
 struct DataHeader {
   udtr::SeqNo seq;
+  std::uint32_t msg_word = 0;  // word1; 0 = stream-mode packet
   std::uint32_t timestamp_us = 0;
   std::uint32_t dst_socket = 0;
 };
@@ -142,6 +180,7 @@ inline void for_each_datagram(std::span<const std::uint8_t> buf,
     case CtrlType::kDelayWarn:
     case CtrlType::kShutdown:
     case CtrlType::kAck2:
+    case CtrlType::kMsgDrop:
       return true;
   }
   return false;
@@ -152,7 +191,7 @@ inline void for_each_datagram(std::span<const std::uint8_t> buf,
 inline void write_data_header(std::span<std::uint8_t> buf,
                               const DataHeader& h) {
   store_be32(buf.data(), static_cast<std::uint32_t>(h.seq.value()));
-  store_be32(buf.data() + 4, 0);
+  store_be32(buf.data() + 4, h.msg_word);
   store_be32(buf.data() + 8, h.timestamp_us);
   store_be32(buf.data() + 12, h.dst_socket);
 }
@@ -161,6 +200,7 @@ inline void write_data_header(std::span<std::uint8_t> buf,
     std::span<const std::uint8_t> buf) {
   DataHeader h;
   h.seq = udtr::SeqNo{static_cast<std::int32_t>(load_be32(buf.data()))};
+  h.msg_word = load_be32(buf.data() + 4);
   h.timestamp_us = load_be32(buf.data() + 8);
   h.dst_socket = load_be32(buf.data() + 12);
   return h;
@@ -237,6 +277,21 @@ decode_loss_ranges(std::span<const std::uint32_t> words,
 // garbage; the trailing fragment is ignored.
 [[nodiscard]] std::vector<std::pair<udtr::SeqNo, udtr::SeqNo>>
 decode_nak_payload(std::span<const std::uint8_t> payload);
+
+// kMsgDrop payload: the dropped message's inclusive sequence range, always
+// the NAK encoding's explicit two-word form (first | bit31, last) even when
+// first == last.  The decoder rejects short payloads, a missing range-open
+// bit, and ranges inverted in circular order.
+struct MsgDropPayload {
+  udtr::SeqNo first;
+  udtr::SeqNo last;
+  static constexpr std::size_t kWords = 2;
+};
+
+std::size_t encode_msg_drop_payload(std::span<std::uint8_t> out,
+                                    const MsgDropPayload& drop);
+[[nodiscard]] std::optional<MsgDropPayload> decode_msg_drop_payload(
+    std::span<const std::uint8_t> payload);
 
 std::size_t encode_ack_payload(std::span<std::uint8_t> out,
                                const AckPayload& ack);

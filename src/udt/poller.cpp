@@ -204,8 +204,8 @@ std::uint32_t Socket::poll_ready(std::uint32_t mask) const {
   std::lock_guard lk{state_mu_};
   const bool broken = state_ == ConnState::kBroken;
   if ((mask & kPollIn) != 0 &&
-      (rcv_buffer_.readable_bytes() > 0 || peer_shutdown_ || broken ||
-       state_ == ConnState::kClosed)) {
+      (rcv_buffer_.readable_bytes() > 0 || rcv_buffer_.msg_ready() ||
+       peer_shutdown_ || broken || state_ == ConnState::kClosed)) {
     ready |= kPollIn;
   }
   if ((mask & kPollOut) != 0 && running_ && state_ == ConnState::kEstablished &&

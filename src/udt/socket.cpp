@@ -526,7 +526,14 @@ std::size_t Socket::fill_tx_batch(double& period_s) {
       tx_max_batch_));
   const double wnd = effective_snd_window();
   const auto next_new = [&]() -> std::int64_t {
-    if (snd_next_ < snd_buffer_.end_index() &&
+    // TTL-dropped chunks transmit nothing, so the flow-control window does
+    // not apply to them: skip BEFORE the window check, or a window that
+    // closed exactly at a dead range could never advance past it and the
+    // receiver's sealed-range ACK would stay outside [snd_una_, snd_next_]
+    // forever.
+    const std::int64_t end = snd_buffer_.end_index();
+    while (snd_next_ < end && snd_buffer_.is_dead(snd_next_)) ++snd_next_;
+    if (snd_next_ < end &&
         static_cast<double>(snd_next_ - snd_una_) < wnd) {
       return snd_next_;
     }
@@ -550,6 +557,9 @@ std::size_t Socket::fill_tx_batch(double& period_s) {
     } else if (auto lost = snd_loss_.pop_first()) {
       index = index_of(*lost, snd_una_);
       if (index < snd_una_ || index >= snd_next_) continue;  // stale
+      // A NAK can name packets of a message that expired meanwhile; their
+      // payload is gone and the peer seals the hole via kMsgDrop instead.
+      if (snd_buffer_.is_dead(index)) continue;
       retransmit = true;
     } else {
       index = next_new();
@@ -563,6 +573,7 @@ std::size_t Socket::fill_tx_batch(double& period_s) {
       auto& hdr = tx_headers_[tx_gather_.size()];
       DataHeader h;
       h.seq = seq_of(index);
+      h.msg_word = snd_buffer_.msg_word(index);
       h.timestamp_us = static_cast<std::uint32_t>(now_us());
       h.dst_socket = peer_socket_id_;
       write_data_header(hdr, h);
@@ -577,6 +588,7 @@ std::size_t Socket::fill_tx_batch(double& period_s) {
       ScopedTimer t{prof, ProfUnit::kPacking};
       DataHeader h;
       h.seq = seq_of(index);
+      h.msg_word = snd_buffer_.msg_word(index);
       h.timestamp_us = static_cast<std::uint32_t>(now_us());
       h.dst_socket = peer_socket_id_;
       write_data_header(wire, h);
@@ -827,6 +839,9 @@ std::uint64_t Socket::next_timer_due_us(std::uint64_t now) const {
   if (zw_probe_backoff_us_ > 0 && peer_avail_pkts_ <= 0.0) {
     due = std::min(due, next_zw_probe_us_);
   }
+  // Message TTLs: the wheel must fire at the earliest deadline, or an
+  // otherwise-idle socket would expire messages a whole EXP period late.
+  if (!snd_msgs_.empty()) due = std::min(due, snd_msg_deadline_us_);
   return std::max(due, now + 1);
 }
 
@@ -1007,6 +1022,16 @@ void Socket::handle_data(std::span<const std::uint8_t> pkt, RecvSlab* slab,
     rcv_loss_.remove(h.seq);
   }
 
+  // The first data arrival latches the receive direction's mode off the
+  // wire word1 (0 = stream sentinel).  A stream-latched receiver zeroes any
+  // later nonzero word instead of half-reassembling: one socket speaks
+  // either stream or message, never both.
+  std::uint32_t msg_word = h.msg_word;
+  if (rcv_mode_ == XferMode::kUnset) {
+    rcv_mode_ = msg_word != 0 ? XferMode::kMessage : XferMode::kStream;
+  }
+  if (rcv_mode_ == XferMode::kStream) msg_word = 0;
+
   {
     ScopedTimer t{prof, ProfUnit::kUnpacking};
     const std::uint64_t ring_before = rcv_buffer_.ring_copied_bytes();
@@ -1015,9 +1040,9 @@ void Socket::handle_data(std::span<const std::uint8_t> pkt, RecvSlab* slab,
       // Zero-copy: the payload stays where the kernel wrote it; RcvBuffer
       // takes a slab reference instead of copying.
       rcv_buffer_.store_ref(index, pkt.subspan(kHeaderBytes), slab,
-                            slab_slot);
+                            slab_slot, msg_word);
     } else {
-      rcv_buffer_.store(index, pkt.subspan(kHeaderBytes));
+      rcv_buffer_.store(index, pkt.subspan(kHeaderBytes), msg_word);
     }
     if (prof != nullptr) {
       // Ring copies belong to unpacking; direct-to-user-buffer copies are
@@ -1126,6 +1151,18 @@ void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
           ScopedTimer t{prof, ProfUnit::kLossProcessing};
           snd_loss_.remove_up_to(seq_of(ack_index - 1));
         }
+        // Fully-acknowledged messages need no TTL tracking any more, and a
+        // drop record the cumulative ACK passed has done its job (the peer
+        // sealed the hole).  Records are index-ordered, so the purge is a
+        // front-pop.
+        while (!snd_msgs_.empty() && snd_msgs_.front().last < snd_una_) {
+          snd_msgs_.pop_front();
+        }
+        if (!snd_dropped_.empty()) {
+          std::erase_if(snd_dropped_, [&](const SndMsgRecord& r) {
+            return r.last < snd_una_;
+          });
+        }
         app_snd_cv_.notify_all();
         poke_watchers();
         cc::AckInfo info;
@@ -1182,6 +1219,23 @@ void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
         cc_->on_nak(biggest, seq_of(std::max<std::int64_t>(snd_next_ - 1, 0)));
         wake_sender();
       }
+      // A NAK naming sequence numbers inside a TTL-dropped message means
+      // the peer missed the kMsgDrop (or it was lost): answer with a
+      // re-send so the hole gets sealed instead of re-requested forever.
+      if (!snd_dropped_.empty()) {
+        for (const auto& rec : snd_dropped_) {
+          bool hit = false;
+          for (const auto& [first, last] : ranges) {
+            const std::int64_t a = index_of(first, snd_una_);
+            const std::int64_t b = index_of(last, snd_una_);
+            if (b >= rec.first && a <= rec.last) {
+              hit = true;
+              break;
+            }
+          }
+          if (hit) send_msg_drop(rec.msg_no, rec.first, rec.last);
+        }
+      }
       break;
     }
     case CtrlType::kAck2: {
@@ -1231,6 +1285,44 @@ void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
       ++stats_.delay_warnings_recv;
       cc_->on_delay_warning();
       break;
+    case CtrlType::kMsgDrop: {
+      // The peer gave up on a TTL-expired message: seal its sequence range
+      // so the hole stops blocking delivery (and stops being NAKed).
+      const auto drop = decode_msg_drop_payload(pkt.subspan(kHeaderBytes));
+      if (!drop) {
+        ++stats_.invalid_packets;
+        break;
+      }
+      // A kMsgDrop latches message mode just like a data packet would — it
+      // can outrace the first data arrival.  A stream-latched receiver has
+      // no message holes to seal; sealing would corrupt the byte stream.
+      if (rcv_mode_ == XferMode::kStream) {
+        ++stats_.invalid_packets;
+        break;
+      }
+      rcv_mode_ = XferMode::kMessage;
+      const std::int64_t anchor = std::max<std::int64_t>(lrsn_, 0);
+      std::int64_t a = index_of(drop->first, anchor);
+      std::int64_t b = index_of(drop->last, anchor);
+      const std::int64_t wend = rcv_buffer_.window_end();
+      if (a >= wend || b < 0) break;  // entirely outside the window
+      a = std::max<std::int64_t>(a, 0);
+      b = std::min(b, wend - 1);
+      ++stats_.msg_drop_ctrl_recv;
+      if (mux_) mux_->note_msg_drop_recv();
+      {
+        ScopedTimer t{prof, ProfUnit::kLossProcessing};
+        rcv_loss_.remove_range(seq_of(a), seq_of(b));
+      }
+      rcv_buffer_.seal_range(a, b);
+      // Advance the loss frontier past the sealed range: packets after the
+      // hole must not re-detect (and re-NAK) it as a fresh gap.
+      if (b > lrsn_) lrsn_ = b;
+      data_since_ack_ = true;  // the seal can move the ACK point
+      app_rcv_cv_.notify_all();
+      poke_watchers();
+      break;
+    }
     case CtrlType::kKeepAlive:
       // A peer keepalive doubles as a zero-window persist probe.  Answer
       // every one with a current-window ACK — not only while our own
@@ -1282,6 +1374,11 @@ void Socket::check_timers() {
     }
   }
 
+  // Message-TTL sweep: expire finite-TTL messages whose delivery deadline
+  // passed before full acknowledgment.  The cached min deadline makes the
+  // idle check one compare.
+  if (!snd_msgs_.empty() && now >= snd_msg_deadline_us_) sweep_msg_ttl(now);
+
   // Zero-window persist probe (TCP persist-timer analogue): while the peer
   // advertises no buffer space and we hold undelivered data, poke it with
   // keepalives on an exponential backoff — the reopening window update
@@ -1326,6 +1423,14 @@ void Socket::check_timers() {
       if (snd_next_ > snd_una_) {
         snd_loss_.insert(seq_of(snd_una_), seq_of(snd_next_ - 1));
       }
+      // An unacknowledged drop record means the peer may never have seen
+      // the kMsgDrop (it is unreliable on its own): every EXP re-sends the
+      // outstanding ones, so a sealed-hole ACK is eventually elicited.
+      for (const auto& rec : snd_dropped_) {
+        if (rec.last >= snd_una_) {
+          send_msg_drop(rec.msg_no, rec.first, rec.last);
+        }
+      }
       wake_sender();
     } else {
       // Idle (nothing unacknowledged): not a timeout at all.  Emit a
@@ -1334,6 +1439,68 @@ void Socket::check_timers() {
       ++stats_.keepalives_sent;
     }
   }
+}
+
+void Socket::sweep_msg_ttl(std::uint64_t now) {
+  bool dropped_any = false;
+  for (auto it = snd_msgs_.begin(); it != snd_msgs_.end();) {
+    if (it->last < snd_una_) {  // fully acknowledged: delivered in time
+      it = snd_msgs_.erase(it);
+      continue;
+    }
+    if (now < it->deadline_us) {
+      ++it;
+      continue;
+    }
+    // Expired with unacknowledged packets: free the payload, stop every
+    // (re)transmission of the remainder, and tell the peer to seal the
+    // whole range — partially-delivered slots included, since a partial
+    // message must never reach the application.
+    const std::int64_t live_first = std::max(it->first, snd_una_);
+    snd_buffer_.mark_dead(live_first, it->last + 1);
+    snd_loss_.remove_range(seq_of(live_first), seq_of(it->last));
+    send_msg_drop(it->msg_no, it->first, it->last);
+    snd_dropped_.push_back(*it);
+    ++stats_.msgs_dropped_ttl;
+    if (mux_) mux_->note_msgs_dropped_ttl();
+    dropped_any = true;
+    it = snd_msgs_.erase(it);
+  }
+  // snd_next_ must never rest on a dead chunk: nothing would ever be
+  // transmitted from there, while the receiver's post-seal ACK can already
+  // lie beyond it — and an ACK outside [snd_una_, snd_next_] is discarded
+  // as forged.  Advance window-free (dead chunks send nothing).
+  const std::int64_t end = snd_buffer_.end_index();
+  while (snd_next_ < end && snd_buffer_.is_dead(snd_next_)) ++snd_next_;
+  // Recompute the cached min deadline over the survivors.
+  snd_msg_deadline_us_ = UINT64_MAX;
+  for (const auto& r : snd_msgs_) {
+    snd_msg_deadline_us_ = std::min(snd_msg_deadline_us_, r.deadline_us);
+  }
+  if (dropped_any) {
+    // mark_dead released buffer bytes: senders blocked on space can run.
+    app_snd_cv_.notify_all();
+    wake_sender();
+    poke_watchers();
+  }
+}
+
+void Socket::send_msg_drop(std::uint32_t msg_no, std::int64_t first,
+                           std::int64_t last) {
+  std::array<std::uint8_t, kHeaderBytes + 4 * MsgDropPayload::kWords> buf{};
+  CtrlHeader hdr;
+  hdr.type = CtrlType::kMsgDrop;
+  hdr.info = msg_no & kMsgNoMask;
+  hdr.timestamp_us = static_cast<std::uint32_t>(now_us());
+  hdr.dst_socket = peer_socket_id_;
+  write_ctrl_header(buf, hdr);
+  MsgDropPayload p;
+  p.first = seq_of(first);
+  p.last = seq_of(last);
+  encode_msg_drop_payload(std::span{buf}.subspan(kHeaderBytes), p);
+  ++stats_.msg_drop_ctrl_sent;
+  if (mux_) mux_->note_msg_drop_sent();
+  net_->send_to(peer_, buf);
 }
 
 void Socket::declare_broken() {
@@ -1412,6 +1579,11 @@ void Socket::send_ctrl_simple(CtrlType type, std::uint32_t info) {
 std::size_t Socket::send(std::span<const std::uint8_t> data) {
   Profiler* prof = opts_.enable_profiler ? &profiler_ : nullptr;
   std::unique_lock lk{state_mu_};
+  // A message socket must reject stream writes outright: send()'s partial
+  // writes could splice loose bytes between two packets of an in-flight
+  // multi-packet message, corrupting its reassembly at the receiver.
+  if (snd_mode_ == XferMode::kMessage) return 0;
+  snd_mode_ = XferMode::kStream;
   std::size_t total = 0;
   while (total < data.size() && running_) {
     std::size_t n;
@@ -1436,6 +1608,8 @@ std::size_t Socket::send_overlapped(std::span<const std::uint8_t> data,
                                     std::chrono::milliseconds timeout) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::unique_lock lk{state_mu_};
+  if (snd_mode_ == XferMode::kMessage) return 0;  // see send()
+  snd_mode_ = XferMode::kStream;
   std::size_t total = 0;
   std::int64_t last_index = snd_buffer_.end_index();
   while (total < data.size() && running_) {
@@ -1536,6 +1710,100 @@ std::size_t Socket::recv(std::span<std::uint8_t> out,
           })) {
         return 0;
       }
+    }
+  }
+  return 0;
+}
+
+std::size_t Socket::sendmsg(std::span<const std::uint8_t> data,
+                            std::chrono::milliseconds ttl, bool in_order) {
+  const auto mss = static_cast<std::size_t>(opts_.mss_bytes);
+  const std::size_t max_bytes =
+      mss * static_cast<std::size_t>(std::max(opts_.max_msg_pkts, 1));
+  bool tighten = false;
+  {
+    std::unique_lock lk{state_mu_};
+    if (data.empty() || data.size() > max_bytes ||
+        data.size() > snd_buffer_.free_bytes() + snd_buffer_.bytes()) {
+      return 0;  // empty, over max_msg_pkts, or can never fit the buffer
+    }
+    // A stream socket must not grow message framing mid-stream (and vice
+    // versa): the first send()/sendmsg() latches the direction for life.
+    if (snd_mode_ == XferMode::kStream) return 0;
+    snd_mode_ = XferMode::kMessage;
+    // All-or-nothing admission: a message is never split across waits, so
+    // block until the whole payload fits.
+    while (running_ && snd_buffer_.free_bytes() < data.size()) {
+      app_snd_cv_.wait_for(lk, std::chrono::milliseconds{100});
+    }
+    if (!running_) return 0;
+    const std::uint32_t msg_no = next_msg_no_;
+    next_msg_no_ = next_msg_no_ % kMsgNoMask + 1;  // wrap skipping 0
+    const std::int64_t first = snd_buffer_.end_index();
+    if (snd_buffer_.add_message(data, msg_no, in_order) == 0) return 0;
+    const std::int64_t last = snd_buffer_.end_index() - 1;
+    if (ttl.count() > 0) {
+      const std::uint64_t deadline =
+          now_us() +
+          static_cast<std::uint64_t>(ttl.count()) * 1000;
+      snd_msgs_.push_back({msg_no, first, last, deadline});
+      if (deadline < snd_msg_deadline_us_) {
+        snd_msg_deadline_us_ = deadline;
+        tighten = true;
+      }
+    }
+    ++stats_.msgs_sent;
+    stats_.bytes_sent += data.size();
+    if (mux_) mux_->note_msgs_sent();
+    wake_sender();
+  }
+  // A deadline earlier than anything the wheel knows about needs the wheel
+  // entry re-armed, or an otherwise-idle socket sweeps too late.  Outside
+  // state_mu_: the wheel mutex is a leaf, never taken with ours held.
+  if (tighten && mux_) mux_->arm_timer(this);
+  return data.size();
+}
+
+std::size_t Socket::recvmsg(std::span<std::uint8_t> out,
+                            std::chrono::milliseconds timeout) {
+  // An empty out could not distinguish "empty read" from timeout — and
+  // read_msg would still consume a message to fill it.  Refuse up front.
+  if (out.empty()) return 0;
+  Profiler* prof = opts_.enable_profiler ? &profiler_ : nullptr;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock lk{state_mu_};
+  // Same reopening rule as recv(): a drain that reopens an advertised-zero
+  // window must announce itself at once.
+  const auto window_update = [&] {
+    if (advertised_zero_ && rcv_buffer_.avail_packets() > 0) {
+      send_ack();
+      last_acked_index_ = rcv_buffer_.contiguous_end();
+      data_since_ack_ = false;
+    }
+  };
+  while (running_) {
+    if (rcv_buffer_.msg_ready()) {
+      std::size_t n;
+      {
+        ScopedTimer t{prof, ProfUnit::kAppInteraction};
+        n = rcv_buffer_.read_msg(out);
+        if (prof != nullptr) {
+          profiler_.add_bytes(ProfUnit::kAppInteraction, n);
+        }
+      }
+      if (n > 0) {
+        window_update();
+        stats_.bytes_delivered += n;
+        ++stats_.msgs_delivered;
+        if (mux_) mux_->note_msgs_delivered();
+        return n;
+      }
+    }
+    if (peer_shutdown_) return 0;
+    if (!app_rcv_cv_.wait_until(lk, deadline, [&] {
+          return !running_ || peer_shutdown_ || rcv_buffer_.msg_ready();
+        })) {
+      return 0;
     }
   }
   return 0;

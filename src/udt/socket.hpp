@@ -190,6 +190,10 @@ struct SocketOptions {
   // or udt with delay_trend_mode) its early-congestion signal; loss-driven
   // senders ignore the warning, so the option is interop-safe either way.
   bool delay_warnings = false;
+  // Message mode: largest message sendmsg() accepts, in MSS-sized packets.
+  // Bounds the receiver-side reassembly walk and keeps one message from
+  // monopolizing the send buffer.
+  int max_msg_pkts = 1024;
 };
 
 struct PerfStats {
@@ -219,6 +223,14 @@ struct PerfStats {
   std::uint64_t stale_acks_dropped = 0;
   // Keepalive probes sent while the peer advertised a zero receive window.
   std::uint64_t zero_window_probes = 0;
+  // Message mode (partial reliability): messages accepted by sendmsg /
+  // delivered by recvmsg / expired by their TTL before full acknowledgment,
+  // and kMsgDrop control packets emitted / received.
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_delivered = 0;
+  std::uint64_t msgs_dropped_ttl = 0;
+  std::uint64_t msg_drop_ctrl_sent = 0;
+  std::uint64_t msg_drop_ctrl_recv = 0;
   // Delay-trend warnings (kDelayWarn): emitted by our receiver (with
   // delay_warnings on) / delivered to our congestion controller.
   std::uint64_t delay_warnings_sent = 0;
@@ -272,6 +284,28 @@ class Socket {
   std::size_t recv(std::span<std::uint8_t> out,
                    std::chrono::milliseconds timeout =
                        std::chrono::milliseconds{10000});
+  // --- message mode (opt-in per socket, real UDT's SOCK_DGRAM semantics) --
+  // Sends one message whose boundaries are preserved end-to-end, blocking
+  // while the send buffer lacks room for the whole message (all-or-nothing).
+  // `ttl` > 0 arms partial reliability: a message not fully acknowledged by
+  // its deadline is dropped — its unsent/unacked packets are abandoned and
+  // the receiver is told to seal the hole — instead of retransmitted
+  // forever.  ttl <= 0 means fully reliable.  `in_order` = false lets the
+  // receiver deliver this message before earlier (e.g. still-recovering)
+  // ones.  Returns data.size(), or 0 when the message is empty, larger than
+  // max_msg_pkts packets (or the send buffer), the socket is closed, or the
+  // socket already carries stream traffic — one socket speaks either stream
+  // or message, never both (the first send()/sendmsg() call latches it).
+  std::size_t sendmsg(std::span<const std::uint8_t> data,
+                      std::chrono::milliseconds ttl =
+                          std::chrono::milliseconds{0},
+                      bool in_order = true);
+  // Receives one complete message (blocking up to `timeout`); returns bytes
+  // copied, 0 on timeout, shutdown, or an empty `out`.  A message larger
+  // than `out` is truncated to fit; the rest is discarded.
+  std::size_t recvmsg(std::span<std::uint8_t> out,
+                      std::chrono::milliseconds timeout =
+                          std::chrono::milliseconds{10000});
   // Streams `length` bytes of `path` starting at `offset`; returns bytes
   // sent AND acknowledged.  Blocks until the data is delivered or the
   // socket dies — a connection that breaks with the tail unacknowledged is
@@ -406,6 +440,11 @@ class Socket {
   void send_ack();
   void send_nak(std::span<const std::pair<udtr::SeqNo, udtr::SeqNo>> ranges);
   void send_ctrl_simple(CtrlType type, std::uint32_t info = 0);
+  // Message mode: TTL sweep (expire unacked messages, emit kMsgDrop) and the
+  // kMsgDrop emitter.  state_mu_ held.
+  void sweep_msg_ttl(std::uint64_t now);
+  void send_msg_drop(std::uint32_t msg_no, std::int64_t first,
+                     std::int64_t last);
 
   [[nodiscard]] std::uint64_t now_us() const;
   [[nodiscard]] double now_s() const {
@@ -500,6 +539,31 @@ class Socket {
   // for the connecting thread (guarded by state_mu_, signalled via
   // app_rcv_cv_).
   std::optional<HandshakePayload> hs_resp_;
+
+  // --- message mode (guarded by state_mu_) -------------------------------
+  // One socket speaks either stream or message, never both: boundary bits
+  // forbid splicing stream bytes into a message's sequence range, so the
+  // first send()/sendmsg() (resp. first data arrival / kMsgDrop) latches
+  // the direction's mode and the other API returns 0 from then on.
+  enum class XferMode : std::uint8_t { kUnset, kStream, kMessage };
+  XferMode snd_mode_ = XferMode::kUnset;
+  XferMode rcv_mode_ = XferMode::kUnset;
+  std::uint32_t next_msg_no_ = 1;  // 29-bit, wraps skipping the 0 sentinel
+  struct SndMsgRecord {
+    std::uint32_t msg_no;
+    std::int64_t first;     // first packet index
+    std::int64_t last;      // last packet index (inclusive)
+    std::uint64_t deadline_us;
+  };
+  // Finite-TTL messages awaiting full acknowledgment, in creation (and thus
+  // deadline, for a steady TTL) order; swept by check_timers.
+  std::deque<SndMsgRecord> snd_msgs_;
+  // Expired messages whose kMsgDrop may need re-sending (NAK for a dead
+  // range, EXP with the drop unacknowledged); purged once snd_una_ passes.
+  std::vector<SndMsgRecord> snd_dropped_;
+  // Cached min deadline over snd_msgs_ (never late, may be stale-early);
+  // UINT64_MAX when no finite-TTL message is outstanding.
+  std::uint64_t snd_msg_deadline_us_ = UINT64_MAX;
 
   // --- receiver state (guarded by state_mu_) -----------------------------
   // Declared before rcv_buffer_: the buffer's destructor releases slab

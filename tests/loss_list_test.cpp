@@ -138,6 +138,95 @@ TEST(LossList, RemoveUpToDropsAndTrims) {
   EXPECT_EQ(ll.packet_count(), 3);
 }
 
+// --- remove_range (message-TTL drops) --------------------------------------
+
+TEST(LossList, RemoveRangeCoversWholeNode) {
+  LossList ll{1024};
+  ll.insert(SeqNo{10}, SeqNo{14});
+  ll.insert(SeqNo{20}, SeqNo{24});
+  ll.remove_range(SeqNo{9}, SeqNo{15});
+  EXPECT_EQ(ranges_of(ll), (std::vector<std::pair<std::int32_t,
+                                                  std::int32_t>>{{20, 24}}));
+  EXPECT_EQ(ll.packet_count(), 5);
+  EXPECT_EQ(ll.first()->value(), 20);
+}
+
+TEST(LossList, RemoveRangeTrimsTail) {
+  LossList ll{1024};
+  ll.insert(SeqNo{10}, SeqNo{19});
+  ll.remove_range(SeqNo{15}, SeqNo{30});
+  EXPECT_EQ(ranges_of(ll), (std::vector<std::pair<std::int32_t,
+                                                  std::int32_t>>{{10, 14}}));
+  EXPECT_EQ(ll.packet_count(), 5);
+}
+
+TEST(LossList, RemoveRangeTrimsFrontAndRekeys) {
+  LossList ll{1024};
+  ll.insert(SeqNo{10}, SeqNo{19});
+  ll.remove_range(SeqNo{5}, SeqNo{13});
+  // The surviving tail must be reachable at its re-keyed slot: queries and
+  // later inserts address nodes by start sequence.
+  EXPECT_EQ(ranges_of(ll), (std::vector<std::pair<std::int32_t,
+                                                  std::int32_t>>{{14, 19}}));
+  EXPECT_EQ(ll.packet_count(), 6);
+  EXPECT_TRUE(ll.contains(SeqNo{14}));
+  EXPECT_FALSE(ll.contains(SeqNo{13}));
+  EXPECT_TRUE(ll.remove(SeqNo{14}));
+  EXPECT_EQ(ll.first()->value(), 15);
+}
+
+TEST(LossList, RemoveRangeSplitsInsideNode) {
+  LossList ll{1024};
+  ll.insert(SeqNo{10}, SeqNo{29});
+  ll.remove_range(SeqNo{15}, SeqNo{24});
+  EXPECT_EQ(ranges_of(ll),
+            (std::vector<std::pair<std::int32_t, std::int32_t>>{{10, 14},
+                                                                {25, 29}}));
+  EXPECT_EQ(ll.packet_count(), 10);
+  EXPECT_EQ(ll.event_count(), 2);
+}
+
+TEST(LossList, RemoveRangeSpansSeveralNodes) {
+  LossList ll{1024};
+  ll.insert(SeqNo{10}, SeqNo{14});
+  ll.insert(SeqNo{20}, SeqNo{24});
+  ll.insert(SeqNo{30}, SeqNo{34});
+  ll.insert(SeqNo{40}, SeqNo{44});
+  ll.remove_range(SeqNo{12}, SeqNo{41});
+  EXPECT_EQ(ranges_of(ll),
+            (std::vector<std::pair<std::int32_t, std::int32_t>>{{10, 11},
+                                                                {42, 44}}));
+  EXPECT_EQ(ll.packet_count(), 5);
+  // The list stays fully operational after the surgery.
+  EXPECT_EQ(ll.insert(SeqNo{20}, SeqNo{21}), 2);
+  std::vector<std::int32_t> popped;
+  while (auto s = ll.pop_first()) popped.push_back(s->value());
+  EXPECT_EQ(popped, (std::vector<std::int32_t>{10, 11, 20, 21, 42, 43, 44}));
+}
+
+TEST(LossList, RemoveRangeOutsideAndEmptyAreNoOps) {
+  LossList ll{1024};
+  ll.remove_range(SeqNo{5}, SeqNo{10});  // empty list
+  EXPECT_TRUE(ll.empty());
+  ll.insert(SeqNo{20}, SeqNo{24});
+  ll.remove_range(SeqNo{5}, SeqNo{10});   // wholly before
+  ll.remove_range(SeqNo{30}, SeqNo{40});  // wholly after
+  EXPECT_EQ(ll.packet_count(), 5);
+  EXPECT_EQ(ranges_of(ll), (std::vector<std::pair<std::int32_t,
+                                                  std::int32_t>>{{20, 24}}));
+}
+
+TEST(LossList, RemoveRangeAcrossWrap) {
+  LossList ll{1024};
+  ll.insert(SeqNo{SeqNo::kMax - 2}, SeqNo{2});
+  ll.remove_range(SeqNo{SeqNo::kMax}, SeqNo{0});
+  EXPECT_EQ(ll.packet_count(), 4);
+  EXPECT_TRUE(ll.contains(SeqNo{SeqNo::kMax - 1}));
+  EXPECT_FALSE(ll.contains(SeqNo{SeqNo::kMax}));
+  EXPECT_FALSE(ll.contains(SeqNo{0}));
+  EXPECT_TRUE(ll.contains(SeqNo{1}));
+}
+
 TEST(LossList, PopFirstDrainsInOrder) {
   LossList ll{1024};
   ll.insert(SeqNo{10}, SeqNo{12});

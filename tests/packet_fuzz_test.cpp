@@ -39,6 +39,14 @@ void decode_everything(std::span<const std::uint8_t> pkt) {
       EXPECT_LE(ack->ack_seq.value(), udtr::SeqNo::kMax);
     }
     (void)decode_handshake_payload(payload);
+    if (const auto drop = decode_msg_drop_payload(payload)) {
+      // Accepted drops must be well-ordered in circular sequence space.
+      EXPECT_GE(udtr::SeqNo::offset(drop->first, drop->last), 0);
+      EXPECT_GE(drop->first.value(), 0);
+      EXPECT_LE(drop->first.value(), udtr::SeqNo::kMax);
+      EXPECT_GE(drop->last.value(), 0);
+      EXPECT_LE(drop->last.value(), udtr::SeqNo::kMax);
+    }
     const auto ranges = decode_nak_payload(payload);
     EXPECT_LE(ranges.size(), kMaxNakRanges);
     for (const auto& [first, last] : ranges) {
@@ -81,11 +89,14 @@ TEST(PacketFuzz, MutatedValidPacketsNeverCrashDecoders) {
     pkt.clear();
     // Start from a structurally valid packet of a random kind.
     switch (rng() % 4) {
-      case 0: {  // data packet
+      case 0: {  // data packet (message-mode word1 included)
         pkt.resize(kHeaderBytes + rng() % 64);
         DataHeader h;
         h.seq = udtr::SeqNo{static_cast<std::int32_t>(
             rng() & static_cast<std::uint64_t>(udtr::SeqNo::kMax))};
+        h.msg_word = make_msg_word(static_cast<MsgBoundary>(rng() % 4),
+                                   rng() % 2 == 0,
+                                   static_cast<std::uint32_t>(rng()));
         h.timestamp_us = static_cast<std::uint32_t>(rng());
         h.dst_socket = static_cast<std::uint32_t>(rng());
         write_data_header(pkt, h);
@@ -182,6 +193,90 @@ TEST(PacketFuzz, TruncatedAckPayloadIsRejected) {
   for (std::size_t len = 0; len < 4 * HandshakePayload::kWords; ++len) {
     const std::vector<std::uint8_t> payload(len, 0xFF);
     EXPECT_FALSE(decode_handshake_payload(payload).has_value());
+  }
+}
+
+TEST(PacketFuzz, MsgWordRoundTripsThroughDataHeader) {
+  // Every (ff, o, msg_no) combination survives the wire: boundary flags in
+  // bits 31..30, the in-order bit at 29, the 29-bit message number below —
+  // and the all-zero word stays the stream sentinel.
+  std::vector<std::uint8_t> pkt(kHeaderBytes);
+  for (const auto b : {MsgBoundary::kMiddle, MsgBoundary::kLast,
+                       MsgBoundary::kFirst, MsgBoundary::kSolo}) {
+    for (const bool in_order : {false, true}) {
+      for (const std::uint32_t no : {1U, 2U, 0x12345U, kMsgNoMask}) {
+        DataHeader h;
+        h.seq = udtr::SeqNo{7};
+        h.msg_word = make_msg_word(b, in_order, no);
+        write_data_header(pkt, h);
+        const DataHeader r = read_data_header(pkt);
+        EXPECT_EQ(msg_boundary(r.msg_word), b);
+        EXPECT_EQ(msg_in_order(r.msg_word), in_order);
+        EXPECT_EQ(msg_number(r.msg_word), no);
+      }
+    }
+  }
+  // A message number above the mask must not leak into the o/ff bits.
+  const auto word = make_msg_word(MsgBoundary::kMiddle, false, 0xFFFFFFFFU);
+  EXPECT_EQ(msg_boundary(word), MsgBoundary::kMiddle);
+  EXPECT_FALSE(msg_in_order(word));
+  EXPECT_EQ(msg_number(word), kMsgNoMask);
+  // Stream sentinel: word 0 reads back as (middle, unordered, msg 0).
+  DataHeader s;
+  s.seq = udtr::SeqNo{7};
+  write_data_header(pkt, s);
+  EXPECT_EQ(read_data_header(pkt).msg_word, 0U);
+}
+
+TEST(PacketFuzz, MsgDropDecodeEdges) {
+  // Round trip of the explicit two-word form, singleton range included.
+  for (const auto& [a, b] : {std::pair<std::int32_t, std::int32_t>{10, 42},
+                             {7, 7},
+                             {udtr::SeqNo::kMax, 3}}) {  // wrapping range
+    MsgDropPayload p;
+    p.first = udtr::SeqNo{a};
+    p.last = udtr::SeqNo{b};
+    std::vector<std::uint8_t> buf(4 * MsgDropPayload::kWords);
+    EXPECT_EQ(encode_msg_drop_payload(buf, p), buf.size());
+    const auto r = decode_msg_drop_payload(buf);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->first.value(), a);
+    EXPECT_EQ(r->last.value(), b);
+  }
+
+  // Truncated payloads (every sub-8-byte length) are rejected.
+  for (std::size_t len = 0; len < 4 * MsgDropPayload::kWords; ++len) {
+    const std::vector<std::uint8_t> payload(len, 0xFF);
+    EXPECT_FALSE(decode_msg_drop_payload(payload).has_value());
+  }
+
+  // A missing range-open bit (word0 bit31 clear) is not a drop payload.
+  std::vector<std::uint8_t> noopen(8);
+  store_be32(noopen.data(), 10);
+  store_be32(noopen.data() + 4, 42);
+  EXPECT_FALSE(decode_msg_drop_payload(noopen).has_value());
+
+  // A range inverted in circular order (first ahead of last by more than
+  // half the space) is a fabrication.
+  std::vector<std::uint8_t> inverted(8);
+  store_be32(inverted.data(), 0x80000000U | 1000U);
+  store_be32(inverted.data() + 4, 10U);
+  EXPECT_FALSE(decode_msg_drop_payload(inverted).has_value());
+
+  // Reserved bit patterns in word1 (bit31 set on the close word) decode to
+  // a 31-bit sequence, never out-of-range values.
+  std::mt19937_64 rng{0xD09u};
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::uint8_t> buf(8 + rng() % 9);
+    for (auto& byte : buf) byte = static_cast<std::uint8_t>(rng());
+    buf[0] |= 0x80U;  // force the open bit so decode proceeds to validation
+    if (const auto r = decode_msg_drop_payload(buf)) {
+      EXPECT_GE(udtr::SeqNo::offset(r->first, r->last), 0);
+      EXPECT_GE(r->first.value(), 0);
+      EXPECT_LE(r->first.value(), udtr::SeqNo::kMax);
+      EXPECT_GE(r->last.value(), 0);
+      EXPECT_LE(r->last.value(), udtr::SeqNo::kMax);
+    }
   }
 }
 
