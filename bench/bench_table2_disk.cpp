@@ -26,9 +26,13 @@ struct PathSpec {
 };
 
 double run_pair(double cap_mbps, std::uint64_t bytes,
-                const std::string& src, const std::string& dst) {
+                const std::string& src, const std::string& dst,
+                const udtr::bench::Scale& scale) {
   SocketOptions opts;
   opts.max_bandwidth_mbps = cap_mbps;  // emulated disk bottleneck
+  // Tail-flush deadline scaled like linger_s: short at the reduced scale
+  // (a stuck quick run should fail fast), the classic 60 s at --full.
+  opts.file_flush_timeout_s = scale.seconds(10.0, 60.0);
   auto listener = Socket::listen(0, opts);
   auto accepted = std::async(std::launch::async, [&] {
     return listener->accept(std::chrono::seconds{5});
@@ -89,7 +93,7 @@ int main(int argc, char** argv) {
               "achieved Mb/s", "paper Mb/s");
   for (const PathSpec& p : paths) {
     const auto dst = (dir / "dst.bin").string();
-    const double mbps = run_pair(p.disk_cap_mbps, bytes, src, dst);
+    const double mbps = run_pair(p.disk_cap_mbps, bytes, src, dst, scale);
     std::printf("%-24s %16.0f %16.1f %14.0f\n", p.name, p.disk_cap_mbps,
                 mbps, p.paper_mbps);
   }

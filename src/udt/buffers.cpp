@@ -171,6 +171,21 @@ void SndBuffer::ack_up_to(std::int64_t index) {
   }
 }
 
+void SndBuffer::disown_views(std::int64_t first, std::int64_t end) {
+  first = std::max(first, base_index_);
+  end = std::min(end, end_index());
+  for (std::int64_t i = first; i < end; ++i) {
+    Chunk& c = ring_[ring_pos(i)];
+    if (c.dead || c.view.empty() || !c.owned.empty()) continue;
+    if (!free_store_.empty()) {
+      c.owned = std::move(free_store_.back());
+      free_store_.pop_back();
+    }
+    c.owned.assign(c.view.begin(), c.view.end());
+    c.view = {};
+  }
+}
+
 bool SndBuffer::pin_covers(std::int64_t index) const {
   for (const PinRange& p : pins_) {
     if (index >= p.first && index < p.end) return true;
@@ -443,6 +458,56 @@ std::size_t RcvBuffer::read(std::span<std::uint8_t> out) {
     }
   }
   return copied;
+}
+
+std::size_t RcvBuffer::take_stream(std::size_t max_bytes,
+                                   std::vector<Taken>& out) {
+  std::size_t total = 0;
+  while (total < max_bytes && read_index_ < contig_) {
+    Slot& s = slot(read_index_);
+    if (s.msg_word != 0 || s.consumed) break;  // not stream bytes
+    const std::size_t avail = s.size() - read_offset_;
+    const std::size_t take = std::min(avail, max_bytes - total);
+    Taken t;
+    if (take < avail) {
+      // Bounded request ends mid-slot: copy the fragment out and leave the
+      // remainder readable in place.  At most one MSS per transfer.
+      t.owned.assign(s.bytes() + read_offset_,
+                     s.bytes() + read_offset_ + take);
+      t.data = t.owned.data();
+      t.len = take;
+      user_copied_bytes_ += take;
+      read_offset_ += take;
+    } else if (s.slab != nullptr) {
+      // Move the slot's slab reference to the caller: the slab slot stays
+      // alive until the Taken holder releases it.
+      t.data = s.bytes() + read_offset_;
+      t.len = take;
+      t.slab = s.slab;
+      t.slab_slot = s.slab_slot;
+      s.slab = nullptr;
+      s.slab_slot = -1;
+      s.ext = nullptr;
+      s.ext_len = 0;
+      taken_ref_bytes_ += take;
+      release_slot(s);
+      ++read_index_;
+      read_offset_ = 0;
+    } else {
+      // Copy-path slot: move the owned vector itself.
+      t.owned = std::move(s.data);
+      s.data = {};
+      t.data = t.owned.data() + read_offset_;
+      t.len = take;
+      taken_ref_bytes_ += take;
+      release_slot(s);
+      ++read_index_;
+      read_offset_ = 0;
+    }
+    out.push_back(std::move(t));
+    total += take;
+  }
+  return total;
 }
 
 void RcvBuffer::try_complete_msg(std::int64_t index) {

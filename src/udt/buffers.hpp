@@ -72,6 +72,13 @@ class SndBuffer {
   // a pin covers an index, its storage is parked instead of recycled.
   void ack_up_to(std::int64_t index);
 
+  // Converts every borrowed view in [first, end) into buffer-owned storage
+  // (one copy per chunk).  Escape hatch for a pipelined sendfile whose flush
+  // deadline passed with ring chunks still unacknowledged: after disowning,
+  // the caller's memory is referenced only by already-in-flight pins, so it
+  // may be reclaimed as soon as those drain instead of waiting for the peer.
+  void disown_views(std::int64_t first, std::int64_t end);
+
   // --- zero-copy send pinning ------------------------------------------
   // The sender pins [first, end) before dropping the socket lock to pass
   // iovecs into those chunks to the kernel.  An ACK that lands while the
@@ -217,6 +224,31 @@ class RcvBuffer {
   // Copies contiguous received data into `out`; returns bytes copied.
   std::size_t read(std::span<std::uint8_t> out);
 
+  // One payload popped by take_stream: the view stays valid for as long as
+  // the Taken lives, because the backing storage moved with it — either one
+  // slab reference (the holder must slab->release(slab_slot) when done) or
+  // the slot's owned vector.  A partial take at the tail of a bounded
+  // request is the one case that copies (into `owned`, no slab ref).
+  struct Taken {
+    const std::uint8_t* data = nullptr;
+    std::size_t len = 0;
+    RecvSlab* slab = nullptr;
+    int slab_slot = -1;
+    std::vector<std::uint8_t> owned;
+  };
+  // By-reference stream drain (the write-behind half of the file pipeline):
+  // pops up to `max_bytes` of contiguous stream data, transferring payload
+  // ownership out of the ring — no memcpy in steady state — and advances the
+  // read cursor so the flow-control window reopens immediately, before the
+  // bytes ever touch a disk.  Returns bytes appended to `out`.
+  std::size_t take_stream(std::size_t max_bytes, std::vector<Taken>& out);
+
+  // Payload bytes handed out of the ring by reference (take_stream's
+  // zero-copy transfers); the structural counter bench/tests assert on.
+  [[nodiscard]] std::uint64_t taken_ref_bytes() const {
+    return taken_ref_bytes_;
+  }
+
   // --- message mode ----------------------------------------------------
   // store/store_ref take the packet's wire word1 (`msg_word`, 0 = stream).
   // A slot whose message completes joins the ready queue: immediately for
@@ -338,6 +370,7 @@ class RcvBuffer {
 
   std::uint64_t ring_copied_bytes_ = 0;
   std::uint64_t user_copied_bytes_ = 0;
+  std::uint64_t taken_ref_bytes_ = 0;
 
   // Complete messages as inclusive slot-index ranges.  ready_ is delivery
   // (FIFO) order; waiting_ holds complete in_order=true messages parked

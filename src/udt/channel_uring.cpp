@@ -1019,6 +1019,185 @@ std::uint64_t UringEngine::rx_backpressure() const {
              : 0;
 }
 
+// ------------------------------------------------------------- FileUring ---
+//
+// Single-owner positional READ/WRITE ring.  The same three syscalls as the
+// UDP engine above, none of its machinery: no provided buffers, no multishot,
+// no cross-thread reaping — the owning pipeline thread queues a batch,
+// submits, and waits for its own CQEs.
+
+struct FileUring::Impl {
+  int ring_fd = -1;
+  std::uint8_t* ring_ptr = nullptr;
+  std::size_t ring_len = 0;
+  io_uring_sqe* sqes = nullptr;
+  std::size_t sqes_len = 0;
+  unsigned* sq_head = nullptr;
+  unsigned* sq_tail = nullptr;
+  unsigned* sq_array = nullptr;
+  unsigned sq_mask = 0;
+  unsigned sq_entries = 0;
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  io_uring_cqe* cqes = nullptr;
+  unsigned cq_mask = 0;
+  unsigned tail_local = 0;
+  unsigned unsubmitted = 0;
+
+  bool init(unsigned entries) {
+    io_uring_params p{};
+    ring_fd = uring_setup(entries, &p);
+    if (ring_fd < 0) return false;
+    // SINGLE_MMAP keeps the mapping logic shared with the engine; READ /
+    // WRITE opcodes predate it, so the feature bit is the whole gate.
+    if ((p.features & IORING_FEAT_SINGLE_MMAP) == 0) {
+      ::close(ring_fd);
+      ring_fd = -1;
+      return false;
+    }
+    sq_entries = p.sq_entries;
+    ring_len = std::max<std::size_t>(
+        p.sq_off.array + p.sq_entries * sizeof(unsigned),
+        p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe));
+    void* m = ::mmap(nullptr, ring_len, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_SQ_RING);
+    if (m == MAP_FAILED) {
+      ::close(ring_fd);
+      ring_fd = -1;
+      return false;
+    }
+    ring_ptr = static_cast<std::uint8_t*>(m);
+    sqes_len = p.sq_entries * sizeof(io_uring_sqe);
+    m = ::mmap(nullptr, sqes_len, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_SQES);
+    if (m == MAP_FAILED) {
+      ::munmap(ring_ptr, ring_len);
+      ring_ptr = nullptr;
+      ::close(ring_fd);
+      ring_fd = -1;
+      return false;
+    }
+    sqes = static_cast<io_uring_sqe*>(m);
+    sq_head = reinterpret_cast<unsigned*>(ring_ptr + p.sq_off.head);
+    sq_tail = reinterpret_cast<unsigned*>(ring_ptr + p.sq_off.tail);
+    sq_array = reinterpret_cast<unsigned*>(ring_ptr + p.sq_off.array);
+    sq_mask = *reinterpret_cast<unsigned*>(ring_ptr + p.sq_off.ring_mask);
+    cq_head = reinterpret_cast<unsigned*>(ring_ptr + p.cq_off.head);
+    cq_tail = reinterpret_cast<unsigned*>(ring_ptr + p.cq_off.tail);
+    cq_mask = *reinterpret_cast<unsigned*>(ring_ptr + p.cq_off.ring_mask);
+    cqes = reinterpret_cast<io_uring_cqe*>(ring_ptr + p.cq_off.cqes);
+    tail_local = __atomic_load_n(sq_tail, __ATOMIC_ACQUIRE);
+    return true;
+  }
+
+  io_uring_sqe* get_sqe() {
+    const unsigned head = __atomic_load_n(sq_head, __ATOMIC_ACQUIRE);
+    if (tail_local - head >= sq_entries) return nullptr;
+    const unsigned idx = tail_local & sq_mask;
+    ++tail_local;
+    io_uring_sqe* sqe = &sqes[idx];
+    std::memset(sqe, 0, sizeof *sqe);
+    sq_array[idx] = idx;
+    return sqe;
+  }
+
+  bool push(std::uint8_t opcode, int fd, const void* buf, std::size_t len,
+            std::uint64_t off, std::uint64_t token) {
+    io_uring_sqe* sqe = get_sqe();
+    if (sqe == nullptr) return false;
+    sqe->opcode = opcode;
+    sqe->fd = fd;
+    sqe->addr = reinterpret_cast<std::uint64_t>(buf);
+    sqe->len = static_cast<unsigned>(len);
+    sqe->off = off;
+    sqe->user_data = token;
+    __atomic_store_n(sq_tail, tail_local, __ATOMIC_RELEASE);
+    ++unsubmitted;
+    return true;
+  }
+
+  std::size_t reap(std::vector<FileUring::Completion>& out) {
+    std::size_t n = 0;
+    unsigned head = __atomic_load_n(cq_head, __ATOMIC_RELAXED);
+    const unsigned tail = __atomic_load_n(cq_tail, __ATOMIC_ACQUIRE);
+    while (head != tail) {
+      const io_uring_cqe& cqe = cqes[head & cq_mask];
+      out.push_back(FileUring::Completion{cqe.user_data, cqe.res});
+      ++head;
+      ++n;
+    }
+    __atomic_store_n(cq_head, head, __ATOMIC_RELEASE);
+    return n;
+  }
+
+  void shutdown() {
+    if (ring_fd < 0) return;
+    ::munmap(sqes, sqes_len);
+    ::munmap(ring_ptr, ring_len);
+    ::close(ring_fd);
+    ring_fd = -1;
+  }
+};
+
+FileUring::~FileUring() { close(); }
+
+bool FileUring::open(unsigned entries) {
+  if (impl_ != nullptr) return true;
+  if (std::getenv("UDTR_NO_URING") != nullptr) return false;
+  auto impl = std::make_unique<Impl>();
+  if (!impl->init(entries)) return false;
+  impl_ = impl.release();
+  return true;
+}
+
+bool FileUring::push_read(int fd, void* buf, std::size_t len, std::uint64_t off,
+                          std::uint64_t token) {
+  return impl_ != nullptr &&
+         impl_->push(IORING_OP_READ, fd, buf, len, off, token);
+}
+
+bool FileUring::push_write(int fd, const void* buf, std::size_t len,
+                           std::uint64_t off, std::uint64_t token) {
+  return impl_ != nullptr &&
+         impl_->push(IORING_OP_WRITE, fd, buf, len, off, token);
+}
+
+bool FileUring::push_writev(int fd, const struct iovec* iov, unsigned nr_vecs,
+                            std::uint64_t off, std::uint64_t token) {
+  return impl_ != nullptr &&
+         impl_->push(IORING_OP_WRITEV, fd, iov, nr_vecs, off, token);
+}
+
+bool FileUring::submit_and_wait(unsigned min_complete,
+                                std::vector<Completion>& out) {
+  if (impl_ == nullptr) return false;
+  std::size_t have = impl_->reap(out);
+  while (true) {
+    const unsigned to_submit = impl_->unsubmitted;
+    const unsigned want =
+        min_complete > have ? static_cast<unsigned>(min_complete - have) : 0;
+    if (to_submit == 0 && want == 0) return true;
+    const int ret = uring_enter(impl_->ring_fd, to_submit, want,
+                                want > 0 ? IORING_ENTER_GETEVENTS : 0, nullptr,
+                                0);
+    if (ret < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    impl_->unsubmitted -= std::min<unsigned>(impl_->unsubmitted,
+                                             static_cast<unsigned>(ret));
+    have += impl_->reap(out);
+    if (have >= min_complete && impl_->unsubmitted == 0) return true;
+  }
+}
+
+void FileUring::close() {
+  if (impl_ == nullptr) return;
+  impl_->shutdown();
+  delete impl_;
+  impl_ = nullptr;
+}
+
 }  // namespace udtr::udt
 
 #else  // !UDTR_HAVE_URING
@@ -1056,6 +1235,48 @@ bool UringEngine::send_gather_async(
 void UringEngine::drain_tx(void* ctx) { (void)ctx; }
 
 std::uint64_t UringEngine::rx_backpressure() const { return 0; }
+
+struct FileUring::Impl {};
+
+FileUring::~FileUring() = default;
+bool FileUring::open(unsigned entries) {
+  (void)entries;
+  return false;
+}
+bool FileUring::push_read(int fd, void* buf, std::size_t len, std::uint64_t off,
+                          std::uint64_t token) {
+  (void)fd;
+  (void)buf;
+  (void)len;
+  (void)off;
+  (void)token;
+  return false;
+}
+bool FileUring::push_write(int fd, const void* buf, std::size_t len,
+                           std::uint64_t off, std::uint64_t token) {
+  (void)fd;
+  (void)buf;
+  (void)len;
+  (void)off;
+  (void)token;
+  return false;
+}
+bool FileUring::push_writev(int fd, const struct iovec* iov, unsigned nr_vecs,
+                            std::uint64_t off, std::uint64_t token) {
+  (void)fd;
+  (void)iov;
+  (void)nr_vecs;
+  (void)off;
+  (void)token;
+  return false;
+}
+bool FileUring::submit_and_wait(unsigned min_complete,
+                                std::vector<Completion>& out) {
+  (void)min_complete;
+  (void)out;
+  return false;
+}
+void FileUring::close() {}
 
 }  // namespace udtr::udt
 

@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "udt/channel.hpp"
 
@@ -65,6 +66,54 @@ class UringEngine {
   struct Impl;       // all ring state; opaque so <linux/io_uring.h> stays
   Impl* impl_ = nullptr;  // out of every other translation unit
   UdpChannel* ch_;
+};
+
+// Minimal raw-syscall io_uring for regular-file READ/WRITE batches — the
+// disk half of the sendfile/recvfile pipeline (file_pipeline.hpp).  Unlike
+// UringEngine this ring is single-owner: the FileSource reader thread or
+// FileSink writer thread queues a batch of positional ops, submits, and
+// reaps its own completions — no locks, no callbacks, no multishot.  Where
+// the kernel (or UDTR_NO_URING) rules io_uring out, open() fails and the
+// pipeline stages fall back to pread/pwrite.
+class FileUring {
+ public:
+  FileUring() = default;
+  ~FileUring();
+  FileUring(const FileUring&) = delete;
+  FileUring& operator=(const FileUring&) = delete;
+
+  // Builds a ring with `entries` SQ slots.  False when io_uring is
+  // unavailable (stub build, kernel refusal, UDTR_NO_URING).
+  [[nodiscard]] bool open(unsigned entries);
+  [[nodiscard]] bool is_open() const { return impl_ != nullptr; }
+
+  // Queue one positional op; `token` comes back with its completion.
+  // False when the SQ is full (submit first) or the ring is closed.
+  bool push_read(int fd, void* buf, std::size_t len, std::uint64_t off,
+                 std::uint64_t token);
+  bool push_write(int fd, const void* buf, std::size_t len, std::uint64_t off,
+                  std::uint64_t token);
+  // Gathered positional write (IORING_OP_WRITEV).  The iovec array must
+  // stay valid until the op completes — with the synchronous
+  // submit_and_wait below, a stack array on the caller's frame suffices.
+  bool push_writev(int fd, const struct iovec* iov, unsigned nr_vecs,
+                   std::uint64_t off, std::uint64_t token);
+
+  struct Completion {
+    std::uint64_t token = 0;
+    std::int32_t res = 0;  // bytes transferred, or -errno
+  };
+  // Submits everything queued and blocks until at least `min_complete`
+  // completions (counting previously pending ones) have been appended to
+  // `out`.  False on a submit error — the caller should fall back to
+  // pread/pwrite for the batch.
+  bool submit_and_wait(unsigned min_complete, std::vector<Completion>& out);
+
+  void close();
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;
 };
 
 }  // namespace udtr::udt

@@ -7,6 +7,7 @@
 #include <random>
 #include <thread>
 
+#include "udt/file_pipeline.hpp"
 #include "udt/multiplexer.hpp"
 
 namespace udtr::udt {
@@ -644,6 +645,7 @@ void Socket::on_tx_reaped(void* ctx, std::uint64_t token) {
   auto* self = static_cast<Socket*>(ctx);
   std::lock_guard lk{self->state_mu_};
   if (self->snd_buffer_.unpin(token)) {
+    if (self->snd_release_hook_) self->snd_release_hook_();
     self->app_snd_cv_.notify_all();
     self->poke_watchers();
   }
@@ -698,6 +700,7 @@ void Socket::sender_loop() {
       // unpins in on_tx_reaped instead.
       std::lock_guard lk{state_mu_};
       if (snd_buffer_.unpin(tx_pin_token_)) {
+        if (snd_release_hook_) snd_release_hook_();
         app_snd_cv_.notify_all();
         poke_watchers();
       }
@@ -752,6 +755,7 @@ Pacer::Clock::time_point Socket::tx_round() {
   {
     std::lock_guard lk{state_mu_};
     if (opts_.zero_copy && !deferred && snd_buffer_.unpin(tx_pin_token_)) {
+      if (snd_release_hook_) snd_release_hook_();
       app_snd_cv_.notify_all();
       poke_watchers();
     }
@@ -1163,6 +1167,7 @@ void Socket::handle_ctrl(std::span<const std::uint8_t> pkt) {
             return r.last < snd_una_;
           });
         }
+        if (snd_release_hook_) snd_release_hook_();
         app_snd_cv_.notify_all();
         poke_watchers();
         cc::AckInfo info;
@@ -1811,10 +1816,29 @@ std::size_t Socket::recvmsg(std::span<std::uint8_t> out,
 
 std::uint64_t Socket::sendfile(const std::string& path, std::uint64_t offset,
                                std::uint64_t length) {
+  return opts_.file_pipeline ? sendfile_pipelined(path, offset, length)
+                             : sendfile_staged(path, offset, length);
+}
+
+std::uint64_t Socket::recvfile(const std::string& path,
+                               std::uint64_t length) {
+  return opts_.file_pipeline ? recvfile_pipelined(path, length)
+                             : recvfile_staged(path, length);
+}
+
+std::uint64_t Socket::sendfile_staged(const std::string& path,
+                                      std::uint64_t offset,
+                                      std::uint64_t length) {
   std::ifstream in{path, std::ios::binary};
-  if (!in) return 0;
+  if (!in) {
+    last_error_ = SocketError::kFileIo;
+    return 0;
+  }
   in.seekg(static_cast<std::streamoff>(offset));
   std::vector<std::uint8_t> chunk(1 << 20);
+  // Same emulated-disk contract as the pipelined path: reads become
+  // available at the injected disk rate.
+  DiskThrottle disk{opts_.file_disk_read_mbps};
   std::uint64_t sent = 0;
   while (sent < length && in && running_) {
     const std::uint64_t want =
@@ -1823,12 +1847,19 @@ std::uint64_t Socket::sendfile(const std::string& path, std::uint64_t offset,
             static_cast<std::streamsize>(want));
     const auto got = static_cast<std::uint64_t>(in.gcount());
     if (got == 0) break;
-    sent += send(std::span{chunk.data(), static_cast<std::size_t>(got)});
+    disk.consume(static_cast<std::size_t>(got));
+    const std::size_t n =
+        send(std::span{chunk.data(), static_cast<std::size_t>(got)});
+    sent += n;
+    // send() returning short means the socket closed — or refused stream
+    // bytes outright (message-latched socket returns 0 forever).  Either
+    // way the loop can make no further progress; retrying would spin.
+    if (n < got) break;
   }
   // Delivery, not buffering, is the contract: if the flush fails (broken
   // connection, timeout) the unacknowledged tail still sits in the send
   // buffer — report only what the peer actually acknowledged.
-  if (!flush(std::chrono::seconds{60})) {
+  if (!flush(file_deadline_ms())) {
     std::unique_lock lk{state_mu_};
     const auto unacked = static_cast<std::uint64_t>(snd_buffer_.bytes());
     sent -= std::min(sent, unacked);
@@ -1836,24 +1867,280 @@ std::uint64_t Socket::sendfile(const std::string& path, std::uint64_t offset,
   return sent;
 }
 
-std::uint64_t Socket::recvfile(const std::string& path,
-                               std::uint64_t length) {
-  std::ofstream out{path, std::ios::binary | std::ios::trunc};
-  if (!out) return 0;
+std::uint64_t Socket::recvfile_staged(const std::string& path,
+                                      std::uint64_t length) {
+  // Opened on the first received byte, not up front: a transfer that dies
+  // before any data arrives must not destroy an existing file.
+  std::ofstream out;
   std::vector<std::uint8_t> chunk(1 << 20);
+  DiskThrottle disk{opts_.file_disk_write_mbps};  // see sendfile_staged
   std::uint64_t received = 0;
+  bool disk_ok = true;
+  bool timed_out = false;
   while (received < length && running_) {
     const std::uint64_t want =
         std::min<std::uint64_t>(chunk.size(), length - received);
     const std::size_t n =
         recv(std::span{chunk.data(), static_cast<std::size_t>(want)},
-             std::chrono::milliseconds{5000});
-    if (n == 0) break;
+             file_deadline_ms());
+    if (n == 0) {
+      timed_out = running_ && !peer_shutdown_;
+      break;
+    }
+    if (!out.is_open()) {
+      out.open(path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        disk_ok = false;
+        break;
+      }
+    }
     out.write(reinterpret_cast<const char*>(chunk.data()),
               static_cast<std::streamsize>(n));
+    if (!out) {
+      disk_ok = false;
+      break;
+    }
+    disk.consume(n);
     received += n;
   }
+  if (length == 0 && !out.is_open()) {
+    // Zero-length request: the legacy contract still creates/empties the
+    // destination — an explicit "make this file empty".
+    out.open(path, std::ios::binary | std::ios::trunc);
+    disk_ok = disk_ok && static_cast<bool>(out);
+  }
+  if (!disk_ok) {
+    last_error_ = SocketError::kFileIo;
+  } else if (received >= length) {
+    last_error_ = SocketError::kNone;
+  } else if (broken()) {
+    // declare_broken already surfaced kConnectionBroken.
+  } else if (timed_out) {
+    last_error_ = SocketError::kRecvTimeout;
+  } else {
+    last_error_ = SocketError::kRecvTruncated;
+  }
   return received;
+}
+
+std::uint64_t Socket::sendfile_pipelined(const std::string& path,
+                                         std::uint64_t offset,
+                                         std::uint64_t length) {
+  {
+    std::unique_lock lk{state_mu_};
+    if (snd_mode_ == XferMode::kMessage) return 0;  // see send()
+    if (!running_) return 0;
+  }
+  FileSource::Config cfg;
+  cfg.chunk_bytes = opts_.file_chunk_bytes;
+  cfg.ring_chunks = opts_.file_ring_chunks;
+  cfg.payload_quantum = opts_.mss_bytes;
+  cfg.use_uring = opts_.file_uring;
+  cfg.throttle_mbps = opts_.file_disk_read_mbps;
+  FileSource src{path, offset, length, cfg};
+  if (!src.ok()) {
+    last_error_ = SocketError::kFileIo;
+    return 0;
+  }
+
+  // Ring chunks whose packets are still in the send buffer, in admission
+  // (and thus acknowledgment) order: front recycles once the cumulative ACK
+  // passed its last packet AND no in-flight syscall pins can still hold
+  // iovecs into it — exactly send_overlapped's release discipline.
+  struct InFlight {
+    int id;
+    std::int64_t end;  // snd_buffer_ end_index after this chunk's admission
+  };
+  std::deque<InFlight> inflight;
+  const auto recycle_released = [&] {  // state_mu_ held
+    while (!inflight.empty() && snd_una_ >= inflight.front().end &&
+           !snd_buffer_.pinned_below(inflight.front().end)) {
+      src.recycle(inflight.front().id);
+      inflight.pop_front();
+    }
+  };
+  // Recycle from the ACK/unpin paths too: while the pump below is blocked
+  // in src.next() waiting for the disk, a dry ring must refill the instant
+  // the ACK clock releases chunks — otherwise reader and pump deadlock
+  // against each other until a timeout, collapsing the pipeline to one
+  // ring-ful per timeout period.
+  {
+    std::lock_guard lk{state_mu_};
+    snd_release_hook_ = recycle_released;
+  }
+
+  std::uint64_t accepted = 0;
+  while (running_) {
+    auto c = src.next(std::chrono::milliseconds{100});
+    if (!c) {
+      if (src.io_error()) {
+        last_error_ = SocketError::kFileIo;
+        break;
+      }
+      if (src.done()) break;
+      // Reader momentarily behind (ring dry or a slow disk): recycle what
+      // the ACK clock released and wait for the next chunk.
+      std::unique_lock lk{state_mu_};
+      recycle_released();
+      continue;
+    }
+    std::unique_lock lk{state_mu_};
+    snd_mode_ = XferMode::kStream;
+    std::size_t added = 0;
+    while (running_ && added < c->len) {
+      const std::size_t n = snd_buffer_.add_borrowed(
+          std::span{c->data + added, c->len - added});
+      added += n;
+      if (n > 0) wake_sender();
+      recycle_released();
+      if (added < c->len) {
+        app_snd_cv_.wait_for(lk, std::chrono::milliseconds{100});
+      }
+    }
+    accepted += added;
+    stats_.bytes_sent += added;
+    inflight.push_back(InFlight{c->id, snd_buffer_.end_index()});
+    recycle_released();
+    if (added < c->len) break;  // socket died mid-chunk
+  }
+  src.stop();
+
+  const bool flushed = flush(file_deadline_ms());
+  std::uint64_t delivered = accepted;
+  {
+    std::unique_lock lk{state_mu_};
+    if (flushed) {
+      // Everything is acknowledged; only in-flight syscall pins can still
+      // reference chunk memory, and those complete in microseconds.
+      while (!inflight.empty()) {
+        recycle_released();
+        if (inflight.empty()) break;
+        app_snd_cv_.wait_for(lk, std::chrono::milliseconds{10});
+      }
+    } else {
+      // Flush deadline passed (or the socket died) with the tail
+      // unacknowledged.  The ring chunks cannot be freed while the buffer
+      // views them, and blocking until the peer drains could hang forever —
+      // so copy the still-referenced tail into buffer-owned storage and
+      // wait only for the in-flight pins.
+      snd_buffer_.disown_views(snd_buffer_.first_index(),
+                               snd_buffer_.end_index());
+      const std::int64_t last_end =
+          inflight.empty() ? 0 : inflight.back().end;
+      const auto pin_cap =
+          std::chrono::steady_clock::now() + std::chrono::seconds{2};
+      while (snd_buffer_.pinned_below(last_end) &&
+             std::chrono::steady_clock::now() < pin_cap) {
+        app_snd_cv_.wait_for(lk, std::chrono::milliseconds{10});
+      }
+      inflight.clear();  // chunk storage is no longer referenced
+      const auto unacked = static_cast<std::uint64_t>(snd_buffer_.bytes());
+      delivered -= std::min(delivered, unacked);
+    }
+    snd_release_hook_ = nullptr;  // before src/inflight leave scope
+  }
+  return delivered;
+}
+
+std::uint64_t Socket::recvfile_pipelined(const std::string& path,
+                                         std::uint64_t length) {
+  FileSink::Config cfg;
+  cfg.use_uring = opts_.file_uring;
+  cfg.throttle_mbps = opts_.file_disk_write_mbps;
+  cfg.queue_max_bytes =
+      std::max<std::size_t>(opts_.file_chunk_bytes *
+                                static_cast<std::size_t>(std::max(
+                                    opts_.file_ring_chunks, 1)),
+                            std::size_t{1} << 20);
+  FileSink sink{path, length, cfg};
+  std::uint64_t taken = 0;
+  bool disk_ok = true;
+  bool timed_out = false;
+  std::vector<RcvBuffer::Taken> batch;
+  std::size_t batch_bytes = 0;
+  // Coalesce takes into batches of this size before paying an enqueue.  At
+  // matched disk/wire rates the sink queue never backs up, so every enqueue
+  // costs a writer wakeup and a positional write; handing it arrival-sized
+  // crumbs (a few packets per wake) would burn a context switch and a
+  // syscall per few KB.
+  const std::size_t coalesce_bytes =
+      std::min<std::size_t>(cfg.queue_max_bytes / 2, std::size_t{1} << 20);
+  const auto flush_batch = [&] {
+    if (batch.empty()) return true;
+    batch_bytes = 0;
+    const bool ok = sink.enqueue(std::move(batch));
+    batch.clear();
+    return ok;
+  };
+  while (taken < length && running_) {
+    bool stream_idle = false;
+    {
+      std::unique_lock lk{state_mu_};
+      const std::size_t n = rcv_buffer_.take_stream(
+          static_cast<std::size_t>(
+              std::min<std::uint64_t>(length - taken,
+                                      std::numeric_limits<std::size_t>::max())),
+          batch);
+      if (n == 0) {
+        if (peer_shutdown_) break;
+        if (batch.empty()) {
+          // Same reopening rule as recv(): nothing to announce here (no
+          // drain happened), just wait for data bounded by the progress
+          // deadline.
+          const bool sig = app_rcv_cv_.wait_for(lk, file_deadline_ms(), [&] {
+            return !running_ || peer_shutdown_ ||
+                   rcv_buffer_.readable_bytes() > 0;
+          });
+          if (!sig) {
+            timed_out = true;
+            break;
+          }
+          continue;
+        }
+        // Bytes in hand but the buffer ran dry: give the next arrival burst
+        // a short window to extend the batch; flush only if it stays dry.
+        app_rcv_cv_.wait_for(lk, std::chrono::milliseconds{2}, [&] {
+          return !running_ || peer_shutdown_ ||
+                 rcv_buffer_.readable_bytes() > 0;
+        });
+        stream_idle = rcv_buffer_.readable_bytes() == 0;
+      } else {
+        // The drain just reopened window space; after advertising zero the
+        // reopen must announce itself at once (see recv()).
+        if (advertised_zero_ && rcv_buffer_.avail_packets() > 0) {
+          send_ack();
+          last_acked_index_ = rcv_buffer_.contiguous_end();
+          data_since_ack_ = false;
+        }
+        stats_.bytes_delivered += n;
+        taken += n;
+        batch_bytes += n;
+      }
+    }
+    // Queue for write-behind outside the socket lock: enqueue blocks on the
+    // sink's byte cap, which is precisely how a slow disk backs up into the
+    // protocol's flow-control window.
+    if ((batch_bytes >= coalesce_bytes || stream_idle || taken >= length) &&
+        !flush_batch()) {
+      disk_ok = false;
+      break;
+    }
+  }
+  if (!flush_batch()) disk_ok = false;
+  const bool sunk = sink.finish(length == 0) && disk_ok;
+  const std::uint64_t written = sink.bytes_written();
+  if (!sunk) {
+    last_error_ = SocketError::kFileIo;
+  } else if (written >= length) {
+    last_error_ = SocketError::kNone;
+  } else if (broken()) {
+    // kConnectionBroken already surfaced.
+  } else if (timed_out) {
+    last_error_ = SocketError::kRecvTimeout;
+  } else {
+    last_error_ = SocketError::kRecvTruncated;
+  }
+  return written;
 }
 
 bool Socket::flush(std::chrono::milliseconds timeout) {

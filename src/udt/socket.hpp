@@ -27,11 +27,13 @@
 // Connections run over IPv4 loopback/UDP.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <deque>
 #include <memory>
 #include <map>
@@ -72,6 +74,17 @@ enum class ConnState { kConnecting, kEstablished, kClosing, kClosed, kBroken };
 enum class SocketError {
   kNone,
   kConnectionBroken,  // EXP escalation exhausted: peer declared dead
+  // recvfile: no data arrived within the progress deadline
+  // (file_flush_timeout_s) before the requested length was reached — the
+  // destination file holds a truncated prefix (or was never touched).
+  kRecvTimeout,
+  // recvfile: the peer closed (or the connection died) before the requested
+  // length arrived — same truncation contract as kRecvTimeout, but the
+  // stream is known to be over.
+  kRecvTruncated,
+  // sendfile/recvfile: local disk I/O failed (open / read / write /
+  // truncate).
+  kFileIo,
 };
 
 struct SocketOptions {
@@ -194,6 +207,36 @@ struct SocketOptions {
   // Bounds the receiver-side reassembly walk and keeps one message from
   // monopolizing the send buffer.
   int max_msg_pkts = 1024;
+  // --- bulk file transfer (§4.7, Table 2) --------------------------------
+  // Pipelined zero-copy disk datapath for sendfile/recvfile
+  // (file_pipeline.hpp): a reader thread pread()s (or io_uring-READs) into
+  // a ring of 64 KB-aligned chunks the wire transmits from directly
+  // (borrowed into SndBuffer, recycled on ACK-release), and a write-behind
+  // thread drains the receive buffer by reference into pwrite()/io_uring
+  // WRITE with ftruncate preallocation.  Disk and wire overlap, and steady
+  // state moves payload without copies on either side.  false restores the
+  // synchronous 1 MB staging loops, byte-for-byte.
+  bool file_pipeline = true;
+  // Reader-ring chunk size (rounded up to 64 KB multiples, filled in MSS
+  // multiples) and ring depth.  chunk_bytes * ring_chunks bounds both the
+  // per-transfer file memory and the unacknowledged borrowed window; the
+  // ring running dry is backpressure on the disk reader, not an error.
+  std::size_t file_chunk_bytes = std::size_t{256} << 10;
+  int file_ring_chunks = 16;
+  // sendfile: deadline for the tail flush once the last byte is buffered
+  // (previously a hardcoded 60 s).  recvfile (pipelined): longest wait with
+  // no arriving data before the transfer is abandoned as kRecvTimeout.
+  double file_flush_timeout_s = 60.0;
+  // File READ/WRITE through a dedicated io_uring when the kernel has one
+  // (independent of io_backend, which drives the UDP datapath); quietly
+  // falls back to pread/pwrite, and UDTR_NO_URING forces the fallback.
+  bool file_uring = true;
+  // Injected disk-rate caps in Mb/s for the reader / writer stages (0 =
+  // off).  bench_blast_file (and tests) use these to emulate the Table-2
+  // disk bottleneck on hardware whose page cache is far faster than the
+  // disks the paper measured.
+  double file_disk_read_mbps = 0.0;
+  double file_disk_write_mbps = 0.0;
 };
 
 struct PerfStats {
@@ -309,11 +352,22 @@ class Socket {
   // Streams `length` bytes of `path` starting at `offset`; returns bytes
   // sent AND acknowledged.  Blocks until the data is delivered or the
   // socket dies — a connection that breaks with the tail unacknowledged is
-  // reported as a short count, never as success.
+  // reported as a short count, never as success.  With file_pipeline (the
+  // default) the wire transmits straight out of a ring of file-read chunks
+  // (zero payload copies in steady state); disk errors surface as
+  // last_error() == kFileIo.  Returns 0 on a message-latched socket —
+  // stream bytes cannot be spliced into a message sequence.
   std::uint64_t sendfile(const std::string& path, std::uint64_t offset,
                          std::uint64_t length);
-  // Receives `length` bytes into `path` (created/truncated).  Uses the
-  // overlapped user-buffer path.  Returns bytes written.
+  // Receives `length` bytes into `path` and returns bytes written.  The
+  // destination is only created/truncated once the first byte has actually
+  // arrived (a transfer that dies earlier leaves an existing file intact),
+  // then preallocated to `length` and trimmed back if the transfer ends
+  // short.  A short count is never silent: last_error() distinguishes
+  // kRecvTimeout (peer went quiet), kRecvTruncated (peer closed early),
+  // kConnectionBroken and kFileIo; a clean full-length transfer resets it
+  // to kNone.  With file_pipeline the disk write overlaps reassembly
+  // (write-behind by reference) instead of gating the receive loop.
   std::uint64_t recvfile(const std::string& path, std::uint64_t length);
 
   // Waits until everything buffered so far is acknowledged.
@@ -446,6 +500,22 @@ class Socket {
   void send_msg_drop(std::uint32_t msg_no, std::int64_t first,
                      std::int64_t last);
 
+  // --- file transfer (socket.cpp) ----------------------------------------
+  // Legacy synchronous staging loops (file_pipeline = false), kept
+  // byte-for-byte except the message-latch bailout and error surfacing.
+  std::uint64_t sendfile_staged(const std::string& path, std::uint64_t offset,
+                                std::uint64_t length);
+  std::uint64_t recvfile_staged(const std::string& path, std::uint64_t length);
+  // Pipelined zero-copy paths (file_pipeline.hpp stages).
+  std::uint64_t sendfile_pipelined(const std::string& path,
+                                   std::uint64_t offset, std::uint64_t length);
+  std::uint64_t recvfile_pipelined(const std::string& path,
+                                   std::uint64_t length);
+  [[nodiscard]] std::chrono::milliseconds file_deadline_ms() const {
+    return std::chrono::milliseconds{static_cast<std::int64_t>(
+        std::max(opts_.file_flush_timeout_s, 0.001) * 1e3)};
+  }
+
   [[nodiscard]] std::uint64_t now_us() const;
   [[nodiscard]] double now_s() const {
     return static_cast<double>(now_us()) * 1e-6;
@@ -495,6 +565,13 @@ class Socket {
   std::condition_variable snd_cv_;      // wakes the sender thread
   std::condition_variable app_snd_cv_;  // buffer space for send()
   std::condition_variable app_rcv_cv_;  // data available for recv()
+
+  // Invoked (state_mu_ held) wherever send progress frees buffer storage —
+  // ACK advance and syscall unpin.  sendfile_pipelined installs its
+  // chunk-recycle step here so the FileSource ring refills the moment the
+  // ACK clock releases a chunk, even while the pump thread is blocked
+  // waiting for the next disk read; null otherwise.
+  std::function<void()> snd_release_hook_;
 
   // --- sender state (guarded by state_mu_) -------------------------------
   SndBuffer snd_buffer_;
